@@ -1,0 +1,91 @@
+"""E1 -- Section 4 on Example 1.1: Counting Omega(2^n) vs Separable O(n).
+
+The paper's database: ``friend`` and ``idol`` both hold the chain
+(a_1, a_2) ... (a_{n-1}, a_n); ``perfectFor`` = {(a_n, b_n)}.  On the
+query ``buys(a1, Y)?`` the Generalized Counting Method builds a
+``count`` relation with one tuple per derivation path (2^n - 1 of
+them: "a 30 tuple database can generate a several gigabyte relation"),
+while Separable and Magic build only linear-size relations.
+"""
+
+import pytest
+
+from repro.core.api import evaluate_separable
+from repro.core.detection import require_separable
+from repro.datalog.parser import parse_atom
+from repro.rewriting.counting import evaluate_counting
+from repro.rewriting.magic import evaluate_magic
+from repro.stats import EvaluationStats
+from repro.workloads.paper import example_1_1_database, example_1_1_program
+
+QUERY = parse_atom("buys(a1, Y)")
+COUNTING_NS = [4, 6, 8, 10, 12]
+LINEAR_NS = [4, 6, 8, 10, 12, 100, 400]
+
+
+def _run_counting(program, db):
+    stats = EvaluationStats()
+    answers = evaluate_counting(program, db, QUERY, stats=stats)
+    return answers, stats
+
+
+def _run_separable(program, db, analysis):
+    stats = EvaluationStats()
+    answers = evaluate_separable(
+        program, db, QUERY, analysis=analysis, stats=stats
+    )
+    return answers, stats
+
+
+def _run_magic(program, db):
+    stats = EvaluationStats()
+    answers = evaluate_magic(program, db, QUERY, stats=stats)
+    return answers, stats
+
+
+@pytest.mark.parametrize("n", COUNTING_NS)
+def test_e1_counting(benchmark, series, n):
+    program = example_1_1_program()
+    db = example_1_1_database(n)
+    answers, stats = benchmark.pedantic(
+        _run_counting, args=(program, db), rounds=3, iterations=1
+    )
+    assert stats.relation_sizes["count"] == 2**n - 1
+    assert answers == {("a1", f"b{n}")}
+    series.record(
+        "E1",
+        "counting",
+        n=n,
+        max_relation=stats.max_relation_size,
+        count_size=stats.relation_sizes["count"],
+    )
+
+
+@pytest.mark.parametrize("n", LINEAR_NS)
+def test_e1_separable(benchmark, series, n):
+    program = example_1_1_program()
+    db = example_1_1_database(n)
+    analysis = require_separable(program, "buys")
+    answers, stats = benchmark.pedantic(
+        _run_separable, args=(program, db, analysis), rounds=3, iterations=1
+    )
+    assert stats.max_relation_size <= n
+    assert answers == {("a1", f"b{n}")}
+    series.record(
+        "E1", "separable", n=n, max_relation=stats.max_relation_size
+    )
+
+
+@pytest.mark.parametrize("n", LINEAR_NS)
+def test_e1_magic(benchmark, series, n):
+    """Magic is also linear here (one bound column, monadic magic set):
+    the paper's Example 1.1 blowup is specific to Counting."""
+    program = example_1_1_program()
+    db = example_1_1_database(n)
+    answers, stats = benchmark.pedantic(
+        _run_magic, args=(program, db), rounds=3, iterations=1
+    )
+    assert answers == {("a1", f"b{n}")}
+    series.record(
+        "E1", "magic", n=n, max_relation=stats.max_relation_size
+    )

@@ -1,0 +1,69 @@
+"""E2 -- Section 4 on Example 1.2: Magic Omega(n^2) vs Separable O(n).
+
+The paper's database: ``friend`` = chain over a_1..a_n, ``cheaper``
+descends through b_n..b_1, ``perfectFor`` = {(a_n, b_n)}.  The magic
+set reaches every a_i, and the rewritten ``buys`` must materialize all
+n^2 tuples (a_i, b_j); Separable builds two monadic relations of size
+n.  (Counting is inapplicable here: rule r2's binding passes through
+unchanged -- see tests/rewriting/test_counting.py.)
+"""
+
+import pytest
+
+from repro.core.api import evaluate_separable
+from repro.core.detection import require_separable
+from repro.datalog.parser import parse_atom
+from repro.rewriting.magic import evaluate_magic
+from repro.stats import EvaluationStats
+from repro.workloads.paper import example_1_2_database, example_1_2_program
+
+QUERY = parse_atom("buys(a1, Y)")
+MAGIC_NS = [8, 16, 32, 64, 128]
+LINEAR_NS = [8, 16, 32, 64, 128, 512]
+
+
+def _run_magic(program, db):
+    stats = EvaluationStats()
+    answers = evaluate_magic(program, db, QUERY, stats=stats)
+    return answers, stats
+
+
+def _run_separable(program, db, analysis):
+    stats = EvaluationStats()
+    answers = evaluate_separable(
+        program, db, QUERY, analysis=analysis, stats=stats
+    )
+    return answers, stats
+
+
+@pytest.mark.parametrize("n", MAGIC_NS)
+def test_e2_magic(benchmark, series, n):
+    program = example_1_2_program()
+    db = example_1_2_database(n)
+    answers, stats = benchmark.pedantic(
+        _run_magic, args=(program, db), rounds=3, iterations=1
+    )
+    assert stats.relation_sizes["buys__bf"] == n * n
+    assert len(answers) == n
+    series.record(
+        "E2",
+        "magic",
+        n=n,
+        max_relation=stats.max_relation_size,
+        rewritten_t=stats.relation_sizes["buys__bf"],
+    )
+
+
+@pytest.mark.parametrize("n", LINEAR_NS)
+def test_e2_separable(benchmark, series, n):
+    program = example_1_2_program()
+    db = example_1_2_database(n)
+    analysis = require_separable(program, "buys")
+    answers, stats = benchmark.pedantic(
+        _run_separable, args=(program, db, analysis), rounds=3, iterations=1
+    )
+    assert stats.max_relation_size <= n
+    assert len(answers) == n
+    series.record(
+        "E2", "separable", n=n, max_relation=stats.max_relation_size
+    )

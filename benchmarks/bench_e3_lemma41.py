@@ -1,0 +1,76 @@
+"""E3 -- Lemma 4.1: Separable is O(n^max(w(e1), k - w(e1))).
+
+We sweep the arity ``k`` and the width ``w`` of the selected class on
+recursions of the shape::
+
+    t(X1..Xk) :- a(X1..Xw, W1..Ww) & t(W1..Ww, X(w+1)..Xk).
+    t(X1..Xk) :- t0(X1..Xk).
+
+with dense EDBs over n constants, and check the measured maximum
+relation size against the lemma's bound: ``carry_1``/``seen_1`` have
+``w`` columns (at most n^w tuples) and ``carry_2``/``seen_2`` have
+``k - w`` columns (at most n^(k-w)).
+"""
+
+import itertools
+
+import pytest
+
+from repro.core.api import evaluate_separable
+from repro.core.detection import require_separable
+from repro.datalog.database import Database
+from repro.datalog.parser import parse_atom, parse_program
+from repro.stats import EvaluationStats
+
+N = 5
+SHAPES = [(2, 1), (3, 1), (3, 2), (4, 1), (4, 2), (4, 3)]
+
+
+def build(k, w, n):
+    head = ", ".join(f"X{j}" for j in range(1, k + 1))
+    bound_head = ", ".join(f"X{j}" for j in range(1, w + 1))
+    bound_body = ", ".join(f"W{j}" for j in range(1, w + 1))
+    rest = ", ".join(f"X{j}" for j in range(w + 1, k + 1))
+    body_args = ", ".join(x for x in [bound_body, rest] if x)
+    program = parse_program(
+        f"t({head}) :- a({bound_head}, {bound_body}) & t({body_args}).\n"
+        f"t({head}) :- t0({head})."
+    ).program
+    consts = [f"c{i}" for i in range(1, n + 1)]
+    a_tuples = list(itertools.product(consts, repeat=2 * w))
+    t0_tuples = list(itertools.product(consts, repeat=k))
+    db = Database.from_facts({"a": a_tuples, "t0": t0_tuples})
+    query = parse_atom(
+        "t(" + ", ".join(["c1"] * w + [f"Q{j}" for j in range(k - w)]) + ")"
+    )
+    return program, db, query
+
+
+def _run(program, db, query, analysis):
+    stats = EvaluationStats()
+    answers = evaluate_separable(
+        program, db, query, analysis=analysis, stats=stats
+    )
+    return answers, stats
+
+
+@pytest.mark.parametrize("k,w", SHAPES)
+def test_e3_lemma41_bound(benchmark, series, k, w):
+    program, db, query = build(k, w, N)
+    analysis = require_separable(program, "t")
+    assert analysis.classes[0].width == w
+    answers, stats = benchmark.pedantic(
+        _run, args=(program, db, query, analysis), rounds=3, iterations=1
+    )
+    bound = N ** max(w, k - w)
+    assert stats.max_relation_size <= bound
+    series.record(
+        "E3",
+        "separable",
+        k=k,
+        w=w,
+        n=N,
+        bound=bound,
+        max_relation=stats.max_relation_size,
+        largest=stats.largest_relation()[0],
+    )

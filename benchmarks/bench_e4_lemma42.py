@@ -1,0 +1,85 @@
+"""E4 -- Lemma 4.2: Generalized Magic Sets is Omega(n^k) on S^k_p.
+
+The adversarial family: ``a1`` is a chain over c_1..c_n, the other
+``a_i`` are empty, and ``t0`` holds the full n^k cross product.  The
+magic set reaches all n constants, so the guarded base rule copies all
+of ``t0`` into the rewritten ``t`` -- n^k tuples -- while Separable
+only materializes seen_1 (n tuples) and seen_2 (at most n^(k-1)).
+"""
+
+import pytest
+
+from repro.core.api import evaluate_separable
+from repro.core.detection import require_separable
+from repro.datalog.parser import parse_atom
+from repro.rewriting.magic import evaluate_magic
+from repro.stats import EvaluationStats
+from repro.workloads.paper import lemma_4_2_database, lemma_4_2_program
+
+P = 2
+CASES = [(4, 2), (8, 2), (16, 2), (4, 3), (8, 3)]
+
+
+def query_for(k):
+    return parse_atom(
+        "t(c1, " + ", ".join(f"Q{j}" for j in range(k - 1)) + ")"
+    )
+
+
+def _run_magic(program, db, query):
+    stats = EvaluationStats()
+    answers = evaluate_magic(program, db, query, stats=stats)
+    return answers, stats
+
+
+def _run_separable(program, db, query, analysis):
+    stats = EvaluationStats()
+    answers = evaluate_separable(
+        program, db, query, analysis=analysis, stats=stats
+    )
+    return answers, stats
+
+
+@pytest.mark.parametrize("n,k", CASES)
+def test_e4_magic(benchmark, series, n, k):
+    program = lemma_4_2_program(k, P)
+    db = lemma_4_2_database(n, k, P)
+    query = query_for(k)
+    answers, stats = benchmark.pedantic(
+        _run_magic, args=(program, db, query), rounds=3, iterations=1
+    )
+    rewritten = f"t__b{'f' * (k - 1)}"
+    assert stats.relation_sizes[rewritten] == n**k
+    assert len(answers) == n ** (k - 1)
+    series.record(
+        "E4",
+        "magic",
+        n=n,
+        k=k,
+        n_to_k=n**k,
+        max_relation=stats.max_relation_size,
+    )
+
+
+@pytest.mark.parametrize("n,k", CASES)
+def test_e4_separable(benchmark, series, n, k):
+    program = lemma_4_2_program(k, P)
+    db = lemma_4_2_database(n, k, P)
+    query = query_for(k)
+    analysis = require_separable(program, "t")
+    answers, stats = benchmark.pedantic(
+        _run_separable,
+        args=(program, db, query, analysis),
+        rounds=3,
+        iterations=1,
+    )
+    assert stats.max_relation_size <= n ** max(1, k - 1)
+    assert len(answers) == n ** (k - 1)
+    series.record(
+        "E4",
+        "separable",
+        n=n,
+        k=k,
+        n_to_k=n**k,
+        max_relation=stats.max_relation_size,
+    )

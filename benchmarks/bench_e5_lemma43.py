@@ -1,0 +1,74 @@
+"""E5 -- Lemma 4.3: Generalized Counting is Omega(p^n) on S^k_p.
+
+All p rules carry the identical chain relation, so every length-l rule
+sequence is a distinct derivation path and ``count`` holds
+sum_{l<n} p^l tuples -- the per-path bookkeeping Theorem 2.1 proves
+unnecessary for separable recursions, where Separable stays at O(n).
+"""
+
+import pytest
+
+from repro.core.api import evaluate_separable
+from repro.core.detection import require_separable
+from repro.datalog.parser import parse_atom
+from repro.rewriting.counting import evaluate_counting
+from repro.stats import EvaluationStats
+from repro.workloads.paper import lemma_4_3_database, lemma_4_3_program
+
+K = 2
+QUERY = parse_atom("t(c1, Y)")
+COUNTING_CASES = [(4, 2), (6, 2), (8, 2), (4, 3), (6, 3), (5, 4)]
+SEPARABLE_CASES = COUNTING_CASES + [(64, 2), (64, 4)]
+
+
+def _run_counting(program, db):
+    stats = EvaluationStats()
+    answers = evaluate_counting(program, db, QUERY, stats=stats)
+    return answers, stats
+
+
+def _run_separable(program, db, analysis):
+    stats = EvaluationStats()
+    answers = evaluate_separable(
+        program, db, QUERY, analysis=analysis, stats=stats
+    )
+    return answers, stats
+
+
+@pytest.mark.parametrize("n,p", COUNTING_CASES)
+def test_e5_counting(benchmark, series, n, p):
+    program = lemma_4_3_program(K, p)
+    db = lemma_4_3_database(n, K, p)
+    answers, stats = benchmark.pedantic(
+        _run_counting, args=(program, db), rounds=3, iterations=1
+    )
+    expected = sum(p**level for level in range(n))
+    assert stats.relation_sizes["count"] == expected
+    assert answers
+    series.record(
+        "E5",
+        "counting",
+        n=n,
+        p=p,
+        count_size=stats.relation_sizes["count"],
+        max_relation=stats.max_relation_size,
+    )
+
+
+@pytest.mark.parametrize("n,p", SEPARABLE_CASES)
+def test_e5_separable(benchmark, series, n, p):
+    program = lemma_4_3_program(K, p)
+    db = lemma_4_3_database(n, K, p)
+    analysis = require_separable(program, "t")
+    answers, stats = benchmark.pedantic(
+        _run_separable, args=(program, db, analysis), rounds=3, iterations=1
+    )
+    assert stats.max_relation_size <= n + 1
+    assert answers
+    series.record(
+        "E5",
+        "separable",
+        n=n,
+        p=p,
+        max_relation=stats.max_relation_size,
+    )

@@ -1,0 +1,77 @@
+"""E8 -- average-case strategy comparison on synthetic graph workloads.
+
+Substitute for the unavailable [Nau88] empirical figures (see
+DESIGN.md): transitive-closure and Example 1.2 style queries over
+random DAGs, random (cyclic) graphs, and grids, comparing the relation
+sizes and times of Separable, Magic, semi-naive, and the no-dedup
+ablation.  The expected shape: Separable <= Magic << semi-naive in
+generated tuples, with the no-dedup ablation paying duplicate work on
+converging paths and failing outright on the cyclic workload.
+"""
+
+import pytest
+
+from repro.datalog.database import Database
+from repro.datalog.errors import CyclicDataError
+from repro.datalog.parser import parse_program
+from repro.engine import Engine
+from repro.workloads.generators import chain, grid, random_dag, random_graph
+
+TC_TEXT = "tc(X, Y) :- e(X, W) & tc(W, Y).\ntc(X, Y) :- e(X, Y)."
+
+WORKLOADS = {
+    "dag": lambda: random_dag(60, 150, seed=11),
+    "cyclic": lambda: random_graph(60, 150, seed=12),
+    "grid": lambda: grid(8, 8),
+    "shortcut-chain": lambda: chain(40)
+    + [(f"a{i}", f"a{i + 2}") for i in range(38)],
+}
+
+START = {"dag": "a0", "cyclic": "a0", "grid": "g0_0", "shortcut-chain": "a0"}
+
+STRATEGIES = ["separable", "magic", "seminaive", "nodedup"]
+
+
+def make_engine(workload):
+    program = parse_program(TC_TEXT).program
+    db = Database.from_facts({"e": WORKLOADS[workload]()})
+    return Engine(program, db)
+
+
+@pytest.mark.parametrize("workload", sorted(WORKLOADS))
+@pytest.mark.parametrize("strategy", STRATEGIES)
+def test_e8_transitive_closure(benchmark, series, workload, strategy):
+    engine = make_engine(workload)
+    query = f"tc({START[workload]}, Y)?"
+
+    if strategy == "nodedup" and workload == "cyclic":
+        with pytest.raises(CyclicDataError):
+            engine.query(query, strategy=strategy)
+
+        def run_failing():
+            try:
+                engine.query(query, strategy=strategy)
+            except CyclicDataError:
+                return None
+
+        benchmark.pedantic(run_failing, rounds=3, iterations=1)
+        series.record(
+            "E8", strategy, workload=workload, outcome="CyclicDataError"
+        )
+        return
+
+    result = benchmark.pedantic(
+        lambda: engine.query(query, strategy=strategy),
+        rounds=3,
+        iterations=1,
+    )
+    oracle = engine.query(query, strategy="seminaive")
+    assert result.answers == oracle.answers
+    series.record(
+        "E8",
+        strategy,
+        workload=workload,
+        answers=len(result.answers),
+        max_relation=result.stats.max_relation_size,
+        produced=result.stats.tuples_produced,
+    )

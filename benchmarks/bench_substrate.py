@@ -1,0 +1,81 @@
+"""Substrate micro-benchmarks: the design choices DESIGN.md calls out.
+
+* index-backed lookups vs full scans in :class:`Relation`;
+* semi-naive vs naive fixpoint evaluation on a chain closure;
+* the parser on a large generated program.
+"""
+
+import pytest
+
+from repro.datalog.database import Database, Relation
+from repro.datalog.naive import naive_evaluate
+from repro.datalog.parser import parse_program
+from repro.datalog.seminaive import seminaive_evaluate
+from repro.stats import EvaluationStats
+from repro.workloads.generators import chain
+
+TC_TEXT = "tc(X, Y) :- e(X, W) & tc(W, Y).\ntc(X, Y) :- e(X, Y)."
+
+
+@pytest.mark.parametrize("size", [1_000, 10_000])
+def test_indexed_lookup(benchmark, series, size):
+    rel = Relation("r", 2, [(f"k{i % 97}", f"v{i}") for i in range(size)])
+    rel.lookup((0,), ("k0",))  # build the index outside the timer
+
+    result = benchmark(rel.lookup, (0,), ("k13",))
+    assert result
+    series.record("SUB", "indexed-lookup", size=size, hits=len(result))
+
+
+@pytest.mark.parametrize("size", [1_000, 10_000])
+def test_scan_lookup(benchmark, series, size):
+    rel = Relation("r", 2, [(f"k{i % 97}", f"v{i}") for i in range(size)])
+
+    def scan():
+        return [t for t in rel if t[0] == "k13"]
+
+    result = benchmark(scan)
+    assert result
+    series.record("SUB", "scan-lookup", size=size, hits=len(result))
+
+
+@pytest.mark.parametrize("n", [30, 60])
+def test_seminaive_chain_closure(benchmark, series, n):
+    program = parse_program(TC_TEXT).program
+    db = Database.from_facts({"e": chain(n)})
+
+    def run():
+        stats = EvaluationStats()
+        seminaive_evaluate(program, db, stats=stats)
+        return stats
+
+    stats = benchmark.pedantic(run, rounds=3, iterations=1)
+    series.record(
+        "SUB", "seminaive-tc", n=n, produced=stats.tuples_produced
+    )
+
+
+@pytest.mark.parametrize("n", [30, 60])
+def test_naive_chain_closure(benchmark, series, n):
+    program = parse_program(TC_TEXT).program
+    db = Database.from_facts({"e": chain(n)})
+
+    def run():
+        stats = EvaluationStats()
+        naive_evaluate(program, db, stats=stats)
+        return stats
+
+    stats = benchmark.pedantic(run, rounds=3, iterations=1)
+    series.record("SUB", "naive-tc", n=n, produced=stats.tuples_produced)
+
+
+def test_parser_large_program(benchmark, series):
+    lines = [
+        f"p{i}(X, Y) :- q{i}(X, W) & r{i}(W, Y)." for i in range(300)
+    ]
+    lines += [f"q{i}(c{i}, c{i + 1})." for i in range(300)]
+    text = "\n".join(lines)
+
+    parsed = benchmark(parse_program, text)
+    assert len(parsed.program) == 300
+    series.record("SUB", "parse", statements=600)

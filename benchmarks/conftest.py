@@ -1,0 +1,119 @@
+"""Shared infrastructure for the benchmark harness.
+
+Each benchmark records a row (experiment, method, parameters, the
+generated-relation sizes) through the session-scoped ``series`` fixture;
+a terminal-summary hook prints one table per experiment at the end of
+the run, next to the paper's claimed shape, so
+``pytest benchmarks/ --benchmark-only`` regenerates the Section 4
+comparison directly in its output.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import pytest
+
+#: experiment id -> the paper's claim, shown above each table.
+PAPER_CLAIMS = {
+    "E1": (
+        "Section 4 / Example 1.1, query buys(a1, Y)?: Generalized "
+        "Counting generates Omega(2^n) tuples; Separable is O(n)."
+    ),
+    "E2": (
+        "Section 4 / Example 1.2, query buys(a1, Y)?: Generalized "
+        "Magic Sets generates Omega(n^2) tuples; Separable is O(n)."
+    ),
+    "E3": (
+        "Lemma 4.1: Separable generates relations of size at most "
+        "n^max(w(e1), k - w(e1)) on any recursion in S^k_p."
+    ),
+    "E4": (
+        "Lemma 4.2: on the S^k_p family with t0 = n^k cross product, "
+        "Generalized Magic Sets is Omega(n^k); Separable is O(n^(k-1))."
+    ),
+    "E5": (
+        "Lemma 4.3: with p identical chain relations, Generalized "
+        "Counting is Omega(p^n); Separable is O(n)."
+    ),
+    "E6": (
+        "Section 3.1: separability detection is polynomial in the rules "
+        "(r, k, l) and independent of the database size n."
+    ),
+    "E7": (
+        "Section 3.2: Separable only looks at tuples along a path from "
+        "the selection constant, examining each at most once."
+    ),
+    "E8": (
+        "[Nau88]-style average case (substituted workload): strategy "
+        "comparison on random DAGs / graphs / grids."
+    ),
+    "E9": (
+        "Extensions: Section 5 relaxed mode (correct but unfocused -- "
+        "examined tuples grow with the whole b relation) vs Magic; "
+        "[AU79] pushdown vs Separable on stable columns; algebra vs "
+        "direct backend."
+    ),
+    "SUB": "Substrate micro-benchmarks (index vs scan, semi-naive vs naive).",
+}
+
+
+class SeriesRecorder:
+    """Collects (experiment, method, params, measures) rows."""
+
+    def __init__(self) -> None:
+        self.rows: list[dict] = []
+
+    def record(self, experiment: str, method: str, **measures) -> None:
+        self.rows.append(
+            {"experiment": experiment, "method": method, **measures}
+        )
+
+    def by_experiment(self) -> dict[str, list[dict]]:
+        grouped: dict[str, list[dict]] = defaultdict(list)
+        for row in self.rows:
+            grouped[row["experiment"]].append(row)
+        return grouped
+
+
+_RECORDER = SeriesRecorder()
+
+
+@pytest.fixture(scope="session")
+def series() -> SeriesRecorder:
+    return _RECORDER
+
+
+def _format_table(rows: list[dict]) -> str:
+    columns: list[str] = []
+    for row in rows:
+        for key in row:
+            if key != "experiment" and key not in columns:
+                columns.append(key)
+    widths = {
+        c: max(len(c), *(len(str(r.get(c, ""))) for r in rows))
+        for c in columns
+    }
+    header = "  ".join(f"{c:>{widths[c]}}" for c in columns)
+    lines = [header, "  ".join("-" * widths[c] for c in columns)]
+    for row in rows:
+        lines.append(
+            "  ".join(f"{str(row.get(c, '')):>{widths[c]}}" for c in columns)
+        )
+    return "\n".join(lines)
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    grouped = _RECORDER.by_experiment()
+    if not grouped:
+        return
+    write = terminalreporter.write_line
+    write("")
+    write("=" * 78)
+    write("Reproduction series (paper claim vs measured)")
+    write("=" * 78)
+    for experiment in sorted(grouped):
+        write("")
+        write(f"[{experiment}] {PAPER_CLAIMS.get(experiment, '')}")
+        write(_format_table(grouped[experiment]))
+    write("")

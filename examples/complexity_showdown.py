@@ -1,0 +1,75 @@
+"""The Section 4 showdown: watch 2^n and n^2 beat O(n) in real time.
+
+Sweeps the paper's two adversarial databases and prints the size of the
+largest relation each method generates:
+
+* Example 1.1 + ``buys(a1, Y)?``: Generalized Counting's ``count``
+  relation doubles with every extra constant (the paper: "a 30 tuple
+  database can generate a several gigabyte relation") while Separable
+  stays at n.
+* Example 1.2 + ``buys(a1, Y)?``: Generalized Magic Sets materializes
+  the full n^2 ``buys`` relation while Separable stays at n.
+
+Run:  python examples/complexity_showdown.py
+"""
+
+from repro import Budget, EvaluationStats
+from repro.core.api import evaluate_separable
+from repro.datalog.errors import BudgetExceeded
+from repro.datalog.parser import parse_atom
+from repro.rewriting.counting import evaluate_counting
+from repro.rewriting.magic import evaluate_magic
+from repro.workloads.paper import (
+    example_1_1_database,
+    example_1_1_program,
+    example_1_2_database,
+    example_1_2_program,
+)
+
+QUERY = parse_atom("buys(a1, Y)")
+BUDGET = Budget(max_relation_tuples=500_000)
+
+
+def measure(evaluator, program, db):
+    stats = EvaluationStats()
+    try:
+        evaluator(program, db, QUERY, stats=stats, budget=BUDGET)
+    except BudgetExceeded:
+        return ">500k (budget exceeded)"
+    return str(stats.max_relation_size)
+
+
+def showdown(title, program_factory, database_factory, baseline, name):
+    print(f"\n=== {title} ===")
+    print(f"{'n':>5}  {name:>22}  {'separable':>10}")
+    for n in (4, 8, 12, 16, 20):
+        program = program_factory()
+        db = database_factory(n)
+        base = measure(baseline, program, db)
+        sep = measure(evaluate_separable, program, db)
+        print(f"{n:>5}  {base:>22}  {sep:>10}")
+
+
+def main() -> None:
+    showdown(
+        "E1: Example 1.1 -- Generalized Counting vs Separable",
+        example_1_1_program,
+        example_1_1_database,
+        evaluate_counting,
+        "counting (2^n - 1)",
+    )
+    showdown(
+        "E2: Example 1.2 -- Generalized Magic Sets vs Separable",
+        example_1_2_program,
+        example_1_2_database,
+        evaluate_magic,
+        "magic (n^2)",
+    )
+    print(
+        "\nBoth baselines explode exactly as Section 4 predicts; the "
+        "Separable column is the paper's O(n)."
+    )
+
+
+if __name__ == "__main__":
+    main()

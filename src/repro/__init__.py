@@ -1,0 +1,83 @@
+"""repro: a reproduction of Naughton's *Compiling Separable Recursions*.
+
+A pure-Python deductive-database stack built around the paper's
+contribution -- the Separable evaluation algorithm for selections on
+separable recursions -- together with the general strategies it is
+compared against (Generalized Magic Sets, the Generalized Counting
+Method) and the Datalog substrate they all run on.
+
+Quickstart::
+
+    from repro import Engine, parse_program
+
+    parsed = parse_program('''
+        buys(X, Y) :- friend(X, W) & buys(W, Y).
+        buys(X, Y) :- idol(X, W) & buys(W, Y).
+        buys(X, Y) :- perfectFor(X, Y).
+        friend(tom, sue).  idol(sue, ann).  perfectFor(ann, camera).
+    ''')
+    engine = Engine(parsed.program, parsed.database)
+    result = engine.query("buys(tom, Y)?")      # strategy="auto"
+    print(result.sorted(), result.strategy)     # separable
+
+See DESIGN.md for the module map and EXPERIMENTS.md for the
+paper-versus-measured record.
+"""
+
+from .budget import UNLIMITED, Budget
+from .core import (
+    SeparabilityReport,
+    analyze_recursion,
+    evaluate_separable,
+    is_separable,
+    require_separable,
+)
+from .datalog import (
+    Atom,
+    Database,
+    Program,
+    Relation,
+    Rule,
+    atom,
+    naive_evaluate,
+    parse_atom,
+    parse_program,
+    parse_query,
+    parse_rule,
+    seminaive_evaluate,
+)
+from .engine import STRATEGIES, Engine, QueryResult
+from .rewriting import evaluate_counting, evaluate_magic, magic_rewrite
+from .stats import EvaluationStats
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "UNLIMITED",
+    "Budget",
+    "SeparabilityReport",
+    "analyze_recursion",
+    "evaluate_separable",
+    "is_separable",
+    "require_separable",
+    "Atom",
+    "Database",
+    "Program",
+    "Relation",
+    "Rule",
+    "atom",
+    "naive_evaluate",
+    "parse_atom",
+    "parse_program",
+    "parse_query",
+    "parse_rule",
+    "seminaive_evaluate",
+    "STRATEGIES",
+    "Engine",
+    "QueryResult",
+    "evaluate_counting",
+    "evaluate_magic",
+    "magic_rewrite",
+    "EvaluationStats",
+    "__version__",
+]

@@ -1,0 +1,72 @@
+"""Tuple and iteration budgets for evaluation strategies.
+
+The exponential baselines (Generalized Counting, the Henschen-Naqvi-style
+levelwise method) generate relations of size Omega(2^n) on the paper's
+worst cases, and diverge outright on cyclic data.  A :class:`Budget`
+bounds how much work any strategy may do so benchmarks and property
+tests terminate; exceeding it raises
+:class:`repro.datalog.errors.BudgetExceeded` with the partial statistics
+attached, which the benches report as "exceeded budget at n = ...".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .errors import BudgetExceeded
+from .stats import EvaluationStats
+
+__all__ = ["Budget", "UNLIMITED"]
+
+
+@dataclass(frozen=True)
+class Budget:
+    """Limits on one query evaluation.
+
+    Attributes
+    ----------
+    max_relation_tuples:
+        Cap on the size of any single generated relation.
+    max_total_tuples:
+        Cap on the sum of generated relation sizes.
+    max_iterations:
+        Cap on total fixpoint iterations (guards divergence on cyclic
+        data for level-tracking methods).
+    """
+
+    max_relation_tuples: int = 10_000_000
+    max_total_tuples: int = 50_000_000
+    max_iterations: int = 1_000_000
+
+    def check_relation(self, name: str, size: int,
+                       stats: EvaluationStats | None = None) -> None:
+        """Raise :class:`BudgetExceeded` if one relation is over budget."""
+        if size > self.max_relation_tuples:
+            raise BudgetExceeded(
+                f"relation {name} reached {size} tuples "
+                f"(budget {self.max_relation_tuples})",
+                stats=stats,
+            )
+
+    def check_stats(self, stats: EvaluationStats) -> None:
+        """Raise :class:`BudgetExceeded` on aggregate overruns."""
+        if stats.total_relation_size > self.max_total_tuples:
+            raise BudgetExceeded(
+                f"total generated tuples reached {stats.total_relation_size} "
+                f"(budget {self.max_total_tuples})",
+                stats=stats,
+            )
+        if stats.iterations > self.max_iterations:
+            raise BudgetExceeded(
+                f"iteration count reached {stats.iterations} "
+                f"(budget {self.max_iterations})",
+                stats=stats,
+            )
+
+
+#: A budget that is large enough to never trip in ordinary use.
+UNLIMITED = Budget(
+    max_relation_tuples=2**62,
+    max_total_tuples=2**62,
+    max_iterations=2**62,
+)

@@ -1,0 +1,216 @@
+"""Command-line interface: run programs, answer queries, explain recursions.
+
+Subcommands::
+
+    repro-datalog run PROGRAM.dl [--query 'p(c, X)?'] [--strategy auto]
+        Load a program file (rules + facts + optional inline queries),
+        answer the queries, print answers and the generated-relation
+        statistics.
+
+    repro-datalog detect PROGRAM.dl [--predicate t]
+        Print the separability report (Definition 2.4 diagnostics,
+        equivalence classes, persistent columns) for one or all IDB
+        predicates.
+
+    repro-datalog plan PROGRAM.dl --query 'p(c, X)?'
+        Compile and print the Separable plan for a query (the Figure 3/4
+        style listing), without executing it.
+
+    repro-datalog advise PROGRAM.dl --query 'p(c, X)?'
+        Show which strategies apply to a query and why, plus the
+        Section 3.2 regular-expression view of the expansion.
+
+    repro-datalog report
+        Rerun the paper's experiment sweeps (no timing calibration) and
+        print the measured series as Markdown tables.
+
+Also usable as ``python -m repro ...``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .core.compiler import compile_selection
+from .core.detection import analyze_recursion, require_separable
+from .core.selections import classify_selection
+from .datalog.errors import ReproError
+from .datalog.parser import parse_program, parse_query
+from .datalog.pretty import answers_to_text
+from .engine import STRATEGIES, Engine
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-datalog",
+        description=(
+            "Datalog engine with the Separable-recursion compiler of "
+            "Naughton (SIGMOD 1988)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="evaluate queries over a program file")
+    run.add_argument("program", type=Path, help="Datalog source file")
+    run.add_argument(
+        "--query",
+        action="append",
+        default=[],
+        help="query text, e.g. 'buys(tom, Y)?' (repeatable; defaults to "
+        "the queries found in the file)",
+    )
+    run.add_argument(
+        "--strategy",
+        choices=STRATEGIES,
+        default="auto",
+        help="evaluation strategy (default: auto)",
+    )
+    run.add_argument(
+        "--stats",
+        action="store_true",
+        help="print the generated-relation statistics after each query",
+    )
+
+    detect = sub.add_parser(
+        "detect", help="print separability reports (Definition 2.4)"
+    )
+    detect.add_argument("program", type=Path)
+    detect.add_argument(
+        "--predicate",
+        default=None,
+        help="only report this predicate (default: every IDB predicate)",
+    )
+
+    plan = sub.add_parser(
+        "plan", help="compile and print the Separable plan for a query"
+    )
+    plan.add_argument("program", type=Path)
+    plan.add_argument("--query", required=True, help="query text")
+
+    advise = sub.add_parser(
+        "advise",
+        help="show which strategies apply to a query, and why",
+    )
+    advise.add_argument("program", type=Path)
+    advise.add_argument("--query", required=True, help="query text")
+
+    sub.add_parser(
+        "report",
+        help="rerun the paper's experiments and print Markdown tables",
+    )
+    return parser
+
+
+def _load(path: Path):
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        raise SystemExit(f"cannot read {path}: {exc}")
+    return parse_program(text)
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    parsed = _load(args.program)
+    queries = [parse_query(q) for q in args.query] or list(parsed.queries)
+    if not queries:
+        print("no queries given (use --query or put 'p(c, X)?' in the file)")
+        return 1
+    engine = Engine(parsed.program, parsed.database)
+    for query in queries:
+        result = engine.query(query, strategy=args.strategy)
+        print(f"% strategy: {result.strategy}")
+        print(answers_to_text(query, result.answers))
+        if args.stats:
+            print(result.stats.format_table())
+        print()
+    return 0
+
+
+def _cmd_detect(args: argparse.Namespace) -> int:
+    parsed = _load(args.program)
+    predicates = (
+        [args.predicate]
+        if args.predicate
+        else sorted(parsed.program.idb_predicates)
+    )
+    status = 0
+    for predicate in predicates:
+        if predicate not in parsed.program.idb_predicates:
+            print(f"{predicate}: not an IDB predicate")
+            status = 1
+            continue
+        report = analyze_recursion(parsed.program, predicate)
+        print(report.explain())
+        print()
+        if not report.separable:
+            status = 1
+    return status
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    parsed = _load(args.program)
+    query = parse_query(args.query)
+    analysis = require_separable(parsed.program, query.predicate)
+    selection = classify_selection(analysis, query)
+    if not selection.is_full:
+        print(
+            f"{query} is not a full selection; it would be evaluated "
+            f"through the Lemma 2.1 rewrite. Plans for its full parts:"
+        )
+        from .core.rewrite import choose_rewrite_class, program_without_class
+
+        cls = choose_rewrite_class(analysis, set(selection.bound))
+        print(f"\n-- t_full (seeds via sideways pass through class "
+              f"e_{cls.index}):")
+        from .core.compiler import compile_plan
+
+        print(compile_plan(analysis, selected_class=cls).describe())
+        part = program_without_class(analysis, cls)
+        part_analysis = require_separable(part, query.predicate)
+        part_selection = classify_selection(part_analysis, query)
+        print("\n-- t_part (class dropped; selection now persistent):")
+        print(compile_selection(part_selection).describe())
+        return 0
+    print(compile_selection(selection).describe())
+    return 0
+
+
+def _cmd_advise(args: argparse.Namespace) -> int:
+    parsed = _load(args.program)
+    engine = Engine(parsed.program, parsed.database)
+    query = parse_query(args.query)
+    print(engine.advise(query).explain())
+    report = engine.report(query.predicate)
+    if report.analysis is not None:
+        print(f"\nexpansion: {report.analysis.expansion_regex()}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .reporting import main as report_main
+
+    return report_main()
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "run": _cmd_run,
+        "detect": _cmd_detect,
+        "plan": _cmd_plan,
+        "advise": _cmd_advise,
+        "report": _cmd_report,
+    }
+    try:
+        return handlers[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,77 @@
+"""The paper's contribution: separable recursions, detection, compilation.
+
+* :mod:`analysis` -- ``t^h_i`` / ``t^b_i``, equivalence classes,
+  ``t|pers`` (the structure behind Definition 2.4);
+* :mod:`detection` -- the four-condition separability test with
+  diagnostics (Section 3.1);
+* :mod:`selections` -- full selections (Definition 2.7);
+* :mod:`rewrite` -- the Lemma 2.1 ``t_full`` / ``t_part`` rewrite;
+* :mod:`plan` / :mod:`compiler` -- the Figure 2 schema and its
+  instantiation (Section 3.3);
+* :mod:`evaluator` -- the carry/seen loops;
+* :mod:`provenance` -- answer justifications ``J(a)`` (Section 3.4);
+* :mod:`api` -- the one-call facade :func:`evaluate_separable`.
+"""
+
+from .analysis import (
+    EquivalenceClass,
+    RecursionAnalysis,
+    RuleAnalysis,
+    analyze_definition,
+    analyze_rule,
+)
+from .api import evaluate_separable
+from .compiler import compile_plan, compile_selection
+from .detection import (
+    ConditionResult,
+    SeparabilityReport,
+    analyze_recursion,
+    is_separable,
+    require_separable,
+)
+from .evaluator import execute_plan
+from .plan import CARRY, SEEN, CarryJoin, SeparablePlan
+from .provenance import (
+    Justification,
+    Trace,
+    execute_plan_traced,
+    explain,
+    justify,
+)
+from .rewrite import (
+    choose_rewrite_class,
+    program_without_class,
+    rewrite_partial_selection,
+)
+from .selections import Selection, classify_selection
+
+__all__ = [
+    "EquivalenceClass",
+    "RecursionAnalysis",
+    "RuleAnalysis",
+    "analyze_definition",
+    "analyze_rule",
+    "evaluate_separable",
+    "compile_plan",
+    "compile_selection",
+    "ConditionResult",
+    "SeparabilityReport",
+    "analyze_recursion",
+    "is_separable",
+    "require_separable",
+    "execute_plan",
+    "CARRY",
+    "SEEN",
+    "CarryJoin",
+    "SeparablePlan",
+    "Justification",
+    "Trace",
+    "execute_plan_traced",
+    "explain",
+    "justify",
+    "choose_rewrite_class",
+    "program_without_class",
+    "rewrite_partial_selection",
+    "Selection",
+    "classify_selection",
+]

@@ -1,0 +1,208 @@
+"""The Separable evaluation facade: detect, classify, compile, execute.
+
+:func:`evaluate_separable` answers an arbitrary selection query on a
+separable recursion:
+
+* full selections (Definition 2.7) compile straight to a
+  :class:`~repro.core.plan.SeparablePlan` and run;
+* partial selections follow Lemma 2.1 operationally -- evaluate the
+  ``t_part`` recursion (the class dropped, constants persistent) plus,
+  for each rule of the rewritten class, a sideways pass through its
+  nonrecursive atoms producing fully bound seeds for the original
+  recursion, evaluated per distinct seed with a cache;
+* queries with *no* constants are outside the paper's scope ("queries in
+  which at least one argument of the query predicate is a constant") and
+  raise :class:`~repro.datalog.errors.NotFullSelectionError`; the engine
+  falls back to semi-naive materialization for them.
+
+Answers are returned as full-arity tuples matching the query atom, with
+residual constants (outside the selected component) and repeated query
+variables applied as final filters.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..budget import Budget, UNLIMITED
+from ..datalog.atoms import Atom
+from ..datalog.database import Database
+from ..datalog.errors import NotFullSelectionError
+from ..datalog.joins import evaluate_body, instantiate_args
+from ..datalog.programs import Program
+from ..datalog.terms import ConstValue, Variable
+from ..stats import EvaluationStats
+from .analysis import RecursionAnalysis
+from .compiler import compile_plan, compile_selection
+from .detection import require_separable
+from .evaluator import execute_plan
+from .plan import SeparablePlan
+from .rewrite import choose_rewrite_class, program_without_class
+from .selections import Selection, classify_selection
+
+__all__ = ["evaluate_separable"]
+
+
+def _assemble(
+    arity: int,
+    plan: SeparablePlan,
+    fixed: dict[int, ConstValue],
+    up_tuples: frozenset[tuple],
+) -> set[tuple]:
+    """Interleave fixed column values with ``seen_2`` tuples."""
+    answers: set[tuple] = set()
+    for ut in up_tuples:
+        values: list[ConstValue | None] = [None] * arity
+        for p, v in fixed.items():
+            values[p] = v
+        for col, p in enumerate(plan.up_positions):
+            values[p] = ut[col]
+        answers.add(tuple(values))
+    return answers
+
+
+def _matches_query(fact: tuple, query: Atom) -> bool:
+    """Residual check: constants equal, repeated variables consistent."""
+    seen_vars: dict[Variable, ConstValue] = {}
+    for value, term in zip(fact, query.args):
+        if isinstance(term, Variable):
+            prior = seen_vars.setdefault(term, value)
+            if prior != value:
+                return False
+        elif term.value != value:
+            return False
+    return True
+
+
+def _evaluate_full(
+    selection: Selection,
+    db: Database,
+    stats: Optional[EvaluationStats],
+    budget: Budget,
+    order: str,
+) -> set[tuple]:
+    plan = compile_selection(selection)
+    up_tuples = execute_plan(
+        plan, db, [selection.seed], stats=stats, budget=budget, order=order
+    )
+    fixed = {p: selection.bound[p] for p in plan.selected_positions}
+    return _assemble(selection.analysis.arity, plan, fixed, up_tuples)
+
+
+def _evaluate_partial(
+    selection: Selection,
+    db: Database,
+    stats: Optional[EvaluationStats],
+    budget: Budget,
+    order: str,
+    allow_disconnected: bool = False,
+) -> set[tuple]:
+    """Operational Lemma 2.1: ``t_part`` answers plus per-seed ``t_full``."""
+    analysis = selection.analysis
+    cls = choose_rewrite_class(analysis, set(selection.bound))
+    answers: set[tuple] = set()
+
+    # t_part: the recursion without cls; the same query is full there
+    # because cls's columns are persistent in t_part.
+    part_program = program_without_class(analysis, cls)
+    part_analysis = require_separable(
+        part_program, analysis.predicate,
+        allow_disconnected=allow_disconnected,
+    )
+    part_selection = classify_selection(part_analysis, selection.query)
+    if part_selection.is_full:
+        answers |= _evaluate_full(part_selection, db, stats, budget, order)
+    else:  # pragma: no cover - cannot happen: bound cls columns are pers
+        answers |= _evaluate_partial(
+            part_selection, db, stats, budget, order,
+            allow_disconnected=allow_disconnected,
+        )
+
+    # t_full: sideways pass through each rule of cls produces fully
+    # bound seeds; evaluate the original recursion once per seed.
+    plan = compile_plan(analysis, selected_class=cls)
+    head_vars = analysis.head_vars
+    init = {
+        head_vars[p]: selection.bound[p]
+        for p in cls.positions
+        if p in selection.bound
+    }
+    seed_terms = {
+        a.index: tuple(a.recursive_atom.args[p] for p in cls.positions)
+        for a in analysis.rules_of_class(cls)
+    }
+    head_terms = tuple(head_vars[p] for p in cls.positions)
+    seed_cache: dict[tuple, frozenset[tuple]] = {}
+    for a in analysis.rules_of_class(cls):
+        for bindings in evaluate_body(
+            db, a.nonrecursive_atoms, initial_bindings=init, stats=stats,
+            order=order,
+        ):
+            seed = instantiate_args(seed_terms[a.index], bindings)
+            fixed_values = instantiate_args(head_terms, bindings)
+            cached = seed_cache.get(seed)
+            if cached is None:
+                cached = execute_plan(
+                    plan, db, [seed], stats=stats, budget=budget, order=order
+                )
+                seed_cache[seed] = cached
+            fixed = dict(zip(cls.positions, fixed_values))
+            answers |= _assemble(analysis.arity, plan, fixed, cached)
+    return answers
+
+
+def evaluate_separable(
+    program: Program,
+    db: Database,
+    query: Atom,
+    analysis: Optional[RecursionAnalysis] = None,
+    stats: Optional[EvaluationStats] = None,
+    budget: Budget = UNLIMITED,
+    order: str = "greedy",
+    allow_disconnected: bool = False,
+) -> frozenset[tuple]:
+    """Answer a selection query on a separable recursion.
+
+    Parameters
+    ----------
+    program:
+        Must contain the definition of ``query.predicate``; used for
+        detection when ``analysis`` is not supplied.
+    db:
+        Extents for every base predicate the recursion mentions.  If
+        base predicates are themselves IDB, materialize them first (the
+        engine does this automatically).
+    query:
+        The query atom; at least one argument must be a constant.
+    analysis:
+        A pre-computed :class:`RecursionAnalysis` to skip re-detection.
+
+    Returns the full-arity answer tuples matching the query atom.
+    """
+    if analysis is None:
+        analysis = require_separable(
+            program, query.predicate,
+            allow_disconnected=allow_disconnected,
+        )
+    if stats is not None and not stats.strategy:
+        stats.strategy = "separable"
+    selection = classify_selection(analysis, query)
+    if not selection.has_constants:
+        raise NotFullSelectionError(
+            f"query {query} has no selection constants; the Separable "
+            f"algorithm evaluates selections (use semi-naive "
+            f"materialization for all-free queries)"
+        )
+    if selection.is_full:
+        answers = _evaluate_full(selection, db, stats, budget, order)
+    else:
+        answers = _evaluate_partial(
+            selection, db, stats, budget, order,
+            allow_disconnected=allow_disconnected,
+        )
+    result = frozenset(
+        fact for fact in answers if _matches_query(fact, query)
+    )
+    if stats is not None:
+        stats.record_relation("ans", len(result))
+    return result

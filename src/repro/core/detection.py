@@ -1,0 +1,317 @@
+"""Separability detection (Definition 2.4 + Section 3.1).
+
+:func:`analyze_recursion` checks, for the definition of one recursive
+predicate,
+
+* the structural prerequisites the paper fixes before Definition 2.4
+  (function-free rules, linear recursion, safety, no mutual recursion
+  with the predicate, variables-only recursive body instance), and
+* the four conditions of Definition 2.4 (no shifting variables;
+  ``t^h_i = t^b_i``; pairwise equal-or-disjoint touched positions; one
+  maximal connected set of nonrecursive subgoals),
+
+and returns a :class:`SeparabilityReport` with a per-condition verdict
+and human-readable diagnostics.  As Section 3.1 stresses, all of this is
+polynomial in the *rules* -- the database is never consulted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..datalog.errors import NotLinearError, NotSeparableError, SafetyError
+from ..datalog.programs import Definition, Program
+from ..datalog.rules import Rule
+from ..datalog.terms import Constant, Variable
+from .analysis import (
+    EquivalenceClass,
+    RecursionAnalysis,
+    RuleAnalysis,
+    analyze_definition,
+    build_classes,
+)
+
+__all__ = [
+    "ConditionResult",
+    "SeparabilityReport",
+    "analyze_recursion",
+    "is_separable",
+    "require_separable",
+]
+
+
+@dataclass(frozen=True)
+class ConditionResult:
+    """Outcome of one numbered condition of Definition 2.4."""
+
+    number: int
+    description: str
+    holds: bool
+    violations: tuple[str, ...] = ()
+
+    def __str__(self) -> str:
+        status = "holds" if self.holds else "FAILS"
+        text = f"condition {self.number} ({self.description}): {status}"
+        for v in self.violations:
+            text += f"\n    - {v}"
+        return text
+
+
+@dataclass(frozen=True)
+class SeparabilityReport:
+    """Full verdict on one recursive definition.
+
+    ``analysis`` is populated only when ``separable`` is True; it carries
+    everything the compiler needs (rectified rules, classes, ``t|pers``).
+    ``prerequisites`` lists failures of the paper's standing assumptions
+    (linearity, safety, no mutual recursion) that make the four
+    conditions moot.
+    """
+
+    predicate: str
+    separable: bool
+    prerequisites: tuple[str, ...]
+    conditions: tuple[ConditionResult, ...]
+    analysis: RecursionAnalysis | None = None
+
+    @property
+    def equivalence_class_count(self) -> int:
+        return len(self.analysis.classes) if self.analysis else 0
+
+    @property
+    def separable_up_to_condition_4(self) -> bool:
+        """Conditions 1-3 hold (Condition 4 may fail).
+
+        Section 5 of the paper: removing Condition 4 keeps the
+        evaluation algorithm *correct* but loses the focusing effect of
+        the selection constant.  When this is true, ``analysis`` is
+        populated and the relaxed evaluation mode can run.
+        """
+        return self.analysis is not None
+
+    def explain(self) -> str:
+        """A multi-line human-readable explanation of the verdict."""
+        lines = [
+            f"predicate {self.predicate}: "
+            + ("separable" if self.separable else "NOT separable")
+        ]
+        for p in self.prerequisites:
+            lines.append(f"  prerequisite failed: {p}")
+        for c in self.conditions:
+            lines.append("  " + str(c).replace("\n", "\n  "))
+        if self.analysis is not None:
+            for cls in self.analysis.classes:
+                cols = ", ".join(str(p + 1) for p in cls.positions)
+                rules = ", ".join(
+                    f"r{r + 1}" for r in cls.rule_indices
+                )
+                lines.append(
+                    f"  e_{cls.index}: columns {{{cols}}} rules {{{rules}}}"
+                )
+            pers = ", ".join(
+                str(p + 1) for p in self.analysis.pers_positions
+            )
+            lines.append(f"  t|pers: columns {{{pers or 'none'}}}")
+        return "\n".join(lines)
+
+
+def _check_prerequisites(
+    program: Program, definition: Definition
+) -> list[str]:
+    """The paper's standing assumptions from Section 2."""
+    problems: list[str] = []
+    predicate = definition.predicate
+
+    for r in definition.rules:
+        try:
+            r.check_safety()
+        except SafetyError as exc:
+            problems.append(str(exc))
+
+    for r in definition.recursive_rules:
+        if not r.is_linear_in(predicate):
+            problems.append(
+                f"rule {r} mentions {predicate} more than once in its "
+                f"body (not linear recursive)"
+            )
+    if not definition.exit_rules:
+        problems.append(
+            f"{predicate} has no nonrecursive (exit) rule; its extent "
+            f"is empty and the recursion is degenerate"
+        )
+
+    mutual = program.mutually_recursive_with(predicate)
+    if mutual:
+        names = ", ".join(sorted(mutual))
+        problems.append(
+            f"{predicate} is mutually recursive with {names}; the paper "
+            f"requires base predicates not to depend on {predicate}"
+        )
+
+    for r in definition.recursive_rules:
+        if not r.is_linear_in(predicate):
+            continue
+        recursive = r.recursive_atom(predicate)
+        if recursive is not None and any(
+            isinstance(t, Constant) for t in recursive.args
+        ):
+            problems.append(
+                f"rule {r} has a constant in its recursive body instance "
+                f"{recursive}; such rules fail Condition 2 or safety and "
+                f"are rejected up front"
+            )
+    return problems
+
+
+def _condition_1(analyses: tuple[RuleAnalysis, ...]) -> ConditionResult:
+    violations: list[str] = []
+    for a in analyses:
+        for var, head_pos, body_pos in a.shifting:
+            violations.append(
+                f"rule r{a.index + 1} ({a.rule}): variable {var} shifts "
+                f"from head position {head_pos + 1} to body position "
+                f"{body_pos + 1}"
+            )
+    return ConditionResult(
+        1, "no shifting variables", not violations, tuple(violations)
+    )
+
+
+def _condition_2(analyses: tuple[RuleAnalysis, ...]) -> ConditionResult:
+    violations: list[str] = []
+    for a in analyses:
+        if not a.touched_agree:
+            head = {p + 1 for p in a.touched_head}
+            body = {p + 1 for p in a.touched_body}
+            violations.append(
+                f"rule r{a.index + 1} ({a.rule}): t^h = {sorted(head)} "
+                f"but t^b = {sorted(body)}"
+            )
+    return ConditionResult(
+        2, "t^h_i = t^b_i for every rule", not violations, tuple(violations)
+    )
+
+
+def _condition_3(analyses: tuple[RuleAnalysis, ...]) -> ConditionResult:
+    violations: list[str] = []
+    informative = [a for a in analyses if not a.is_redundant]
+    for i, a in enumerate(informative):
+        for b in informative[i + 1:]:
+            sa, sb = set(a.touched_head), set(b.touched_head)
+            if sa != sb and (sa & sb):
+                violations.append(
+                    f"rules r{a.index + 1} and r{b.index + 1}: touched "
+                    f"positions {sorted(p + 1 for p in sa)} and "
+                    f"{sorted(p + 1 for p in sb)} are neither equal nor "
+                    f"disjoint"
+                )
+    return ConditionResult(
+        3,
+        "touched position sets pairwise equal or disjoint",
+        not violations,
+        tuple(violations),
+    )
+
+
+def _condition_4(analyses: tuple[RuleAnalysis, ...]) -> ConditionResult:
+    violations: list[str] = []
+    for a in analyses:
+        if a.connected_component_count != 1:
+            if a.connected_component_count == 0:
+                violations.append(
+                    f"rule r{a.index + 1} ({a.rule}): no nonrecursive "
+                    f"subgoals remain after removing the recursive atom"
+                )
+            else:
+                violations.append(
+                    f"rule r{a.index + 1} ({a.rule}): nonrecursive "
+                    f"subgoals form {a.connected_component_count} maximal "
+                    f"connected sets (need exactly 1)"
+                )
+    return ConditionResult(
+        4,
+        "nonrecursive subgoals form one maximal connected set",
+        not violations,
+        tuple(violations),
+    )
+
+
+def analyze_recursion(
+    program: Program, predicate: str
+) -> SeparabilityReport:
+    """Run the full Definition 2.4 check on one predicate's definition."""
+    definition = program.definition(predicate)
+    prerequisites = _check_prerequisites(program, definition)
+    if prerequisites:
+        return SeparabilityReport(
+            predicate=predicate,
+            separable=False,
+            prerequisites=tuple(prerequisites),
+            conditions=(),
+        )
+
+    rec_rules, exit_rules, analyses = analyze_definition(definition)
+    conditions = (
+        _condition_1(analyses),
+        _condition_2(analyses),
+        _condition_3(analyses),
+        _condition_4(analyses),
+    )
+    separable = all(c.holds for c in conditions)
+    analysis: RecursionAnalysis | None = None
+    # The structural analysis (classes, t|pers) only needs Conditions
+    # 1-3; it is also built when just Condition 4 fails so the relaxed
+    # evaluation mode of Section 5 can run.
+    if all(c.holds for c in conditions[:3]):
+        classes = build_classes(analyses)
+        head_vars = tuple(
+            t for t in (rec_rules or exit_rules)[0].head.args
+            if isinstance(t, Variable)
+        )
+        analysis = RecursionAnalysis(
+            predicate=predicate,
+            arity=definition.arity,
+            head_vars=head_vars,
+            rules=analyses,
+            exit_rules=exit_rules,
+            classes=classes,
+            redundant_rule_indices=tuple(
+                a.index for a in analyses if a.is_redundant
+            ),
+        )
+    return SeparabilityReport(
+        predicate=predicate,
+        separable=separable,
+        prerequisites=(),
+        conditions=conditions,
+        analysis=analysis,
+    )
+
+
+def is_separable(program: Program, predicate: str) -> bool:
+    """True iff the predicate's definition is a separable recursion."""
+    return analyze_recursion(program, predicate).separable
+
+
+def require_separable(
+    program: Program,
+    predicate: str,
+    allow_disconnected: bool = False,
+) -> RecursionAnalysis:
+    """The analysis of a separable recursion, or :class:`NotSeparableError`.
+
+    With ``allow_disconnected=True``, recursions failing only
+    Condition 4 (disconnected nonrecursive subgoals) are accepted too:
+    Section 5 shows the evaluation algorithm remains correct on them,
+    merely unfocused.
+    """
+    report = analyze_recursion(program, predicate)
+    acceptable = report.separable or (
+        allow_disconnected and report.separable_up_to_condition_4
+    )
+    if not acceptable or report.analysis is None:
+        raise NotSeparableError(
+            f"{predicate} is not a separable recursion:\n" + report.explain(),
+            report=report,
+        )
+    return report.analysis

@@ -1,0 +1,140 @@
+"""The Lemma 2.1 rewrite: partial selections as unions of full selections.
+
+Given a separable recursion ``R`` defining ``t`` and a selection that
+binds a *proper subset* of some equivalence class ``e_1``'s columns,
+Lemma 2.1 replaces ``R`` by
+
+* ``t_part`` -- the recursion with ``e_1``'s rules removed (so ``e_1``'s
+  columns become persistent there),
+* ``t_full`` -- a copy of the whole recursion, and
+* bridging rules ``t :- t_part.`` and, for each rule ``r_1j`` of
+  ``e_1``, ``t :- t_full', a_1j`` where ``t_full'`` is the recursive
+  body instance of ``r_1j`` with its predicate renamed,
+
+after which sideways information passing turns the original partial
+selection into full selections on both new predicates: on ``t_part``
+the constants now sit in persistent columns; on ``t_full`` they pass
+through ``a_1j`` to bind all of ``t|e_1``.
+
+:func:`rewrite_partial_selection` builds the rewritten program
+explicitly (used by the tests to verify the lemma against semi-naive
+evaluation); the production evaluation path in
+:mod:`repro.core.api` performs the same decomposition operationally,
+without materializing renamed predicates.
+"""
+
+from __future__ import annotations
+
+from ..datalog.atoms import Atom
+from ..datalog.programs import Program
+from ..datalog.rules import Rule
+from .analysis import EquivalenceClass, RecursionAnalysis
+
+__all__ = [
+    "rewrite_partial_selection",
+    "program_without_class",
+    "choose_rewrite_class",
+]
+
+
+def _rename(a: Atom, old: str, new: str) -> Atom:
+    """Rename the predicate of ``a`` if it is ``old``."""
+    return Atom(new, a.args) if a.predicate == old else a
+
+
+def _rename_rule(r: Rule, old: str, new: str) -> Rule:
+    return Rule(
+        _rename(r.head, old, new),
+        tuple(_rename(a, old, new) for a in r.body),
+    )
+
+
+def program_without_class(
+    analysis: RecursionAnalysis, cls: EquivalenceClass
+) -> Program:
+    """The ``t_part`` recursion, keeping the original predicate name.
+
+    Contains every recursive rule *not* in ``cls`` plus all exit rules.
+    The removed class's columns become persistent columns of the result,
+    which is what makes the original partial selection full on it.
+    """
+    dropped = set(cls.rule_indices)
+    kept = [
+        a.rule for a in analysis.rules if a.index not in dropped
+    ]
+    return Program(tuple(kept) + analysis.exit_rules)
+
+
+def rewrite_partial_selection(
+    analysis: RecursionAnalysis,
+    cls: EquivalenceClass,
+    full_name: str | None = None,
+    part_name: str | None = None,
+) -> Program:
+    """Build the explicit Lemma 2.1 program.
+
+    The result defines three predicates: ``t_full`` (a verbatim copy of
+    the recursion), ``t_part`` (the recursion minus ``cls``), and the
+    original ``t`` via the bridging rules.  Base predicates are
+    untouched; callers evaluating the rewritten program must supply
+    their extents alongside.
+    """
+    t = analysis.predicate
+    full_name = full_name or f"{t}_full"
+    part_name = part_name or f"{t}_part"
+    for reserved in (full_name, part_name):
+        if reserved == t:
+            raise ValueError(f"rewrite name {reserved!r} collides with {t}")
+
+    rules: list[Rule] = []
+
+    # t_full: the entire original recursion, renamed.
+    for a in analysis.rules:
+        rules.append(_rename_rule(a.rule, t, full_name))
+    for r in analysis.exit_rules:
+        rules.append(_rename_rule(r, t, full_name))
+
+    # t_part: the recursion minus the rewritten class, renamed.
+    dropped = set(cls.rule_indices)
+    for a in analysis.rules:
+        if a.index not in dropped:
+            rules.append(_rename_rule(a.rule, t, part_name))
+    for r in analysis.exit_rules:
+        rules.append(_rename_rule(r, t, part_name))
+
+    # Bridging rules: t :- t_part.  and  t :- t_full', a_1j.
+    head = Atom(t, analysis.rules[0].rule.head.args if analysis.rules
+                else analysis.exit_rules[0].head.args)
+    rules.append(Rule(head, (Atom(part_name, head.args),)))
+    for i in cls.rule_indices:
+        a = analysis.rules[i]
+        bridged_body = (
+            Atom(full_name, a.recursive_atom.args),
+        ) + a.nonrecursive_atoms
+        rules.append(Rule(a.rule.head, bridged_body))
+
+    return Program(rules)
+
+
+def choose_rewrite_class(
+    analysis: RecursionAnalysis, bound_positions: set[int]
+) -> EquivalenceClass:
+    """Pick the partially bound class to rewrite on (the lemma's ``e_1``).
+
+    Any partially bound class is sound; we take the one with the most
+    bound columns, so the sideways pass into ``t_full`` is as selective
+    as possible.
+    """
+    best: EquivalenceClass | None = None
+    best_bound = -1
+    for cls in analysis.classes:
+        bound = sum(1 for p in cls.positions if p in bound_positions)
+        if 0 < bound < len(cls.positions) and bound > best_bound:
+            best = cls
+            best_bound = bound
+    if best is None:
+        raise ValueError(
+            "no partially bound equivalence class; the selection is "
+            "already full (or has no constants)"
+        )
+    return best

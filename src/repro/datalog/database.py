@@ -1,0 +1,222 @@
+"""In-memory extensional storage: relations with lazy hash indexes.
+
+Tuples are stored as plain Python tuples of constant *values* (strings or
+ints), not wrapped :class:`~repro.datalog.terms.Constant` objects; the
+evaluators convert at the boundary.  Each relation builds hash indexes on
+demand for whatever column subsets the joins probe, which is what makes
+the "touch only tuples along a path from the constant" behaviour of the
+Separable algorithm (Section 3.2 of the paper) observable in wall-clock
+time and not just in relation sizes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping
+
+from .atoms import Atom
+from .errors import ArityError
+from .terms import Constant, ConstValue
+
+__all__ = ["Relation", "Database"]
+
+Fact = tuple  # tuple[ConstValue, ...]
+
+
+class Relation:
+    """A named set of same-arity tuples with lazy secondary indexes."""
+
+    __slots__ = ("name", "arity", "_tuples", "_indexes")
+
+    def __init__(self, name: str, arity: int,
+                 tuples: Iterable[Fact] = ()) -> None:
+        self.name = name
+        self.arity = arity
+        self._tuples: set[Fact] = set()
+        self._indexes: dict[tuple[int, ...], dict[tuple, list[Fact]]] = {}
+        for t in tuples:
+            self.add(t)
+
+    # -- mutation ---------------------------------------------------------
+
+    def add(self, fact: Fact) -> bool:
+        """Insert a tuple; returns True if it was new."""
+        fact = tuple(fact)
+        if len(fact) != self.arity:
+            raise ArityError(
+                f"relation {self.name} has arity {self.arity}, "
+                f"got tuple of length {len(fact)}: {fact!r}"
+            )
+        if fact in self._tuples:
+            return False
+        self._tuples.add(fact)
+        for positions, index in self._indexes.items():
+            key = tuple(fact[p] for p in positions)
+            index.setdefault(key, []).append(fact)
+        return True
+
+    def add_all(self, facts: Iterable[Fact]) -> int:
+        """Insert many tuples; returns the number that were new."""
+        return sum(1 for f in facts if self.add(f))
+
+    def clear(self) -> None:
+        """Remove all tuples and drop all indexes."""
+        self._tuples.clear()
+        self._indexes.clear()
+
+    # -- queries ----------------------------------------------------------
+
+    def __contains__(self, fact: Fact) -> bool:
+        return tuple(fact) in self._tuples
+
+    def __len__(self) -> int:
+        return len(self._tuples)
+
+    def __iter__(self) -> Iterator[Fact]:
+        return iter(self._tuples)
+
+    def __bool__(self) -> bool:
+        return bool(self._tuples)
+
+    def tuples(self) -> frozenset[Fact]:
+        """An immutable snapshot of the current contents."""
+        return frozenset(self._tuples)
+
+    def lookup(self, positions: tuple[int, ...], key: tuple) -> list[Fact]:
+        """Tuples whose projection onto ``positions`` equals ``key``.
+
+        Builds (and caches) a hash index on ``positions`` on first use.
+        An empty ``positions`` returns all tuples.
+        """
+        if not positions:
+            return list(self._tuples)
+        index = self._indexes.get(positions)
+        if index is None:
+            index = {}
+            for fact in self._tuples:
+                k = tuple(fact[p] for p in positions)
+                index.setdefault(k, []).append(fact)
+            self._indexes[positions] = index
+        return index.get(tuple(key), [])
+
+    def distinct_values(self) -> set[ConstValue]:
+        """All constant values appearing anywhere in the relation."""
+        values: set[ConstValue] = set()
+        for fact in self._tuples:
+            values.update(fact)
+        return values
+
+    def __repr__(self) -> str:
+        return f"Relation({self.name}/{self.arity}, {len(self)} tuples)"
+
+
+class Database:
+    """A collection of named relations (the EDB, plus derived relations).
+
+    Unknown relations read as empty; writes create the relation with the
+    arity of the first tuple (or an explicit :meth:`ensure` call).
+    """
+
+    def __init__(self) -> None:
+        self._relations: dict[str, Relation] = {}
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def from_facts(cls, facts: Mapping[str, Iterable[Fact]]) -> "Database":
+        """Build a database from ``{predicate: iterable of tuples}``."""
+        db = cls()
+        for name, tuples in facts.items():
+            for t in tuples:
+                db.add_fact(name, tuple(t))
+        return db
+
+    def copy(self) -> "Database":
+        """A deep copy sharing no mutable state (indexes not copied)."""
+        other = Database()
+        for name, rel in self._relations.items():
+            other._relations[name] = Relation(name, rel.arity, rel)
+        return other
+
+    # -- access -----------------------------------------------------------
+
+    def attach(self, relation: Relation, name: str | None = None) -> None:
+        """Mount an existing :class:`Relation` object under ``name``.
+
+        The relation is shared, not copied -- mutations are visible to
+        every database it is attached to.  Evaluators use this to build
+        lightweight views (e.g. a database where a delta relation stands
+        in for an IDB predicate) without copying tuples.
+        """
+        self._relations[name or relation.name] = relation
+
+    def ensure(self, name: str, arity: int) -> Relation:
+        """Get the named relation, creating it empty if absent."""
+        rel = self._relations.get(name)
+        if rel is None:
+            rel = Relation(name, arity)
+            self._relations[name] = rel
+        elif rel.arity != arity:
+            raise ArityError(
+                f"relation {name} already exists with arity {rel.arity}, "
+                f"requested {arity}"
+            )
+        return rel
+
+    def relation(self, name: str) -> Relation | None:
+        """The named relation, or ``None`` if it was never written."""
+        return self._relations.get(name)
+
+    def tuples(self, name: str) -> frozenset[Fact]:
+        """Snapshot of the named relation's tuples (empty if absent)."""
+        rel = self._relations.get(name)
+        return rel.tuples() if rel is not None else frozenset()
+
+    def add_fact(self, name: str, fact: Fact) -> bool:
+        """Insert one tuple, creating the relation if needed."""
+        return self.ensure(name, len(fact)).add(tuple(fact))
+
+    def add_ground_atom(self, a: Atom) -> bool:
+        """Insert a ground atom as a fact."""
+        if not a.is_ground():
+            raise ValueError(f"cannot store non-ground atom {a}")
+        values = tuple(t.value for t in a.args if isinstance(t, Constant))
+        return self.add_fact(a.predicate, values)
+
+    def predicates(self) -> frozenset[str]:
+        """Names of all relations present (including empty ones)."""
+        return frozenset(self._relations)
+
+    def arity(self, name: str) -> int | None:
+        """Arity of the named relation, or ``None`` if absent."""
+        rel = self._relations.get(name)
+        return rel.arity if rel is not None else None
+
+    def size(self, name: str) -> int:
+        """Tuple count of the named relation (0 if absent)."""
+        rel = self._relations.get(name)
+        return len(rel) if rel is not None else 0
+
+    def total_tuples(self) -> int:
+        """Total tuples across all relations."""
+        return sum(len(r) for r in self._relations.values())
+
+    def distinct_constants(self) -> set[ConstValue]:
+        """All constant values anywhere in the database.
+
+        This is the paper's parameter ``n`` -- "the number of distinct
+        constants in the base relations" (Definition 4.2).
+        """
+        values: set[ConstValue] = set()
+        for rel in self._relations.values():
+            values |= rel.distinct_values()
+        return values
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._relations
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            f"{r.name}/{r.arity}:{len(r)}"
+            for r in sorted(self._relations.values(), key=lambda r: r.name)
+        )
+        return f"Database({parts})"

@@ -1,0 +1,36 @@
+"""Exception hierarchy (re-exported from :mod:`repro.errors`).
+
+The classes live in the dependency-free top-level module
+:mod:`repro.errors` so that both the Datalog substrate and the
+strategy-independent infrastructure (:mod:`repro.budget`) can import
+them without cycles; this module keeps the historical import path
+``repro.datalog.errors`` working.
+"""
+
+from ..errors import (
+    ArityError,
+    BudgetExceeded,
+    CyclicDataError,
+    DatalogSyntaxError,
+    EvaluationError,
+    NotFullSelectionError,
+    NotLinearError,
+    NotSeparableError,
+    ReproError,
+    SafetyError,
+    UnknownPredicateError,
+)
+
+__all__ = [
+    "ArityError",
+    "BudgetExceeded",
+    "CyclicDataError",
+    "DatalogSyntaxError",
+    "EvaluationError",
+    "NotFullSelectionError",
+    "NotLinearError",
+    "NotSeparableError",
+    "ReproError",
+    "SafetyError",
+    "UnknownPredicateError",
+]

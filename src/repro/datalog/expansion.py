@@ -1,0 +1,284 @@
+"""Procedure Expand (Figure 1 of the paper), bounded.
+
+The *expansion* of a recursive predicate is the infinite set of
+conjunctive queries ("strings") obtained by repeatedly applying the
+recursive rules and closing off with the nonrecursive exit rule.  This
+module generates the expansion breadth-first up to a depth bound, keeping
+for every string its *derivation* ``D(s)`` -- the sequence of recursive
+rule applications that produced it -- and which atoms each application
+produced (``P_i(s)`` in Definition 2.6).
+
+The expansion is the semantic ground truth of the paper: the recursively
+defined relation is the union of the relations of the strings, and
+Theorem 2.1 / Lemmas 3.1-3.3 all reason about strings.  The tests use
+bounded expansions both to cross-check the evaluators on acyclic data and
+to verify Theorem 2.1 via containment mappings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from .atoms import Atom
+from .conjunctive import ConjunctiveQuery
+from .errors import NotLinearError
+from .programs import Definition
+from .rules import Rule
+from .terms import Term, Variable
+from .unify import unify_atoms
+
+__all__ = ["ExpansionString", "expand", "expansion_strings"]
+
+
+@dataclass(frozen=True)
+class ExpansionString:
+    """One element of an expansion, with full provenance.
+
+    Attributes
+    ----------
+    head:
+        The argument terms of the original query instance of ``t`` (the
+        distinguished variables, possibly with selection constants
+        substituted).
+    derivation:
+        ``D(s)``: indices into ``definition.recursive_rules`` in the
+        order the rules were applied (Definition 2.5).
+    produced:
+        ``produced[k]`` is the tuple of nonrecursive atoms added by the
+        ``k``-th rule application (Definition 2.6's ``P``, per step).
+    exit_index:
+        Index into ``definition.exit_rules`` of the rule that closed the
+        string.
+    exit_atoms:
+        The (instantiated) body of that exit rule -- the paper's ``t_0``
+        instance.
+    """
+
+    head: tuple[Term, ...]
+    derivation: tuple[int, ...]
+    produced: tuple[tuple[Atom, ...], ...]
+    exit_index: int
+    exit_atoms: tuple[Atom, ...]
+
+    @property
+    def depth(self) -> int:
+        """Number of recursive rule applications."""
+        return len(self.derivation)
+
+    def atoms(self) -> tuple[Atom, ...]:
+        """All atoms of the string, recursive-production order then exit."""
+        result: list[Atom] = []
+        for group in self.produced:
+            result.extend(group)
+        result.extend(self.exit_atoms)
+        return tuple(result)
+
+    def query(self) -> ConjunctiveQuery:
+        """The string as a conjunctive query over base predicates."""
+        return ConjunctiveQuery(self.head, self.atoms())
+
+    def project_derivation(
+        self, classes: Sequence[frozenset[int]]
+    ) -> tuple[tuple[int, ...], ...]:
+        """``(D_1(s), ..., D_n(s))`` for the given rule-index classes.
+
+        ``classes[i]`` is the set of recursive-rule indices in class
+        ``e_{i+1}``; the projection keeps the subsequence of ``D(s)``
+        whose entries fall in that class (Definition 2.5).
+        """
+        return tuple(
+            tuple(step for step in self.derivation if step in cls)
+            for cls in classes
+        )
+
+    def project_atoms(self, cls: frozenset[int]) -> tuple[Atom, ...]:
+        """``P_i(s)``: atoms produced by applications of rules in ``cls``."""
+        result: list[Atom] = []
+        for step, group in zip(self.derivation, self.produced):
+            if step in cls:
+                result.extend(group)
+        return tuple(result)
+
+    def __str__(self) -> str:
+        return " ".join(str(a) for a in self.atoms())
+
+
+def _apply_rule(
+    rule: Rule,
+    predicate: str,
+    instance: Atom,
+    subscript: int,
+) -> tuple[tuple[Atom, ...], Atom | None]:
+    """Apply ``rule`` to a predicate instance, renaming apart first.
+
+    Returns ``(produced nonrecursive atoms, new recursive instance)``;
+    the new instance is ``None`` for exit rules.  This is lines 7/9 of
+    Procedure Expand: variables of the rule get subscript ``subscript``,
+    then the head is unified with ``instance``.
+    """
+    renamed = rule.rename(subscript)
+    subst = unify_atoms(renamed.head, instance)
+    if subst is None:
+        raise NotLinearError(
+            f"rule head {renamed.head} does not unify with instance "
+            f"{instance}; is the program rectified?"
+        )
+    body = tuple(a.substitute(subst) for a in renamed.body)
+    produced = tuple(a for a in body if a.predicate != predicate)
+    recursive = [a for a in body if a.predicate == predicate]
+    if len(recursive) > 1:
+        raise NotLinearError(f"rule {rule} is not linear in {predicate}")
+    return produced, (recursive[0] if recursive else None)
+
+
+def expand(
+    definition: Definition,
+    query: Atom,
+    max_depth: int,
+) -> Iterator[ExpansionString]:
+    """Generate the expansion of ``definition`` breadth-first.
+
+    Parameters
+    ----------
+    definition:
+        A linear recursive definition (recursive + exit rules).
+    query:
+        The initial instance of the recursive predicate; its arguments
+        become the distinguished terms of every string.
+    max_depth:
+        Inclusive bound on the number of recursive rule applications.
+
+    Yields strings in nondecreasing depth order: first the exit-rule-only
+    strings (depth 0), then depth 1, and so on -- matching the iteration
+    structure of Figure 1.
+    """
+    definition.check_linear()
+    if query.predicate != definition.predicate:
+        raise ValueError(
+            f"query {query} does not match predicate {definition.predicate}"
+        )
+
+    # Fringe entries: (current t-instance, derivation, produced-so-far).
+    fringe: list[tuple[Atom, tuple[int, ...], tuple[tuple[Atom, ...], ...]]]
+    fringe = [(query, (), ())]
+    subscript = 0
+    for depth in range(max_depth + 1):
+        new_fringe: list[
+            tuple[Atom, tuple[int, ...], tuple[tuple[Atom, ...], ...]]
+        ] = []
+        for instance, derivation, produced in fringe:
+            for exit_index, exit_rule in enumerate(definition.exit_rules):
+                subscript += 1
+                exit_atoms, rest = _apply_rule(
+                    exit_rule, definition.predicate, instance, subscript
+                )
+                assert rest is None
+                yield ExpansionString(
+                    head=query.args,
+                    derivation=derivation,
+                    produced=produced,
+                    exit_index=exit_index,
+                    exit_atoms=exit_atoms,
+                )
+            if depth == max_depth:
+                continue
+            for rule_index, r in enumerate(definition.recursive_rules):
+                subscript += 1
+                new_atoms, new_instance = _apply_rule(
+                    r, definition.predicate, instance, subscript
+                )
+                assert new_instance is not None
+                new_fringe.append(
+                    (
+                        new_instance,
+                        derivation + (rule_index,),
+                        produced + (new_atoms,),
+                    )
+                )
+        fringe = new_fringe
+        if not fringe:
+            break
+
+
+def expansion_strings(
+    definition: Definition, query: Atom, max_depth: int
+) -> list[ExpansionString]:
+    """Materialized :func:`expand` (convenience for tests)."""
+    return list(expand(definition, query, max_depth))
+
+
+def evaluate_by_expansion(
+    definition: Definition,
+    query: Atom,
+    db,
+    max_depth: int,
+) -> frozenset[tuple]:
+    """Evaluate a query as the union of bounded-expansion strings.
+
+    The semantic ground truth of Section 2 ("the recursively defined
+    relation is the union of the relations for the strings in the
+    expansion"), executable: every string up to ``max_depth`` recursive
+    applications is evaluated as a conjunctive query and the head
+    tuples are unioned.
+
+    Exponential in ``max_depth`` (the expansion has ``p^d`` strings per
+    depth) and complete only when ``max_depth`` covers the database's
+    longest relevant derivation -- this is a *reference* evaluator for
+    tests and teaching, not a strategy.  On acyclic data a depth equal
+    to the number of distinct constants always suffices (the splicing
+    argument of Lemma 3.2).
+    """
+    answers: set[tuple] = set()
+    for string in expand(definition, query, max_depth):
+        answers |= string.query().evaluate(db)
+    return frozenset(answers)
+
+
+def string_for_derivation(
+    definition: Definition,
+    query: Atom,
+    derivation: Sequence[int],
+    exit_index: int = 0,
+) -> ExpansionString:
+    """The unique expansion string with the given derivation.
+
+    Applies exactly the recursive rules named by ``derivation`` (indices
+    into ``definition.recursive_rules``), in order, then closes with the
+    chosen exit rule.  Used to validate answer justifications: Lemma 3.1
+    says an answer with justification ``J(a)`` lies in the relation of
+    the string whose derivation is ``J(a)``.
+    """
+    definition.check_linear()
+    instance = query
+    produced: tuple[tuple[Atom, ...], ...] = ()
+    subscript = 0
+    for step in derivation:
+        subscript += 1
+        new_atoms, new_instance = _apply_rule(
+            definition.recursive_rules[step],
+            definition.predicate,
+            instance,
+            subscript,
+        )
+        if new_instance is None:
+            raise ValueError(
+                f"rule {step} of {definition.predicate} is not recursive"
+            )
+        produced += (new_atoms,)
+        instance = new_instance
+    subscript += 1
+    exit_atoms, rest = _apply_rule(
+        definition.exit_rules[exit_index],
+        definition.predicate,
+        instance,
+        subscript,
+    )
+    assert rest is None
+    return ExpansionString(
+        head=query.args,
+        derivation=tuple(derivation),
+        produced=produced,
+        exit_index=exit_index,
+        exit_atoms=exit_atoms,
+    )

@@ -1,0 +1,107 @@
+"""Loading and saving databases and programs on disk.
+
+Two interchange formats:
+
+* **Datalog text** (``.dl``): rules, facts and queries in the syntax of
+  :mod:`repro.datalog.parser`; written by the pretty-printer, so files
+  round-trip exactly.
+* **CSV directories**: one ``<predicate>.csv`` per relation, each line
+  one tuple.  Convenient for bulk EDB data coming from elsewhere.
+  Values are read back as integers when they look like integers (the
+  engine treats ``Constant(42)`` and ``Constant("42")`` as different
+  constants, so the round-trip must preserve the type).
+
+All functions take either :class:`str` or :class:`~pathlib.Path`.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Iterable, Union
+
+from .database import Database
+from .errors import ArityError
+from .parser import ParsedProgram, parse_program
+from .pretty import database_to_text, program_to_text
+from .programs import Program
+
+__all__ = [
+    "load_program",
+    "save_program",
+    "save_database",
+    "load_csv_directory",
+    "save_csv_directory",
+]
+
+PathLike = Union[str, Path]
+
+
+def load_program(path: PathLike) -> ParsedProgram:
+    """Parse a ``.dl`` file into rules, facts and queries."""
+    return parse_program(Path(path).read_text())
+
+
+def save_program(
+    program: Program, path: PathLike, database: Database | None = None
+) -> None:
+    """Write rules (and optionally facts) as parseable Datalog text."""
+    chunks = [program_to_text(program)]
+    if database is not None:
+        chunks.append(database_to_text(database))
+    Path(path).write_text("\n".join(c for c in chunks if c) + "\n")
+
+
+def save_database(db: Database, path: PathLike) -> None:
+    """Write every fact of ``db`` as Datalog text."""
+    Path(path).write_text(database_to_text(db) + "\n")
+
+
+def _decode(value: str) -> Union[str, int]:
+    """CSV cell -> constant value; integer-looking cells become ints."""
+    if value and (value.isdigit() or
+                  (value[0] == "-" and value[1:].isdigit())):
+        return int(value)
+    return value
+
+
+def load_csv_directory(path: PathLike, db: Database | None = None) -> Database:
+    """Load every ``*.csv`` file in a directory as a relation.
+
+    The file stem is the predicate name; every row one tuple.  Rows of
+    differing width within one file raise :class:`ArityError`.  An
+    existing ``db`` may be passed to merge into.
+    """
+    directory = Path(path)
+    if not directory.is_dir():
+        raise FileNotFoundError(f"{directory} is not a directory")
+    db = db if db is not None else Database()
+    for csv_path in sorted(directory.glob("*.csv")):
+        predicate = csv_path.stem
+        with csv_path.open(newline="") as handle:
+            for row_number, row in enumerate(csv.reader(handle), start=1):
+                if not row:
+                    continue
+                try:
+                    db.add_fact(predicate, tuple(_decode(v) for v in row))
+                except ArityError as exc:
+                    raise ArityError(
+                        f"{csv_path}:{row_number}: {exc}"
+                    ) from exc
+    return db
+
+
+def save_csv_directory(db: Database, path: PathLike) -> None:
+    """Write every relation of ``db`` as ``<predicate>.csv`` files.
+
+    Rows are sorted for stable, diffable output.  Empty relations
+    produce empty files (so arities survive as far as CSV allows).
+    """
+    directory = Path(path)
+    directory.mkdir(parents=True, exist_ok=True)
+    for predicate in sorted(db.predicates()):
+        target = directory / f"{predicate}.csv"
+        with target.open("w", newline="") as handle:
+            writer = csv.writer(handle)
+            for fact in sorted(db.tuples(predicate), key=repr):
+                writer.writerow(fact)

@@ -1,0 +1,213 @@
+"""Index-backed join evaluation of conjunctive rule bodies.
+
+The single entry point :func:`evaluate_body` enumerates all substitutions
+(variable -> constant value) that satisfy a conjunction of atoms against
+a :class:`~repro.datalog.database.Database`.  It is the inner loop of
+every evaluator in this package: naive, semi-naive, magic, counting, and
+the Separable carry loops all reduce to body evaluations.
+
+Two atom orders are offered:
+
+``"left_to_right"``
+    Evaluate atoms exactly in the given order -- this matches the paper's
+    left-to-right evaluation of expansion strings (Section 3.4) and is
+    what the proofs reason about.
+
+``"greedy"``
+    At each step pick the atom with the most bound argument positions
+    (ties broken by smaller relation).  A standard, simple join-order
+    heuristic; results are identical, only the work differs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping, Optional, Sequence
+
+from ..stats import EvaluationStats
+from .atoms import Atom
+from .database import Database
+from .terms import Constant, ConstValue, Variable
+
+__all__ = ["evaluate_body", "instantiate_args", "Bindings", "EQ"]
+
+#: Evaluators bind variables directly to raw constant values.
+Bindings = dict[Variable, ConstValue]
+
+#: Reserved built-in equality predicate, produced by rectification
+#: (Section 2: repeated head variables and head constants "can be handled
+#: by adding equalities to the rule bodies").  ``eq(X, Y)`` filters when
+#: both sides are bound and assigns when exactly one is.
+EQ = "eq"
+
+
+def _eq_lookup(
+    a: Atom,
+    bindings: Mapping[Variable, ConstValue],
+) -> Iterator[Bindings]:
+    """Evaluate a built-in ``eq/2`` atom under ``bindings``."""
+    if a.arity != 2:
+        raise ValueError(f"built-in {EQ} requires arity 2, got {a}")
+    left, right = a.args
+    left_value = left.value if isinstance(left, Constant) else bindings.get(left)
+    right_value = (
+        right.value if isinstance(right, Constant) else bindings.get(right)
+    )
+    if left_value is not None and right_value is not None:
+        if left_value == right_value:
+            yield dict(bindings)
+        return
+    if left_value is None and right_value is None:
+        raise ValueError(
+            f"cannot evaluate {a}: both sides unbound (unsafe rule?)"
+        )
+    new = dict(bindings)
+    if left_value is None:
+        new[left] = right_value  # type: ignore[assignment]
+    else:
+        new[right] = left_value  # type: ignore[index]
+    yield new
+
+
+def _atom_lookup(
+    db: Database,
+    a: Atom,
+    bindings: Mapping[Variable, ConstValue],
+    stats: Optional[EvaluationStats],
+) -> Iterator[Bindings]:
+    """Yield extensions of ``bindings`` that satisfy atom ``a``.
+
+    Uses a hash index on the currently-bound positions of ``a`` so that
+    only matching tuples are fetched; the remaining (free) positions are
+    checked tuple by tuple, handling repeated variables within the atom.
+    """
+    rel = db.relation(a.predicate)
+    if rel is None or len(rel) == 0:
+        return
+
+    bound_positions: list[int] = []
+    key: list[ConstValue] = []
+    free: list[tuple[int, Variable]] = []
+    for i, term in enumerate(a.args):
+        if isinstance(term, Constant):
+            bound_positions.append(i)
+            key.append(term.value)
+        else:
+            value = bindings.get(term)
+            if value is not None:
+                bound_positions.append(i)
+                key.append(value)
+            else:
+                free.append((i, term))
+
+    candidates = rel.lookup(tuple(bound_positions), tuple(key))
+    if stats is not None:
+        stats.bump_examined(len(candidates))
+    for fact in candidates:
+        new = dict(bindings)
+        ok = True
+        for i, var in free:
+            value = fact[i]
+            prior = new.get(var)
+            if prior is None:
+                new[var] = value
+            elif prior != value:  # repeated variable within the atom
+                ok = False
+                break
+        if ok:
+            yield new
+
+
+def _choose_next(
+    remaining: list[Atom],
+    bindings: Mapping[Variable, ConstValue],
+    db: Database,
+) -> int:
+    """Index of the most-constrained remaining atom (greedy heuristic)."""
+    best_index = 0
+    best_key: tuple[int, int, int] | None = None
+    for idx, a in enumerate(remaining):
+        bound = 0
+        for term in a.args:
+            if isinstance(term, Constant) or term in bindings:
+                bound += 1
+        if a.predicate == EQ:
+            # A ready eq atom (>= 1 side bound) is a free filter/assign;
+            # an unready one must wait for other atoms to bind a side.
+            ready = 0 if bound >= 1 else 1
+            key = (ready, -bound, 0)
+        else:
+            rel = db.relation(a.predicate)
+            size = len(rel) if rel is not None else 0
+            key = (0, -bound, size)
+        if best_key is None or key < best_key:
+            best_key = key
+            best_index = idx
+    return best_index
+
+
+def evaluate_body(
+    db: Database,
+    atoms: Sequence[Atom],
+    initial_bindings: Optional[Mapping[Variable, ConstValue]] = None,
+    stats: Optional[EvaluationStats] = None,
+    order: str = "greedy",
+) -> Iterator[Bindings]:
+    """Enumerate substitutions satisfying every atom in ``atoms``.
+
+    Parameters
+    ----------
+    db:
+        Source of facts for every predicate mentioned in ``atoms``.
+    atoms:
+        The conjunction to satisfy.  An empty conjunction yields exactly
+        the initial bindings (vacuous truth).
+    initial_bindings:
+        Pre-bound variables (e.g. selection constants pushed in).
+    stats:
+        Optional accumulator; base tuples fetched are counted as
+        ``tuples_examined``.
+    order:
+        ``"greedy"`` or ``"left_to_right"`` (see module docstring).
+    """
+    if order not in ("greedy", "left_to_right"):
+        raise ValueError(f"unknown join order {order!r}")
+    start: Bindings = dict(initial_bindings) if initial_bindings else {}
+    if not atoms:
+        yield start
+        return
+
+    def recurse(remaining: list[Atom], bindings: Bindings) -> Iterator[Bindings]:
+        if not remaining:
+            yield bindings
+            return
+        if order == "greedy":
+            idx = _choose_next(remaining, bindings, db)
+        else:
+            idx = 0
+        chosen = remaining[idx]
+        rest = remaining[:idx] + remaining[idx + 1:]
+        if chosen.predicate == EQ:
+            matches = _eq_lookup(chosen, bindings)
+        else:
+            matches = _atom_lookup(db, chosen, bindings, stats)
+        for extended in matches:
+            yield from recurse(rest, extended)
+
+    yield from recurse(list(atoms), start)
+
+
+def instantiate_args(
+    args: Sequence, bindings: Mapping[Variable, ConstValue]
+) -> tuple[ConstValue, ...]:
+    """Ground a term sequence under ``bindings`` into a fact tuple.
+
+    Raises ``KeyError`` if some variable is unbound -- for safe rules
+    evaluated over their full body this cannot happen.
+    """
+    values: list[ConstValue] = []
+    for term in args:
+        if isinstance(term, Constant):
+            values.append(term.value)
+        else:
+            values.append(bindings[term])
+    return tuple(values)

@@ -1,0 +1,58 @@
+"""Naive bottom-up evaluation: re-derive everything until fixpoint.
+
+The textbook baseline.  Every round evaluates every rule against the
+whole database and the round count is bounded by the number of derivable
+facts, so naive evaluation is polynomial but wasteful -- each fact is
+rederived on every later round.  It exists here as the simplest possible
+oracle for the other evaluators and as the bottom rung of benchmark E8.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..budget import Budget, UNLIMITED
+from ..stats import EvaluationStats
+from .database import Database
+from .joins import evaluate_body, instantiate_args
+from .programs import Program
+
+__all__ = ["naive_evaluate"]
+
+
+def naive_evaluate(
+    program: Program,
+    edb: Database,
+    stats: Optional[EvaluationStats] = None,
+    budget: Budget = UNLIMITED,
+    order: str = "greedy",
+) -> Database:
+    """Materialize every IDB predicate of ``program`` over ``edb``.
+
+    Returns a new database containing the EDB relations plus one relation
+    per IDB predicate holding its least-fixpoint extent.  ``edb`` itself
+    is not modified.
+    """
+    db = edb.copy()
+    for predicate in program.idb_predicates:
+        db.ensure(predicate, program.arity(predicate))
+
+    changed = True
+    while changed:
+        changed = False
+        if stats is not None:
+            stats.bump_iterations()
+        for r in program.rules:
+            target = db.ensure(r.head.predicate, r.head.arity)
+            for bindings in evaluate_body(db, r.body, stats=stats, order=order):
+                fact = instantiate_args(r.head.args, bindings)
+                if stats is not None:
+                    stats.bump_produced()
+                if target.add(fact):
+                    changed = True
+        if stats is not None:
+            for predicate in program.idb_predicates:
+                stats.record_relation(predicate, db.size(predicate))
+                budget.check_relation(predicate, db.size(predicate), stats)
+            budget.check_stats(stats)
+    return db

@@ -1,0 +1,53 @@
+"""Pretty-printing programs, databases, and answers back to parseable text.
+
+Everything printed here round-trips through :mod:`repro.datalog.parser`;
+tests assert ``parse(pretty(x)) == x`` for programs and databases.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from .atoms import Atom
+from .database import Database
+from .programs import Program
+from .rules import Rule
+from .terms import Constant
+
+__all__ = [
+    "program_to_text",
+    "database_to_text",
+    "fact_to_text",
+    "answers_to_text",
+]
+
+
+def fact_to_text(predicate: str, fact: tuple) -> str:
+    """One fact as a parseable statement, e.g. ``friend(tom, sue).``"""
+    ground = Atom(predicate, tuple(Constant(v) for v in fact))
+    return f"{ground}."
+
+
+def program_to_text(program: Program | Iterable[Rule]) -> str:
+    """All rules, one per line, in program order."""
+    rules = program.rules if isinstance(program, Program) else tuple(program)
+    return "\n".join(str(r) for r in rules)
+
+
+def database_to_text(db: Database) -> str:
+    """Every fact as a statement, grouped by predicate, sorted for stability."""
+    lines: list[str] = []
+    for name in sorted(db.predicates()):
+        for fact in sorted(db.tuples(name), key=repr):
+            lines.append(fact_to_text(name, fact))
+    return "\n".join(lines)
+
+
+def answers_to_text(query: Atom, answers: Iterable[tuple]) -> str:
+    """Query answers as ground atoms, sorted for stable output."""
+    lines = [f"% answers to {query}?"]
+    for fact in sorted(answers, key=repr):
+        lines.append(fact_to_text(query.predicate, fact))
+    if len(lines) == 1:
+        lines.append("% (no answers)")
+    return "\n".join(lines)

@@ -1,0 +1,140 @@
+"""Rule rectification (Ullman [Ull88], as assumed in Section 3.3).
+
+The Separable compiler assumes rules are *rectified*: all rules defining
+a predicate have identical heads consisting of distinct variables and no
+constants.  Section 2 of the paper notes that repeated head variables and
+head constants "can be handled by adding equalities to the rule bodies";
+:func:`rectify_definition` performs exactly that rewrite, emitting
+built-in ``eq/2`` atoms (see :data:`repro.datalog.joins.EQ`).
+
+Example::
+
+    t(X, X)   :- b(X).        becomes   t(V1, V2) :- b(V1) & eq(V2, V1).
+    t(a, Y)   :- c(Y).        becomes   t(V1, V2) :- c(V2) & eq(V1, a).
+    t(X, Y)   :- d(X, Y).     becomes   t(V1, V2) :- d(V1, V2).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from .atoms import Atom
+from .joins import EQ
+from .programs import Program
+from .rules import Rule
+from .terms import Constant, Term, Variable
+
+__all__ = [
+    "canonical_head_variables",
+    "rectify_rule",
+    "rectify_definition",
+    "rectify_program",
+    "is_rectified",
+]
+
+
+def canonical_head_variables(
+    arity: int, avoid: Iterable[Variable] = ()
+) -> tuple[Variable, ...]:
+    """``arity`` fresh head variables ``V1..Vk``, avoiding name clashes.
+
+    If any of the default names collides with a variable in ``avoid``,
+    every name gets underscores appended until the whole batch is fresh.
+    """
+    avoid_names = {v.name for v in avoid}
+    suffix = ""
+    while any(f"V{i + 1}{suffix}" in avoid_names for i in range(arity)):
+        suffix += "_"
+    return tuple(Variable(f"V{i + 1}{suffix}") for i in range(arity))
+
+
+def is_rectified(rules: Sequence[Rule]) -> bool:
+    """True if all rules share one repeat-free, constant-free head."""
+    if not rules:
+        return True
+    first = rules[0].head
+    if first.has_repeated_variables() or any(
+        isinstance(t, Constant) for t in first.args
+    ):
+        return False
+    return all(r.head == first for r in rules)
+
+
+def rectify_rule(r: Rule, head_vars: Sequence[Variable]) -> Rule:
+    """Rewrite one rule to use the canonical head ``p(head_vars...)``.
+
+    Head variables are renamed throughout the rule; repeated head
+    variables and head constants turn into ``eq`` body atoms.
+    """
+    if len(head_vars) != r.head.arity:
+        raise ValueError(
+            f"head variable count {len(head_vars)} does not match "
+            f"arity {r.head.arity} of {r.head}"
+        )
+    renaming: dict[Variable, Term] = {}
+    equalities: list[Atom] = []
+    for canonical, original in zip(head_vars, r.head.args):
+        if isinstance(original, Constant):
+            equalities.append(Atom(EQ, (canonical, original)))
+        elif original in renaming:
+            # Repeated head variable: its first occurrence was renamed to
+            # some earlier canonical variable; equate this position to it.
+            equalities.append(Atom(EQ, (canonical, renaming[original])))
+        else:
+            renaming[original] = canonical
+
+    # Canonical names must not capture unrelated body variables.
+    captured = (set(head_vars) & r.variables()) - set(r.head.variable_set())
+    if captured:
+        fresh = {
+            v: Variable(f"{v.name}__r") for v in captured
+        }
+        r = r.substitute(fresh)
+
+    new_head = Atom(r.head.predicate, tuple(head_vars))
+    new_body = tuple(a.substitute(renaming) for a in r.body) + tuple(equalities)
+    return Rule(new_head, new_body)
+
+
+def rectify_definition(
+    rules: Sequence[Rule],
+    head_vars: Sequence[Variable] | None = None,
+) -> list[Rule]:
+    """Rectify all rules of one predicate's definition.
+
+    If the rules are already rectified they are returned unchanged (no
+    fresh variable churn); otherwise every rule is rewritten against one
+    canonical head.  ``head_vars`` may be supplied to control naming.
+    """
+    rules = list(rules)
+    if not rules:
+        return rules
+    if head_vars is None:
+        if is_rectified(rules):
+            return rules
+        avoid: set[Variable] = set()
+        for r in rules:
+            avoid |= r.variables()
+        head_vars = canonical_head_variables(rules[0].head.arity, avoid)
+    return [rectify_rule(r, head_vars) for r in rules]
+
+
+def rectify_program(program: Program) -> Program:
+    """Rectify every IDB predicate's definition in ``program``.
+
+    Rule order is preserved (rules keep their original positions; only
+    their text changes).
+    """
+    replacements: dict[int, Rule] = {}
+    for predicate in program.idb_predicates:
+        originals = [
+            (i, r)
+            for i, r in enumerate(program.rules)
+            if r.head.predicate == predicate
+        ]
+        rectified = rectify_definition([r for _, r in originals])
+        for (i, _), new_rule in zip(originals, rectified):
+            replacements[i] = new_rule
+    return Program(
+        replacements.get(i, r) for i, r in enumerate(program.rules)
+    )

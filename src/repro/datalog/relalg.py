@@ -1,0 +1,399 @@
+"""A small relational algebra: expressions, an interpreter, a printer.
+
+Section 3.2 of the paper introduces the evaluation schema in terms of
+relational operators ("The f_i, g_i, and h are relational operators
+... instead of writing p := pi_{1,3}(sigma_{x0=1}(p |x| q)) we will
+write ..."), and :mod:`repro.core.algebra` compiles Separable plans
+down to expressions of this module -- an executable version of that
+remark.
+
+Expressions are immutable trees over *named attributes* (attribute
+names play the role of the Datalog variables), with the operators:
+
+========================  =============================================
+:class:`Scan`             read a stored relation, naming its columns
+:class:`Values`           an in-memory constant relation
+:class:`Placeholder`      a hole bound at evaluation time (carry/seen)
+:class:`Select`           sigma attribute = constant
+:class:`SelectEq`         sigma attribute = attribute
+:class:`Project`          pi onto a list of attributes (with dedup)
+:class:`NaturalJoin`      |x| on shared attribute names (hash join)
+:class:`Extend`           append a copied-attribute or constant column
+:class:`Rename`           attribute renaming
+:class:`Union`            set union of schema-compatible expressions
+:class:`Difference`       set difference
+========================  =============================================
+
+:func:`evaluate` interprets an expression against a
+:class:`~repro.datalog.database.Database` plus a binding environment
+for placeholders; :func:`to_text` renders the tree in compact
+sigma/pi/join notation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from .database import Database
+from .errors import EvaluationError
+from .terms import ConstValue
+
+__all__ = [
+    "Expression",
+    "Scan",
+    "Values",
+    "Placeholder",
+    "Select",
+    "SelectEq",
+    "Project",
+    "NaturalJoin",
+    "Extend",
+    "Rename",
+    "Union",
+    "Difference",
+    "evaluate",
+    "to_text",
+]
+
+Schema = tuple[str, ...]
+Tuples = frozenset[tuple]
+
+
+class Expression:
+    """Base class; every node exposes a :attr:`schema`."""
+
+    schema: Schema
+
+
+def _check_schema(schema: Sequence[str]) -> Schema:
+    if len(set(schema)) != len(schema):
+        raise ValueError(f"duplicate attribute in schema {schema!r}")
+    return tuple(schema)
+
+
+@dataclass(frozen=True)
+class Scan(Expression):
+    """Read the named stored relation, labelling its columns.
+
+    A repeated label selects tuples whose corresponding columns agree
+    (the positional encoding of a repeated Datalog variable); the
+    output schema keeps one copy.
+    """
+
+    relation: str
+    labels: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        seen: list[str] = []
+        for label in self.labels:
+            if label not in seen:
+                seen.append(label)
+        object.__setattr__(self, "schema", tuple(seen))
+
+
+@dataclass(frozen=True)
+class Values(Expression):
+    """A literal relation."""
+
+    schema: Schema
+    tuples: Tuples
+
+    def __post_init__(self) -> None:
+        _check_schema(self.schema)
+
+
+@dataclass(frozen=True)
+class Placeholder(Expression):
+    """A named hole (e.g. the current ``carry``), bound at evaluation."""
+
+    name: str
+    schema: Schema
+
+    def __post_init__(self) -> None:
+        _check_schema(self.schema)
+
+
+@dataclass(frozen=True)
+class Select(Expression):
+    """sigma attribute = constant."""
+
+    child: Expression
+    attribute: str
+    value: ConstValue
+
+    def __post_init__(self) -> None:
+        if self.attribute not in self.child.schema:
+            raise ValueError(
+                f"attribute {self.attribute!r} not in {self.child.schema}"
+            )
+        object.__setattr__(self, "schema", self.child.schema)
+
+
+@dataclass(frozen=True)
+class SelectEq(Expression):
+    """sigma attribute = attribute."""
+
+    child: Expression
+    left: str
+    right: str
+
+    def __post_init__(self) -> None:
+        for attribute in (self.left, self.right):
+            if attribute not in self.child.schema:
+                raise ValueError(
+                    f"attribute {attribute!r} not in {self.child.schema}"
+                )
+        object.__setattr__(self, "schema", self.child.schema)
+
+
+@dataclass(frozen=True)
+class Project(Expression):
+    """pi onto the listed attributes (duplicates eliminated)."""
+
+    child: Expression
+    attributes: Schema
+
+    def __post_init__(self) -> None:
+        _check_schema(self.attributes)
+        missing = set(self.attributes) - set(self.child.schema)
+        if missing:
+            raise ValueError(
+                f"attributes {sorted(missing)} not in {self.child.schema}"
+            )
+        object.__setattr__(self, "schema", self.attributes)
+
+
+@dataclass(frozen=True)
+class NaturalJoin(Expression):
+    """|x| over shared attribute names."""
+
+    left: Expression
+    right: Expression
+
+    def __post_init__(self) -> None:
+        merged = list(self.left.schema)
+        for attribute in self.right.schema:
+            if attribute not in merged:
+                merged.append(attribute)
+        object.__setattr__(self, "schema", tuple(merged))
+
+
+@dataclass(frozen=True)
+class Rename(Expression):
+    """Rename attributes via ``{old: new}``."""
+
+    child: Expression
+    mapping: tuple[tuple[str, str], ...]
+
+    def __post_init__(self) -> None:
+        mapping = dict(self.mapping)
+        renamed = tuple(
+            mapping.get(a, a) for a in self.child.schema
+        )
+        _check_schema(renamed)
+        object.__setattr__(self, "schema", renamed)
+
+
+@dataclass(frozen=True)
+class Extend(Expression):
+    """Append a column: a copy of another attribute, or a constant.
+
+    Exactly one of ``from_attribute`` / ``value`` must be given.  This
+    is the algebraic counterpart of the built-in ``eq`` assignment that
+    rectification introduces (Section 2's "adding equalities to the
+    rule bodies").
+    """
+
+    child: Expression
+    attribute: str
+    from_attribute: str | None = None
+    value: ConstValue | None = None
+
+    def __post_init__(self) -> None:
+        if (self.from_attribute is None) == (self.value is None):
+            raise ValueError(
+                "Extend needs exactly one of from_attribute / value"
+            )
+        if self.attribute in self.child.schema:
+            raise ValueError(
+                f"attribute {self.attribute!r} already in "
+                f"{self.child.schema}"
+            )
+        if (
+            self.from_attribute is not None
+            and self.from_attribute not in self.child.schema
+        ):
+            raise ValueError(
+                f"attribute {self.from_attribute!r} not in "
+                f"{self.child.schema}"
+            )
+        object.__setattr__(
+            self, "schema", self.child.schema + (self.attribute,)
+        )
+
+
+@dataclass(frozen=True)
+class Union(Expression):
+    """Set union; every child must share one schema."""
+
+    children: tuple[Expression, ...]
+
+    def __post_init__(self) -> None:
+        if not self.children:
+            raise ValueError("Union requires at least one child")
+        first = self.children[0].schema
+        for child in self.children[1:]:
+            if child.schema != first:
+                raise ValueError(
+                    f"union schema mismatch: {child.schema} vs {first}"
+                )
+        object.__setattr__(self, "schema", first)
+
+
+@dataclass(frozen=True)
+class Difference(Expression):
+    """Set difference (schemas must match)."""
+
+    left: Expression
+    right: Expression
+
+    def __post_init__(self) -> None:
+        if self.left.schema != self.right.schema:
+            raise ValueError(
+                f"difference schema mismatch: {self.left.schema} vs "
+                f"{self.right.schema}"
+            )
+        object.__setattr__(self, "schema", self.left.schema)
+
+
+# ---------------------------------------------------------------------------
+# Interpreter
+# ---------------------------------------------------------------------------
+
+
+def evaluate(
+    expr: Expression,
+    db: Database,
+    placeholders: Mapping[str, Tuples] | None = None,
+) -> Tuples:
+    """Evaluate an expression to a set of tuples over ``expr.schema``."""
+    env = placeholders or {}
+
+    def walk(node: Expression) -> Tuples:
+        if isinstance(node, Scan):
+            rel = db.relation(node.relation)
+            rows = rel.tuples() if rel is not None else frozenset()
+            positions: dict[str, int] = {}
+            keep: list[int] = []
+            checks: list[tuple[int, int]] = []
+            for i, label in enumerate(node.labels):
+                if label in positions:
+                    checks.append((positions[label], i))
+                else:
+                    positions[label] = i
+                    keep.append(i)
+            result = set()
+            for row in rows:
+                if all(row[a] == row[b] for a, b in checks):
+                    result.add(tuple(row[i] for i in keep))
+            return frozenset(result)
+        if isinstance(node, Values):
+            return node.tuples
+        if isinstance(node, Placeholder):
+            try:
+                return env[node.name]
+            except KeyError:
+                raise EvaluationError(
+                    f"unbound placeholder {node.name!r}"
+                ) from None
+        if isinstance(node, Select):
+            rows = walk(node.child)
+            index = node.child.schema.index(node.attribute)
+            return frozenset(r for r in rows if r[index] == node.value)
+        if isinstance(node, SelectEq):
+            rows = walk(node.child)
+            li = node.child.schema.index(node.left)
+            ri = node.child.schema.index(node.right)
+            return frozenset(r for r in rows if r[li] == r[ri])
+        if isinstance(node, Project):
+            rows = walk(node.child)
+            indexes = [node.child.schema.index(a) for a in node.attributes]
+            return frozenset(
+                tuple(r[i] for i in indexes) for r in rows
+            )
+        if isinstance(node, NaturalJoin):
+            left_rows = walk(node.left)
+            right_rows = walk(node.right)
+            shared = [
+                a for a in node.right.schema if a in node.left.schema
+            ]
+            li = [node.left.schema.index(a) for a in shared]
+            ri = [node.right.schema.index(a) for a in shared]
+            extra = [
+                i
+                for i, a in enumerate(node.right.schema)
+                if a not in node.left.schema
+            ]
+            buckets: dict[tuple, list[tuple]] = {}
+            for row in right_rows:
+                buckets.setdefault(
+                    tuple(row[i] for i in ri), []
+                ).append(row)
+            result = set()
+            for row in left_rows:
+                key = tuple(row[i] for i in li)
+                for match in buckets.get(key, ()):
+                    result.add(row + tuple(match[i] for i in extra))
+            return frozenset(result)
+        if isinstance(node, Extend):
+            rows = walk(node.child)
+            if node.from_attribute is not None:
+                index = node.child.schema.index(node.from_attribute)
+                return frozenset(r + (r[index],) for r in rows)
+            return frozenset(r + (node.value,) for r in rows)
+        if isinstance(node, Rename):
+            return walk(node.child)
+        if isinstance(node, Union):
+            result: set[tuple] = set()
+            for child in node.children:
+                result |= walk(child)
+            return frozenset(result)
+        if isinstance(node, Difference):
+            return walk(node.left) - walk(node.right)
+        raise TypeError(f"unknown expression node {node!r}")
+
+    return walk(expr)
+
+
+def to_text(expr: Expression) -> str:
+    """Compact sigma/pi/join rendering of an expression tree."""
+    if isinstance(expr, Scan):
+        return f"{expr.relation}({', '.join(expr.labels)})"
+    if isinstance(expr, Values):
+        return f"values/{len(expr.schema)}[{len(expr.tuples)}]"
+    if isinstance(expr, Placeholder):
+        return f"{expr.name}({', '.join(expr.schema)})"
+    if isinstance(expr, Select):
+        return f"σ[{expr.attribute}={expr.value}]({to_text(expr.child)})"
+    if isinstance(expr, SelectEq):
+        return f"σ[{expr.left}={expr.right}]({to_text(expr.child)})"
+    if isinstance(expr, Project):
+        return f"π[{', '.join(expr.attributes)}]({to_text(expr.child)})"
+    if isinstance(expr, NaturalJoin):
+        return f"({to_text(expr.left)} ⋈ {to_text(expr.right)})"
+    if isinstance(expr, Extend):
+        source = (
+            expr.from_attribute
+            if expr.from_attribute is not None
+            else repr(expr.value)
+        )
+        return f"ε[{expr.attribute}:={source}]({to_text(expr.child)})"
+    if isinstance(expr, Rename):
+        inner = ", ".join(f"{a}->{b}" for a, b in expr.mapping)
+        return f"ρ[{inner}]({to_text(expr.child)})"
+    if isinstance(expr, Union):
+        return " ∪ ".join(to_text(c) for c in expr.children)
+    if isinstance(expr, Difference):
+        return f"({to_text(expr.left)} - {to_text(expr.right)})"
+    raise TypeError(f"unknown expression node {expr!r}")

@@ -1,0 +1,143 @@
+"""Rules (Horn clauses) and structural checks on them.
+
+A rule ``h :- b1 & ... & bn.`` has a head atom and a conjunction of body
+atoms.  Facts are rules with empty bodies and ground heads.  The paper
+restricts attention to *linear recursive* rules -- the recursive
+predicate occurs at most once in the body -- and assumes rules are
+*rectified* (identical, constant-free, repeat-free heads); rectification
+itself lives in :mod:`repro.datalog.rectify`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from .atoms import Atom
+from .errors import SafetyError
+from .terms import Term, Variable
+
+__all__ = ["Rule", "rule"]
+
+
+@dataclass(frozen=True, slots=True)
+class Rule:
+    """A Horn clause ``head :- body``.
+
+    Instances are immutable; transformation passes build new rules.
+    """
+
+    head: Atom
+    body: tuple[Atom, ...] = ()
+
+    @property
+    def is_fact(self) -> bool:
+        """True for a bodiless rule with a ground head."""
+        return not self.body and self.head.is_ground()
+
+    def variables(self) -> frozenset[Variable]:
+        """All distinct variables in the rule."""
+        result = set(self.head.variable_set())
+        for a in self.body:
+            result |= a.variable_set()
+        return frozenset(result)
+
+    def body_predicates(self) -> frozenset[str]:
+        """Names of predicates occurring in the body."""
+        return frozenset(a.predicate for a in self.body)
+
+    def occurrences_of(self, predicate: str) -> tuple[Atom, ...]:
+        """Body atoms whose predicate is ``predicate``."""
+        return tuple(a for a in self.body if a.predicate == predicate)
+
+    def is_recursive_in(self, predicate: str) -> bool:
+        """True if ``predicate`` heads this rule and occurs in its body."""
+        return (
+            self.head.predicate == predicate
+            and any(a.predicate == predicate for a in self.body)
+        )
+
+    def is_linear_in(self, predicate: str) -> bool:
+        """True if ``predicate`` occurs at most once in the body.
+
+        Nonrecursive rules are trivially linear.  Only rules headed by
+        ``predicate`` are interesting callers, but the check itself does
+        not depend on the head.
+        """
+        return len(self.occurrences_of(predicate)) <= 1
+
+    def recursive_atom(self, predicate: str) -> Atom | None:
+        """The single body occurrence of ``predicate``, or ``None``.
+
+        Raises ``ValueError`` if the rule is not linear in ``predicate``,
+        because "the" recursive atom would then be ambiguous.
+        """
+        occurrences = self.occurrences_of(predicate)
+        if len(occurrences) > 1:
+            raise ValueError(
+                f"rule {self} has {len(occurrences)} occurrences of "
+                f"{predicate}; it is not linear"
+            )
+        return occurrences[0] if occurrences else None
+
+    def nonrecursive_body(self, predicate: str) -> tuple[Atom, ...]:
+        """Body atoms other than occurrences of ``predicate``.
+
+        For a recursive rule this is the conjunction the paper writes
+        ``a_ij``; Condition 4 of Definition 2.4 requires it to form one
+        maximal connected set.
+        """
+        return tuple(a for a in self.body if a.predicate != predicate)
+
+    def check_safety(self) -> None:
+        """Raise :class:`SafetyError` if some head variable is unbound.
+
+        Datalog safety: every variable in the head must occur somewhere
+        in the body (facts with variables are unsafe by the same rule).
+        """
+        body_vars: set[Variable] = set()
+        for a in self.body:
+            body_vars |= a.variable_set()
+        missing = self.head.variable_set() - body_vars
+        if missing:
+            names = ", ".join(sorted(v.name for v in missing))
+            raise SafetyError(
+                f"rule {self} is unsafe: head variable(s) {names} "
+                f"do not occur in the body"
+            )
+
+    def is_safe(self) -> bool:
+        """True when :meth:`check_safety` would not raise."""
+        try:
+            self.check_safety()
+        except SafetyError:
+            return False
+        return True
+
+    def substitute(self, mapping: Mapping[Variable, Term]) -> "Rule":
+        """Apply a substitution to head and body, returning a new rule."""
+        return Rule(
+            self.head.substitute(mapping),
+            tuple(a.substitute(mapping) for a in self.body),
+        )
+
+    def rename(self, suffix: int) -> "Rule":
+        """Rename all variables apart by appending ``_<suffix>``."""
+        return Rule(
+            self.head.rename(suffix),
+            tuple(a.rename(suffix) for a in self.body),
+        )
+
+    def __str__(self) -> str:
+        if not self.body:
+            return f"{self.head}."
+        body_text = " & ".join(str(a) for a in self.body)
+        return f"{self.head} :- {body_text}."
+
+    def __repr__(self) -> str:
+        return f"Rule({str(self)!r})"
+
+
+def rule(head: Atom, body: Iterable[Atom] = ()) -> Rule:
+    """Convenience constructor accepting any iterable body."""
+    return Rule(head, tuple(body))

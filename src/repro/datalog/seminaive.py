@@ -1,0 +1,157 @@
+"""Semi-naive (delta) bottom-up evaluation, stratum by stratum.
+
+This is the workhorse oracle of the package: every other strategy is
+property-tested against it.  Evaluation proceeds over the strongly
+connected components of the predicate dependency graph in bottom-up
+order (:attr:`repro.datalog.programs.Program.evaluation_order`), so
+predicates a recursion depends on are fully materialized before the
+recursion itself runs -- exactly the paper's Section 2 assumption that
+base predicates do not depend on ``t``.
+
+Within an SCC the classic delta optimization applies: a rule can only
+derive a new fact in round ``i`` if at least one of its recursive body
+atoms matches a fact that was new in round ``i - 1``, so each rule is
+evaluated once per recursive body occurrence with that occurrence
+restricted to the previous delta.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from ..budget import Budget, UNLIMITED
+from ..stats import EvaluationStats
+from .atoms import Atom
+from .database import Database, Relation
+from .joins import evaluate_body, instantiate_args
+from .programs import Program
+from .rules import Rule
+
+__all__ = ["seminaive_evaluate", "seminaive_stratum"]
+
+_DELTA_PREFIX = "Δ"  # Δp never collides with parsed predicate names
+
+
+def _delta_views(
+    db: Database, deltas: dict[str, Relation]
+) -> Database:
+    """A view database in which ``Δp`` names each delta relation.
+
+    Relations are shared with ``db``; nothing is copied.
+    """
+    view = Database()
+    for name in db.predicates():
+        rel = db.relation(name)
+        assert rel is not None
+        view.attach(rel, name)
+    for name, rel in deltas.items():
+        view.attach(rel, _DELTA_PREFIX + name)
+    return view
+
+
+def _delta_variants(r: Rule, scc: frozenset[str]) -> list[tuple[Atom, ...]]:
+    """Bodies of ``r`` with one SCC-internal atom redirected to its delta.
+
+    For a rule with ``k`` body atoms inside the SCC there are ``k``
+    variants; a rule with none (possible when the SCC has several
+    predicates) has no variants and contributes nothing after round one.
+    """
+    variants: list[tuple[Atom, ...]] = []
+    for i, a in enumerate(r.body):
+        if a.predicate in scc:
+            redirected = Atom(_DELTA_PREFIX + a.predicate, a.args)
+            variants.append(r.body[:i] + (redirected,) + r.body[i + 1:])
+    return variants
+
+
+def seminaive_stratum(
+    rules: Iterable[Rule],
+    scc: frozenset[str],
+    db: Database,
+    program: Program,
+    stats: Optional[EvaluationStats] = None,
+    budget: Budget = UNLIMITED,
+    order: str = "greedy",
+) -> None:
+    """Run one SCC of mutually recursive predicates to fixpoint in ``db``.
+
+    ``db`` must already contain every predicate the SCC depends on.
+    Derived facts are added to ``db`` in place.
+    """
+    rules = list(rules)
+    for p in scc:
+        db.ensure(p, program.arity(p))
+
+    # Round 0: full evaluation of every rule (seeds the deltas).
+    deltas: dict[str, Relation] = {
+        p: Relation(p, program.arity(p)) for p in scc
+    }
+    if stats is not None:
+        stats.bump_iterations()
+    for r in rules:
+        target = db.relation(r.head.predicate)
+        assert target is not None
+        for bindings in evaluate_body(db, r.body, stats=stats, order=order):
+            fact = instantiate_args(r.head.args, bindings)
+            if stats is not None:
+                stats.bump_produced()
+            if target.add(fact):
+                deltas[r.head.predicate].add(fact)
+
+    variant_cache = {id(r): _delta_variants(r, scc) for r in rules}
+
+    while any(deltas[p] for p in scc):
+        if stats is not None:
+            for p in scc:
+                stats.record_relation(p, db.size(p))
+                budget.check_relation(p, db.size(p), stats)
+            budget.check_stats(stats)
+            stats.bump_iterations()
+        view = _delta_views(db, deltas)
+        new_deltas: dict[str, Relation] = {
+            p: Relation(p, program.arity(p)) for p in scc
+        }
+        for r in rules:
+            target = db.relation(r.head.predicate)
+            assert target is not None
+            for body in variant_cache[id(r)]:
+                for bindings in evaluate_body(view, body, stats=stats,
+                                              order=order):
+                    fact = instantiate_args(r.head.args, bindings)
+                    if stats is not None:
+                        stats.bump_produced()
+                    if target.add(fact):
+                        new_deltas[r.head.predicate].add(fact)
+        deltas = new_deltas
+
+    if stats is not None:
+        for p in scc:
+            stats.record_relation(p, db.size(p))
+            budget.check_relation(p, db.size(p), stats)
+        budget.check_stats(stats)
+
+
+def seminaive_evaluate(
+    program: Program,
+    edb: Database,
+    stats: Optional[EvaluationStats] = None,
+    budget: Budget = UNLIMITED,
+    order: str = "greedy",
+) -> Database:
+    """Materialize every IDB predicate of ``program`` over ``edb``.
+
+    Returns a new database with the EDB relations plus the least-fixpoint
+    extent of each IDB predicate; ``edb`` is not modified.
+    """
+    db = edb.copy()
+    for scc in program.evaluation_order:
+        scc_rules = [
+            r for r in program.rules if r.head.predicate in scc
+        ]
+        seminaive_stratum(scc_rules, scc, db, program, stats=stats,
+                          budget=budget, order=order)
+    # Predicates with no rules at all (possible after restriction) still
+    # need empty relations so queries read as empty rather than missing.
+    for predicate in program.idb_predicates:
+        db.ensure(predicate, program.arity(predicate))
+    return db

@@ -1,0 +1,110 @@
+"""Terms of the Datalog language: variables and constants.
+
+The paper considers function-free pure Horn clause programs (Section 2),
+so a term is either a variable or a constant -- there are no function
+symbols.  Both kinds are immutable and hashable so they can live in the
+tuple-sets used by :class:`repro.datalog.database.Relation`.
+
+Naming conventions follow Prolog: identifiers starting with an uppercase
+letter or underscore are variables; everything else (lowercase
+identifiers, integers, quoted strings) is a constant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+__all__ = [
+    "Variable",
+    "Constant",
+    "Term",
+    "ConstValue",
+    "is_variable_name",
+    "make_term",
+    "fresh_variable",
+]
+
+#: Python values allowed inside a :class:`Constant`.
+ConstValue = Union[str, int]
+
+
+@dataclass(frozen=True, slots=True)
+class Variable:
+    """A logic variable, identified by its name.
+
+    Two variables with the same name are the same variable (within one
+    rule or conjunctive query).  Procedure Expand (Figure 1 of the paper)
+    distinguishes renamed-apart copies by *subscripts*; we realize
+    subscripting with :func:`fresh_variable`, which appends ``_<i>``.
+    """
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("variable name must be non-empty")
+
+    def __str__(self) -> str:
+        return self.name
+
+    def __repr__(self) -> str:
+        return f"Variable({self.name!r})"
+
+
+@dataclass(frozen=True, slots=True)
+class Constant:
+    """A constant symbol: a string atom (e.g. ``tom``) or an integer."""
+
+    value: ConstValue
+
+    def __str__(self) -> str:
+        if isinstance(self.value, int):
+            return str(self.value)
+        if is_variable_name(self.value) or not self.value.isidentifier():
+            # Needs quoting to round-trip through the parser.
+            escaped = self.value.replace("\\", "\\\\").replace("'", "\\'")
+            return f"'{escaped}'"
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"Constant({self.value!r})"
+
+
+Term = Union[Variable, Constant]
+
+
+def is_variable_name(text: str) -> bool:
+    """Return True if ``text`` names a variable under Prolog conventions."""
+    return bool(text) and (text[0].isupper() or text[0] == "_")
+
+
+def make_term(value: object) -> Term:
+    """Coerce a Python value into a term.
+
+    Strings are interpreted with Prolog conventions (leading uppercase or
+    underscore means variable); integers become constants; existing terms
+    pass through unchanged.  This is a convenience for building programs
+    programmatically and in tests.
+    """
+    if isinstance(value, (Variable, Constant)):
+        return value
+    if isinstance(value, bool):
+        raise TypeError("booleans are not valid Datalog constants")
+    if isinstance(value, int):
+        return Constant(value)
+    if isinstance(value, str):
+        if is_variable_name(value):
+            return Variable(value)
+        return Constant(value)
+    raise TypeError(f"cannot interpret {value!r} as a Datalog term")
+
+
+def fresh_variable(base: Variable, subscript: int) -> Variable:
+    """Return a renamed-apart copy of ``base`` carrying ``subscript``.
+
+    Mirrors the subscripting of Procedure Expand: the variable ``W`` on
+    iteration 3 becomes ``W_3``.  Subscripted names remain valid variable
+    names, so expansions can be pretty-printed and re-parsed.
+    """
+    return Variable(f"{base.name}_{subscript}")

@@ -1,0 +1,115 @@
+"""Substitutions, matching, and most-general unifiers for function-free terms.
+
+With no function symbols, unification degenerates to a union-find over
+variables with at most one constant per class, and *matching* a pattern
+atom against a ground fact is a single left-to-right pass.  Both are
+provided here; matching is the hot path of every bottom-up evaluator in
+this package.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, MutableMapping, Optional
+
+from .atoms import Atom
+from .terms import Constant, Term, Variable
+
+__all__ = [
+    "Substitution",
+    "match_atom",
+    "unify_atoms",
+    "compose",
+    "apply_to_term",
+]
+
+#: A substitution maps variables to terms (constants or other variables).
+Substitution = Mapping[Variable, Term]
+
+
+def apply_to_term(term: Term, subst: Substitution) -> Term:
+    """Apply ``subst`` to a single term, following variable chains."""
+    seen: set[Variable] = set()
+    while isinstance(term, Variable) and term in subst:
+        if term in seen:  # pragma: no cover - cycles cannot arise from unify
+            break
+        seen.add(term)
+        term = subst[term]
+    return term
+
+
+def match_atom(
+    pattern: Atom,
+    fact: tuple,
+    bindings: Optional[MutableMapping[Variable, Constant]] = None,
+) -> Optional[dict[Variable, Constant]]:
+    """Match ``pattern`` against a ground tuple, extending ``bindings``.
+
+    ``fact`` is a raw tuple of constant *values* as stored in a
+    :class:`repro.datalog.database.Relation` (not `Constant` objects).
+    Returns the extended bindings dict on success and ``None`` on
+    mismatch; the caller's ``bindings`` mapping is never mutated.
+
+    >>> from .atoms import atom
+    >>> match_atom(atom("f", "X", "tom"), ("sue", "tom"))
+    {Variable('X'): Constant('sue')}
+    """
+    if len(pattern.args) != len(fact):
+        return None
+    result: dict[Variable, Constant] = dict(bindings) if bindings else {}
+    for term, value in zip(pattern.args, fact):
+        if isinstance(term, Constant):
+            if term.value != value:
+                return None
+        else:
+            bound = result.get(term)
+            if bound is None:
+                result[term] = Constant(value)
+            elif bound.value != value:
+                return None
+    return result
+
+
+def unify_atoms(a: Atom, b: Atom) -> Optional[dict[Variable, Term]]:
+    """Most general unifier of two (possibly non-ground) atoms.
+
+    Returns a substitution ``s`` with ``a.substitute(s) == b.substitute(s)``,
+    or ``None`` if the atoms do not unify.  Used by Procedure Expand when
+    applying a rule to a predicate instance in the fringe.
+    """
+    if a.predicate != b.predicate or a.arity != b.arity:
+        return None
+    subst: dict[Variable, Term] = {}
+
+    def walk(t: Term) -> Term:
+        while isinstance(t, Variable) and t in subst:
+            t = subst[t]
+        return t
+
+    for left, right in zip(a.args, b.args):
+        left, right = walk(left), walk(right)
+        if left == right:
+            continue
+        if isinstance(left, Variable):
+            subst[left] = right
+        elif isinstance(right, Variable):
+            subst[right] = left
+        else:  # two distinct constants
+            return None
+
+    # Flatten chains so callers can apply the result in one pass.
+    return {v: apply_to_term(t, subst) for v, t in subst.items()}
+
+
+def compose(first: Substitution, second: Substitution) -> dict[Variable, Term]:
+    """Compose substitutions: applying the result equals applying
+    ``first`` then ``second``."""
+    result: dict[Variable, Term] = {}
+    for v, t in first.items():
+        if isinstance(t, Variable):
+            result[v] = second.get(t, t)
+        else:
+            result[v] = t
+    for v, t in second.items():
+        if v not in first:
+            result[v] = t
+    return result

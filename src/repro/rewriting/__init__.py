@@ -1,0 +1,53 @@
+"""Baseline evaluation strategies the paper compares against.
+
+* :mod:`adornment` -- adornments + sideways information passing;
+* :mod:`magic` -- Generalized Magic Sets [BMSU86, BR87];
+* :mod:`counting` -- the Generalized Counting Method [BMSU86, BR87,
+  SZ86], path-indexed as in the paper's Section 4 rules;
+* :mod:`nodedup` -- the Figure 2 schema without the seen-difference
+  (Henschen-Naqvi-style ablation; fails on cyclic data);
+* :mod:`selection_push` -- Aho-Ullman [AU79] selection pushing into
+  fixpoints for stable query columns.
+"""
+
+from .adornment import (
+    AdornedAtom,
+    AdornedRule,
+    adorn_program,
+    adorned_name,
+    adornment_from_query,
+)
+from .counting import (
+    CountingNotApplicable,
+    CountingPlan,
+    compile_counting,
+    evaluate_counting,
+)
+from .magic import MagicRewrite, evaluate_magic, magic_rewrite
+from .nodedup import execute_plan_nodedup
+from .selection_push import (
+    StablePushNotApplicable,
+    evaluate_pushed,
+    push_selection,
+    stable_positions,
+)
+
+__all__ = [
+    "AdornedAtom",
+    "AdornedRule",
+    "adorn_program",
+    "adorned_name",
+    "adornment_from_query",
+    "CountingNotApplicable",
+    "CountingPlan",
+    "compile_counting",
+    "evaluate_counting",
+    "MagicRewrite",
+    "evaluate_magic",
+    "magic_rewrite",
+    "execute_plan_nodedup",
+    "StablePushNotApplicable",
+    "evaluate_pushed",
+    "push_selection",
+    "stable_positions",
+]

@@ -1,0 +1,155 @@
+"""Adornments and sideways information passing (SIP) for Magic Sets.
+
+An *adornment* annotates each argument position of a predicate with
+``b`` (bound) or ``f`` (free).  The Generalized Magic Sets rewrite
+works on the *adorned program*: starting from the query's adornment, a
+left-to-right sideways information pass through each rule body
+determines the adornment of every IDB subgoal, and new (predicate,
+adornment) pairs are processed breadth-first until closure [BMSU86,
+BR87] -- exactly the rewrite the paper's Section 4 displays for
+Example 1.2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from ..datalog.atoms import Atom
+from ..datalog.joins import EQ
+from ..datalog.programs import Program
+from ..datalog.rules import Rule
+from ..datalog.terms import Constant, Variable
+
+__all__ = [
+    "Adornment",
+    "adornment_from_query",
+    "adorned_name",
+    "AdornedAtom",
+    "AdornedRule",
+    "adorn_program",
+]
+
+#: An adornment is a string over {'b', 'f'}, one character per position.
+Adornment = str
+
+
+def adornment_from_query(query: Atom) -> Adornment:
+    """``b`` where the query has a constant, ``f`` where it has a variable."""
+    return "".join(
+        "b" if isinstance(t, Constant) else "f" for t in query.args
+    )
+
+
+def adorned_name(predicate: str, adornment: Adornment) -> str:
+    """Name of the adorned copy of a predicate, e.g. ``buys__bf``."""
+    return f"{predicate}__{adornment}"
+
+
+@dataclass(frozen=True)
+class AdornedAtom:
+    """A body atom together with its adornment (IDB atoms only)."""
+
+    atom: Atom
+    adornment: Adornment
+
+    def bound_terms(self) -> tuple:
+        return tuple(
+            t for t, a in zip(self.atom.args, self.adornment) if a == "b"
+        )
+
+
+@dataclass(frozen=True)
+class AdornedRule:
+    """One rule of the adorned program.
+
+    ``head_adornment`` annotates the head; ``body`` keeps the original
+    atom order, with IDB atoms wrapped in :class:`AdornedAtom` and EDB
+    atoms left as plain :class:`Atom`.
+    """
+
+    rule: Rule
+    head_adornment: Adornment
+    body: tuple[object, ...]  # Atom | AdornedAtom
+
+    def bound_head_terms(self) -> tuple:
+        return tuple(
+            t
+            for t, a in zip(self.rule.head.args, self.head_adornment)
+            if a == "b"
+        )
+
+
+def _bound_head_variables(head: Atom, adornment: Adornment) -> set[Variable]:
+    return {
+        t
+        for t, a in zip(head.args, adornment)
+        if a == "b" and isinstance(t, Variable)
+    }
+
+
+def _adorn_rule(
+    r: Rule, head_adornment: Adornment, idb: frozenset[str]
+) -> AdornedRule:
+    """Left-to-right SIP through one rule body.
+
+    A body position is bound if its term is a constant or a variable
+    already bound (by the head's bound positions or any earlier body
+    atom).  After an atom is processed, all its variables become bound:
+    EDB atoms and built-in ``eq`` bind by lookup, IDB atoms by the magic
+    evaluation of their adorned version.
+    """
+    bound = _bound_head_variables(r.head, head_adornment)
+    adorned_body: list[object] = []
+    for a in r.body:
+        if a.predicate in idb:
+            adornment = "".join(
+                "b"
+                if isinstance(t, Constant) or t in bound
+                else "f"
+                for t in a.args
+            )
+            adorned_body.append(AdornedAtom(a, adornment))
+        else:
+            adorned_body.append(a)
+        bound |= a.variable_set()
+    return AdornedRule(r, head_adornment, tuple(adorned_body))
+
+
+def adorn_program(
+    program: Program, query: Atom
+) -> tuple[dict[tuple[str, Adornment], tuple[AdornedRule, ...]], Adornment]:
+    """The adorned program reachable from the query's adornment.
+
+    Returns ``(adorned rules grouped by (predicate, adornment), the
+    query adornment)``.  Processing is breadth-first over (predicate,
+    adornment) pairs, so exactly the reachable adorned copies are
+    produced.
+    """
+    if query.predicate not in program.idb_predicates:
+        raise ValueError(
+            f"{query.predicate} is not an IDB predicate of the program"
+        )
+    idb = program.idb_predicates
+    query_adornment = adornment_from_query(query)
+    result: dict[tuple[str, Adornment], tuple[AdornedRule, ...]] = {}
+    pending: list[tuple[str, Adornment]] = [
+        (query.predicate, query_adornment)
+    ]
+    while pending:
+        key = pending.pop()
+        if key in result:
+            continue
+        predicate, adornment = key
+        adorned_rules = tuple(
+            _adorn_rule(r, adornment, idb)
+            for r in program.rules_for(predicate)
+        )
+        result[key] = adorned_rules
+        for ar in adorned_rules:
+            for item in ar.body:
+                if isinstance(item, AdornedAtom):
+                    next_key = (item.atom.predicate, item.adornment)
+                    if next_key not in result:
+                        pending.append(next_key)
+    return result, query_adornment

@@ -1,0 +1,52 @@
+"""Workload construction: synthetic generators and the paper's inputs."""
+
+from .generators import (
+    binary_tree,
+    chain,
+    cycle,
+    grid,
+    node,
+    random_dag,
+    random_graph,
+    star,
+)
+from .scenarios import Scenario, flight_network, org_chart, social_commerce
+from .paper import (
+    example_1_1_database,
+    example_1_1_program,
+    example_1_2_database,
+    example_1_2_program,
+    example_2_4_program,
+    lemma_4_2_database,
+    lemma_4_2_program,
+    lemma_4_3_database,
+    lemma_4_3_program,
+    section_3_2_program,
+    section_5_nonseparable_program,
+)
+
+__all__ = [
+    "binary_tree",
+    "chain",
+    "cycle",
+    "grid",
+    "node",
+    "random_dag",
+    "random_graph",
+    "star",
+    "example_1_1_database",
+    "example_1_1_program",
+    "example_1_2_database",
+    "example_1_2_program",
+    "example_2_4_program",
+    "lemma_4_2_database",
+    "lemma_4_2_program",
+    "lemma_4_3_database",
+    "lemma_4_3_program",
+    "section_3_2_program",
+    "section_5_nonseparable_program",
+    "Scenario",
+    "flight_network",
+    "org_chart",
+    "social_commerce",
+]

@@ -1,0 +1,143 @@
+"""Synthetic EDB generators: chains, cycles, trees, grids, random graphs.
+
+These stand in for the unavailable [Nau88] average-case workloads (see
+DESIGN.md's substitution table).  Every generator returns a plain
+``{predicate: list of tuples}`` mapping ready for
+:meth:`repro.datalog.database.Database.from_facts`, and takes the
+relation name so one graph shape can back any binary base predicate
+(``friend``, ``cheaper``, ``a_1``, ...).
+
+Node naming is deterministic (``prefix0, prefix1, ...``) so benchmark
+runs are reproducible; the random-graph generators take an explicit
+``random.Random`` seed for the same reason.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable
+
+__all__ = [
+    "node",
+    "chain",
+    "cycle",
+    "binary_tree",
+    "grid",
+    "random_graph",
+    "random_dag",
+    "star",
+]
+
+Edges = list[tuple[str, str]]
+
+
+def node(prefix: str, index: int) -> str:
+    """Deterministic node name, e.g. ``node('a', 3) == 'a3'``."""
+    return f"{prefix}{index}"
+
+
+def chain(n: int, prefix: str = "a") -> Edges:
+    """A simple path ``a0 -> a1 -> ... -> a(n-1)`` (n-1 edges).
+
+    This is the adversarial shape of Lemmas 4.2/4.3 and the Section 4
+    example databases.
+    """
+    return [(node(prefix, i), node(prefix, i + 1)) for i in range(n - 1)]
+
+
+def cycle(n: int, prefix: str = "a") -> Edges:
+    """A directed cycle on ``n`` nodes.
+
+    Cyclic data is where the Counting method and the no-dedup ablation
+    fail while Separable and Magic terminate (Lemma 3.4).
+    """
+    if n <= 0:
+        return []
+    edges = chain(n, prefix)
+    edges.append((node(prefix, n - 1), node(prefix, 0)))
+    return edges
+
+
+def binary_tree(depth: int, prefix: str = "a") -> Edges:
+    """A complete binary tree of the given depth, edges parent -> child.
+
+    Nodes are numbered heap-style: children of ``i`` are ``2i+1``,
+    ``2i+2``; ``2^depth - 1`` internal-plus-leaf nodes in total.
+    """
+    edges: Edges = []
+    total = 2**depth - 1
+    for i in range(total):
+        for child in (2 * i + 1, 2 * i + 2):
+            if child < total:
+                edges.append((node(prefix, i), node(prefix, child)))
+    return edges
+
+
+def grid(rows: int, cols: int, prefix: str = "g") -> Edges:
+    """A rows x cols grid with right and down edges.
+
+    Grids have many converging derivation paths per node, the shape on
+    which duplicate elimination (Figure 2 lines 5/12) pays off most.
+    """
+    def name(r: int, c: int) -> str:
+        return f"{prefix}{r}_{c}"
+
+    edges: Edges = []
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols:
+                edges.append((name(r, c), name(r, c + 1)))
+            if r + 1 < rows:
+                edges.append((name(r, c), name(r + 1, c)))
+    return edges
+
+
+def random_graph(
+    n: int,
+    edges: int,
+    seed: int = 0,
+    prefix: str = "a",
+) -> Edges:
+    """``edges`` distinct directed edges over ``n`` nodes (no self-loops).
+
+    May contain cycles; use :func:`random_dag` for guaranteed acyclic
+    data (the Counting method's requirement).
+    """
+    rng = random.Random(seed)
+    chosen: set[tuple[str, str]] = set()
+    max_edges = n * (n - 1)
+    edges = min(edges, max_edges)
+    while len(chosen) < edges:
+        a = rng.randrange(n)
+        b = rng.randrange(n)
+        if a != b:
+            chosen.add((node(prefix, a), node(prefix, b)))
+    return sorted(chosen)
+
+
+def random_dag(
+    n: int,
+    edges: int,
+    seed: int = 0,
+    prefix: str = "a",
+) -> Edges:
+    """Random acyclic edges: every edge goes from a lower to a higher index."""
+    rng = random.Random(seed)
+    chosen: set[tuple[str, str]] = set()
+    max_edges = n * (n - 1) // 2
+    edges = min(edges, max_edges)
+    while len(chosen) < edges:
+        a = rng.randrange(n)
+        b = rng.randrange(n)
+        if a == b:
+            continue
+        if a > b:
+            a, b = b, a
+        chosen.add((node(prefix, a), node(prefix, b)))
+    return sorted(chosen)
+
+
+def star(n: int, prefix: str = "a", center: str | None = None) -> Edges:
+    """Edges from one center node to ``n`` leaves (fanout stress)."""
+    center = center or node(prefix, 0)
+    return [(center, node(prefix, i + 1)) for i in range(n)]

@@ -1,0 +1,218 @@
+"""The paper's programs and adversarial databases, verbatim.
+
+Every example recursion (1.1, 1.2, 2.4, the Section 3.2 abstract
+recursion, the Section 5 non-separable rule) and every worst-case
+database from Section 4 (the Example 1.1/1.2 analyses, the Lemma 4.2 and
+4.3 families) is constructed here, parameterized by the paper's ``n``,
+``k`` and ``p``.  The benchmark harness and the tests import these so
+the experiments run against exactly the inputs the paper reasons about.
+
+Conventions: constants are named ``a1..an`` / ``b1..bn`` / ``c1..cn`` as
+in the paper; ``n`` counts the distinct constants per group, so a
+"chain of n" has ``n - 1`` edges, matching "let friend contain the
+tuples (a_1 = tom, a_2), ..., (a_{n-1}, a_n)".
+"""
+
+from __future__ import annotations
+
+from ..datalog.database import Database
+from ..datalog.parser import parse_program
+from ..datalog.programs import Program
+
+__all__ = [
+    "example_1_1_program",
+    "example_1_1_database",
+    "example_1_2_program",
+    "example_1_2_database",
+    "example_2_4_program",
+    "section_3_2_program",
+    "section_5_nonseparable_program",
+    "lemma_4_2_program",
+    "lemma_4_2_database",
+    "lemma_4_3_program",
+    "lemma_4_3_database",
+]
+
+
+def example_1_1_program() -> Program:
+    """Example 1.1: friends and idols propagate purchases.
+
+    One equivalence class (columns {1}, rules r1 and r2); column 2 is
+    persistent.
+    """
+    return parse_program(
+        """
+        buys(X, Y) :- friend(X, W) & buys(W, Y).
+        buys(X, Y) :- idol(X, W) & buys(W, Y).
+        buys(X, Y) :- perfectFor(X, Y).
+        """
+    ).program
+
+
+def example_1_1_database(n: int) -> Database:
+    """The Section 4 database for the Generalized Counting analysis.
+
+    ``friend`` and ``idol`` both contain the chain (a_1, a_2), ...,
+    (a_{n-1}, a_n); ``perfectFor`` holds the single tuple (a_n, b_n).
+    On ``buys(a1, Y)?`` Counting builds a ``count`` relation with one
+    tuple per derivation path -- Omega(2^n) -- while Separable builds
+    monadic relations of size O(n).
+    """
+    edges = [(f"a{i}", f"a{i + 1}") for i in range(1, n)]
+    return Database.from_facts(
+        {
+            "friend": edges,
+            "idol": list(edges),
+            "perfectFor": [(f"a{n}", f"b{n}")],
+        }
+    )
+
+
+def example_1_2_program() -> Program:
+    """Example 1.2: friends propagate purchases, cheaper products follow.
+
+    Two singleton equivalence classes (column 1 via friend, column 2
+    via cheaper); no persistent columns.
+    """
+    return parse_program(
+        """
+        buys(X, Y) :- friend(X, W) & buys(W, Y).
+        buys(X, Y) :- buys(X, W) & cheaper(Y, W).
+        buys(X, Y) :- perfectFor(X, Y).
+        """
+    ).program
+
+
+def example_1_2_database(n: int) -> Database:
+    """The Section 4 database for the Magic Sets analysis.
+
+    ``friend`` is the chain (a_1, a_2), ..., (a_{n-1}, a_n); ``cheaper``
+    descends through b_n ... b_1 (oriented so rule r2's ``cheaper(Y, W)``
+    derives each cheaper product from the one above); ``perfectFor``
+    holds (a_n, b_n).  The full ``buys`` relation is the n^2 tuples
+    (a_i, b_j), which is exactly what the magic-rewritten program
+    materializes -- while Separable builds only monadic relations.
+    """
+    return Database.from_facts(
+        {
+            "friend": [(f"a{i}", f"a{i + 1}") for i in range(1, n)],
+            "cheaper": [(f"b{i}", f"b{i + 1}") for i in range(1, n)],
+            "perfectFor": [(f"a{n}", f"b{n}")],
+        }
+    )
+
+
+def example_2_4_program() -> Program:
+    """Example 2.4: the ternary recursion used for the Lemma 2.1 rewrite.
+
+    Class e_1 = columns {1, 2} (rule 1), class e_2 = column {3}
+    (rule 2); the query ``t(c, Y, Z)?`` binds a proper subset of e_1 and
+    is therefore not a full selection.
+    """
+    return parse_program(
+        """
+        t(X, Y, Z) :- a(X, Y, U, V) & t(U, V, Z).
+        t(X, Y, Z) :- t(X, Y, W) & b(W, Z).
+        t(X, Y, Z) :- t0(X, Y, Z).
+        """
+    ).program
+
+
+def section_3_2_program() -> Program:
+    """The Section 3.2 motivating recursion: ``(a1+a2)* t0 (b1+b2)*``."""
+    return parse_program(
+        """
+        t(X, Y) :- a1(X, W) & t(W, Y).
+        t(X, Y) :- a2(X, W) & t(W, Y).
+        t(X, Y) :- t(X, W) & b1(W, Y).
+        t(X, Y) :- t(X, W) & b2(W, Y).
+        t(X, Y) :- t0(X, Y).
+        """
+    ).program
+
+
+def section_5_nonseparable_program() -> Program:
+    """Section 5's Condition-4 violator: ``a`` and ``b`` in one rule.
+
+    ``t(X,Y) :- a(X,W) & t(W,Z) & b(Z,Y).`` -- removing ``t`` leaves
+    two maximal connected sets, so the recursion is not separable; the
+    paper notes the schema would still be correct but unfocused.
+    """
+    return parse_program(
+        """
+        t(X, Y) :- a(X, W) & t(W, Z) & b(Z, Y).
+        t(X, Y) :- t0(X, Y).
+        """
+    ).program
+
+
+def _lemma_4_program(k: int, p: int) -> Program:
+    """The S^k_p family used by both Lemma 4.2 and Lemma 4.3::
+
+        t(X1, ..., Xk) :- a_i(X1, W) & t(W, X2, ..., Xk).   (1 <= i <= p)
+        t(X1, ..., Xk) :- t0(X1, ..., Xk).
+    """
+    if k < 1 or p < 1:
+        raise ValueError("Lemma 4.2/4.3 require k >= 1 and p >= 1")
+    head_args = ", ".join(f"X{j}" for j in range(1, k + 1))
+    body_args = ", ".join(["W"] + [f"X{j}" for j in range(2, k + 1)])
+    lines = [
+        f"t({head_args}) :- a{i}(X1, W) & t({body_args})."
+        for i in range(1, p + 1)
+    ]
+    lines.append(f"t({head_args}) :- t0({head_args}).")
+    return parse_program("\n".join(lines)).program
+
+
+def lemma_4_2_program(k: int, p: int) -> Program:
+    """The recursion of Lemma 4.2 (identical to Lemma 4.3's)."""
+    return _lemma_4_program(k, p)
+
+
+def lemma_4_2_database(n: int, k: int, p: int) -> Database:
+    """Lemma 4.2's database: Magic Sets is Omega(n^k) here.
+
+    ``a1`` is the chain (c_1, c_2), ..., (c_{n-1}, c_n); ``a_i`` for
+    i > 1 are empty; ``t0`` is the full n^k cross product.  The magic
+    set reaches every c_i, so the guarded base rule copies all n^k
+    ``t0`` tuples into the rewritten ``t``.
+    """
+    facts: dict[str, list[tuple]] = {
+        "a1": [(f"c{i}", f"c{i + 1}") for i in range(1, n)],
+    }
+    for i in range(2, p + 1):
+        facts[f"a{i}"] = []
+    cross: list[tuple] = [()]
+    for _ in range(k):
+        cross = [t + (f"c{j}",) for t in cross for j in range(1, n + 1)]
+    facts["t0"] = cross
+    db = Database.from_facts(facts)
+    for i in range(2, p + 1):
+        db.ensure(f"a{i}", 2)
+    return db
+
+
+def lemma_4_3_program(k: int, p: int) -> Program:
+    """The recursion of Lemma 4.3 (identical to Lemma 4.2's)."""
+    return _lemma_4_program(k, p)
+
+
+def lemma_4_3_database(n: int, k: int, p: int,
+                       t0_size: int = 1) -> Database:
+    """Lemma 4.3's database: Generalized Counting is Omega(p^n) here.
+
+    All ``a_i`` are the identical chain (c_1, c_2), ..., (c_{n-1}, c_n),
+    so every length-l rule sequence over the p rules is a distinct
+    derivation path and ``count`` holds one tuple per path.  ``t0`` is
+    arbitrary in the paper; we give it ``t0_size`` tuples over fresh
+    constants so the query has answers.
+    """
+    edges = [(f"c{i}", f"c{i + 1}") for i in range(1, n)]
+    facts: dict[str, list[tuple]] = {
+        f"a{i}": list(edges) for i in range(1, p + 1)
+    }
+    facts["t0"] = [
+        (f"c{n}",) + tuple(f"d{j}" for _ in range(k - 1))
+        for j in range(1, t0_size + 1)
+    ]
+    return Database.from_facts(facts)

@@ -1,0 +1,113 @@
+"""Shared fixtures and oracles for the test suite.
+
+The central oracle is :func:`oracle_answers`: semi-naive materialization
+followed by query matching.  Every strategy (Separable, Magic, Counting,
+no-dedup) is tested for answer-set equality against it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datalog.atoms import Atom
+from repro.datalog.database import Database
+from repro.datalog.parser import parse_program
+from repro.datalog.programs import Program
+from repro.datalog.seminaive import seminaive_evaluate
+from repro.datalog.terms import Constant, Variable
+from repro.workloads import paper
+
+
+def oracle_answers(program: Program, edb: Database, query: Atom) -> frozenset:
+    """Reference answers: full materialization + selection filter."""
+    materialized = seminaive_evaluate(program, edb)
+    answers = set()
+    for fact in materialized.tuples(query.predicate):
+        bindings: dict[Variable, object] = {}
+        ok = True
+        for value, term in zip(fact, query.args):
+            if isinstance(term, Constant):
+                if term.value != value:
+                    ok = False
+                    break
+            else:
+                prior = bindings.setdefault(term, value)
+                if prior != value:
+                    ok = False
+                    break
+        if ok:
+            answers.add(fact)
+    return frozenset(answers)
+
+
+@pytest.fixture
+def example_1_1():
+    """(program, database) for Example 1.1 with a small concrete EDB."""
+    program = paper.example_1_1_program()
+    db = Database.from_facts(
+        {
+            "friend": [("tom", "sue"), ("sue", "ann"), ("ann", "joe")],
+            "idol": [("tom", "ann"), ("joe", "kim")],
+            "perfectFor": [
+                ("ann", "camera"),
+                ("kim", "tent"),
+                ("sue", "boat"),
+            ],
+        }
+    )
+    return program, db
+
+
+@pytest.fixture
+def example_1_2():
+    """(program, database) for Example 1.2 with a small concrete EDB."""
+    program = paper.example_1_2_program()
+    db = Database.from_facts(
+        {
+            "friend": [("tom", "sue"), ("sue", "ann")],
+            "cheaper": [("cup", "knife"), ("knife", "tent")],
+            "perfectFor": [("ann", "tent"), ("tom", "boat")],
+        }
+    )
+    return program, db
+
+
+@pytest.fixture
+def example_2_4():
+    """(program, database) for the ternary Example 2.4 recursion."""
+    program = paper.example_2_4_program()
+    db = Database.from_facts(
+        {
+            "a": [
+                ("c", "d", "e", "f"),
+                ("e", "f", "g", "h"),
+                ("c", "x", "e", "f"),
+            ],
+            "b": [("p", "q"), ("q", "r")],
+            "t0": [("g", "h", "p"), ("e", "f", "p"), ("c", "d", "z")],
+        }
+    )
+    return program, db
+
+
+@pytest.fixture
+def transitive_closure():
+    """The classic separable recursion: transitive closure of an edge set."""
+    program = parse_program(
+        """
+        tc(X, Y) :- edge(X, W) & tc(W, Y).
+        tc(X, Y) :- edge(X, Y).
+        """
+    ).program
+    db = Database.from_facts(
+        {
+            "edge": [
+                ("a", "b"),
+                ("b", "c"),
+                ("c", "d"),
+                ("b", "e"),
+                ("e", "d"),
+            ]
+        }
+    )
+    return program, db

@@ -1,0 +1,185 @@
+"""Unit tests for the structural analysis: t^h, t^b, classes, t|pers."""
+
+import pytest
+
+from repro.core.analysis import (
+    analyze_definition,
+    analyze_rule,
+    build_classes,
+)
+from repro.datalog.parser import parse_program, parse_rule
+from repro.workloads.paper import (
+    example_1_1_program,
+    example_1_2_program,
+    example_2_4_program,
+    section_3_2_program,
+)
+
+
+def rule_analysis(text, predicate="t", index=0):
+    return analyze_rule(parse_rule(text), predicate, index)
+
+
+class TestTouchedPositions:
+    def test_left_linear(self):
+        a = rule_analysis("t(X, Y) :- a(X, W) & t(W, Y).")
+        assert a.touched_head == (0,)
+        assert a.touched_body == (0,)
+        assert a.touched_agree
+
+    def test_right_linear(self):
+        a = rule_analysis("t(X, Y) :- t(X, W) & b(W, Y).")
+        assert a.touched_head == (1,)
+        assert a.touched_body == (1,)
+
+    def test_two_column_class(self):
+        a = rule_analysis("t(X, Y, Z) :- a(X, Y, U, V) & t(U, V, Z).")
+        assert a.touched_head == (0, 1)
+        assert a.touched_body == (0, 1)
+
+    def test_disagreement_detected(self):
+        # a touches head column 1 but body column 2.
+        a = rule_analysis("t(X, Y) :- a(X, W) & t(Y, W).")
+        assert not a.touched_agree
+
+    def test_redundant_rule(self):
+        a = rule_analysis("t(X, Y) :- c(A, B) & t(X, Y).")
+        assert a.is_redundant
+        assert a.touched_head == ()
+
+
+class TestShifting:
+    def test_no_shifting(self):
+        assert rule_analysis("t(X, Y) :- a(X, W) & t(W, Y).").shifting == ()
+
+    def test_swap_is_shifting(self):
+        a = rule_analysis("t(X, Y) :- a(X, W) & t(Y, X).")
+        shifted_vars = {v.name for v, _, _ in a.shifting}
+        assert "X" in shifted_vars and "Y" in shifted_vars
+
+    def test_same_position_repeat_not_shifting(self):
+        # X appears at head position 1 and body position 1: no shift.
+        a = rule_analysis("t(X, Y) :- a(X, W) & t(X, Y).")
+        assert a.shifting == ()
+
+    def test_partial_shift(self):
+        # Y at head position 2 and body position 1.
+        a = rule_analysis("t(X, Y) :- a(X, W) & t(Y, W).")
+        assert any(v.name == "Y" for v, _, _ in a.shifting)
+
+
+class TestConnectedness:
+    def test_single_component(self):
+        a = rule_analysis("t(X, Y) :- a(X, P) & b(P, Q) & t(Q, Y).")
+        assert a.connected_component_count == 1
+
+    def test_two_components(self):
+        a = rule_analysis("t(X, Y) :- a(X, W) & t(W, Z) & b(Z, Y).")
+        assert a.connected_component_count == 2
+
+    def test_zero_components(self):
+        a = rule_analysis("t(X, Y) :- t(X, Y).")
+        assert a.connected_component_count == 0
+
+
+class TestDefinitionsFromThePaper:
+    def test_example_1_1_classes(self):
+        program = example_1_1_program()
+        _, _, analyses = analyze_definition(program.definition("buys"))
+        classes = build_classes(analyses)
+        assert len(classes) == 1
+        assert classes[0].positions == (0,)
+        assert classes[0].rule_indices == (0, 1)
+        assert classes[0].width == 1
+
+    def test_example_1_2_classes(self):
+        program = example_1_2_program()
+        _, _, analyses = analyze_definition(program.definition("buys"))
+        classes = build_classes(analyses)
+        assert [c.positions for c in classes] == [(0,), (1,)]
+
+    def test_example_2_4_classes(self):
+        program = example_2_4_program()
+        _, _, analyses = analyze_definition(program.definition("t"))
+        classes = build_classes(analyses)
+        assert [c.positions for c in classes] == [(0, 1), (2,)]
+
+    def test_section_3_2_classes(self):
+        program = section_3_2_program()
+        _, _, analyses = analyze_definition(program.definition("t"))
+        classes = build_classes(analyses)
+        assert [c.positions for c in classes] == [(0,), (1,)]
+        assert classes[0].rule_indices == (0, 1)
+        assert classes[1].rule_indices == (2, 3)
+
+
+class TestRecursionAnalysisAccessors:
+    def test_pers_positions_example_1_1(self):
+        from repro.core.detection import require_separable
+
+        analysis = require_separable(example_1_1_program(), "buys")
+        assert analysis.pers_positions == (1,)
+        assert analysis.class_of_position(0) is not None
+        assert analysis.class_of_position(1) is None
+
+    def test_class_rule_index_sets(self):
+        from repro.core.detection import require_separable
+
+        analysis = require_separable(example_1_2_program(), "buys")
+        assert analysis.class_rule_index_sets() == (
+            frozenset({0}),
+            frozenset({1}),
+        )
+
+    def test_rules_of_class(self):
+        from repro.core.detection import require_separable
+
+        analysis = require_separable(example_1_1_program(), "buys")
+        rules = analysis.rules_of_class(analysis.classes[0])
+        assert [a.index for a in rules] == [0, 1]
+
+
+class TestExpansionRegex:
+    """The Section 3.2 regular-expression description of expansions."""
+
+    def test_section_3_2_verbatim(self):
+        from repro.core.detection import require_separable
+        from repro.workloads.paper import section_3_2_program
+
+        analysis = require_separable(section_3_2_program(), "t")
+        assert analysis.expansion_regex() == "(a1 + a2)* t0 (b1 + b2)*"
+
+    def test_example_1_1(self):
+        from repro.core.detection import require_separable
+
+        analysis = require_separable(example_1_1_program(), "buys")
+        assert analysis.expansion_regex() == "(friend + idol)* perfectFor"
+
+    def test_example_1_2_selected_class_controls_sides(self):
+        from repro.core.detection import require_separable
+
+        analysis = require_separable(example_1_2_program(), "buys")
+        assert analysis.expansion_regex(1) == "friend* perfectFor cheaper*"
+        assert analysis.expansion_regex(2) == "cheaper* perfectFor friend*"
+
+    def test_nonrecursive_definition(self):
+        from repro.core.detection import require_separable
+        from repro.datalog.parser import parse_program
+
+        analysis = require_separable(
+            parse_program("p(X) :- q(X).").program, "p"
+        )
+        assert analysis.expansion_regex() == "q"
+
+    def test_multi_atom_rule_label(self):
+        from repro.core.detection import require_separable
+        from repro.datalog.parser import parse_program
+
+        program = parse_program(
+            """
+            t(X, Y) :- a(X, M) & b(M, W) & t(W, Y).
+            t(X, Y) :- t0(X, Y).
+            """
+        ).program
+        analysis = require_separable(program, "t")
+        assert analysis.expansion_regex() == "a.b* t0"

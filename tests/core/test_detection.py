@@ -1,0 +1,224 @@
+"""Unit tests for separability detection (Definition 2.4, Section 3.1)."""
+
+import pytest
+
+from repro.core.detection import (
+    analyze_recursion,
+    is_separable,
+    require_separable,
+)
+from repro.datalog.errors import NotSeparableError
+from repro.datalog.parser import parse_program
+from repro.workloads.paper import (
+    example_1_1_program,
+    example_1_2_program,
+    example_2_4_program,
+    lemma_4_2_program,
+    section_3_2_program,
+    section_5_nonseparable_program,
+)
+
+
+def program(text):
+    return parse_program(text).program
+
+
+class TestPaperPrograms:
+    """Every recursion the paper labels separable (or not) is classified
+    the same way by the detector."""
+
+    def test_example_1_1(self):
+        assert is_separable(example_1_1_program(), "buys")
+
+    def test_example_1_2(self):
+        assert is_separable(example_1_2_program(), "buys")
+
+    def test_example_2_4(self):
+        assert is_separable(example_2_4_program(), "t")
+
+    def test_section_3_2(self):
+        assert is_separable(section_3_2_program(), "t")
+
+    @pytest.mark.parametrize("k,p", [(1, 1), (2, 2), (3, 4)])
+    def test_lemma_4_families(self, k, p):
+        assert is_separable(lemma_4_2_program(k, p), "t")
+
+    def test_section_5_condition_4_violation(self):
+        report = analyze_recursion(section_5_nonseparable_program(), "t")
+        assert not report.separable
+        failed = [c.number for c in report.conditions if not c.holds]
+        assert failed == [4]
+
+
+class TestConditionViolations:
+    def test_condition_1_shifting(self):
+        report = analyze_recursion(
+            program(
+                "t(X, Y) :- a(X, W) & t(Y, W).\nt(X, Y) :- t0(X, Y)."
+            ),
+            "t",
+        )
+        assert not report.separable
+        assert not report.conditions[0].holds
+        assert "shift" in report.conditions[0].violations[0]
+
+    def test_condition_2_head_body_mismatch(self):
+        # a touches head columns {1, 2} but only body column 2 (W is a
+        # don't-care variable ranging over t's first column).
+        report = analyze_recursion(
+            program(
+                "t(X, Y) :- a(X, Y) & t(W, Y).\n"
+                "t(X, Y) :- t0(X, Y)."
+            ),
+            "t",
+        )
+        assert not report.separable
+        assert not report.conditions[2 - 1].holds
+
+    def test_condition_3_overlapping_classes(self):
+        # rule 1 touches {1,2}, rule 2 touches {2,3}: overlap, not equal.
+        report = analyze_recursion(
+            program(
+                """
+                t(X, Y, Z) :- a(X, Y, U, V) & t(U, V, Z).
+                t(X, Y, Z) :- b(Y, Z, P, Q) & t(X, P, Q).
+                t(X, Y, Z) :- t0(X, Y, Z).
+                """
+            ),
+            "t",
+        )
+        assert not report.separable
+        assert not report.conditions[3 - 1].holds
+
+    def test_condition_4_disconnected(self):
+        report = analyze_recursion(section_5_nonseparable_program(), "t")
+        assert not report.conditions[4 - 1].holds
+        assert "connected" in report.conditions[4 - 1].violations[0]
+
+    def test_condition_4_empty_body(self):
+        report = analyze_recursion(
+            program("t(X, Y) :- t(X, Y).\nt(X, Y) :- t0(X, Y)."), "t"
+        )
+        assert not report.separable
+        assert "no nonrecursive" in report.conditions[4 - 1].violations[0]
+
+
+class TestPrerequisites:
+    def test_nonlinear(self):
+        report = analyze_recursion(
+            program("t(X, Y) :- t(X, W) & t(W, Y).\nt(X, Y) :- e(X, Y)."),
+            "t",
+        )
+        assert not report.separable
+        assert any("linear" in p for p in report.prerequisites)
+
+    def test_unsafe(self):
+        report = analyze_recursion(
+            program("t(X, Y) :- a(X, W) & t(W, X).\nt(X, Y) :- e(X)."),
+            "t",
+        )
+        assert not report.separable
+        assert report.prerequisites
+
+    def test_no_exit_rule(self):
+        report = analyze_recursion(
+            program("t(X, Y) :- a(X, W) & t(W, Y)."), "t"
+        )
+        assert not report.separable
+        assert any("exit" in p for p in report.prerequisites)
+
+    def test_mutual_recursion(self):
+        report = analyze_recursion(
+            program(
+                """
+                t(X, Y) :- a(X, W) & s(W, Y).
+                s(X, Y) :- b(X, W) & t(W, Y).
+                t(X, Y) :- t0(X, Y).
+                s(X, Y) :- s0(X, Y).
+                """
+            ),
+            "t",
+        )
+        assert not report.separable
+        assert any("mutually recursive" in p for p in report.prerequisites)
+
+    def test_constant_in_recursive_body(self):
+        report = analyze_recursion(
+            program(
+                "t(X, Y) :- a(X, W, Y) & t(W, c).\nt(X, Y) :- t0(X, Y)."
+            ),
+            "t",
+        )
+        assert not report.separable
+        assert any("constant" in p for p in report.prerequisites)
+
+
+class TestEdgeCases:
+    def test_nonrecursive_definition_trivially_separable(self):
+        report = analyze_recursion(program("p(X, Y) :- q(X, Y)."), "p")
+        assert report.separable
+        assert report.equivalence_class_count == 0
+        assert report.analysis.pers_positions == (0, 1)
+
+    def test_redundant_rule_excluded_from_classes(self):
+        report = analyze_recursion(
+            program(
+                """
+                t(X, Y) :- a(X, W) & t(W, Y).
+                t(X, Y) :- c(A, B) & t(X, Y).
+                t(X, Y) :- t0(X, Y).
+                """
+            ),
+            "t",
+        )
+        assert report.separable
+        assert report.analysis.redundant_rule_indices == (1,)
+        assert len(report.analysis.classes) == 1
+
+    def test_unrectified_heads_handled(self):
+        # Repeated head variable; rectification runs inside detection.
+        report = analyze_recursion(
+            program(
+                "t(X, X) :- a(X, W) & t(W, W).\nt(X, Y) :- t0(X, Y)."
+            ),
+            "t",
+        )
+        # After rectification the eq atom joins the connected set.
+        assert report.separable
+
+    def test_transitive_closure_separable(self):
+        assert is_separable(
+            program("tc(X, Y) :- e(X, W) & tc(W, Y).\ntc(X, Y) :- e(X, Y)."),
+            "tc",
+        )
+
+    def test_same_generation_not_separable(self):
+        # The classic non-separable linear recursion: up and down parts
+        # connected through the recursive atom's two columns.
+        report = analyze_recursion(
+            program(
+                """
+                sg(X, Y) :- up(X, U) & sg(U, V) & down(V, Y).
+                sg(X, Y) :- flat(X, Y).
+                """
+            ),
+            "sg",
+        )
+        assert not report.separable
+
+    def test_explain_mentions_classes(self):
+        report = analyze_recursion(example_1_2_program(), "buys")
+        text = report.explain()
+        assert "e_1" in text and "e_2" in text and "t|pers" in text
+
+
+class TestRequireSeparable:
+    def test_returns_analysis(self):
+        analysis = require_separable(example_1_1_program(), "buys")
+        assert analysis.predicate == "buys"
+
+    def test_raises_with_report(self):
+        with pytest.raises(NotSeparableError) as excinfo:
+            require_separable(section_5_nonseparable_program(), "t")
+        assert excinfo.value.report is not None
+        assert not excinfo.value.report.separable

@@ -1,0 +1,188 @@
+"""Unit tests for plan execution: the carry/seen loops of Figure 2."""
+
+import pytest
+
+from repro.budget import Budget
+from repro.core.api import evaluate_separable
+from repro.core.compiler import compile_selection
+from repro.core.detection import require_separable
+from repro.core.evaluator import execute_plan
+from repro.core.selections import classify_selection
+from repro.datalog.database import Database
+from repro.datalog.errors import BudgetExceeded, NotFullSelectionError
+from repro.datalog.parser import parse_atom, parse_program
+from repro.stats import EvaluationStats
+from repro.workloads.generators import chain, cycle, grid
+from repro.workloads.paper import example_1_1_program
+
+from ..conftest import oracle_answers
+
+
+def run(program, db, query_text, **kwargs):
+    query = parse_atom(query_text)
+    answers = evaluate_separable(program, db, query, **kwargs)
+    return answers, oracle_answers(program, db, query)
+
+
+class TestAgainstOracle:
+    def test_example_1_1(self, example_1_1):
+        program, db = example_1_1
+        answers, expected = run(program, db, "buys(tom, Y)")
+        assert answers == expected
+        assert answers  # nonempty on this EDB
+
+    def test_example_1_1_pers_query(self, example_1_1):
+        program, db = example_1_1
+        answers, expected = run(program, db, "buys(X, camera)")
+        assert answers == expected
+
+    def test_example_1_1_fully_bound(self, example_1_1):
+        program, db = example_1_1
+        answers, expected = run(program, db, "buys(tom, camera)")
+        assert answers == expected == {("tom", "camera")}
+
+    def test_example_1_1_no_answers(self, example_1_1):
+        program, db = example_1_1
+        answers, expected = run(program, db, "buys(nobody, Y)")
+        assert answers == expected == frozenset()
+
+    def test_example_1_2(self, example_1_2):
+        program, db = example_1_2
+        for q in ["buys(tom, Y)", "buys(X, cup)", "buys(sue, Y)"]:
+            answers, expected = run(program, db, q)
+            assert answers == expected
+
+    def test_example_2_4_full(self, example_2_4):
+        program, db = example_2_4
+        for q in ["t(c, d, Z)", "t(X, Y, r)", "t(c, x, Z)"]:
+            answers, expected = run(program, db, q)
+            assert answers == expected
+
+    def test_transitive_closure(self, transitive_closure):
+        program, db = transitive_closure
+        for q in ["tc(a, Y)", "tc(X, d)", "tc(b, Y)"]:
+            answers, expected = run(program, db, q)
+            assert answers == expected
+
+
+class TestCyclicData:
+    """Termination on cycles (Lemma 3.4) with correct answers."""
+
+    def test_cycle(self):
+        program = parse_program(
+            "tc(X, Y) :- e(X, W) & tc(W, Y).\ntc(X, Y) :- e(X, Y)."
+        ).program
+        db = Database.from_facts({"e": cycle(6)})
+        answers, expected = run(program, db, "tc(a0, Y)")
+        assert answers == expected
+        assert len(answers) == 6
+
+    def test_self_loop(self):
+        program = parse_program(
+            "tc(X, Y) :- e(X, W) & tc(W, Y).\ntc(X, Y) :- e(X, Y)."
+        ).program
+        db = Database.from_facts({"e": [("a", "a"), ("a", "b")]})
+        answers, expected = run(program, db, "tc(a, Y)")
+        assert answers == expected
+
+    def test_cyclic_example_1_1(self, example_1_1):
+        program, db = example_1_1
+        db = db.copy()
+        db.add_fact("friend", ("joe", "tom"))  # close a friend cycle
+        answers, expected = run(program, db, "buys(tom, Y)")
+        assert answers == expected
+
+
+class TestRelationSizes:
+    """The O-bounds of Lemma 4.1 hold on concrete instances."""
+
+    def test_monadic_relations_only(self):
+        program = example_1_1_program()
+        n = 30
+        db = Database.from_facts(
+            {
+                "friend": chain(n, "a"),
+                "idol": chain(n, "a"),
+                "perfectFor": [(f"a{n-1}", "thing")],
+            }
+        )
+        stats = EvaluationStats()
+        evaluate_separable(
+            program, db, parse_atom("buys(a0, Y)"), stats=stats
+        )
+        # Lemma 4.1 with w(e1) = 1, k = 2: every relation is O(n).
+        assert stats.max_relation_size <= n
+
+    def test_each_tuple_examined_once_along_path(self):
+        """Section 3.2: 'examines each tuple at most once'."""
+        program = parse_program(
+            "tc(X, Y) :- e(X, W) & tc(W, Y).\ntc(X, Y) :- e0(X, Y)."
+        ).program
+        n = 20
+        db = Database.from_facts(
+            {"e": chain(n, "a"), "e0": [(f"a{n-1}", "end")]}
+        )
+        stats = EvaluationStats()
+        evaluate_separable(
+            program, db, parse_atom("tc(a0, Y)"), stats=stats
+        )
+        # Each chain edge examined at most twice (once by the down
+        # loop's probe, once rejected after the frontier passed).
+        assert stats.tuples_examined <= 2 * (n + 2)
+
+
+class TestBudget:
+    def test_budget_exceeded_raises(self):
+        program = example_1_1_program()
+        db = Database.from_facts(
+            {
+                "friend": chain(50, "a"),
+                "idol": [],
+                "perfectFor": [("a49", "thing")],
+            }
+        )
+        db.ensure("idol", 2)
+        with pytest.raises(BudgetExceeded):
+            evaluate_separable(
+                program,
+                db,
+                parse_atom("buys(a0, Y)"),
+                stats=EvaluationStats(),
+                budget=Budget(max_relation_tuples=10),
+            )
+
+
+class TestExecutePlanDirect:
+    def test_seed_arity_checked(self, example_1_1):
+        program, db = example_1_1
+        analysis = require_separable(program, "buys")
+        selection = classify_selection(analysis, parse_atom("buys(tom, Y)"))
+        plan = compile_selection(selection)
+        with pytest.raises(ValueError):
+            execute_plan(plan, db, [("too", "wide")])
+
+    def test_multiple_seeds_union(self, example_1_1):
+        program, db = example_1_1
+        analysis = require_separable(program, "buys")
+        selection = classify_selection(analysis, parse_atom("buys(tom, Y)"))
+        plan = compile_selection(selection)
+        merged = execute_plan(plan, db, [("tom",), ("joe",)])
+        tom_only = execute_plan(plan, db, [("tom",)])
+        joe_only = execute_plan(plan, db, [("joe",)])
+        assert merged == tom_only | joe_only
+
+    def test_no_constants_raises(self, example_1_1):
+        program, db = example_1_1
+        with pytest.raises(NotFullSelectionError):
+            evaluate_separable(program, db, parse_atom("buys(X, Y)"))
+
+
+class TestGridWorkload:
+    def test_grid_matches_oracle(self):
+        program = parse_program(
+            "tc(X, Y) :- e(X, W) & tc(W, Y).\ntc(X, Y) :- e(X, Y)."
+        ).program
+        db = Database.from_facts({"e": grid(4, 4)})
+        answers, expected = run(program, db, "tc(g0_0, Y)")
+        assert answers == expected
+        assert len(answers) == 15  # every other grid node

@@ -1,0 +1,160 @@
+"""Tests for answer justifications (the paper's J(a), Section 3.4).
+
+The key validation mirrors Lemma 3.1: for every answer, rebuild the
+expansion string whose derivation is the reconstructed J(a), substitute
+the selection constants, evaluate it as a conjunctive query -- and the
+answer must be in its relation.
+"""
+
+import pytest
+
+from repro.core.api import evaluate_separable
+from repro.core.compiler import compile_selection
+from repro.core.detection import require_separable
+from repro.core.evaluator import execute_plan
+from repro.core.provenance import execute_plan_traced, explain, justify
+from repro.core.selections import classify_selection
+from repro.datalog.atoms import Atom
+from repro.datalog.database import Database
+from repro.datalog.errors import NotFullSelectionError
+from repro.datalog.expansion import string_for_derivation
+from repro.datalog.parser import parse_atom, parse_program
+from repro.datalog.terms import Constant, Variable
+from repro.workloads.generators import cycle
+from repro.workloads.paper import example_1_1_program, example_1_2_program
+
+
+def validate_justification(program, db, query, full_answer, justification):
+    """Lemma 3.1 check: the answer lies in the relation of the string
+    with derivation J(a)."""
+    definition = program.definition(query.predicate)
+    string = string_for_derivation(
+        definition,
+        query=Atom(
+            query.predicate,
+            tuple(Constant(v) for v in full_answer),
+        ),
+        derivation=justification.derivation,
+        exit_index=justification.exit_index,
+    )
+    # All head terms are the answer constants; the string's relation
+    # must contain the (fully ground) head tuple.
+    results = string.query().evaluate(db)
+    assert full_answer in results, (
+        f"answer {full_answer} not produced by its justification "
+        f"string {string}"
+    )
+
+
+class TestTracedExecutionMatchesPlain:
+    @pytest.mark.parametrize(
+        "query_text", ["buys(tom, Y)", "buys(X, camera)"]
+    )
+    def test_same_answers(self, example_1_1, query_text):
+        program, db = example_1_1
+        analysis = require_separable(program, "buys")
+        selection = classify_selection(analysis, parse_atom(query_text))
+        plan = compile_selection(selection)
+        plain = execute_plan(plan, db, [selection.seed])
+        traced, trace = execute_plan_traced(plan, db, [selection.seed])
+        assert plain == traced
+        for answer in traced:
+            justify(trace, answer)  # reconstructible for every answer
+
+    def test_unknown_answer_rejected(self, example_1_1):
+        program, db = example_1_1
+        analysis = require_separable(program, "buys")
+        selection = classify_selection(analysis, parse_atom("buys(tom, Y)"))
+        plan = compile_selection(selection)
+        _, trace = execute_plan_traced(plan, db, [selection.seed])
+        with pytest.raises(KeyError):
+            justify(trace, ("definitely-not-an-answer",))
+
+
+class TestJustificationsValidate:
+    """Every justification's derivation string reproduces its answer."""
+
+    def test_example_1_1(self, example_1_1):
+        program, db = example_1_1
+        query = parse_atom("buys(tom, Y)")
+        explained = explain(program, db, query)
+        assert explained  # nonempty
+        assert frozenset(explained) == evaluate_separable(
+            program, db, query
+        )
+        for answer, justification in explained.items():
+            validate_justification(program, db, query, answer, justification)
+
+    def test_example_1_2_both_loops(self, example_1_2):
+        program, db = example_1_2
+        query = parse_atom("buys(tom, Y)")
+        explained = explain(program, db, query)
+        # at least one answer uses the cheaper (up) class
+        assert any(j.up_rules for j in explained.values())
+        for answer, justification in explained.items():
+            validate_justification(program, db, query, answer, justification)
+
+    def test_pers_selection(self, example_1_1):
+        program, db = example_1_1
+        query = parse_atom("buys(X, camera)")
+        explained = explain(program, db, query)
+        for answer, justification in explained.items():
+            assert justification.down_rules == ()  # dummy class: no down
+            validate_justification(program, db, query, answer, justification)
+
+    def test_transitive_closure_on_cycle(self):
+        program = parse_program(
+            "tc(X, Y) :- e(X, W) & tc(W, Y).\ntc(X, Y) :- e0(X, Y)."
+        ).program
+        db = Database.from_facts(
+            {"e": cycle(5), "e0": [("a3", "out")]}
+        )
+        query = parse_atom("tc(a0, Y)")
+        explained = explain(program, db, query)
+        assert set(explained) == {("a0", "out")}
+        for answer, justification in explained.items():
+            validate_justification(program, db, query, answer, justification)
+
+    def test_three_column_recursion(self, example_2_4):
+        program, db = example_2_4
+        query = parse_atom("t(c, d, Z)")
+        explained = explain(program, db, query)
+        assert explained
+        for answer, justification in explained.items():
+            validate_justification(program, db, query, answer, justification)
+
+
+class TestJustificationStructure:
+    def test_direct_answer_has_empty_derivation(self, example_1_1):
+        program, db = example_1_1
+        # ann has a perfectFor tuple directly: derivation should be empty.
+        explained = explain(program, db, parse_atom("buys(ann, Y)"))
+        direct = explained[("ann", "camera")]
+        assert direct.derivation == ()
+        assert direct.seed == ("ann",)
+
+    def test_derivation_depth_matches_chain_length(self):
+        program = parse_program(
+            "tc(X, Y) :- e(X, W) & tc(W, Y).\ntc(X, Y) :- e0(X, Y)."
+        ).program
+        db = Database.from_facts(
+            {
+                "e": [("a0", "a1"), ("a1", "a2"), ("a2", "a3")],
+                "e0": [("a3", "end")],
+            }
+        )
+        explained = explain(program, db, parse_atom("tc(a0, Y)"))
+        justification = explained[("a0", "end")]
+        assert justification.derivation == (0, 0, 0)
+
+    def test_str_rendering(self, example_1_2):
+        program, db = example_1_2
+        explained = explain(program, db, parse_atom("buys(tom, Y)"))
+        text = str(next(iter(explained.values())))
+        assert text.startswith("J(")
+        assert "exit1" in text
+
+    def test_partial_selection_rejected(self, example_2_4):
+        program, db = example_2_4
+        with pytest.raises(NotFullSelectionError):
+            explain(program, db, parse_atom("t(c, Y, Z)"))

@@ -1,0 +1,187 @@
+"""Section 5: evaluation with Condition 4 relaxed.
+
+"Finally, if we remove condition 4, the separable evaluation algorithm
+will still produce the correct answer.  However, it loses the
+'focussing' effect of the selection constant."  We verify both halves:
+the relaxed mode matches the oracle on the paper's Section 5 recursion
+(and on chain-rule variants), and its sideways pass examines the whole
+``b`` relation even when most of it is irrelevant.
+"""
+
+import pytest
+
+from repro.core.api import evaluate_separable
+from repro.core.detection import (
+    analyze_recursion,
+    require_separable,
+)
+from repro.datalog.database import Database
+from repro.datalog.errors import NotSeparableError
+from repro.datalog.parser import parse_atom, parse_program
+from repro.engine import Engine
+from repro.stats import EvaluationStats
+from repro.workloads.generators import chain, random_dag, random_graph
+from repro.workloads.paper import section_5_nonseparable_program
+
+from ..conftest import oracle_answers
+
+
+@pytest.fixture
+def section5():
+    program = section_5_nonseparable_program()
+    db = Database.from_facts(
+        {
+            "a": [("c", "m"), ("m", "n"), ("q", "m")],
+            "t0": [("n", "u"), ("m", "v"), ("c", "w")],
+            "b": [("u", "p"), ("p", "r"), ("v", "s"), ("w", "z")],
+        }
+    )
+    return program, db
+
+
+class TestDetectionSideOfRelaxation:
+    def test_report_flags_relaxability(self):
+        report = analyze_recursion(section_5_nonseparable_program(), "t")
+        assert not report.separable
+        assert report.separable_up_to_condition_4
+        assert report.analysis is not None
+
+    def test_condition_1_failure_is_not_relaxable(self):
+        program = parse_program(
+            "t(X, Y) :- a(X, W) & t(Y, W).\nt(X, Y) :- t0(X, Y)."
+        ).program
+        report = analyze_recursion(program, "t")
+        assert not report.separable_up_to_condition_4
+
+    def test_require_separable_strict_vs_relaxed(self):
+        program = section_5_nonseparable_program()
+        with pytest.raises(NotSeparableError):
+            require_separable(program, "t")
+        analysis = require_separable(program, "t", allow_disconnected=True)
+        # one class covering both columns (a touches 1, b touches 2)
+        assert analysis.classes[0].positions == (0, 1)
+
+
+class TestRelaxedCorrectness:
+    def test_partial_selection_matches_oracle(self, section5):
+        program, db = section5
+        query = parse_atom("t(c, Y)")
+        got = evaluate_separable(
+            program, db, query, allow_disconnected=True
+        )
+        assert got == oracle_answers(program, db, query)
+        assert got  # nonempty: depth-matched chains exist
+
+    def test_full_selection_matches_oracle(self, section5):
+        program, db = section5
+        for q in ["t(c, z)", "t(c, s)", "t(n, p)"]:
+            query = parse_atom(q)
+            got = evaluate_separable(
+                program, db, query, allow_disconnected=True
+            )
+            assert got == oracle_answers(program, db, query), q
+
+    def test_depth_matching_preserved(self):
+        """The chain rule requires equal a-depth and b-depth; the
+        relaxed pair-carry must not mix depths."""
+        program = section_5_nonseparable_program()
+        db = Database.from_facts(
+            {
+                "a": [("c", "d"), ("d", "e")],
+                "t0": [("e", "u0"), ("c", "u0")],
+                "b": [("u0", "u1"), ("u1", "u2"), ("u2", "u3")],
+            }
+        )
+        query = parse_atom("t(c, Y)")
+        got = evaluate_separable(program, db, query, allow_disconnected=True)
+        assert got == oracle_answers(program, db, query)
+        assert ("c", "u2") in got      # depth 2 both sides
+        assert ("c", "u3") not in got  # depth mismatch
+
+    def test_cyclic_data_terminates(self):
+        program = section_5_nonseparable_program()
+        db = Database.from_facts(
+            {
+                "a": [("c", "d"), ("d", "c")],
+                "t0": [("c", "u"), ("d", "u")],
+                "b": [("u", "u")],
+            }
+        )
+        query = parse_atom("t(c, Y)")
+        got = evaluate_separable(program, db, query, allow_disconnected=True)
+        assert got == oracle_answers(program, db, query)
+
+    def test_random_graph_agreement(self):
+        program = section_5_nonseparable_program()
+        db = Database.from_facts(
+            {
+                "a": random_dag(8, 14, seed=21, prefix="x"),
+                "t0": [("x5", "y0"), ("x2", "y1")],
+                "b": random_graph(6, 10, seed=22, prefix="y"),
+            }
+        )
+        query = parse_atom("t(x0, Y)")
+        got = evaluate_separable(program, db, query, allow_disconnected=True)
+        assert got == oracle_answers(program, db, query)
+
+
+class TestUnfocusedBehaviour:
+    def test_whole_b_relation_examined(self):
+        """The Section 5 remark: the sideways pass scans all of ``b``
+        even when the reachable part is tiny."""
+        program = section_5_nonseparable_program()
+        big_b = chain(400, "zz")
+        db = Database.from_facts(
+            {
+                "a": [("c", "m")],
+                "t0": [("m", "u")],
+                "b": [("u", "p")] + big_b,
+            }
+        )
+        stats = EvaluationStats()
+        query = parse_atom("t(c, Y)")
+        got = evaluate_separable(
+            program, db, query, allow_disconnected=True, stats=stats
+        )
+        assert got == oracle_answers(program, db, query)
+        # Unfocused: the pass touched (roughly) the whole b relation.
+        assert stats.tuples_examined >= len(big_b)
+
+
+class TestEngineStrategy:
+    def test_relaxed_strategy(self, section5):
+        program, db = section5
+        engine = Engine(program, db)
+        result = engine.query("t(c, Y)?", strategy="relaxed")
+        from repro.datalog.parser import parse_query
+
+        assert result.answers == oracle_answers(
+            program, db, parse_query("t(c, Y)?")
+        )
+
+    def test_strict_strategy_still_rejects(self, section5):
+        program, db = section5
+        engine = Engine(program, db)
+        with pytest.raises(NotSeparableError):
+            engine.query("t(c, Y)?", strategy="separable")
+
+    def test_relaxed_rejects_condition_1_failures(self):
+        program = parse_program(
+            "t(X, Y) :- a(X, W) & t(Y, W).\nt(X, Y) :- t0(X, Y)."
+        ).program
+        engine = Engine(program, Database())
+        with pytest.raises(NotSeparableError, match="Condition 4 relaxed"):
+            engine.query("t(c, Y)?", strategy="relaxed")
+
+    def test_auto_still_prefers_magic_for_nonseparable(self, section5):
+        program, db = section5
+        engine = Engine(program, db)
+        assert engine.query("t(c, Y)?").strategy == "magic"
+
+    def test_relaxed_on_fully_separable_program(self, example_1_1):
+        """relaxed is a superset: it runs plain separable programs too."""
+        program, db = example_1_1
+        engine = Engine(program, db)
+        relaxed = engine.query("buys(tom, Y)?", strategy="relaxed")
+        strict = engine.query("buys(tom, Y)?", strategy="separable")
+        assert relaxed.answers == strict.answers

@@ -1,0 +1,161 @@
+"""Tests for the Lemma 2.1 rewrite: partial selections via t_full/t_part."""
+
+import pytest
+
+from repro.core.api import evaluate_separable
+from repro.core.detection import require_separable
+from repro.core.rewrite import (
+    choose_rewrite_class,
+    program_without_class,
+    rewrite_partial_selection,
+)
+from repro.datalog.database import Database
+from repro.datalog.parser import parse_atom, parse_program
+from repro.datalog.seminaive import seminaive_evaluate
+from repro.workloads.paper import example_2_4_program
+
+from ..conftest import oracle_answers
+
+
+@pytest.fixture
+def ex24_analysis():
+    return require_separable(example_2_4_program(), "t")
+
+
+class TestProgramWithoutClass:
+    def test_drops_class_rules(self, ex24_analysis):
+        e1 = ex24_analysis.classes[0]
+        part = program_without_class(ex24_analysis, e1)
+        assert len(part.rules_for("t")) == 2  # rule 2 + exit
+        assert all(
+            "a" not in r.body_predicates() for r in part.rules_for("t")
+        )
+
+    def test_dropped_class_columns_become_persistent(self, ex24_analysis):
+        e1 = ex24_analysis.classes[0]
+        part = program_without_class(ex24_analysis, e1)
+        part_analysis = require_separable(part, "t")
+        assert set(part_analysis.pers_positions) >= set(e1.positions)
+
+
+class TestExplicitRewrite:
+    """The Example 2.4 rewrite displayed in the paper, verified
+    semantically: the rewritten program defines the same ``t``."""
+
+    DB = Database.from_facts(
+        {
+            "a": [
+                ("c", "d", "e", "f"),
+                ("e", "f", "g", "h"),
+                ("c", "x", "e", "f"),
+                ("g", "h", "c", "d"),  # adds a cycle through class e1
+            ],
+            "b": [("p", "q"), ("q", "r"), ("z", "p")],
+            "t0": [("g", "h", "p"), ("e", "f", "z"), ("c", "d", "z")],
+        }
+    )
+
+    def test_same_extent_for_t(self, ex24_analysis):
+        e1 = ex24_analysis.classes[0]
+        rewritten = rewrite_partial_selection(ex24_analysis, e1)
+        original_t = seminaive_evaluate(
+            example_2_4_program(), self.DB
+        ).tuples("t")
+        rewritten_t = seminaive_evaluate(rewritten, self.DB).tuples("t")
+        assert rewritten_t == original_t
+
+    def test_rewrite_defines_three_predicates(self, ex24_analysis):
+        e1 = ex24_analysis.classes[0]
+        rewritten = rewrite_partial_selection(ex24_analysis, e1)
+        assert rewritten.idb_predicates == {"t", "t_full", "t_part"}
+
+    def test_t_full_is_whole_recursion(self, ex24_analysis):
+        e1 = ex24_analysis.classes[0]
+        rewritten = rewrite_partial_selection(ex24_analysis, e1)
+        full_def = rewritten.definition("t_full")
+        assert len(full_def.recursive_rules) == 2
+        assert len(full_def.exit_rules) == 1
+
+    def test_bridging_rules(self, ex24_analysis):
+        e1 = ex24_analysis.classes[0]
+        rewritten = rewrite_partial_selection(ex24_analysis, e1)
+        t_rules = rewritten.rules_for("t")
+        bodies = [r.body_predicates() for r in t_rules]
+        assert {"t_part"} in bodies
+        assert any("t_full" in b and "a" in b for b in bodies)
+
+    def test_custom_names(self, ex24_analysis):
+        e1 = ex24_analysis.classes[0]
+        rewritten = rewrite_partial_selection(
+            ex24_analysis, e1, full_name="f", part_name="p"
+        )
+        assert {"f", "p"} <= rewritten.idb_predicates
+
+    def test_name_collision_rejected(self, ex24_analysis):
+        e1 = ex24_analysis.classes[0]
+        with pytest.raises(ValueError):
+            rewrite_partial_selection(ex24_analysis, e1, full_name="t")
+
+
+class TestChooseRewriteClass:
+    def test_picks_partially_bound(self, ex24_analysis):
+        cls = choose_rewrite_class(ex24_analysis, {0})
+        assert cls.positions == (0, 1)
+
+    def test_prefers_most_bound(self):
+        program = parse_program(
+            """
+            t(X, Y, Z, W) :- a(X, Y, Z, P, Q, R) & t(P, Q, R, W).
+            t(X, Y, Z, W) :- t(X, Y, Z, V) & b(V, W).
+            t(X, Y, Z, W) :- t0(X, Y, Z, W).
+            """
+        ).program
+        analysis = require_separable(program, "t")
+        # class {0,1,2} has 2 of 3 bound; nothing else is partial.
+        cls = choose_rewrite_class(analysis, {0, 1})
+        assert cls.positions == (0, 1, 2)
+
+    def test_no_partial_class_raises(self, ex24_analysis):
+        with pytest.raises(ValueError):
+            choose_rewrite_class(ex24_analysis, {0, 1})  # e1 fully bound
+
+
+class TestOperationalPartialEvaluation:
+    """evaluate_separable on partial selections == oracle."""
+
+    def test_example_2_4_partial(self, example_2_4):
+        program, db = example_2_4
+        query = parse_atom("t(c, Y, Z)")
+        assert evaluate_separable(program, db, query) == oracle_answers(
+            program, db, query
+        )
+
+    def test_partial_on_second_component(self, example_2_4):
+        program, db = example_2_4
+        query = parse_atom("t(X, d, Z)")
+        assert evaluate_separable(program, db, query) == oracle_answers(
+            program, db, query
+        )
+
+    def test_partial_with_cyclic_class_data(self, ex24_analysis):
+        program = example_2_4_program()
+        query = parse_atom("t(c, Y, Z)")
+        assert evaluate_separable(
+            program, TestExplicitRewrite.DB, query
+        ) == oracle_answers(program, TestExplicitRewrite.DB, query)
+
+    def test_partial_plus_residual_constant(self, example_2_4):
+        program, db = example_2_4
+        query = parse_atom("t(c, Y, r)")
+        assert evaluate_separable(program, db, query) == oracle_answers(
+            program, db, query
+        )
+
+    def test_repeated_query_variable(self, example_2_4):
+        program, db = example_2_4
+        db = db.copy()
+        db.add_fact("t0", ("c", "d", "d"))
+        query = parse_atom("t(c, Y, Y)")
+        assert evaluate_separable(program, db, query) == oracle_answers(
+            program, db, query
+        )

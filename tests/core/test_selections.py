@@ -1,0 +1,106 @@
+"""Unit tests for selection classification (Definition 2.7)."""
+
+import pytest
+
+from repro.core.detection import require_separable
+from repro.core.selections import classify_selection, require_full
+from repro.datalog.errors import NotFullSelectionError
+from repro.datalog.parser import parse_atom
+from repro.workloads.paper import (
+    example_1_1_program,
+    example_1_2_program,
+    example_2_4_program,
+)
+
+
+@pytest.fixture
+def ex11():
+    return require_separable(example_1_1_program(), "buys")
+
+
+@pytest.fixture
+def ex12():
+    return require_separable(example_1_2_program(), "buys")
+
+
+@pytest.fixture
+def ex24():
+    return require_separable(example_2_4_program(), "t")
+
+
+class TestClassDrivenSelections:
+    def test_bound_class_column(self, ex11):
+        s = classify_selection(ex11, parse_atom("buys(tom, Y)"))
+        assert s.is_full
+        assert s.selected_class is not None
+        assert s.selected_positions == (0,)
+        assert s.seed == ("tom",)
+
+    def test_example_1_2_first_column(self, ex12):
+        s = classify_selection(ex12, parse_atom("buys(tom, Y)"))
+        assert s.is_full
+        assert s.selected_class.index == 1
+
+    def test_example_1_2_second_column(self, ex12):
+        s = classify_selection(ex12, parse_atom("buys(X, cup)"))
+        assert s.is_full
+        assert s.selected_class.index == 2
+        assert s.selected_positions == (1,)
+
+    def test_fully_bound_query(self, ex12):
+        s = classify_selection(ex12, parse_atom("buys(tom, cup)"))
+        assert s.is_full
+        assert s.residual_bound()  # the other column becomes a filter
+
+    def test_widest_class_preferred(self, ex24):
+        s = classify_selection(ex24, parse_atom("t(c, d, e)"))
+        assert s.is_full
+        assert s.selected_class.positions == (0, 1)
+
+
+class TestPersDrivenSelections:
+    def test_pers_constant_is_full(self, ex11):
+        # Column 2 of Example 1.1 is persistent.
+        s = classify_selection(ex11, parse_atom("buys(X, camera)"))
+        assert s.is_full
+        assert s.selected_class is None
+        assert s.selected_positions == (1,)
+
+    def test_pers_preferred_over_class(self, ex11):
+        s = classify_selection(ex11, parse_atom("buys(tom, camera)"))
+        assert s.selected_class is None  # pers wins
+        assert s.selected_positions == (1,)
+        assert s.residual_bound() == {0: "tom"}
+
+
+class TestPartialSelections:
+    def test_example_2_4_partial(self, ex24):
+        """The paper's running non-full example: t(c, Y, Z)?."""
+        s = classify_selection(ex24, parse_atom("t(c, Y, Z)"))
+        assert not s.is_full
+        assert s.has_constants
+        assert [c.index for c in s.partially_bound_classes()] == [1]
+
+    def test_no_constants(self, ex11):
+        s = classify_selection(ex11, parse_atom("buys(X, Y)"))
+        assert not s.is_full
+        assert not s.has_constants
+
+    def test_require_full_raises(self, ex24):
+        s = classify_selection(ex24, parse_atom("t(c, Y, Z)"))
+        with pytest.raises(NotFullSelectionError):
+            require_full(s)
+
+    def test_require_full_passes(self, ex24):
+        s = classify_selection(ex24, parse_atom("t(c, d, Z)"))
+        assert require_full(s) is s
+
+
+class TestValidation:
+    def test_wrong_predicate(self, ex11):
+        with pytest.raises(ValueError):
+            classify_selection(ex11, parse_atom("other(tom, Y)"))
+
+    def test_wrong_arity(self, ex11):
+        with pytest.raises(ValueError):
+            classify_selection(ex11, parse_atom("buys(tom)"))

@@ -1,0 +1,123 @@
+"""Unit tests for conjunctive queries and containment mappings [CM77]."""
+
+from repro.datalog.atoms import atom
+from repro.datalog.conjunctive import (
+    ConjunctiveQuery,
+    containment_mapping,
+    equivalent,
+    is_contained_in,
+)
+from repro.datalog.database import Database
+from repro.datalog.terms import Constant, Variable
+
+
+def cq(head_names, body):
+    head = tuple(
+        Variable(n) if n[0].isupper() else Constant(n) for n in head_names
+    )
+    return ConjunctiveQuery(head, tuple(body))
+
+
+class TestEvaluate:
+    DB = Database.from_facts(
+        {
+            "e": [("a", "b"), ("b", "c"), ("c", "d")],
+            "lbl": [("b", "x")],
+        }
+    )
+
+    def test_path_query(self):
+        q = cq(["X", "Z"], [atom("e", "X", "Y"), atom("e", "Y", "Z")])
+        assert q.evaluate(self.DB) == {("a", "c"), ("b", "d")}
+
+    def test_constant_in_head(self):
+        q = cq(["a", "Y"], [atom("e", "a", "Y")])
+        assert q.evaluate(self.DB) == {("a", "b")}
+
+    def test_existential_variable(self):
+        q = cq(["X"], [atom("e", "X", "Y"), atom("lbl", "Y", "Z")])
+        assert q.evaluate(self.DB) == {("a",)}
+
+    def test_substitute(self):
+        q = cq(["X", "Y"], [atom("e", "X", "Y")])
+        grounded = q.substitute({Variable("X"): Constant("a")})
+        assert grounded.head[0] == Constant("a")
+        assert grounded.evaluate(self.DB) == {("a", "b")}
+
+    def test_variable_classification(self):
+        q = cq(["X"], [atom("e", "X", "Y")])
+        assert q.distinguished == (Variable("X"),)
+        assert q.nondistinguished() == {Variable("Y")}
+
+
+class TestContainmentMappings:
+    def test_identity(self):
+        q = cq(["X", "Y"], [atom("e", "X", "Y")])
+        m = containment_mapping(q, q)
+        assert m is not None
+
+    def test_longer_path_maps_into_shorter_with_collapse(self):
+        # e(X,Z0) e(Z0,Y) maps onto e(X,X') ... classic: the 2-path query
+        # maps into the query with a self-loop atom.
+        two_path = cq(
+            ["X"], [atom("e", "X", "Z0"), atom("e", "Z0", "Z1")]
+        )
+        loop = cq(["X"], [atom("e", "X", "X")])
+        # mapping two_path -> loop: Z0 -> X, Z1 -> X.
+        assert containment_mapping(two_path, loop) is not None
+        # but not the other way: loop needs an atom e(V, V) in two_path.
+        assert containment_mapping(loop, two_path) is None
+
+    def test_distinguished_variables_fixed(self):
+        q1 = cq(["X"], [atom("e", "X", "Y")])
+        q2 = cq(["Y"], [atom("e", "Y", "X")])
+        # heads are both one distinguished variable; mapping must align
+        # position-wise, so this works (X -> Y).
+        assert containment_mapping(q1, q2) is not None
+
+    def test_head_constant_must_match(self):
+        q1 = cq(["a"], [atom("e", "a", "Y")])
+        q2 = cq(["b"], [atom("e", "b", "Y")])
+        assert containment_mapping(q1, q2) is None
+
+    def test_predicate_mismatch(self):
+        q1 = cq(["X"], [atom("e", "X", "Y")])
+        q2 = cq(["X"], [atom("f", "X", "Y")])
+        assert containment_mapping(q1, q2) is None
+
+    def test_repeated_variables_constrain(self):
+        q_loop = cq(["X"], [atom("e", "X", "X")])
+        q_edge = cq(["X"], [atom("e", "X", "Y")])
+        # q_edge -> q_loop: Y -> X works.
+        assert containment_mapping(q_edge, q_loop) is not None
+        # q_loop -> q_edge: needs e(m(X), m(X)) in q_edge with m(X)=X: no.
+        assert containment_mapping(q_loop, q_edge) is None
+
+
+class TestContainmentSemantics:
+    """Containment direction sanity-checked against evaluation."""
+
+    DB = Database.from_facts(
+        {"e": [("a", "b"), ("b", "c"), ("b", "b")]}
+    )
+
+    def test_contained_query_has_subset_answers(self):
+        one_step = cq(["X", "Y"], [atom("e", "X", "Y")])
+        through_loop = cq(
+            ["X", "Y"], [atom("e", "X", "Y"), atom("e", "Y", "Y")]
+        )
+        assert is_contained_in(through_loop, one_step)
+        assert through_loop.evaluate(self.DB) <= one_step.evaluate(self.DB)
+
+    def test_equivalent_queries_same_answers(self):
+        q1 = cq(["X", "Y"], [atom("e", "X", "Y"), atom("e", "X", "Z")])
+        q2 = cq(["X", "Y"], [atom("e", "X", "Y")])
+        # The extra atom e(X,Z) is implied by e(X,Y) (map Z -> Y).
+        assert equivalent(q1, q2)
+        assert q1.evaluate(self.DB) == q2.evaluate(self.DB)
+
+    def test_non_equivalent(self):
+        q1 = cq(["X"], [atom("e", "X", "Y")])
+        q2 = cq(["X"], [atom("e", "X", "Y"), atom("e", "Y", "Z")])
+        assert is_contained_in(q2, q1)
+        assert not equivalent(q1, q2)

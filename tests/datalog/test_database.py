@@ -1,0 +1,129 @@
+"""Unit tests for relations and databases (storage + lazy indexes)."""
+
+import pytest
+
+from repro.datalog.atoms import atom
+from repro.datalog.database import Database, Relation
+from repro.datalog.errors import ArityError
+
+
+class TestRelation:
+    def test_add_and_contains(self):
+        r = Relation("p", 2)
+        assert r.add(("a", "b"))
+        assert ("a", "b") in r
+        assert len(r) == 1
+
+    def test_add_duplicate_returns_false(self):
+        r = Relation("p", 2, [("a", "b")])
+        assert not r.add(("a", "b"))
+        assert len(r) == 1
+
+    def test_arity_enforced(self):
+        r = Relation("p", 2)
+        with pytest.raises(ArityError):
+            r.add(("a",))
+
+    def test_add_all_counts_new(self):
+        r = Relation("p", 1)
+        assert r.add_all([("a",), ("b",), ("a",)]) == 2
+
+    def test_lookup_builds_index(self):
+        r = Relation("p", 2, [("a", "b"), ("a", "c"), ("x", "y")])
+        assert sorted(r.lookup((0,), ("a",))) == [("a", "b"), ("a", "c")]
+        assert r.lookup((0,), ("zzz",)) == []
+
+    def test_lookup_multi_column(self):
+        r = Relation("p", 3, [("a", "b", "c"), ("a", "b", "d"), ("a", "x", "c")])
+        assert sorted(r.lookup((0, 1), ("a", "b"))) == [
+            ("a", "b", "c"),
+            ("a", "b", "d"),
+        ]
+
+    def test_lookup_empty_positions_returns_all(self):
+        r = Relation("p", 1, [("a",), ("b",)])
+        assert sorted(r.lookup((), ())) == [("a",), ("b",)]
+
+    def test_index_updated_after_add(self):
+        r = Relation("p", 2, [("a", "b")])
+        r.lookup((0,), ("a",))  # force index build
+        r.add(("a", "z"))
+        assert sorted(r.lookup((0,), ("a",))) == [("a", "b"), ("a", "z")]
+
+    def test_zero_arity_relation(self):
+        r = Relation("p", 0)
+        assert r.add(())
+        assert () in r
+        assert r.lookup((), ()) == [()]
+
+    def test_distinct_values(self):
+        r = Relation("p", 2, [("a", "b"), ("b", "c")])
+        assert r.distinct_values() == {"a", "b", "c"}
+
+    def test_clear(self):
+        r = Relation("p", 1, [("a",)])
+        r.lookup((0,), ("a",))
+        r.clear()
+        assert len(r) == 0
+        assert r.lookup((0,), ("a",)) == []
+
+
+class TestDatabase:
+    def test_from_facts(self):
+        db = Database.from_facts({"p": [("a", "b")], "q": [("c",)]})
+        assert db.size("p") == 1
+        assert db.arity("q") == 1
+
+    def test_missing_relation_reads_empty(self):
+        db = Database()
+        assert db.tuples("nope") == frozenset()
+        assert db.size("nope") == 0
+        assert db.arity("nope") is None
+
+    def test_ensure_conflicting_arity(self):
+        db = Database.from_facts({"p": [("a", "b")]})
+        with pytest.raises(ArityError):
+            db.ensure("p", 3)
+
+    def test_add_ground_atom(self):
+        db = Database()
+        db.add_ground_atom(atom("p", "a", 3))
+        assert ("a", 3) in db.tuples("p")
+
+    def test_add_non_ground_atom_rejected(self):
+        db = Database()
+        with pytest.raises(ValueError):
+            db.add_ground_atom(atom("p", "X"))
+
+    def test_copy_is_independent(self):
+        db = Database.from_facts({"p": [("a",)]})
+        other = db.copy()
+        other.add_fact("p", ("b",))
+        assert db.size("p") == 1
+        assert other.size("p") == 2
+
+    def test_attach_shares_relation(self):
+        db = Database()
+        shared = Relation("p", 1, [("a",)])
+        db.attach(shared)
+        shared.add(("b",))
+        assert db.size("p") == 2
+
+    def test_attach_under_alias(self):
+        db = Database()
+        db.attach(Relation("p", 1, [("a",)]), "alias")
+        assert db.size("alias") == 1
+
+    def test_distinct_constants(self):
+        db = Database.from_facts({"p": [("a", "b")], "q": [("b", "c")]})
+        assert db.distinct_constants() == {"a", "b", "c"}
+
+    def test_total_tuples(self):
+        db = Database.from_facts({"p": [("a",), ("b",)], "q": [("c", "d")]})
+        assert db.total_tuples() == 3
+
+    def test_predicates_and_contains(self):
+        db = Database.from_facts({"p": [("a",)]})
+        assert db.predicates() == {"p"}
+        assert "p" in db
+        assert "q" not in db

@@ -1,0 +1,260 @@
+"""Unit tests for Procedure Expand (Figure 1) and expansion semantics."""
+
+import pytest
+
+from repro.datalog.atoms import atom
+from repro.datalog.database import Database
+from repro.datalog.expansion import expand, expansion_strings
+from repro.datalog.parser import parse_program
+from repro.datalog.seminaive import seminaive_evaluate
+from repro.workloads.paper import example_1_1_program
+
+
+@pytest.fixture
+def ex11_definition():
+    return example_1_1_program().definition("buys")
+
+
+class TestStructure:
+    def test_counts_per_depth(self, ex11_definition):
+        # With 2 recursive rules and 1 exit rule: depth d contributes 2^d
+        # strings, so up to depth 3 there are 1 + 2 + 4 + 8 = 15.
+        strings = expansion_strings(
+            ex11_definition, atom("buys", "X", "Y"), 3
+        )
+        assert len(strings) == 15
+
+    def test_breadth_first_order(self, ex11_definition):
+        strings = expansion_strings(
+            ex11_definition, atom("buys", "X", "Y"), 3
+        )
+        depths = [s.depth for s in strings]
+        assert depths == sorted(depths)
+
+    def test_example_2_1_shapes(self, ex11_definition):
+        """The first strings listed in Example 2.1 of the paper."""
+        strings = expansion_strings(
+            ex11_definition, atom("buys", "X", "Y"), 2
+        )
+        shapes = {
+            tuple(a.predicate for a in s.atoms()) for s in strings
+        }
+        assert ("perfectFor",) in shapes
+        assert ("friend", "perfectFor") in shapes
+        assert ("idol", "perfectFor") in shapes
+        assert ("friend", "idol", "perfectFor") in shapes
+        assert ("idol", "idol", "perfectFor") in shapes
+
+    def test_derivations_enumerate_rule_sequences(self, ex11_definition):
+        strings = expansion_strings(
+            ex11_definition, atom("buys", "X", "Y"), 2
+        )
+        derivations = {s.derivation for s in strings}
+        assert derivations == {
+            (), (0,), (1,), (0, 0), (0, 1), (1, 0), (1, 1),
+        }
+
+    def test_distinguished_variables_unsubscripted(self, ex11_definition):
+        """Distinguished variables stay unsubscripted (Section 2)."""
+        from repro.datalog.terms import Variable
+
+        for s in expansion_strings(ex11_definition, atom("buys", "X", "Y"), 2):
+            variables = set()
+            for a in s.atoms():
+                variables |= a.variable_set()
+            assert Variable("Y") in variables  # persists into perfectFor
+            for v in variables - {Variable("X"), Variable("Y")}:
+                assert "_" in v.name  # nondistinguished are subscripted
+
+    def test_fresh_variables_per_step(self, ex11_definition):
+        for s in expansion_strings(ex11_definition, atom("buys", "X", "Y"), 3):
+            existential = [
+                v
+                for a in s.atoms()
+                for v in a.variable_set()
+                if v.name not in ("X", "Y")
+            ]
+            # within one string, each step introduced a distinct variable
+            assert len(set(existential)) == s.depth
+
+    def test_constant_query_substituted(self, ex11_definition):
+        strings = expansion_strings(
+            ex11_definition, atom("buys", "tom", "Y"), 1
+        )
+        for s in strings:
+            first = s.atoms()[0]
+            assert first.args[0].value == "tom"  # type: ignore[union-attr]
+
+    def test_projection_methods(self, ex11_definition):
+        strings = expansion_strings(
+            ex11_definition, atom("buys", "X", "Y"), 2
+        )
+        s = next(x for x in strings if x.derivation == (0, 1))
+        d1, d2 = s.project_derivation([frozenset({0}), frozenset({1})])
+        assert d1 == (0,)
+        assert d2 == (1,)
+        assert [a.predicate for a in s.project_atoms(frozenset({0}))] == [
+            "friend"
+        ]
+
+    def test_generator_is_lazy(self, ex11_definition):
+        gen = expand(ex11_definition, atom("buys", "X", "Y"), 50)
+        first = next(gen)
+        assert first.depth == 0
+
+
+class TestSemantics:
+    """Union of bounded-expansion relations == bottom-up extent (acyclic)."""
+
+    def test_union_matches_seminaive(self):
+        program = example_1_1_program()
+        db = Database.from_facts(
+            {
+                "friend": [("tom", "sue"), ("sue", "ann")],
+                "idol": [("tom", "ann")],
+                "perfectFor": [("ann", "camera"), ("sue", "boat")],
+            }
+        )
+        definition = program.definition("buys")
+        # Acyclic data of diameter 2: depth 4 is more than enough.
+        union = set()
+        for s in expansion_strings(definition, atom("buys", "X", "Y"), 4):
+            union |= s.query().evaluate(db)
+        oracle = seminaive_evaluate(program, db).tuples("buys")
+        assert union == oracle
+
+    def test_nonchain_rule_expansion(self):
+        program = parse_program(
+            """
+            t(X, Y) :- a(X, P, Q) & c(Q, W) & t(W, Y).
+            t(X, Y) :- t0(X, Y).
+            """
+        ).program
+        strings = expansion_strings(
+            program.definition("t"), atom("t", "X", "Y"), 2
+        )
+        shapes = [
+            tuple(a.predicate for a in s.atoms()) for s in strings
+        ]
+        assert ("a", "c", "a", "c", "t0") in shapes
+
+
+class TestStringForDerivation:
+    def test_matches_expand_output(self, ex11_definition):
+        from repro.datalog.expansion import string_for_derivation
+
+        strings = expansion_strings(
+            ex11_definition, atom("buys", "X", "Y"), 2
+        )
+        for s in strings:
+            rebuilt = string_for_derivation(
+                ex11_definition,
+                atom("buys", "X", "Y"),
+                s.derivation,
+                s.exit_index,
+            )
+            # Same derivation, same shape (variable names may differ).
+            assert rebuilt.derivation == s.derivation
+            assert [a.predicate for a in rebuilt.atoms()] == [
+                a.predicate for a in s.atoms()
+            ]
+
+    def test_constant_query(self, ex11_definition):
+        from repro.datalog.expansion import string_for_derivation
+
+        s = string_for_derivation(
+            ex11_definition, atom("buys", "tom", "Y"), (0, 1), 0
+        )
+        preds = [a.predicate for a in s.atoms()]
+        assert preds == ["friend", "idol", "perfectFor"]
+        assert s.atoms()[0].args[0].value == "tom"
+
+    def test_semantics_match_per_derivation(self, ex11_definition):
+        """The relation of the rebuilt string equals the relation of
+        the originally expanded string with the same derivation."""
+        from repro.datalog.expansion import string_for_derivation
+
+        db = Database.from_facts(
+            {
+                "friend": [("tom", "sue"), ("sue", "ann")],
+                "idol": [("tom", "ann"), ("sue", "kim")],
+                "perfectFor": [("ann", "camera"), ("kim", "boat")],
+            }
+        )
+        for s in expansion_strings(
+            ex11_definition, atom("buys", "X", "Y"), 3
+        ):
+            rebuilt = string_for_derivation(
+                ex11_definition,
+                atom("buys", "X", "Y"),
+                s.derivation,
+                s.exit_index,
+            )
+            assert rebuilt.query().evaluate(db) == s.query().evaluate(db)
+
+    def test_nonrecursive_rule_index_rejected(self, ex11_definition):
+        from repro.datalog.expansion import string_for_derivation
+
+        with pytest.raises(IndexError):
+            string_for_derivation(
+                ex11_definition, atom("buys", "X", "Y"), (5,), 0
+            )
+
+
+class TestEvaluateByExpansion:
+    def test_matches_seminaive_on_acyclic_data(self, ex11_definition):
+        from repro.datalog.expansion import evaluate_by_expansion
+
+        program = example_1_1_program()
+        db = Database.from_facts(
+            {
+                "friend": [("tom", "sue"), ("sue", "ann")],
+                "idol": [("tom", "ann")],
+                "perfectFor": [("ann", "camera")],
+            }
+        )
+        got = evaluate_by_expansion(
+            ex11_definition, atom("buys", "tom", "Y"), db, max_depth=4
+        )
+        oracle = {
+            t
+            for t in seminaive_evaluate(program, db).tuples("buys")
+            if t[0] == "tom"
+        }
+        assert got == oracle
+
+    def test_depth_zero_is_exit_rule_only(self, ex11_definition):
+        from repro.datalog.expansion import evaluate_by_expansion
+
+        db = Database.from_facts(
+            {
+                "friend": [("tom", "sue")],
+                "idol": [],
+                "perfectFor": [("tom", "pen"), ("sue", "ink")],
+            }
+        )
+        db.ensure("idol", 2)
+        got = evaluate_by_expansion(
+            ex11_definition, atom("buys", "tom", "Y"), db, max_depth=0
+        )
+        assert got == {("tom", "pen")}
+
+    def test_insufficient_depth_is_incomplete(self, ex11_definition):
+        from repro.datalog.expansion import evaluate_by_expansion
+
+        db = Database.from_facts(
+            {
+                "friend": [("tom", "a"), ("a", "b"), ("b", "c")],
+                "idol": [],
+                "perfectFor": [("c", "prize")],
+            }
+        )
+        db.ensure("idol", 2)
+        shallow = evaluate_by_expansion(
+            ex11_definition, atom("buys", "tom", "Y"), db, max_depth=2
+        )
+        deep = evaluate_by_expansion(
+            ex11_definition, atom("buys", "tom", "Y"), db, max_depth=3
+        )
+        assert shallow == frozenset()
+        assert deep == {("tom", "prize")}

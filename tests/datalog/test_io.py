@@ -1,0 +1,116 @@
+"""Tests for on-disk persistence (Datalog text and CSV directories)."""
+
+import pytest
+
+from repro.datalog.database import Database
+from repro.datalog.errors import ArityError
+from repro.datalog.io import (
+    load_csv_directory,
+    load_program,
+    save_csv_directory,
+    save_database,
+    save_program,
+)
+from repro.datalog.parser import parse_program
+from repro.workloads.paper import example_1_1_program
+
+
+@pytest.fixture
+def db():
+    result = Database.from_facts(
+        {
+            "friend": [("tom", "sue"), ("sue", "ann")],
+            "age": [("tom", 41), ("sue", -3)],
+        }
+    )
+    result.ensure("empty", 1)
+    return result
+
+
+class TestDatalogText:
+    def test_program_round_trip(self, tmp_path):
+        program = example_1_1_program()
+        target = tmp_path / "prog.dl"
+        save_program(program, target)
+        assert load_program(target).program == program
+
+    def test_program_with_facts(self, tmp_path, db):
+        program = example_1_1_program()
+        target = tmp_path / "prog.dl"
+        save_program(program, target, database=db)
+        loaded = load_program(target)
+        assert loaded.program == program
+        assert loaded.database.tuples("friend") == db.tuples("friend")
+        assert loaded.database.tuples("age") == db.tuples("age")
+
+    def test_save_database(self, tmp_path, db):
+        target = tmp_path / "facts.dl"
+        save_database(db, target)
+        loaded = load_program(target)
+        assert loaded.database.tuples("age") == db.tuples("age")
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(OSError):
+            load_program(tmp_path / "missing.dl")
+
+
+class TestCsvDirectories:
+    def test_round_trip(self, tmp_path, db):
+        save_csv_directory(db, tmp_path / "data")
+        loaded = load_csv_directory(tmp_path / "data")
+        assert loaded.tuples("friend") == db.tuples("friend")
+        assert loaded.tuples("age") == db.tuples("age")
+
+    def test_integer_values_preserved(self, tmp_path, db):
+        save_csv_directory(db, tmp_path / "data")
+        loaded = load_csv_directory(tmp_path / "data")
+        assert ("tom", 41) in loaded.tuples("age")
+        assert ("sue", -3) in loaded.tuples("age")
+        assert ("tom", "41") not in loaded.tuples("age")
+
+    def test_empty_relation_file_written(self, tmp_path, db):
+        save_csv_directory(db, tmp_path / "data")
+        assert (tmp_path / "data" / "empty.csv").exists()
+
+    def test_merge_into_existing(self, tmp_path, db):
+        save_csv_directory(db, tmp_path / "data")
+        existing = Database.from_facts({"extra": [("x",)]})
+        merged = load_csv_directory(tmp_path / "data", db=existing)
+        assert merged is existing
+        assert merged.size("friend") == 2
+        assert merged.size("extra") == 1
+
+    def test_ragged_rows_rejected(self, tmp_path):
+        data = tmp_path / "data"
+        data.mkdir()
+        (data / "p.csv").write_text("a,b\nc\n")
+        with pytest.raises(ArityError, match="p.csv:2"):
+            load_csv_directory(data)
+
+    def test_not_a_directory(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_csv_directory(tmp_path / "nope")
+
+    def test_loaded_data_queriable(self, tmp_path):
+        """End to end: CSV EDB -> engine query."""
+        from repro.engine import Engine
+
+        data = tmp_path / "data"
+        data.mkdir()
+        (data / "friend.csv").write_text("tom,sue\nsue,ann\n")
+        (data / "idol.csv").write_text("")
+        (data / "perfectFor.csv").write_text("ann,camera\n")
+        db = load_csv_directory(data)
+        db.ensure("idol", 2)
+        engine = Engine(example_1_1_program(), db)
+        assert engine.query("buys(tom, Y)?").answers == {
+            ("tom", "camera")
+        }
+
+    def test_stable_output(self, tmp_path, db):
+        save_csv_directory(db, tmp_path / "a")
+        save_csv_directory(db, tmp_path / "b")
+        for name in ("friend.csv", "age.csv"):
+            assert (tmp_path / "a" / name).read_text() == (
+                tmp_path / "b" / name
+            ).read_text()

@@ -1,0 +1,135 @@
+"""Unit tests for the Prolog-flavoured parser."""
+
+import pytest
+
+from repro.datalog.atoms import atom
+from repro.datalog.errors import DatalogSyntaxError
+from repro.datalog.parser import (
+    parse_atom,
+    parse_program,
+    parse_query,
+    parse_rule,
+)
+from repro.datalog.terms import Constant, Variable
+
+
+class TestAtoms:
+    def test_simple(self):
+        assert parse_atom("friend(tom, X)") == atom("friend", "tom", "X")
+
+    def test_integers(self):
+        assert parse_atom("age(tom, 42)") == atom("age", "tom", 42)
+
+    def test_negative_integers(self):
+        assert parse_atom("delta(X, -3)") == atom("delta", "X", -3)
+
+    def test_quoted_strings(self):
+        a = parse_atom("name(X, 'Tom Smith')")
+        assert a.args[1] == Constant("Tom Smith")
+
+    def test_quoted_string_escapes(self):
+        a = parse_atom(r"name(X, 'o\'brien')")
+        assert a.args[1] == Constant("o'brien")
+
+    def test_underscore_variable(self):
+        assert parse_atom("p(_x)").args[0] == Variable("_x")
+
+    def test_unterminated_string(self):
+        with pytest.raises(DatalogSyntaxError, match="unterminated"):
+            parse_atom("p('oops)")
+
+    def test_uppercase_predicate_rejected(self):
+        with pytest.raises(DatalogSyntaxError):
+            parse_atom("Friend(tom, X)")
+
+    def test_trailing_junk_rejected(self):
+        with pytest.raises(DatalogSyntaxError):
+            parse_atom("p(X) q")
+
+
+class TestRules:
+    def test_ampersand_and_comma_conjunctions(self):
+        with_amp = parse_rule("t(X, Y) :- a(X, W) & t(W, Y).")
+        with_comma = parse_rule("t(X, Y) :- a(X, W), t(W, Y).")
+        assert with_amp == with_comma
+
+    def test_fact(self):
+        r = parse_rule("friend(tom, sue).")
+        assert r.is_fact
+
+    def test_missing_period(self):
+        with pytest.raises(DatalogSyntaxError):
+            parse_rule("t(X) :- a(X)")
+
+    def test_query_rejected_as_rule(self):
+        with pytest.raises(DatalogSyntaxError):
+            parse_rule("t(X)?")
+
+
+class TestQueries:
+    def test_question_mark_form(self):
+        assert parse_query("buys(tom, Y)?") == atom("buys", "tom", "Y")
+
+    def test_prolog_form(self):
+        assert parse_query("?- buys(tom, Y).") == atom("buys", "tom", "Y")
+
+    def test_bare_atom(self):
+        assert parse_query("buys(tom, Y)") == atom("buys", "tom", "Y")
+
+
+class TestPrograms:
+    PROGRAM = """
+    % Example 1.1 of the paper
+    buys(X, Y) :- friend(X, W) & buys(W, Y).
+    buys(X, Y) :- idol(X, W) & buys(W, Y).
+    buys(X, Y) :- perfectFor(X, Y).
+
+    friend(tom, sue).
+    idol(tom, ann).
+    perfectFor(ann, camera).
+
+    buys(tom, Y)?
+    """
+
+    def test_rules_facts_queries_split(self):
+        parsed = parse_program(self.PROGRAM)
+        assert len(parsed.program) == 3
+        assert parsed.database.size("friend") == 1
+        assert parsed.database.size("idol") == 1
+        assert parsed.database.size("perfectFor") == 1
+        assert parsed.queries == (atom("buys", "tom", "Y"),)
+
+    def test_comments_ignored(self):
+        parsed = parse_program("% nothing here\np(a).  % trailing\n")
+        assert parsed.database.size("p") == 1
+
+    def test_empty_program(self):
+        parsed = parse_program("")
+        assert len(parsed.program) == 0
+        assert parsed.queries == ()
+
+    def test_error_carries_position(self):
+        try:
+            parse_program("p(a).\nq(b) :- .")
+        except DatalogSyntaxError as exc:
+            assert exc.line == 2
+        else:  # pragma: no cover
+            pytest.fail("expected a syntax error")
+
+    def test_unexpected_character(self):
+        with pytest.raises(DatalogSyntaxError, match="unexpected"):
+            parse_program("p(a) @ q(b).")
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "t(X, Y) :- a(X, W) & t(W, Y).",
+            "t(X, Y, Z) :- a(X, Y, U, V) & t(U, V, Z).",
+            "p(42, 'Big Name') :- q(42, X) & r(X, 'Big Name').",
+        ],
+    )
+    def test_str_reparses_identically(self, text):
+        r = parse_rule(text)
+        assert parse_rule(str(r)) == r

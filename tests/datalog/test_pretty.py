@@ -1,0 +1,70 @@
+"""Unit tests for pretty-printing round trips."""
+
+from repro.datalog.atoms import atom
+from repro.datalog.database import Database
+from repro.datalog.parser import parse_program
+from repro.datalog.pretty import (
+    answers_to_text,
+    database_to_text,
+    fact_to_text,
+    program_to_text,
+)
+
+
+class TestFactToText:
+    def test_simple(self):
+        assert fact_to_text("friend", ("tom", "sue")) == "friend(tom, sue)."
+
+    def test_needs_quoting(self):
+        assert fact_to_text("p", ("Big X",)) == "p('Big X')."
+
+    def test_integers(self):
+        assert fact_to_text("age", ("tom", 42)) == "age(tom, 42)."
+
+
+class TestProgramRoundTrip:
+    TEXT = """
+    buys(X, Y) :- friend(X, W) & buys(W, Y).
+    buys(X, Y) :- perfectFor(X, Y).
+    """
+
+    def test_program_round_trip(self):
+        program = parse_program(self.TEXT).program
+        assert parse_program(program_to_text(program)).program == program
+
+    def test_rule_iterable_accepted(self):
+        program = parse_program(self.TEXT).program
+        assert program_to_text(list(program.rules)) == program_to_text(
+            program
+        )
+
+
+class TestDatabaseRoundTrip:
+    def test_database_round_trip(self):
+        db = Database.from_facts(
+            {
+                "friend": [("tom", "sue"), ("sue", "ann")],
+                "age": [("tom", 41)],
+                "odd name": [],  # empty relations vanish in text; fine
+            }
+        )
+        reparsed = parse_program(database_to_text(db)).database
+        assert reparsed.tuples("friend") == db.tuples("friend")
+        assert reparsed.tuples("age") == db.tuples("age")
+
+    def test_stable_ordering(self):
+        db = Database.from_facts({"p": [("b",), ("a",)]})
+        assert database_to_text(db) == database_to_text(db.copy())
+
+
+class TestAnswersToText:
+    def test_with_answers(self):
+        text = answers_to_text(
+            atom("buys", "tom", "Y"), [("tom", "camera")]
+        )
+        assert "buys(tom, camera)." in text
+        assert text.startswith("% answers to buys(tom, Y)?")
+
+    def test_no_answers(self):
+        text = answers_to_text(atom("buys", "tom", "Y"), [])
+        assert "(no answers)" in text

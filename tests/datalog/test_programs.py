@@ -1,0 +1,156 @@
+"""Unit tests for program structure: IDB/EDB, definitions, strata."""
+
+import pytest
+
+from repro.datalog.errors import ArityError, NotLinearError
+from repro.datalog.parser import parse_program
+from repro.datalog.programs import Program
+
+
+def program(text):
+    return parse_program(text).program
+
+
+EX11 = """
+buys(X, Y) :- friend(X, W) & buys(W, Y).
+buys(X, Y) :- idol(X, W) & buys(W, Y).
+buys(X, Y) :- perfectFor(X, Y).
+"""
+
+
+class TestSplit:
+    def test_idb_edb(self):
+        p = program(EX11)
+        assert p.idb_predicates == {"buys"}
+        assert p.edb_predicates == {"friend", "idol", "perfectFor"}
+
+    def test_predicates_and_arity(self):
+        p = program(EX11)
+        assert p.arity("buys") == 2
+        assert p.arity("friend") == 2
+        with pytest.raises(KeyError):
+            p.arity("nothing")
+
+    def test_conflicting_arity_rejected(self):
+        with pytest.raises(ArityError):
+            program("p(X) :- q(X).\np(X, Y) :- q(X) & q(Y).")
+
+    def test_rules_for(self):
+        p = program(EX11)
+        assert len(p.rules_for("buys")) == 3
+        assert p.rules_for("friend") == ()
+
+
+class TestDefinition:
+    def test_recursive_exit_split(self):
+        d = program(EX11).definition("buys")
+        assert len(d.recursive_rules) == 2
+        assert len(d.exit_rules) == 1
+        assert d.is_recursive
+
+    def test_rules_property_order(self):
+        d = program(EX11).definition("buys")
+        assert d.rules == d.recursive_rules + d.exit_rules
+
+    def test_non_idb_raises(self):
+        with pytest.raises(KeyError):
+            program(EX11).definition("friend")
+
+    def test_linearity(self):
+        d = program(EX11).definition("buys")
+        assert d.is_linear()
+        d.check_linear()
+
+    def test_nonlinear_detected(self):
+        d = program(
+            "t(X, Y) :- t(X, W) & t(W, Y).\nt(X, Y) :- e(X, Y)."
+        ).definition("t")
+        assert not d.is_linear()
+        with pytest.raises(NotLinearError):
+            d.check_linear()
+
+    def test_base_predicates(self):
+        d = program(EX11).definition("buys")
+        assert d.base_predicates() == {"friend", "idol", "perfectFor"}
+
+    def test_nonrecursive_definition(self):
+        d = program("p(X) :- q(X).").definition("p")
+        assert not d.is_recursive
+        assert d.is_linear()
+
+
+class TestDependencies:
+    LAYERED = """
+    top(X, Y) :- mid(X, W) & top(W, Y).
+    top(X, Y) :- base(X, Y).
+    mid(X, Y) :- raw(X, Y).
+    mid(X, Y) :- raw(Y, X).
+    """
+
+    def test_depends_on(self):
+        p = program(self.LAYERED)
+        assert p.depends_on("top") == {"top", "mid", "base", "raw"}
+        assert p.depends_on("mid") == {"raw"}
+
+    def test_is_recursive_predicate(self):
+        p = program(self.LAYERED)
+        assert p.is_recursive_predicate("top")
+        assert not p.is_recursive_predicate("mid")
+
+    def test_no_mutual_recursion(self):
+        p = program(self.LAYERED)
+        assert p.mutually_recursive_with("top") == frozenset()
+
+    def test_mutual_recursion_detected(self):
+        p = program(
+            """
+            p(X) :- q(X).
+            q(X) :- p(X).
+            p(X) :- e(X).
+            """
+        )
+        assert p.mutually_recursive_with("p") == {"q"}
+
+    def test_evaluation_order_bottom_up(self):
+        p = program(self.LAYERED)
+        order = p.evaluation_order
+        flat = [pred for scc in order for pred in scc]
+        assert flat.index("mid") < flat.index("top")
+
+    def test_evaluation_order_groups_sccs(self):
+        p = program(
+            """
+            p(X) :- q(X).
+            q(X) :- p(X).
+            q(X) :- e(X).
+            r(X) :- p(X).
+            """
+        )
+        order = p.evaluation_order
+        assert frozenset({"p", "q"}) in order
+        flat = [pred for scc in order for pred in scc]
+        assert flat.index("p") < flat.index("r")
+
+
+class TestConvenience:
+    def test_restricted_to(self):
+        p = program(EX11 + "other(X) :- friend(X, X).")
+        restricted = p.restricted_to(["buys"])
+        assert restricted.idb_predicates == {"buys"}
+        assert len(restricted) == 3
+
+    def test_extended(self):
+        p = program(EX11)
+        from repro.datalog.parser import parse_rule
+
+        bigger = p.extended([parse_rule("other(X) :- friend(X, X).")])
+        assert len(bigger) == 4
+        assert len(p) == 3  # original untouched
+
+    def test_equality_and_hash(self):
+        assert program(EX11) == program(EX11)
+        assert hash(program(EX11)) == hash(program(EX11))
+
+    def test_str_is_parseable(self):
+        p = program(EX11)
+        assert program(str(p)) == p

@@ -1,0 +1,140 @@
+"""Unit tests for rectification (Section 2's head-normalization)."""
+
+import pytest
+
+from repro.datalog.database import Database
+from repro.datalog.joins import EQ
+from repro.datalog.parser import parse_program, parse_rule
+from repro.datalog.rectify import (
+    canonical_head_variables,
+    is_rectified,
+    rectify_definition,
+    rectify_program,
+    rectify_rule,
+)
+from repro.datalog.seminaive import seminaive_evaluate
+from repro.datalog.terms import Variable
+
+
+class TestIsRectified:
+    def test_identical_clean_heads(self):
+        rules = [
+            parse_rule("t(X, Y) :- a(X, W) & t(W, Y)."),
+            parse_rule("t(X, Y) :- t0(X, Y)."),
+        ]
+        assert is_rectified(rules)
+
+    def test_differing_heads(self):
+        rules = [
+            parse_rule("t(X, Y) :- a(X, W) & t(W, Y)."),
+            parse_rule("t(A, B) :- t0(A, B)."),
+        ]
+        assert not is_rectified(rules)
+
+    def test_repeated_head_variable(self):
+        assert not is_rectified([parse_rule("t(X, X) :- a(X).")])
+
+    def test_head_constant(self):
+        assert not is_rectified([parse_rule("t(X, c) :- a(X).")])
+
+    def test_empty(self):
+        assert is_rectified([])
+
+
+class TestCanonicalHeadVariables:
+    def test_default_names(self):
+        assert canonical_head_variables(2) == (Variable("V1"), Variable("V2"))
+
+    def test_avoids_clashes(self):
+        fresh = canonical_head_variables(2, avoid=[Variable("V1")])
+        assert Variable("V1") not in fresh
+        assert len(set(fresh)) == 2
+
+
+class TestRectifyRule:
+    def test_plain_renaming(self):
+        r = parse_rule("t(A, B) :- d(A, B).")
+        result = rectify_rule(r, (Variable("V1"), Variable("V2")))
+        assert result == parse_rule("t(V1, V2) :- d(V1, V2).")
+
+    def test_repeated_head_variable_becomes_eq(self):
+        r = parse_rule("t(X, X) :- b(X).")
+        result = rectify_rule(r, (Variable("V1"), Variable("V2")))
+        assert result.head == parse_rule("t(V1, V2) :- b(V1).").head
+        eq_atoms = [a for a in result.body if a.predicate == EQ]
+        assert len(eq_atoms) == 1
+        assert set(eq_atoms[0].args) == {Variable("V1"), Variable("V2")}
+
+    def test_head_constant_becomes_eq(self):
+        r = parse_rule("t(a, Y) :- c(Y).")
+        result = rectify_rule(r, (Variable("V1"), Variable("V2")))
+        eq_atoms = [a for a in result.body if a.predicate == EQ]
+        assert len(eq_atoms) == 1
+
+    def test_body_variable_capture_avoided(self):
+        # V1 already used as an unrelated body variable.
+        r = parse_rule("t(X, Y) :- d(X, V1) & e(V1, Y).")
+        result = rectify_rule(r, (Variable("V1"), Variable("V2")))
+        # The old body V1 must have been renamed away from the new head V1.
+        body_d = [a for a in result.body if a.predicate == "d"][0]
+        assert body_d.args[0] == Variable("V1")
+        assert body_d.args[1] != Variable("V1")
+
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            rectify_rule(parse_rule("t(X, Y) :- d(X, Y)."), (Variable("V1"),))
+
+
+class TestRectifyDefinition:
+    def test_already_rectified_returned_unchanged(self):
+        rules = [
+            parse_rule("t(X, Y) :- a(X, W) & t(W, Y)."),
+            parse_rule("t(X, Y) :- t0(X, Y)."),
+        ]
+        assert rectify_definition(rules) == rules
+
+    def test_heads_unified(self):
+        rules = [
+            parse_rule("t(X, Y) :- a(X, W) & t(W, Y)."),
+            parse_rule("t(A, B) :- t0(A, B)."),
+        ]
+        rectified = rectify_definition(rules)
+        assert is_rectified(rectified)
+        assert rectified[0].head == rectified[1].head
+
+
+class TestSemanticsPreserved:
+    """Rectified programs must compute the same relations."""
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            # repeated head variable
+            "t(X, X) :- b(X).\nt(X, Y) :- e(X, Y).",
+            # head constant
+            "t(a, Y) :- c(Y).\nt(X, Y) :- e(X, Y).",
+            # mixed heads in a recursion
+            "t(A, B) :- e(A, W) & t(W, B).\nt(X, X) :- b(X).",
+        ],
+    )
+    def test_same_extent(self, text):
+        parsed = parse_program(text)
+        db = Database.from_facts(
+            {
+                "b": [("m",), ("n",)],
+                "c": [("m",), ("q",)],
+                "e": [("m", "n"), ("n", "q"), ("q", "m")],
+            }
+        )
+        original = seminaive_evaluate(parsed.program, db)
+        rectified = rectify_program(parsed.program)
+        result = seminaive_evaluate(rectified, db)
+        assert result.tuples("t") == original.tuples("t")
+
+    def test_rule_order_preserved(self):
+        parsed = parse_program(
+            "t(X, X) :- b(X).\nother(Y) :- b(Y).\nt(X, Y) :- e(X, Y)."
+        )
+        rectified = rectify_program(parsed.program)
+        heads = [r.head.predicate for r in rectified.rules]
+        assert heads == ["t", "other", "t"]

@@ -1,0 +1,184 @@
+"""Unit tests for the relational algebra expressions and interpreter."""
+
+import pytest
+
+from repro.datalog.database import Database
+from repro.datalog.errors import EvaluationError
+from repro.datalog.relalg import (
+    Difference,
+    Extend,
+    NaturalJoin,
+    Placeholder,
+    Project,
+    Rename,
+    Scan,
+    Select,
+    SelectEq,
+    Union,
+    Values,
+    evaluate,
+    to_text,
+)
+
+
+@pytest.fixture
+def db():
+    return Database.from_facts(
+        {
+            "e": [("a", "b"), ("b", "c"), ("c", "c")],
+            "lbl": [("b", "blue"), ("c", "red")],
+        }
+    )
+
+
+class TestLeafNodes:
+    def test_scan(self, db):
+        assert evaluate(Scan("e", ("X", "Y")), db) == {
+            ("a", "b"), ("b", "c"), ("c", "c"),
+        }
+
+    def test_scan_repeated_label_filters(self, db):
+        assert evaluate(Scan("e", ("X", "X")), db) == {("c",)}
+
+    def test_scan_missing_relation_empty(self, db):
+        assert evaluate(Scan("missing", ("X",)), db) == frozenset()
+
+    def test_values(self, db):
+        v = Values(("A",), frozenset({("q",)}))
+        assert evaluate(v, db) == {("q",)}
+
+    def test_placeholder_bound(self, db):
+        p = Placeholder("carry", ("X",))
+        assert evaluate(p, db, {"carry": frozenset({("a",)})}) == {("a",)}
+
+    def test_placeholder_unbound_raises(self, db):
+        with pytest.raises(EvaluationError, match="unbound placeholder"):
+            evaluate(Placeholder("carry", ("X",)), db)
+
+
+class TestOperators:
+    def test_select(self, db):
+        expr = Select(Scan("e", ("X", "Y")), "X", "b")
+        assert evaluate(expr, db) == {("b", "c")}
+
+    def test_select_eq(self, db):
+        expr = SelectEq(Scan("e", ("X", "Y")), "X", "Y")
+        assert evaluate(expr, db) == {("c", "c")}
+
+    def test_project(self, db):
+        expr = Project(Scan("e", ("X", "Y")), ("Y",))
+        assert evaluate(expr, db) == {("b",), ("c",)}
+
+    def test_natural_join(self, db):
+        expr = NaturalJoin(Scan("e", ("X", "Y")), Scan("lbl", ("Y", "C")))
+        assert expr.schema == ("X", "Y", "C")
+        assert evaluate(expr, db) == {
+            ("a", "b", "blue"),
+            ("b", "c", "red"),
+            ("c", "c", "red"),
+        }
+
+    def test_join_without_shared_attributes_is_product(self, db):
+        expr = NaturalJoin(Scan("e", ("X", "Y")), Scan("lbl", ("P", "Q")))
+        assert len(evaluate(expr, db)) == 6
+
+    def test_rename(self, db):
+        expr = Rename(Scan("e", ("X", "Y")), (("X", "From"), ("Y", "To")))
+        assert expr.schema == ("From", "To")
+        assert evaluate(expr, db) == evaluate(Scan("e", ("A", "B")), db)
+
+    def test_extend_copy(self, db):
+        expr = Extend(Scan("e", ("X", "Y")), "Z", from_attribute="X")
+        assert ("a", "b", "a") in evaluate(expr, db)
+
+    def test_extend_constant(self, db):
+        expr = Extend(Scan("e", ("X", "Y")), "Z", value=7)
+        assert all(r[2] == 7 for r in evaluate(expr, db))
+
+    def test_union(self, db):
+        expr = Union(
+            (
+                Project(Scan("e", ("X", "Y")), ("X",)),
+                Project(Rename(Scan("lbl", ("A", "B")), (("A", "X"),)),
+                        ("X",)),
+            )
+        )
+        assert evaluate(expr, db) == {("a",), ("b",), ("c",)}
+
+    def test_difference(self, db):
+        all_sources = Project(Scan("e", ("X", "Y")), ("X",))
+        labelled = Project(
+            Rename(Scan("lbl", ("A", "B")), (("A", "X"),)), ("X",)
+        )
+        assert evaluate(Difference(all_sources, labelled), db) == {("a",)}
+
+
+class TestValidation:
+    def test_select_unknown_attribute(self):
+        with pytest.raises(ValueError):
+            Select(Scan("e", ("X", "Y")), "Z", "v")
+
+    def test_project_unknown_attribute(self):
+        with pytest.raises(ValueError):
+            Project(Scan("e", ("X", "Y")), ("Z",))
+
+    def test_union_schema_mismatch(self):
+        with pytest.raises(ValueError):
+            Union((Scan("e", ("X", "Y")), Scan("lbl", ("A", "B"))))
+
+    def test_union_empty(self):
+        with pytest.raises(ValueError):
+            Union(())
+
+    def test_difference_schema_mismatch(self):
+        with pytest.raises(ValueError):
+            Difference(Scan("e", ("X", "Y")), Scan("lbl", ("A", "B")))
+
+    def test_rename_collision(self):
+        with pytest.raises(ValueError):
+            Rename(Scan("e", ("X", "Y")), (("X", "Y"),))
+
+    def test_extend_needs_exactly_one_source(self):
+        with pytest.raises(ValueError):
+            Extend(Scan("e", ("X", "Y")), "Z")
+        with pytest.raises(ValueError):
+            Extend(Scan("e", ("X", "Y")), "Z", from_attribute="X", value=1)
+
+    def test_extend_existing_attribute(self):
+        with pytest.raises(ValueError):
+            Extend(Scan("e", ("X", "Y")), "X", value=1)
+
+    def test_values_duplicate_schema(self):
+        with pytest.raises(ValueError):
+            Values(("A", "A"), frozenset())
+
+
+class TestToText:
+    def test_composition_renders(self, db):
+        expr = Project(
+            Select(
+                NaturalJoin(Scan("e", ("X", "Y")), Scan("lbl", ("Y", "C"))),
+                "C",
+                "red",
+            ),
+            ("X",),
+        )
+        text = to_text(expr)
+        assert "π[X]" in text and "σ[C=red]" in text and "⋈" in text
+
+    def test_every_node_kind_renders(self, db):
+        pieces = [
+            Scan("e", ("X", "Y")),
+            Values(("A",), frozenset()),
+            Placeholder("c", ("X",)),
+            Select(Scan("e", ("X", "Y")), "X", "a"),
+            SelectEq(Scan("e", ("X", "Y")), "X", "Y"),
+            Project(Scan("e", ("X", "Y")), ("X",)),
+            NaturalJoin(Scan("e", ("X", "Y")), Scan("lbl", ("Y", "C"))),
+            Extend(Scan("e", ("X", "Y")), "Z", value=1),
+            Rename(Scan("e", ("X", "Y")), (("X", "A"),)),
+            Union((Scan("e", ("X", "Y")),)),
+            Difference(Scan("e", ("X", "Y")), Scan("e", ("X", "Y"))),
+        ]
+        for expr in pieces:
+            assert to_text(expr)

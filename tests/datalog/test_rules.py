@@ -1,0 +1,100 @@
+"""Unit tests for rules: linearity, safety, recursion structure."""
+
+import pytest
+
+from repro.datalog.atoms import atom
+from repro.datalog.errors import SafetyError
+from repro.datalog.parser import parse_rule
+from repro.datalog.rules import Rule, rule
+
+
+class TestBasics:
+    def test_fact(self):
+        r = parse_rule("friend(tom, sue).")
+        assert r.is_fact
+        assert r.body == ()
+
+    def test_non_ground_bodiless_rule_is_not_a_fact(self):
+        r = Rule(atom("p", "X"))
+        assert not r.is_fact
+
+    def test_variables(self):
+        r = parse_rule("t(X, Y) :- a(X, W) & t(W, Y).")
+        assert {v.name for v in r.variables()} == {"X", "Y", "W"}
+
+    def test_body_predicates(self):
+        r = parse_rule("t(X, Y) :- a(X, W) & t(W, Y).")
+        assert r.body_predicates() == {"a", "t"}
+
+    def test_str_round_trip(self):
+        text = "t(X, Y) :- a(X, W) & t(W, Y)."
+        assert str(parse_rule(text)) == text
+
+
+class TestRecursionStructure:
+    def test_is_recursive_in(self):
+        r = parse_rule("t(X, Y) :- a(X, W) & t(W, Y).")
+        assert r.is_recursive_in("t")
+        assert not r.is_recursive_in("a")
+
+    def test_exit_rule_not_recursive(self):
+        assert not parse_rule("t(X, Y) :- t0(X, Y).").is_recursive_in("t")
+
+    def test_linear(self):
+        linear = parse_rule("t(X, Y) :- a(X, W) & t(W, Y).")
+        nonlinear = parse_rule("t(X, Y) :- t(X, W) & t(W, Y).")
+        assert linear.is_linear_in("t")
+        assert not nonlinear.is_linear_in("t")
+
+    def test_recursive_atom(self):
+        r = parse_rule("t(X, Y) :- a(X, W) & t(W, Y).")
+        assert r.recursive_atom("t") == atom("t", "W", "Y")
+
+    def test_recursive_atom_none_for_exit_rule(self):
+        assert parse_rule("t(X, Y) :- t0(X, Y).").recursive_atom("t") is None
+
+    def test_recursive_atom_ambiguous_raises(self):
+        r = parse_rule("t(X, Y) :- t(X, W) & t(W, Y).")
+        with pytest.raises(ValueError):
+            r.recursive_atom("t")
+
+    def test_nonrecursive_body(self):
+        r = parse_rule("t(X, Y) :- a(X, W) & t(W, Y) & b(Y, Z).")
+        assert r.nonrecursive_body("t") == (
+            atom("a", "X", "W"),
+            atom("b", "Y", "Z"),
+        )
+
+
+class TestSafety:
+    def test_safe_rule(self):
+        parse_rule("t(X, Y) :- a(X, W) & t(W, Y).").check_safety()
+
+    def test_unsafe_rule(self):
+        r = parse_rule("t(X, Y) :- a(X, W).")
+        with pytest.raises(SafetyError, match="Y"):
+            r.check_safety()
+        assert not r.is_safe()
+
+    def test_unsafe_fact_with_variables(self):
+        assert not Rule(atom("p", "X")).is_safe()
+
+    def test_ground_fact_is_safe(self):
+        parse_rule("p(a, b).").check_safety()
+
+
+class TestTransformations:
+    def test_substitute(self):
+        r = parse_rule("t(X, Y) :- a(X, W) & t(W, Y).")
+        from repro.datalog.terms import Constant, Variable
+
+        result = r.substitute({Variable("X"): Constant("tom")})
+        assert result == parse_rule("t(tom, Y) :- a(tom, W) & t(W, Y).")
+
+    def test_rename(self):
+        r = parse_rule("t(X, Y) :- a(X, W).")
+        assert r.rename(2) == parse_rule("t(X_2, Y_2) :- a(X_2, W_2).")
+
+    def test_rule_constructor_accepts_iterables(self):
+        r = rule(atom("p", "X"), (a for a in [atom("q", "X")]))
+        assert r.body == (atom("q", "X"),)

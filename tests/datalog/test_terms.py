@@ -1,0 +1,102 @@
+"""Unit tests for terms: variables, constants, coercion, freshening."""
+
+import pytest
+
+from repro.datalog.terms import (
+    Constant,
+    Variable,
+    fresh_variable,
+    is_variable_name,
+    make_term,
+)
+
+
+class TestVariable:
+    def test_equality_by_name(self):
+        assert Variable("X") == Variable("X")
+        assert Variable("X") != Variable("Y")
+
+    def test_hashable(self):
+        assert len({Variable("X"), Variable("X"), Variable("Y")}) == 2
+
+    def test_str(self):
+        assert str(Variable("Xs")) == "Xs"
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Variable("")
+
+    def test_repr_round_trips_name(self):
+        assert "X1" in repr(Variable("X1"))
+
+
+class TestConstant:
+    def test_equality_by_value(self):
+        assert Constant("tom") == Constant("tom")
+        assert Constant("tom") != Constant("sue")
+        assert Constant(3) != Constant("3")
+
+    def test_str_plain_identifier(self):
+        assert str(Constant("tom")) == "tom"
+
+    def test_str_integer(self):
+        assert str(Constant(42)) == "42"
+
+    def test_str_quotes_uppercase_value(self):
+        # An uppercase string value must be quoted or it would re-parse
+        # as a variable.
+        assert str(Constant("Tom")) == "'Tom'"
+
+    def test_str_quotes_non_identifier(self):
+        assert str(Constant("two words")) == "'two words'"
+
+    def test_str_escapes_quotes(self):
+        assert str(Constant("o'brien")) == "'o\\'brien'"
+
+
+class TestIsVariableName:
+    @pytest.mark.parametrize("name", ["X", "Xyz", "_", "_foo", "W1"])
+    def test_variables(self, name):
+        assert is_variable_name(name)
+
+    @pytest.mark.parametrize("name", ["x", "tom", "t0", ""])
+    def test_non_variables(self, name):
+        assert not is_variable_name(name)
+
+
+class TestMakeTerm:
+    def test_uppercase_string_is_variable(self):
+        assert make_term("X") == Variable("X")
+
+    def test_underscore_string_is_variable(self):
+        assert make_term("_x") == Variable("_x")
+
+    def test_lowercase_string_is_constant(self):
+        assert make_term("tom") == Constant("tom")
+
+    def test_int_is_constant(self):
+        assert make_term(7) == Constant(7)
+
+    def test_terms_pass_through(self):
+        v = Variable("X")
+        assert make_term(v) is v
+
+    def test_bool_rejected(self):
+        with pytest.raises(TypeError):
+            make_term(True)
+
+    def test_other_types_rejected(self):
+        with pytest.raises(TypeError):
+            make_term(3.14)
+
+
+class TestFreshVariable:
+    def test_appends_subscript(self):
+        assert fresh_variable(Variable("W"), 3) == Variable("W_3")
+
+    def test_distinct_subscripts_distinct_variables(self):
+        base = Variable("W")
+        assert fresh_variable(base, 1) != fresh_variable(base, 2)
+
+    def test_result_is_still_a_variable_name(self):
+        assert is_variable_name(fresh_variable(Variable("W"), 9).name)

@@ -1,0 +1,90 @@
+"""Unit tests for matching and unification."""
+
+from repro.datalog.atoms import atom
+from repro.datalog.terms import Constant, Variable
+from repro.datalog.unify import apply_to_term, compose, match_atom, unify_atoms
+
+
+class TestMatchAtom:
+    def test_binds_variables(self):
+        assert match_atom(atom("f", "X", "tom"), ("sue", "tom")) == {
+            Variable("X"): Constant("sue")
+        }
+
+    def test_constant_mismatch(self):
+        assert match_atom(atom("f", "X", "tom"), ("sue", "ann")) is None
+
+    def test_repeated_variable_consistent(self):
+        assert match_atom(atom("f", "X", "X"), ("a", "a")) == {
+            Variable("X"): Constant("a")
+        }
+
+    def test_repeated_variable_inconsistent(self):
+        assert match_atom(atom("f", "X", "X"), ("a", "b")) is None
+
+    def test_extends_existing_bindings(self):
+        prior = {Variable("X"): Constant("a")}
+        result = match_atom(atom("f", "X", "Y"), ("a", "b"), prior)
+        assert result == {
+            Variable("X"): Constant("a"),
+            Variable("Y"): Constant("b"),
+        }
+
+    def test_conflicts_with_existing_bindings(self):
+        prior = {Variable("X"): Constant("z")}
+        assert match_atom(atom("f", "X"), ("a",), prior) is None
+
+    def test_does_not_mutate_caller_bindings(self):
+        prior = {Variable("X"): Constant("a")}
+        match_atom(atom("f", "X", "Y"), ("a", "b"), prior)
+        assert prior == {Variable("X"): Constant("a")}
+
+    def test_arity_mismatch(self):
+        assert match_atom(atom("f", "X"), ("a", "b")) is None
+
+
+class TestUnifyAtoms:
+    def test_variable_to_constant(self):
+        s = unify_atoms(atom("p", "X", "Y"), atom("p", "tom", "Z"))
+        assert s is not None
+        assert atom("p", "X", "Y").substitute(s) == atom(
+            "p", "tom", "Z"
+        ).substitute(s)
+
+    def test_different_predicates(self):
+        assert unify_atoms(atom("p", "X"), atom("q", "X")) is None
+
+    def test_different_arities(self):
+        assert unify_atoms(atom("p", "X"), atom("p", "X", "Y")) is None
+
+    def test_clashing_constants(self):
+        assert unify_atoms(atom("p", "tom"), atom("p", "sue")) is None
+
+    def test_variable_chains_flattened(self):
+        s = unify_atoms(atom("p", "X", "X"), atom("p", "Y", "tom"))
+        assert s is not None
+        result = atom("p", "X", "X").substitute(s)
+        assert result == atom("p", "Y", "tom").substitute(s)
+        assert result.is_ground()
+
+    def test_rule_head_against_instance(self):
+        # The Procedure Expand use case: a renamed rule head against a
+        # fringe instance with distinguished variables and constants.
+        head = atom("t", "X_1", "Y_1")
+        instance = atom("t", "W_0", "Y")
+        s = unify_atoms(head, instance)
+        assert head.substitute(s) == instance.substitute(s)
+
+
+class TestCompose:
+    def test_sequential_application(self):
+        first = {Variable("X"): Variable("Y")}
+        second = {Variable("Y"): Constant("c")}
+        composed = compose(first, second)
+        assert composed[Variable("X")] == Constant("c")
+        assert composed[Variable("Y")] == Constant("c")
+
+    def test_apply_to_term_follows_chains(self):
+        subst = {Variable("X"): Variable("Y"), Variable("Y"): Constant("c")}
+        assert apply_to_term(Variable("X"), subst) == Constant("c")
+        assert apply_to_term(Constant("k"), subst) == Constant("k")

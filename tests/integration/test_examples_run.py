@@ -1,0 +1,44 @@
+"""Every example script must run cleanly (they are part of the API
+surface users copy from)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+SCRIPTS = sorted(EXAMPLES_DIR.glob("*.py"))
+
+#: scripts that sweep adversarial databases and need a longer leash.
+SLOW = {"complexity_showdown.py"}
+
+
+@pytest.mark.parametrize(
+    "script", SCRIPTS, ids=[s.name for s in SCRIPTS]
+)
+def test_example_runs(script):
+    timeout = 300 if script.name in SLOW else 120
+    completed = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert completed.returncode == 0, (
+        f"{script.name} failed:\n{completed.stderr[-2000:]}"
+    )
+    assert completed.stdout.strip(), f"{script.name} printed nothing"
+
+
+def test_expected_examples_present():
+    names = {s.name for s in SCRIPTS}
+    assert {
+        "quickstart.py",
+        "social_commerce.py",
+        "partial_selections.py",
+        "complexity_showdown.py",
+        "transitive_closure.py",
+        "explain_answers.py",
+        "csv_pipeline.py",
+    } <= names

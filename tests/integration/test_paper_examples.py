@@ -1,0 +1,212 @@
+"""End-to-end integration tests: every worked example in the paper.
+
+Each test reproduces a concrete scenario the paper narrates -- the
+buys/friend/idol story of Example 1.1, the cheaper-products twist of
+Example 1.2, the ternary rewrite of Example 2.4, the ``(a1+a2)* t0
+(b1+b2)*`` recursion of Section 3.2 -- end to end through the Engine,
+checking answers, chosen strategy, and the structural facts the paper
+states (class structure, plan shape).
+"""
+
+import pytest
+
+from repro.datalog.database import Database
+from repro.engine import Engine
+from repro.workloads.paper import (
+    example_1_1_program,
+    example_1_2_program,
+    example_2_4_program,
+    section_3_2_program,
+)
+
+from ..conftest import oracle_answers
+
+
+class TestExample11Story:
+    """'A person will buy a product if it is perfect for them, or if
+    their friend or idol has bought it.'"""
+
+    @pytest.fixture
+    def engine(self):
+        db = Database.from_facts(
+            {
+                "friend": [
+                    ("tom", "sue"),
+                    ("sue", "ann"),
+                    ("kim", "tom"),
+                ],
+                "idol": [("tom", "ann"), ("ann", "liz")],
+                "perfectFor": [
+                    ("liz", "guitar"),
+                    ("ann", "camera"),
+                    ("kim", "skates"),
+                ],
+            }
+        )
+        return Engine(example_1_1_program(), db)
+
+    def test_purchases_propagate_through_friends_and_idols(self, engine):
+        result = engine.query("buys(tom, Y)?")
+        # tom -> sue -> ann buys camera; tom -> ann -> liz buys guitar.
+        assert result.answers == {
+            ("tom", "camera"),
+            ("tom", "guitar"),
+        }
+
+    def test_who_buys_the_camera(self, engine):
+        result = engine.query("buys(X, camera)?")
+        assert result.answers == {
+            ("ann", "camera"),
+            ("sue", "camera"),
+            ("tom", "camera"),
+            ("kim", "camera"),
+        }
+        assert result.strategy == "separable"
+
+    def test_class_structure_matches_example_2_3(self, engine):
+        """Example 2.3: one class {column 1}, pers = {column 2}."""
+        report = engine.report("buys")
+        analysis = report.analysis
+        assert len(analysis.classes) == 1
+        assert analysis.classes[0].positions == (0,)
+        assert analysis.classes[0].rule_indices == (0, 1)
+        assert analysis.pers_positions == (1,)
+
+
+class TestExample12Story:
+    """'...they will buy a product if it is cheaper than another
+    product they will buy.'"""
+
+    @pytest.fixture
+    def engine(self):
+        db = Database.from_facts(
+            {
+                "friend": [("tom", "sue")],
+                "cheaper": [
+                    ("mug", "vase"),
+                    ("spoon", "mug"),
+                ],
+                "perfectFor": [("sue", "vase")],
+            }
+        )
+        return Engine(example_1_2_program(), db)
+
+    def test_cheaper_chain_followed(self, engine):
+        result = engine.query("buys(tom, Y)?")
+        assert result.answers == {
+            ("tom", "vase"),
+            ("tom", "mug"),
+            ("tom", "spoon"),
+        }
+
+    def test_two_singleton_classes(self, engine):
+        analysis = engine.report("buys").analysis
+        assert [c.positions for c in analysis.classes] == [(0,), (1,)]
+        assert analysis.pers_positions == ()
+
+
+class TestExample24Rewrite:
+    """The partial selection t(c, Y, Z)? handled via Lemma 2.1."""
+
+    @pytest.fixture
+    def setup(self):
+        db = Database.from_facts(
+            {
+                "a": [
+                    ("c", "d", "m", "n"),
+                    ("m", "n", "g", "h"),
+                ],
+                "b": [("w0", "w1"), ("w1", "w2")],
+                "t0": [("g", "h", "w0"), ("c", "d", "w0")],
+            }
+        )
+        return Engine(example_2_4_program(), db), db
+
+    def test_partial_selection_answers(self, setup):
+        engine, db = setup
+        result = engine.query("t(c, Y, Z)?")
+        from repro.datalog.parser import parse_query
+
+        assert result.answers == oracle_answers(
+            example_2_4_program(), db, parse_query("t(c, Y, Z)?")
+        )
+        assert result.strategy == "separable"
+        assert result.answers  # nonempty: both direct and via a
+
+    def test_full_selection_on_either_class(self, setup):
+        engine, db = setup
+        from repro.datalog.parser import parse_query
+
+        for q in ["t(c, d, Z)?", "t(X, Y, w2)?"]:
+            assert engine.query(q).answers == oracle_answers(
+                example_2_4_program(), db, parse_query(q)
+            )
+
+
+class TestSection32Recursion:
+    """The abstract recursion whose expansion is (a1+a2)* t0 (b1+b2)*."""
+
+    @pytest.fixture
+    def setup(self):
+        db = Database.from_facts(
+            {
+                "a1": [("x0", "x1")],
+                "a2": [("x1", "x2")],
+                "t0": [("x2", "y0"), ("x0", "z0")],
+                "b1": [("y0", "y1")],
+                "b2": [("y1", "y2"), ("z0", "z1")],
+            }
+        )
+        return Engine(section_3_2_program(), db), db
+
+    def test_query_on_x0(self, setup):
+        engine, db = setup
+        from repro.datalog.parser import parse_query
+
+        q = parse_query("t(x0, Y)?")
+        result = engine.query(q)
+        assert result.answers == oracle_answers(
+            section_3_2_program(), db, q
+        )
+        # both sides of the regular expression are exercised
+        assert ("x0", "y2") in result.answers  # a1 a2 t0 b1 b2
+        assert ("x0", "z1") in result.answers  # t0 b2
+
+    def test_plan_shape_matches_section_3_2(self, setup):
+        engine, _ = setup
+        from repro.core.compiler import compile_selection
+        from repro.core.selections import classify_selection
+        from repro.datalog.parser import parse_atom
+
+        analysis = engine.report("t").analysis
+        plan = compile_selection(
+            classify_selection(analysis, parse_atom("t(x0, Y)"))
+        )
+        assert len(plan.down_joins) == 2  # a1, a2
+        assert len(plan.up_joins) == 2    # b1, b2
+
+
+class TestStrategyAgreementMatrix:
+    """All strategies on all paper fixtures give identical answers."""
+
+    @pytest.mark.parametrize(
+        "strategy", ["separable", "magic", "seminaive", "naive"]
+    )
+    @pytest.mark.parametrize(
+        "fixture_name,query",
+        [
+            ("example_1_1", "buys(tom, Y)?"),
+            ("example_1_1", "buys(X, camera)?"),
+            ("example_1_2", "buys(tom, Y)?"),
+            ("example_2_4", "t(c, d, Z)?"),
+            ("transitive_closure", "tc(a, Y)?"),
+        ],
+    )
+    def test_agreement(self, request, fixture_name, query, strategy):
+        program, db = request.getfixturevalue(fixture_name)
+        engine = Engine(program, db)
+        from repro.datalog.parser import parse_query
+
+        assert engine.query(query, strategy=strategy).answers == (
+            oracle_answers(program, db, parse_query(query))
+        )

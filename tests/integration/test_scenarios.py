@@ -1,0 +1,94 @@
+"""Integration tests over the named scenarios: every strategy the
+engine would pick agrees with the oracle on realistic workloads."""
+
+import pytest
+
+from repro.engine import Engine
+from repro.datalog.parser import parse_query
+from repro.workloads.scenarios import flight_network, org_chart, social_commerce
+
+from ..conftest import oracle_answers
+
+SCENARIOS = {
+    "social_commerce": social_commerce,
+    "org_chart": org_chart,
+    "flight_network": flight_network,
+}
+
+
+@pytest.fixture(params=sorted(SCENARIOS))
+def scenario(request):
+    return SCENARIOS[request.param]()
+
+
+class TestScenarios:
+    def test_separability_expectations(self, scenario):
+        engine = Engine(scenario.program, scenario.database)
+        for predicate in scenario.separable_predicates:
+            assert engine.is_separable(predicate), predicate
+
+    def test_auto_matches_oracle_on_every_query(self, scenario):
+        engine = Engine(scenario.program, scenario.database)
+        for query_text in scenario.queries:
+            query = parse_query(query_text)
+            result = engine.query(query)
+            expected = oracle_answers(
+                scenario.program, scenario.database, query
+            )
+            assert result.answers == expected, (scenario.name, query_text)
+
+    def test_auto_picks_separable_where_possible(self, scenario):
+        engine = Engine(scenario.program, scenario.database)
+        for query_text in scenario.queries:
+            query = parse_query(query_text)
+            result = engine.query(query)
+            if query.predicate in scenario.separable_predicates:
+                assert result.strategy == "separable"
+            else:
+                assert result.strategy == "magic"
+
+    def test_magic_also_matches_oracle(self, scenario):
+        engine = Engine(scenario.program, scenario.database)
+        for query_text in scenario.queries:
+            query = parse_query(query_text)
+            assert engine.query(
+                query, strategy="magic"
+            ).answers == oracle_answers(
+                scenario.program, scenario.database, query
+            )
+
+
+class TestOrgChartSpecifics:
+    def test_multi_idb_base_materialization(self):
+        """chain_of_command depends on the derived 'oversees' IDB."""
+        scenario = org_chart(depth=4)
+        engine = Engine(scenario.program, scenario.database)
+        result = engine.query("chain_of_command(emp0, Y)?")
+        # the root oversees everyone reachable, including dotted lines
+        assert len(result.answers) >= 2**4 - 2
+        assert result.strategy == "separable"
+
+    def test_plan_reused_across_constants(self):
+        scenario = org_chart(depth=4)
+        engine = Engine(scenario.program, scenario.database)
+        first = engine.query("chain_of_command(emp0, Y)?")
+        second = engine.query("chain_of_command(emp1, Y)?")
+        assert first.plan is second.plan  # cached by binding pattern
+
+
+class TestFlightNetworkSpecifics:
+    def test_cheap_trip_not_separable(self):
+        scenario = flight_network(cities=12)
+        engine = Engine(scenario.program, scenario.database)
+        report = engine.report("cheap_trip")
+        assert not report.separable
+        assert report.separable_up_to_condition_4  # Section 5 shape
+
+    def test_relaxed_mode_on_cheap_trip(self):
+        scenario = flight_network(cities=12)
+        engine = Engine(scenario.program, scenario.database)
+        query = parse_query("cheap_trip(city0, Y)?")
+        relaxed = engine.query(query, strategy="relaxed")
+        assert relaxed.answers == oracle_answers(
+            scenario.program, scenario.database, query
+        )

@@ -1,0 +1,138 @@
+"""Hypothesis strategies generating random separable recursions + EDBs.
+
+The generator constructs programs that are separable *by construction*:
+
+* pick an arity ``k`` and partition the positions into up to three
+  equivalence classes plus a persistent remainder;
+* for each class, emit 1-3 recursive rules whose nonrecursive subgoals
+  form one connected set touching exactly that class's columns in both
+  the head and the recursive body instance (one wide atom, or a chain of
+  two atoms linked by an existential variable);
+* close with the exit rule ``t(V1..Vk) :- t0(V1..Vk).``.
+
+EDB facts are drawn over a small constant pool so cycles and converging
+paths arise naturally.  The detector is asserted to accept every
+generated program, so these strategies double as a fuzz test of
+Definition 2.4's implementation.
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.datalog.atoms import Atom
+from repro.datalog.database import Database
+from repro.datalog.programs import Program
+from repro.datalog.rules import Rule
+from repro.datalog.terms import Constant, Variable
+
+CONSTANTS = [f"c{i}" for i in range(6)]
+
+
+@st.composite
+def separable_setups(draw):
+    """Draw ``(program, database, class position lists, pers positions)``."""
+    arity = draw(st.integers(min_value=1, max_value=4))
+    class_count = draw(st.integers(min_value=0, max_value=min(3, arity)))
+    assignment = [
+        draw(st.integers(min_value=0, max_value=class_count))
+        for _ in range(arity)
+    ]
+    # class id 0 means persistent; 1..class_count are real classes.
+    class_positions: dict[int, list[int]] = {}
+    for position, cls in enumerate(assignment):
+        if cls > 0:
+            class_positions.setdefault(cls, []).append(position)
+
+    head_vars = tuple(Variable(f"V{i + 1}") for i in range(arity))
+    rules: list[Rule] = []
+    edb_specs: list[tuple[str, int]] = []
+
+    for cls_index, positions in sorted(class_positions.items()):
+        width = len(positions)
+        rule_count = draw(st.integers(min_value=1, max_value=3))
+        for r in range(rule_count):
+            body_vars = {p: Variable(f"W{p + 1}") for p in positions}
+            recursive_args = tuple(
+                body_vars.get(p, head_vars[p]) for p in range(arity)
+            )
+            name = f"e{cls_index}_{r}"
+            two_atoms = draw(st.booleans())
+            if two_atoms:
+                mid = Variable("M")
+                first = Atom(
+                    name + "a",
+                    tuple(head_vars[p] for p in positions) + (mid,),
+                )
+                second = Atom(
+                    name + "b",
+                    (mid,) + tuple(body_vars[p] for p in positions),
+                )
+                nonrec = (first, second)
+                edb_specs.append((name + "a", width + 1))
+                edb_specs.append((name + "b", width + 1))
+            else:
+                atom = Atom(
+                    name,
+                    tuple(head_vars[p] for p in positions)
+                    + tuple(body_vars[p] for p in positions),
+                )
+                nonrec = (atom,)
+                edb_specs.append((name, 2 * width))
+            rules.append(
+                Rule(
+                    Atom("t", head_vars),
+                    nonrec + (Atom("t", recursive_args),),
+                )
+            )
+
+    rules.append(
+        Rule(Atom("t", head_vars), (Atom("t0", head_vars),))
+    )
+    edb_specs.append(("t0", arity))
+
+    db = Database()
+    for name, pred_arity in edb_specs:
+        db.ensure(name, pred_arity)
+        tuple_count = draw(st.integers(min_value=0, max_value=8))
+        for _ in range(tuple_count):
+            fact = tuple(
+                draw(st.sampled_from(CONSTANTS)) for _ in range(pred_arity)
+            )
+            db.add_fact(name, fact)
+
+    pers = [p for p, cls in enumerate(assignment) if cls == 0]
+    classes = [sorted(v) for _, v in sorted(class_positions.items())]
+    return Program(rules), db, classes, pers
+
+
+@st.composite
+def queries_for(draw, arity: int, classes, pers):
+    """Draw a query atom for the generated recursion.
+
+    Bindings are chosen to cover all interesting cases: full class
+    selections, persistent selections, partial selections, and mixes.
+    """
+    mode = draw(
+        st.sampled_from(["full_class", "pers", "random", "all_bound"])
+    )
+    bound: set[int] = set()
+    if mode == "full_class" and classes:
+        bound |= set(draw(st.sampled_from(classes)))
+    elif mode == "pers" and pers:
+        bound.add(draw(st.sampled_from(pers)))
+    elif mode == "all_bound":
+        bound = set(range(arity))
+    else:
+        for p in range(arity):
+            if draw(st.booleans()):
+                bound.add(p)
+        if not bound:
+            bound.add(draw(st.integers(min_value=0, max_value=arity - 1)))
+    args = tuple(
+        Constant(draw(st.sampled_from(CONSTANTS)))
+        if p in bound
+        else Variable(f"Q{p}")
+        for p in range(arity)
+    )
+    return Atom("t", args)

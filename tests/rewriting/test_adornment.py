@@ -1,0 +1,83 @@
+"""Unit tests for adornments and sideways information passing."""
+
+from repro.datalog.parser import parse_atom, parse_program
+from repro.rewriting.adornment import (
+    AdornedAtom,
+    adorn_program,
+    adorned_name,
+    adornment_from_query,
+)
+from repro.workloads.paper import example_1_2_program
+
+
+class TestAdornmentFromQuery:
+    def test_bound_free(self):
+        assert adornment_from_query(parse_atom("buys(tom, Y)")) == "bf"
+
+    def test_all_free(self):
+        assert adornment_from_query(parse_atom("buys(X, Y)")) == "ff"
+
+    def test_all_bound(self):
+        assert adornment_from_query(parse_atom("buys(tom, 3)")) == "bb"
+
+    def test_adorned_name(self):
+        assert adorned_name("buys", "bf") == "buys__bf"
+
+
+class TestAdornProgram:
+    def test_example_1_2_single_adornment(self):
+        adorned, qa = adorn_program(
+            example_1_2_program(), parse_atom("buys(tom, Y)")
+        )
+        assert qa == "bf"
+        assert set(adorned) == {("buys", "bf")}
+        rules = adorned[("buys", "bf")]
+        assert len(rules) == 3
+
+    def test_sip_binds_through_edb(self):
+        adorned, _ = adorn_program(
+            example_1_2_program(), parse_atom("buys(tom, Y)")
+        )
+        friend_rule = adorned[("buys", "bf")][0]
+        idb_atoms = [
+            i for i in friend_rule.body if isinstance(i, AdornedAtom)
+        ]
+        # friend(X, W) binds W, so the recursive call is buys^bf(W, Y).
+        assert idb_atoms[0].adornment == "bf"
+
+    def test_right_linear_keeps_binding(self):
+        adorned, _ = adorn_program(
+            example_1_2_program(), parse_atom("buys(tom, Y)")
+        )
+        cheaper_rule = adorned[("buys", "bf")][1]
+        idb_atoms = [
+            i for i in cheaper_rule.body if isinstance(i, AdornedAtom)
+        ]
+        # buys(X, W): X bound from the head, W free.
+        assert idb_atoms[0].adornment == "bf"
+
+    def test_new_adornments_discovered(self):
+        program = parse_program(
+            """
+            p(X, Y) :- e(X, W) & q(Y, W).
+            q(X, Y) :- f(X, Y).
+            """
+        ).program
+        adorned, _ = adorn_program(program, parse_atom("p(c, Y)"))
+        # q is called with first arg free (Y unbound), second bound (W
+        # bound by e): adornment fb.
+        assert ("q", "fb") in adorned
+
+    def test_second_position_binding(self):
+        adorned, qa = adorn_program(
+            example_1_2_program(), parse_atom("buys(X, cup)")
+        )
+        assert qa == "fb"
+        assert ("buys", "fb") in adorned
+
+    def test_bound_head_terms(self):
+        adorned, _ = adorn_program(
+            example_1_2_program(), parse_atom("buys(tom, Y)")
+        )
+        rule = adorned[("buys", "bf")][0]
+        assert [str(t) for t in rule.bound_head_terms()] == ["X"]

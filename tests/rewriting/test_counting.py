@@ -1,0 +1,254 @@
+"""Unit tests for the Generalized Counting Method."""
+
+import pytest
+
+from repro.budget import Budget
+from repro.datalog.database import Database
+from repro.datalog.errors import BudgetExceeded, CyclicDataError
+from repro.datalog.parser import parse_atom, parse_program
+from repro.rewriting.counting import (
+    CountingNotApplicable,
+    compile_counting,
+    evaluate_counting,
+)
+from repro.stats import EvaluationStats
+from repro.workloads.generators import chain, cycle, random_dag
+from repro.workloads.paper import (
+    example_1_1_database,
+    example_1_1_program,
+    example_1_2_program,
+    lemma_4_3_database,
+    lemma_4_3_program,
+)
+
+from ..conftest import oracle_answers
+
+
+class TestCompile:
+    def test_example_1_1_all_down(self):
+        plan = compile_counting(
+            example_1_1_program(), parse_atom("buys(tom, Y)")
+        )
+        assert plan.bound_positions == (0,)
+        assert all(r.up_atoms == () for r in plan.rules)
+        assert all(len(r.down_atoms) == 1 for r in plan.rules)
+
+    def test_chain_rule_with_up_part(self):
+        program = parse_program(
+            """
+            t(X, Y) :- a(X, W) & t(W, Z) & b(Z, Y).
+            t(X, Y) :- t0(X, Y).
+            """
+        ).program
+        plan = compile_counting(program, parse_atom("t(c, Y)"))
+        rule = plan.rules[0]
+        assert [a.predicate for a in rule.down_atoms] == ["a"]
+        assert [a.predicate for a in rule.up_atoms] == ["b"]
+
+    def test_combined_component_rejected(self):
+        # a single atom touching both bound and free sides
+        program = parse_program(
+            """
+            t(X, Y) :- a(X, W, Y) & t(W, Y).
+            t(X, Y) :- t0(X, Y).
+            """
+        ).program
+        with pytest.raises(CountingNotApplicable):
+            compile_counting(program, parse_atom("t(c, Y)"))
+
+    def test_shifting_bound_free_rejected(self):
+        program = parse_program(
+            """
+            t(X, Y) :- a(X, W) & t(Y, W).
+            t(X, Y) :- t0(X, Y).
+            """
+        ).program
+        with pytest.raises(CountingNotApplicable):
+            compile_counting(program, parse_atom("t(c, Y)"))
+
+    def test_unbound_query_rejected(self):
+        with pytest.raises(CountingNotApplicable):
+            compile_counting(
+                example_1_1_program(), parse_atom("buys(X, Y)")
+            )
+
+    def test_no_exit_rule_rejected(self):
+        program = parse_program(
+            "t(X, Y) :- a(X, W) & t(W, Y)."
+        ).program
+        with pytest.raises(CountingNotApplicable):
+            compile_counting(program, parse_atom("t(c, Y)"))
+
+
+class TestAnswers:
+    def test_example_1_1(self, example_1_1):
+        program, db = example_1_1
+        query = parse_atom("buys(tom, Y)")
+        assert evaluate_counting(program, db, query) == oracle_answers(
+            program, db, query
+        )
+
+    def test_chain_rule_program(self):
+        """The classic down+up chain rule (same-generation shape)."""
+        program = parse_program(
+            """
+            t(X, Y) :- a(X, W) & t(W, Z) & b(Z, Y).
+            t(X, Y) :- t0(X, Y).
+            """
+        ).program
+        db = Database.from_facts(
+            {
+                "a": [("c", "m"), ("m", "n")],
+                "t0": [("n", "u"), ("m", "v"), ("c", "w")],
+                "b": [("u", "p"), ("p", "q"), ("v", "r")],
+            }
+        )
+        query = parse_atom("t(c, Y)")
+        assert evaluate_counting(program, db, query) == oracle_answers(
+            program, db, query
+        )
+
+    def test_level_matching_is_respected(self):
+        """Answers must replay exactly as many b-steps as a-steps."""
+        program = parse_program(
+            """
+            t(X, Y) :- a(X, W) & t(W, Z) & b(Z, Y).
+            t(X, Y) :- t0(X, Y).
+            """
+        ).program
+        # two a-steps from c; t0 at every depth; b-chain of 3.
+        db = Database.from_facts(
+            {
+                "a": [("c", "d"), ("d", "e")],
+                "t0": [("e", "u0"), ("d", "u0"), ("c", "u0")],
+                "b": [("u0", "u1"), ("u1", "u2"), ("u2", "u3")],
+            }
+        )
+        query = parse_atom("t(c, Y)")
+        expected = oracle_answers(program, db, query)
+        got = evaluate_counting(program, db, query)
+        assert got == expected
+        # depth-mismatched tuple must NOT be present
+        assert ("c", "u3") not in got
+
+    def test_multi_rule_paths(self, example_1_1):
+        program = example_1_1_program()
+        db = example_1_1_database(5)
+        query = parse_atom("buys(a1, Y)")
+        assert evaluate_counting(program, db, query) == oracle_answers(
+            program, db, query
+        )
+
+    def test_dag_data(self):
+        program = parse_program(
+            "tc(X, Y) :- e(X, W) & tc(W, Y).\ntc(X, Y) :- e(X, Y)."
+        ).program
+        db = Database.from_facts({"e": random_dag(10, 18, seed=5)})
+        query = parse_atom("tc(a0, Y)")
+        assert evaluate_counting(program, db, query) == oracle_answers(
+            program, db, query
+        )
+
+    def test_bound_second_column_not_applicable(self, example_1_2):
+        """Binding column 2 of Example 1.2: rule r1 passes the binding
+        through unchanged, so the counting descent cannot progress --
+        the method does not apply to this binding pattern."""
+        program, db = example_1_2
+        query = parse_atom("buys(X, cup)")
+        with pytest.raises(CountingNotApplicable):
+            evaluate_counting(program, db, query)
+
+
+class TestFailureModes:
+    def test_cyclic_data_detected(self):
+        program = example_1_1_program()
+        db = Database.from_facts(
+            {
+                "friend": cycle(5),
+                "idol": [],
+                "perfectFor": [("a2", "thing")],
+            }
+        )
+        db.ensure("idol", 2)
+        with pytest.raises(CyclicDataError):
+            evaluate_counting(program, db, parse_atom("buys(a0, Y)"))
+
+    def test_empty_down_part_not_applicable(self):
+        """Example 1.2 with the selection on column 1: rule r2's down
+        part is empty (the binding passes through unchanged), so the
+        descent would self-loop -- the reason the paper benchmarks
+        Counting on Example 1.1 but not on 1.2."""
+        program = example_1_2_program()
+        db = Database.from_facts(
+            {
+                "friend": chain(4, "a"),
+                "cheaper": chain(4, "b"),
+                "perfectFor": [("a3", "b0")],
+            }
+        )
+        with pytest.raises(CountingNotApplicable):
+            evaluate_counting(program, db, parse_atom("buys(a0, Y)"))
+
+    def test_budget_stops_exponential_blowup(self):
+        program = lemma_4_3_program(2, 3)
+        db = lemma_4_3_database(12, 2, 3)
+        with pytest.raises(BudgetExceeded):
+            evaluate_counting(
+                program,
+                db,
+                parse_atom("t(c1, Y)"),
+                stats=EvaluationStats(),
+                budget=Budget(max_relation_tuples=500),
+            )
+
+
+class TestBlowupShapes:
+    def test_count_is_2_to_the_n_on_example_1_1(self):
+        """Section 4: count holds one tuple per path -- sum of 2^l."""
+        n = 7
+        stats = EvaluationStats()
+        evaluate_counting(
+            example_1_1_program(),
+            example_1_1_database(n),
+            parse_atom("buys(a1, Y)"),
+            stats=stats,
+        )
+        assert stats.relation_sizes["count"] == 2**n - 1
+
+    def test_count_is_p_to_the_n_on_lemma_4_3(self):
+        n, p = 5, 3
+        stats = EvaluationStats()
+        evaluate_counting(
+            lemma_4_3_program(2, p),
+            lemma_4_3_database(n, 2, p),
+            parse_atom("t(c1, Y)"),
+            stats=stats,
+        )
+        expected = sum(p**l for l in range(n))
+        assert stats.relation_sizes["count"] == expected
+
+
+class TestRulesDisplay:
+    def test_example_1_1_listing(self):
+        from repro.rewriting.counting import counting_rules_text
+
+        text = counting_rules_text(
+            example_1_1_program(), parse_atom("buys(tom, Y)")
+        )
+        lines = text.splitlines()
+        assert lines[0] == "count(0, 0, 0, tom)."
+        assert "friend(X, W)" in lines[1] and "3*K+1" in lines[1]
+        assert "idol(X, W)" in lines[2] and "3*K+2" in lines[2]
+
+    def test_chain_rule_listing_shows_down_part_only(self):
+        from repro.rewriting.counting import counting_rules_text
+
+        program = parse_program(
+            """
+            t(X, Y) :- a(X, W) & t(W, Z) & b(Z, Y).
+            t(X, Y) :- t0(X, Y).
+            """
+        ).program
+        text = counting_rules_text(program, parse_atom("t(c, Y)"))
+        assert "a(" in text
+        assert "b(" not in text  # the up part is replayed, not counted

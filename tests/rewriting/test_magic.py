@@ -1,0 +1,273 @@
+"""Unit tests for the Generalized Magic Sets rewrite and evaluation."""
+
+import pytest
+
+from repro.datalog.database import Database
+from repro.datalog.parser import parse_atom, parse_program
+from repro.rewriting.magic import evaluate_magic, magic_rewrite
+from repro.stats import EvaluationStats
+from repro.workloads.generators import chain, cycle, random_graph
+from repro.workloads.paper import (
+    example_1_1_program,
+    example_1_2_database,
+    example_1_2_program,
+)
+
+from ..conftest import oracle_answers
+
+
+class TestRewriteShape:
+    """The rewrite reproduces the Section 4 rules for Example 1.2."""
+
+    def test_rule_inventory(self):
+        rewrite = magic_rewrite(
+            example_1_2_program(), parse_atom("buys(tom, Y)")
+        )
+        texts = {str(r) for r in rewrite.program.rules}
+        assert (
+            "magic_buys__bf(W) :- magic_buys__bf(X) & friend(X, W)."
+            in texts
+        )
+        assert (
+            "buys__bf(X, Y) :- magic_buys__bf(X) & perfectFor(X, Y)."
+            in texts
+        )
+        assert (
+            "buys__bf(X, Y) :- magic_buys__bf(X) & friend(X, W) & "
+            "buys__bf(W, Y)." in texts
+        )
+        assert (
+            "buys__bf(X, Y) :- magic_buys__bf(X) & buys__bf(X, W) & "
+            "cheaper(Y, W)." in texts
+        )
+
+    def test_seed(self):
+        rewrite = magic_rewrite(
+            example_1_2_program(), parse_atom("buys(tom, Y)")
+        )
+        assert str(rewrite.seed) == "magic_buys__bf(tom)"
+
+    def test_no_trivial_self_magic_rule(self):
+        rewrite = magic_rewrite(
+            example_1_2_program(), parse_atom("buys(tom, Y)")
+        )
+        for r in rewrite.program.rules:
+            assert str(r.head) != str(r.body[0]) or len(r.body) > 1
+
+    def test_generated_predicates(self):
+        rewrite = magic_rewrite(
+            example_1_2_program(), parse_atom("buys(tom, Y)")
+        )
+        assert rewrite.generated_predicates == {
+            "buys__bf",
+            "magic_buys__bf",
+        }
+
+    def test_unknown_predicate_rejected(self):
+        from repro.datalog.errors import UnknownPredicateError
+
+        with pytest.raises(UnknownPredicateError):
+            magic_rewrite(example_1_2_program(), parse_atom("nope(c, Y)"))
+
+
+class TestAnswers:
+    def test_example_1_1(self, example_1_1):
+        program, db = example_1_1
+        for q in ["buys(tom, Y)", "buys(X, camera)", "buys(tom, camera)"]:
+            query = parse_atom(q)
+            assert evaluate_magic(program, db, query) == oracle_answers(
+                program, db, query
+            )
+
+    def test_example_1_2(self, example_1_2):
+        program, db = example_1_2
+        for q in ["buys(tom, Y)", "buys(X, cup)"]:
+            query = parse_atom(q)
+            assert evaluate_magic(program, db, query) == oracle_answers(
+                program, db, query
+            )
+
+    def test_all_free_query(self, example_1_1):
+        program, db = example_1_1
+        query = parse_atom("buys(X, Y)")
+        assert evaluate_magic(program, db, query) == oracle_answers(
+            program, db, query
+        )
+
+    def test_repeated_query_variable(self):
+        program = parse_program(
+            "tc(X, Y) :- e(X, W) & tc(W, Y).\ntc(X, Y) :- e(X, Y)."
+        ).program
+        db = Database.from_facts({"e": cycle(4)})
+        query = parse_atom("tc(X, X)")
+        assert evaluate_magic(program, db, query) == oracle_answers(
+            program, db, query
+        )
+
+    def test_cyclic_data_terminates(self):
+        program = example_1_1_program()
+        db = Database.from_facts(
+            {
+                "friend": cycle(10),
+                "idol": [],
+                "perfectFor": [("a5", "thing")],
+            }
+        )
+        db.ensure("idol", 2)
+        query = parse_atom("buys(a0, Y)")
+        assert evaluate_magic(program, db, query) == oracle_answers(
+            program, db, query
+        )
+
+    def test_random_graph_matches_oracle(self):
+        program = example_1_2_program()
+        db = Database.from_facts(
+            {
+                "friend": random_graph(10, 20, seed=1, prefix="f"),
+                "cheaper": random_graph(10, 20, seed=2, prefix="c"),
+                "perfectFor": [("f0", "c0"), ("f3", "c7")],
+            }
+        )
+        query = parse_atom("buys(f0, Y)")
+        assert evaluate_magic(program, db, query) == oracle_answers(
+            program, db, query
+        )
+
+    def test_multi_idb_program(self):
+        program = parse_program(
+            """
+            anc(X, Y) :- parent(X, Y).
+            anc(X, Y) :- parent(X, W) & anc(W, Y).
+            proud(X, Y) :- anc(X, Y) & famous(Y).
+            """
+        ).program
+        db = Database.from_facts(
+            {
+                "parent": [("a", "b"), ("b", "c"), ("b", "d")],
+                "famous": [("c",)],
+            }
+        )
+        query = parse_atom("proud(a, Y)")
+        assert evaluate_magic(program, db, query) == oracle_answers(
+            program, db, query
+        )
+
+
+class TestFocusAndBlowup:
+    def test_magic_focuses_on_reachable_part(self):
+        """Constants restrict work to the reachable component."""
+        program = example_1_1_program()
+        reachable = chain(5, "a")
+        unreachable = chain(100, "z")
+        db = Database.from_facts(
+            {
+                "friend": reachable + unreachable,
+                "idol": [],
+                "perfectFor": [("a4", "thing"), ("z50", "other")],
+            }
+        )
+        db.ensure("idol", 2)
+        stats = EvaluationStats()
+        evaluate_magic(program, db, parse_atom("buys(a0, Y)"), stats=stats)
+        assert stats.relation_sizes["magic_buys__bf"] <= 5
+
+    def test_example_1_2_quadratic_blowup(self):
+        """The Section 4 analysis: buys holds the n^2 tuples (a_i, b_j)."""
+        n = 10
+        program = example_1_2_program()
+        db = example_1_2_database(n)
+        stats = EvaluationStats()
+        answers = evaluate_magic(
+            program, db, parse_atom("buys(a1, Y)"), stats=stats
+        )
+        assert stats.relation_sizes["buys__bf"] == n * n
+        assert len(answers) == n  # but only n of them answer the query
+
+
+class TestSupplementaryVariant:
+    """style='supplementary': same answers, sup_{r,i} factoring."""
+
+    def test_same_answers_example_1_1(self, example_1_1):
+        program, db = example_1_1
+        for q in ["buys(tom, Y)", "buys(X, camera)"]:
+            query = parse_atom(q)
+            assert evaluate_magic(
+                program, db, query, style="supplementary"
+            ) == oracle_answers(program, db, query)
+
+    def test_same_answers_example_1_2(self, example_1_2):
+        program, db = example_1_2
+        query = parse_atom("buys(tom, Y)")
+        basic = evaluate_magic(program, db, query)
+        supplementary = evaluate_magic(
+            program, db, query, style="supplementary"
+        )
+        assert basic == supplementary
+
+    def test_sup_relations_generated(self, example_1_2):
+        program, db = example_1_2
+        stats = EvaluationStats()
+        evaluate_magic(
+            program, db, parse_atom("buys(tom, Y)"),
+            stats=stats, style="supplementary",
+        )
+        assert any(name.startswith("sup__") for name in stats.relation_sizes)
+
+    def test_same_asymptotic_shape_on_lemma_4_2(self):
+        """Supplementary magic still materializes the n^k t0 copy --
+        the Section 4 blowup is variant-independent."""
+        from repro.workloads.paper import (
+            lemma_4_2_database,
+            lemma_4_2_program,
+        )
+
+        n, k, p = 4, 2, 2
+        program = lemma_4_2_program(k, p)
+        db = lemma_4_2_database(n, k, p)
+        stats = EvaluationStats()
+        evaluate_magic(
+            program, db, parse_atom("t(c1, Q)"),
+            stats=stats, style="supplementary",
+        )
+        assert stats.relation_sizes["t__bf"] == n**k
+
+    def test_multi_idb_program(self):
+        program = parse_program(
+            """
+            anc(X, Y) :- parent(X, Y).
+            anc(X, Y) :- parent(X, W) & anc(W, Y).
+            proud(X, Y) :- anc(X, Y) & famous(Y).
+            """
+        ).program
+        db = Database.from_facts(
+            {
+                "parent": [("a", "b"), ("b", "c")],
+                "famous": [("c",)],
+            }
+        )
+        query = parse_atom("proud(a, Y)")
+        assert evaluate_magic(
+            program, db, query, style="supplementary"
+        ) == oracle_answers(program, db, query)
+
+    def test_unknown_style_rejected(self, example_1_1):
+        program, db = example_1_1
+        with pytest.raises(ValueError, match="unknown magic style"):
+            evaluate_magic(
+                program, db, parse_atom("buys(tom, Y)"), style="quantum"
+            )
+
+    def test_cyclic_data_terminates(self):
+        program = example_1_1_program()
+        db = Database.from_facts(
+            {
+                "friend": cycle(8),
+                "idol": [],
+                "perfectFor": [("a3", "thing")],
+            }
+        )
+        db.ensure("idol", 2)
+        query = parse_atom("buys(a0, Y)")
+        assert evaluate_magic(
+            program, db, query, style="supplementary"
+        ) == oracle_answers(program, db, query)

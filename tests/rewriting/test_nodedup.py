@@ -1,0 +1,100 @@
+"""Tests for the no-dedup ablation (Figure 2 without lines 5/12)."""
+
+import pytest
+
+from repro.core.compiler import compile_selection
+from repro.core.detection import require_separable
+from repro.core.evaluator import execute_plan
+from repro.core.selections import classify_selection
+from repro.datalog.database import Database
+from repro.datalog.errors import CyclicDataError
+from repro.datalog.parser import parse_atom, parse_program
+from repro.rewriting.nodedup import execute_plan_nodedup
+from repro.stats import EvaluationStats
+from repro.workloads.generators import chain, cycle, grid
+
+TC = "tc(X, Y) :- e(X, W) & tc(W, Y).\ntc(X, Y) :- e0(X, Y)."
+
+
+def make_plan(program_text, query_text):
+    program = parse_program(program_text).program
+    query = parse_atom(query_text)
+    analysis = require_separable(program, query.predicate)
+    selection = classify_selection(analysis, query)
+    return compile_selection(selection), selection
+
+
+class TestAcyclicEquivalence:
+    def test_same_answers_on_chain(self):
+        plan, sel = make_plan(TC, "tc(a0, Y)")
+        db = Database.from_facts(
+            {"e": chain(10), "e0": [("a9", "end")]}
+        )
+        with_dedup = execute_plan(plan, db, [sel.seed])
+        without = execute_plan_nodedup(plan, db, [sel.seed])
+        assert with_dedup == without
+
+    def test_same_answers_on_grid(self):
+        plan, sel = make_plan(TC, "tc(g0_0, Y)")
+        db = Database.from_facts(
+            {"e": grid(4, 4), "e0": [("g3_3", "end")]}
+        )
+        assert execute_plan(plan, db, [sel.seed]) == execute_plan_nodedup(
+            plan, db, [sel.seed]
+        )
+
+
+class TestDuplicateWork:
+    def test_shortcut_chain_produces_more_tuples_without_dedup(self):
+        """On a DAG where nodes are reachable at several distances (a
+        chain with skip edges), the no-dedup iteration re-expands nodes
+        once per distance: the dedup of lines 5/12 is what keeps the
+        Separable algorithm linear."""
+        n = 12
+        edges = chain(n) + [
+            (f"a{i}", f"a{i + 2}") for i in range(n - 2)
+        ]
+        plan, sel = make_plan(TC, "tc(a0, Y)")
+        db = Database.from_facts(
+            {"e": edges, "e0": [(f"a{n - 1}", "end")]}
+        )
+        dedup_stats = EvaluationStats()
+        execute_plan(plan, db, [sel.seed], stats=dedup_stats)
+        nodedup_stats = EvaluationStats()
+        execute_plan_nodedup(plan, db, [sel.seed], stats=nodedup_stats)
+        assert (
+            nodedup_stats.tuples_produced > dedup_stats.tuples_produced
+        )
+        assert (
+            nodedup_stats.iterations > dedup_stats.iterations
+        )
+
+
+class TestCyclicFailure:
+    def test_cycle_raises(self):
+        plan, sel = make_plan(TC, "tc(a0, Y)")
+        db = Database.from_facts(
+            {"e": cycle(6), "e0": [("a3", "end")]}
+        )
+        with pytest.raises(CyclicDataError):
+            execute_plan_nodedup(plan, db, [sel.seed])
+        # ... while the real evaluator terminates on the same input.
+        assert execute_plan(plan, db, [sel.seed]) == frozenset(
+            {("end",)}
+        )
+
+    def test_self_loop_raises(self):
+        plan, sel = make_plan(TC, "tc(a, Y)")
+        db = Database.from_facts(
+            {"e": [("a", "a")], "e0": [("a", "end")]}
+        )
+        with pytest.raises(CyclicDataError):
+            execute_plan_nodedup(plan, db, [sel.seed])
+
+    def test_stats_attached_to_error(self):
+        plan, sel = make_plan(TC, "tc(a0, Y)")
+        db = Database.from_facts({"e": cycle(4), "e0": [("a0", "x")]})
+        stats = EvaluationStats()
+        with pytest.raises(CyclicDataError) as excinfo:
+            execute_plan_nodedup(plan, db, [sel.seed], stats=stats)
+        assert excinfo.value.stats is stats

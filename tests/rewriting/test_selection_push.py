@@ -1,0 +1,177 @@
+"""Tests for [AU79] selection pushing (stable columns)."""
+
+import pytest
+
+from repro.core.api import evaluate_separable
+from repro.datalog.database import Database
+from repro.datalog.parser import parse_atom, parse_program
+from repro.engine import Engine
+from repro.rewriting.selection_push import (
+    StablePushNotApplicable,
+    evaluate_pushed,
+    push_selection,
+    stable_positions,
+)
+from repro.stats import EvaluationStats
+from repro.workloads.paper import example_1_1_program, example_1_2_program
+
+from ..conftest import oracle_answers
+
+
+class TestStablePositions:
+    def test_example_1_1_pers_column_is_stable(self):
+        # Column 2 (Y) never changes; column 1 does.
+        assert stable_positions(example_1_1_program(), "buys") == (1,)
+
+    def test_example_1_2_nothing_stable(self):
+        assert stable_positions(example_1_2_program(), "buys") == ()
+
+    def test_nonlinear_rule_all_occurrences_checked(self):
+        program = parse_program(
+            """
+            t(X, Y) :- t(X, W) & t(W, Y) & tag(X).
+            t(X, Y) :- e(X, Y).
+            """
+        ).program
+        # X stable in the first occurrence but not the second, Y vice
+        # versa -- neither column is stable.
+        assert stable_positions(program, "t") == ()
+
+    def test_nonlinear_with_genuinely_stable_column(self):
+        program = parse_program(
+            """
+            p(X, Y) :- p(X, W) & p(X, V) & join(W, V, Y).
+            p(X, Y) :- base(X, Y).
+            """
+        ).program
+        assert stable_positions(program, "p") == (0,)
+
+    def test_nonrecursive_definition_all_stable(self):
+        program = parse_program("q(X, Y) :- e(X, Y).").program
+        assert stable_positions(program, "q") == (0, 1)
+
+
+class TestPushSelection:
+    def test_rewrite_substitutes_constant(self):
+        program, sigma, pushed = push_selection(
+            example_1_1_program(), parse_atom("buys(X, camera)")
+        )
+        assert pushed == {1: "camera"}
+        texts = {str(r) for r in program.rules}
+        assert (
+            f"{sigma}(X, camera) :- friend(X, W) & {sigma}(W, camera)."
+            in texts
+        )
+        assert f"{sigma}(X, camera) :- perfectFor(X, camera)." in texts
+
+    def test_unstable_selection_rejected(self):
+        with pytest.raises(StablePushNotApplicable):
+            push_selection(
+                example_1_2_program(), parse_atom("buys(tom, Y)")
+            )
+
+    def test_conflicting_head_constant_drops_rule(self):
+        program = parse_program(
+            """
+            t(X, special) :- a(X).
+            t(X, normal) :- b(X).
+            """
+        ).program
+        rewritten, sigma, _ = push_selection(
+            program, parse_atom("t(X, normal)")
+        )
+        sigma_rules = rewritten.rules_for(sigma)
+        assert len(sigma_rules) == 1
+        assert sigma_rules[0].body[0].predicate == "b"
+
+
+class TestEvaluatePushed:
+    DB = Database.from_facts(
+        {
+            "friend": [("tom", "sue"), ("sue", "ann"), ("kim", "tom")],
+            "idol": [("tom", "ann")],
+            "perfectFor": [("ann", "camera"), ("sue", "boat")],
+        }
+    )
+
+    def test_matches_oracle_on_pers_query(self):
+        program = example_1_1_program()
+        query = parse_atom("buys(X, camera)")
+        assert evaluate_pushed(program, self.DB, query) == oracle_answers(
+            program, self.DB, query
+        )
+
+    def test_matches_separable_on_pers_query(self):
+        """The paper: on stable columns of a separable recursion, [AU79]
+        'produces an instance of our algorithm'."""
+        program = example_1_1_program()
+        query = parse_atom("buys(X, camera)")
+        assert evaluate_pushed(program, self.DB, query) == (
+            evaluate_separable(program, self.DB, query)
+        )
+
+    def test_residual_constant_filtered(self):
+        program = example_1_1_program()
+        query = parse_atom("buys(tom, camera)")  # col 1 unstable: filter
+        assert evaluate_pushed(program, self.DB, query) == oracle_answers(
+            program, self.DB, query
+        )
+
+    def test_cyclic_data(self):
+        program = example_1_1_program()
+        db = self.DB.copy()
+        db.add_fact("friend", ("ann", "kim"))
+        query = parse_atom("buys(X, boat)")
+        assert evaluate_pushed(program, db, query) == oracle_answers(
+            program, db, query
+        )
+
+    def test_nonseparable_but_stable(self):
+        """Pushing applies where Separable does not: a nonlinear
+        recursion with a stable first column."""
+        program = parse_program(
+            """
+            p(X, Y) :- p(X, W) & p(X, V) & join(W, V, Y).
+            p(X, Y) :- base(X, Y).
+            """
+        ).program
+        db = Database.from_facts(
+            {
+                "base": [("g", "a"), ("g", "b"), ("h", "a")],
+                "join": [("a", "b", "c"), ("c", "c", "d")],
+            }
+        )
+        query = parse_atom("p(g, Y)")
+        assert evaluate_pushed(program, db, query) == oracle_answers(
+            program, db, query
+        )
+
+    def test_stats_record_sigma_relation(self):
+        program = example_1_1_program()
+        stats = EvaluationStats()
+        evaluate_pushed(
+            program, self.DB, parse_atom("buys(X, camera)"), stats=stats
+        )
+        sigma_sizes = [
+            size
+            for name, size in stats.relation_sizes.items()
+            if "sigma" in name
+        ]
+        assert sigma_sizes and max(sigma_sizes) >= 1
+
+
+class TestEngineIntegration:
+    def test_pushdown_strategy(self):
+        program = example_1_1_program()
+        engine = Engine(program, TestEvaluatePushed.DB)
+        result = engine.query("buys(X, camera)?", strategy="pushdown")
+        assert result.strategy == "pushdown"
+        assert result.answers == engine.query(
+            "buys(X, camera)?", strategy="seminaive"
+        ).answers
+
+    def test_pushdown_rejects_unstable(self):
+        program = example_1_2_program()
+        engine = Engine(program, Database())
+        with pytest.raises(StablePushNotApplicable):
+            engine.query("buys(tom, Y)?", strategy="pushdown")

@@ -1,0 +1,90 @@
+"""Tests for Engine.advise: static strategy applicability with reasons."""
+
+import pytest
+
+from repro.datalog.database import Database
+from repro.datalog.errors import UnknownPredicateError
+from repro.engine import Engine
+from repro.workloads.paper import (
+    example_1_1_program,
+    example_1_2_program,
+    example_2_4_program,
+    section_5_nonseparable_program,
+)
+
+
+def advice_for(program, query):
+    return Engine(program, Database()).advise(query)
+
+
+class TestSeparableQueries:
+    def test_full_selection(self):
+        advice = advice_for(example_1_1_program(), "buys(tom, Y)?")
+        assert advice.recommended == "separable"
+        assert "separable" in advice.applicable
+        assert "full selection" in advice.notes["separable"]
+
+    def test_partial_selection_notes_lemma(self):
+        advice = advice_for(example_2_4_program(), "t(c, Y, Z)?")
+        assert "separable" in advice.applicable
+        assert "Lemma 2.1" in advice.notes["separable"]
+
+    def test_pers_selection_enables_pushdown(self):
+        advice = advice_for(example_1_1_program(), "buys(X, camera)?")
+        assert "pushdown" in advice.applicable
+        assert "[AU79]" in advice.notes["pushdown"]
+
+    def test_class_selection_disables_pushdown(self):
+        advice = advice_for(example_1_2_program(), "buys(tom, Y)?")
+        assert "pushdown" not in advice.applicable
+
+    def test_counting_applicability(self):
+        advice = advice_for(example_1_1_program(), "buys(tom, Y)?")
+        assert "counting" in advice.applicable
+        advice = advice_for(example_1_2_program(), "buys(tom, Y)?")
+        assert "counting" not in advice.applicable
+        assert "descent" in advice.notes["counting"]
+
+    def test_unbounded_query(self):
+        advice = advice_for(example_1_1_program(), "buys(X, Y)?")
+        assert advice.recommended == "magic"
+        assert "separable" not in advice.applicable
+
+
+class TestNonSeparableQueries:
+    def test_section_5_recursion(self):
+        advice = advice_for(section_5_nonseparable_program(), "t(c, Y)?")
+        assert advice.recommended == "magic"
+        assert "separable" not in advice.applicable
+        assert "condition(s) 4" in advice.notes["separable"]
+        assert "relaxed" in advice.applicable
+        assert "Section 5" in advice.notes["relaxed"]
+        # counting DOES apply here: a is the down part, b the up part.
+        assert "counting" in advice.applicable
+
+    def test_always_applicable_fallbacks(self):
+        advice = advice_for(section_5_nonseparable_program(), "t(c, Y)?")
+        for name in ("magic", "seminaive", "naive"):
+            assert name in advice.applicable
+
+
+class TestInterface:
+    def test_explain_renders_all_strategies(self):
+        advice = advice_for(example_1_1_program(), "buys(tom, Y)?")
+        text = advice.explain()
+        for name in ("separable", "magic", "counting", "pushdown"):
+            assert name in text
+        assert "recommended: separable" in text
+
+    def test_unknown_predicate(self):
+        with pytest.raises(UnknownPredicateError):
+            advice_for(example_1_1_program(), "ghost(tom, Y)?")
+
+    def test_recommendation_matches_auto(self, example_1_1):
+        program, db = example_1_1
+        engine = Engine(program, db)
+        for query in ("buys(tom, Y)?", "buys(X, Y)?", "buys(X, camera)?"):
+            assert (
+                engine.advise(query).recommended
+                == engine.query(query).strategy
+            )

@@ -1,0 +1,136 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+EX12 = """
+buys(X, Y) :- friend(X, W) & buys(W, Y).
+buys(X, Y) :- buys(X, W) & cheaper(Y, W).
+buys(X, Y) :- perfectFor(X, Y).
+friend(tom, sue).
+cheaper(cup, tent).
+perfectFor(sue, tent).
+buys(tom, Y)?
+"""
+
+NONSEP = """
+t(X, Y) :- a(X, W) & t(W, Z) & b(Z, Y).
+t(X, Y) :- t0(X, Y).
+"""
+
+
+@pytest.fixture
+def program_file(tmp_path):
+    path = tmp_path / "ex12.dl"
+    path.write_text(EX12)
+    return path
+
+
+class TestRun:
+    def test_inline_query(self, program_file, capsys):
+        assert main(["run", str(program_file)]) == 0
+        out = capsys.readouterr().out
+        assert "buys(tom, tent)." in out
+        assert "buys(tom, cup)." in out
+        assert "strategy: separable" in out
+
+    def test_explicit_query_and_strategy(self, program_file, capsys):
+        code = main(
+            [
+                "run",
+                str(program_file),
+                "--query",
+                "buys(sue, Y)?",
+                "--strategy",
+                "magic",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "strategy: magic" in out
+        assert "buys(sue, tent)." in out
+
+    def test_stats_flag(self, program_file, capsys):
+        main(["run", str(program_file), "--stats"])
+        out = capsys.readouterr().out
+        assert "seen_1" in out
+
+    def test_no_queries(self, tmp_path, capsys):
+        path = tmp_path / "noq.dl"
+        path.write_text("p(a).")
+        assert main(["run", str(path)]) == 1
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["run", str(tmp_path / "missing.dl")])
+
+
+class TestDetect:
+    def test_separable_report(self, program_file, capsys):
+        assert main(["detect", str(program_file)]) == 0
+        out = capsys.readouterr().out
+        assert "separable" in out
+        assert "e_1" in out and "e_2" in out
+
+    def test_nonseparable_nonzero_exit(self, tmp_path, capsys):
+        path = tmp_path / "nonsep.dl"
+        path.write_text(NONSEP)
+        assert main(["detect", str(path)]) == 1
+        out = capsys.readouterr().out
+        assert "NOT separable" in out
+
+    def test_specific_predicate(self, program_file, capsys):
+        assert main(["detect", str(program_file), "--predicate", "buys"]) == 0
+
+    def test_unknown_predicate(self, program_file, capsys):
+        assert main(["detect", str(program_file), "--predicate", "zz"]) == 1
+
+
+class TestPlan:
+    def test_full_selection_plan(self, program_file, capsys):
+        code = main(["plan", str(program_file), "--query", "buys(tom, Y)?"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "down loop" in out and "friend" in out
+
+    def test_partial_selection_plan(self, tmp_path, capsys):
+        path = tmp_path / "ex24.dl"
+        path.write_text(
+            """
+            t(X, Y, Z) :- a(X, Y, U, V) & t(U, V, Z).
+            t(X, Y, Z) :- t(X, Y, W) & b(W, Z).
+            t(X, Y, Z) :- t0(X, Y, Z).
+            """
+        )
+        code = main(["plan", str(path), "--query", "t(c, Y, Z)?"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Lemma 2.1" in out
+        assert "t_full" in out and "t_part" in out
+
+    def test_nonseparable_errors(self, tmp_path, capsys):
+        path = tmp_path / "nonsep.dl"
+        path.write_text(NONSEP)
+        assert main(["plan", str(path), "--query", "t(c, Y)?"]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestAdvise:
+    def test_separable_query(self, program_file, capsys):
+        code = main(
+            ["advise", str(program_file), "--query", "buys(tom, Y)?"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "recommended: separable" in out
+        assert "expansion:" in out
+
+    def test_nonseparable_program(self, tmp_path, capsys):
+        path = tmp_path / "nonsep.dl"
+        path.write_text(NONSEP)
+        code = main(["advise", str(path), "--query", "t(c, Y)?"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "recommended: magic" in out
+        assert "+ relaxed" in out

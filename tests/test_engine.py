@@ -1,0 +1,173 @@
+"""Tests for the top-level Engine: strategy dispatch, auto-selection,
+base-predicate materialization, cross-strategy agreement."""
+
+import pytest
+
+from repro.budget import Budget
+from repro.datalog.database import Database
+from repro.datalog.errors import (
+    BudgetExceeded,
+    NotFullSelectionError,
+    NotSeparableError,
+    UnknownPredicateError,
+)
+from repro.datalog.parser import parse_program
+from repro.engine import STRATEGIES, Engine
+from repro.workloads.generators import chain, cycle
+from repro.workloads.paper import section_5_nonseparable_program
+
+from .conftest import oracle_answers
+
+
+@pytest.fixture
+def ex11_engine(example_1_1):
+    program, db = example_1_1
+    return Engine(program, db), program, db
+
+
+class TestAutoSelection:
+    def test_separable_query_uses_separable(self, ex11_engine):
+        engine, _, _ = ex11_engine
+        result = engine.query("buys(tom, Y)?")
+        assert result.strategy == "separable"
+        assert result.report is not None and result.report.separable
+
+    def test_all_free_query_falls_back_to_magic(self, ex11_engine):
+        engine, _, _ = ex11_engine
+        result = engine.query("buys(X, Y)?")
+        assert result.strategy == "magic"
+
+    def test_nonseparable_falls_back_to_magic(self):
+        program = section_5_nonseparable_program()
+        db = Database.from_facts(
+            {
+                "a": [("c", "m")],
+                "b": [("u", "v")],
+                "t0": [("m", "u")],
+            }
+        )
+        engine = Engine(program, db)
+        result = engine.query("t(c, Y)?")
+        assert result.strategy == "magic"
+        assert result.answers == {("c", "v")}
+        assert not result.report.separable
+
+
+class TestAllStrategiesAgree:
+    @pytest.mark.parametrize(
+        "strategy", [s for s in STRATEGIES if s != "auto"]
+    )
+    @pytest.mark.parametrize(
+        "query", ["buys(tom, Y)?", "buys(X, camera)?"]
+    )
+    def test_example_1_1(self, ex11_engine, strategy, query):
+        from repro.rewriting.counting import CountingNotApplicable
+        from repro.rewriting.selection_push import StablePushNotApplicable
+
+        engine, program, db = ex11_engine
+        try:
+            result = engine.query(query, strategy=strategy)
+        except (CountingNotApplicable, StablePushNotApplicable) as exc:
+            pytest.skip(f"{strategy} not applicable: {exc}")
+        from repro.datalog.parser import parse_query
+
+        assert result.answers == oracle_answers(
+            program, db, parse_query(query)
+        )
+        assert result.strategy == strategy
+
+    @pytest.mark.parametrize("strategy", ["separable", "magic", "seminaive"])
+    def test_cyclic_data(self, example_1_1, strategy):
+        program, db = example_1_1
+        db = db.copy()
+        db.add_fact("friend", ("joe", "tom"))
+        engine = Engine(program, db)
+        from repro.datalog.parser import parse_query
+
+        query = parse_query("buys(tom, Y)?")
+        assert engine.query(query, strategy=strategy).answers == (
+            oracle_answers(program, db, query)
+        )
+
+
+class TestBaseMaterialization:
+    PROGRAM = """
+    link(X, Y) :- wire(X, Y).
+    link(X, Y) :- wire(Y, X).
+    conn(X, Y) :- link(X, W) & conn(W, Y).
+    conn(X, Y) :- link(X, Y).
+    """
+
+    def test_idb_base_predicates_materialized(self):
+        parsed = parse_program(self.PROGRAM)
+        db = Database.from_facts({"wire": [("a", "b"), ("c", "b")]})
+        engine = Engine(parsed.program, db)
+        result = engine.query("conn(a, Y)?", strategy="separable")
+        assert result.answers == {("a", "b"), ("a", "c"), ("a", "a")}
+
+    def test_materialization_cached(self):
+        parsed = parse_program(self.PROGRAM)
+        db = Database.from_facts({"wire": [("a", "b")]})
+        engine = Engine(parsed.program, db)
+        engine.query("conn(a, Y)?", strategy="separable")
+        first = engine._base_db["conn"]
+        engine.query("conn(b, Y)?", strategy="separable")
+        assert engine._base_db["conn"] is first
+
+    def test_report_cached(self, ex11_engine):
+        engine, _, _ = ex11_engine
+        assert engine.report("buys") is engine.report("buys")
+
+
+class TestErrors:
+    def test_unknown_predicate(self, ex11_engine):
+        engine, _, _ = ex11_engine
+        with pytest.raises(UnknownPredicateError):
+            engine.query("nothing(tom, Y)?")
+
+    def test_unknown_strategy(self, ex11_engine):
+        engine, _, _ = ex11_engine
+        with pytest.raises(ValueError, match="unknown strategy"):
+            engine.query("buys(tom, Y)?", strategy="quantum")
+
+    def test_separable_strategy_on_nonseparable(self):
+        program = section_5_nonseparable_program()
+        engine = Engine(program, Database())
+        with pytest.raises(NotSeparableError):
+            engine.query("t(c, Y)?", strategy="separable")
+
+    def test_nodedup_requires_full_selection(self, example_2_4):
+        program, db = example_2_4
+        engine = Engine(program, db)
+        with pytest.raises(NotFullSelectionError):
+            engine.query("t(c, Y, Z)?", strategy="nodedup")
+
+    def test_budget_propagates(self):
+        program = parse_program(
+            "tc(X, Y) :- e(X, W) & tc(W, Y).\ntc(X, Y) :- e(X, Y)."
+        ).program
+        db = Database.from_facts({"e": chain(60)})
+        engine = Engine(program, db, budget=Budget(max_relation_tuples=5))
+        with pytest.raises(BudgetExceeded):
+            engine.query("tc(a0, Y)?", strategy="separable")
+
+
+class TestQueryResult:
+    def test_sorted_and_len(self, ex11_engine):
+        engine, _, _ = ex11_engine
+        result = engine.query("buys(tom, Y)?")
+        assert len(result) == len(result.answers)
+        assert result.sorted() == sorted(result.answers, key=repr)
+
+    def test_accepts_atom_or_text(self, ex11_engine):
+        engine, _, _ = ex11_engine
+        from repro.datalog.parser import parse_query
+
+        by_text = engine.query("buys(tom, Y)?")
+        by_atom = engine.query(parse_query("buys(tom, Y)?"))
+        assert by_text.answers == by_atom.answers
+
+    def test_stats_strategy_recorded(self, ex11_engine):
+        engine, _, _ = ex11_engine
+        result = engine.query("buys(tom, Y)?", strategy="magic")
+        assert result.stats.strategy == "magic"

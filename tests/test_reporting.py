@@ -1,0 +1,71 @@
+"""Tests for the programmatic reproduction reports."""
+
+import pytest
+
+from repro.reporting import (
+    experiment_e1,
+    experiment_e2,
+    experiment_e4,
+    experiment_e5,
+    experiment_e6,
+    to_markdown,
+)
+
+
+class TestExperimentSweeps:
+    def test_e1_shapes(self):
+        rows = experiment_e1(ns=(4, 6))
+        counting = {
+            r["n"]: r["max_relation"]
+            for r in rows
+            if r["method"] == "counting"
+        }
+        separable = {
+            r["n"]: r["max_relation"]
+            for r in rows
+            if r["method"] == "separable"
+        }
+        assert counting == {4: 15, 6: 63}          # 2^n - 1
+        assert separable == {4: 4, 6: 6}           # n
+
+    def test_e2_shapes(self):
+        rows = experiment_e2(ns=(5, 9))
+        magic = {
+            r["n"]: r["max_relation"] for r in rows if r["method"] == "magic"
+        }
+        assert magic == {5: 25, 9: 81}             # n^2
+
+    def test_e4_shapes(self):
+        rows = experiment_e4(cases=((3, 2),))
+        magic = [r for r in rows if r["method"] == "magic"][0]
+        separable = [r for r in rows if r["method"] == "separable"][0]
+        assert magic["max_relation"] == 9          # n^k
+        assert separable["max_relation"] <= 3      # n^(k-1)
+
+    def test_e5_shapes(self):
+        rows = experiment_e5(cases=((4, 3),))
+        counting = [r for r in rows if r["method"] == "counting"][0]
+        assert counting["max_relation"] == 40      # 1 + 3 + 9 + 27
+
+    def test_e6_detects(self):
+        rows = experiment_e6(rs=(2, 4))
+        assert all(r["separable"] for r in rows)
+        assert [r["rules"] for r in rows] == [2, 4]
+
+
+class TestMarkdown:
+    def test_renders_tables(self):
+        text = to_markdown({"demo": [{"method": "m", "n": 3}]})
+        assert "## demo" in text
+        assert "| method | n |" in text
+        assert "| m | 3 |" in text
+
+    def test_empty_experiment(self):
+        text = to_markdown({"empty": []})
+        assert "_no rows_" in text
+
+    def test_ragged_rows_tolerated(self):
+        text = to_markdown(
+            {"r": [{"method": "a", "n": 1}, {"method": "b", "extra": 9}]}
+        )
+        assert "extra" in text

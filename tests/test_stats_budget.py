@@ -1,0 +1,115 @@
+"""Unit tests for EvaluationStats and Budget."""
+
+import pytest
+
+from repro.budget import UNLIMITED, Budget
+from repro.datalog.errors import BudgetExceeded
+from repro.stats import EvaluationStats
+
+
+class TestEvaluationStats:
+    def test_record_relation_keeps_max(self):
+        stats = EvaluationStats()
+        stats.record_relation("carry_1", 5)
+        stats.record_relation("carry_1", 3)
+        stats.record_relation("carry_1", 9)
+        assert stats.relation_sizes["carry_1"] == 9
+
+    def test_zero_size_recorded(self):
+        stats = EvaluationStats()
+        stats.record_relation("empty", 0)
+        assert stats.relation_sizes["empty"] == 0
+
+    def test_max_relation_size(self):
+        stats = EvaluationStats()
+        stats.record_relation("a", 3)
+        stats.record_relation("b", 7)
+        assert stats.max_relation_size == 7
+        assert stats.total_relation_size == 10
+
+    def test_max_relation_size_empty(self):
+        assert EvaluationStats().max_relation_size == 0
+
+    def test_largest_relation(self):
+        stats = EvaluationStats()
+        stats.record_relation("a", 3)
+        stats.record_relation("b", 7)
+        assert stats.largest_relation() == ("b", 7)
+
+    def test_largest_relation_empty(self):
+        assert EvaluationStats().largest_relation() == ("", 0)
+
+    def test_counters(self):
+        stats = EvaluationStats()
+        stats.bump_iterations()
+        stats.bump_iterations(2)
+        stats.bump_produced(5)
+        stats.bump_examined(7)
+        assert stats.iterations == 3
+        assert stats.tuples_produced == 5
+        assert stats.tuples_examined == 7
+
+    def test_merge(self):
+        a = EvaluationStats()
+        a.record_relation("r", 4)
+        a.bump_produced(2)
+        b = EvaluationStats()
+        b.record_relation("r", 9)
+        b.record_relation("s", 1)
+        b.bump_produced(3)
+        a.merge(b)
+        assert a.relation_sizes == {"r": 9, "s": 1}
+        assert a.tuples_produced == 5
+
+    def test_as_dict(self):
+        stats = EvaluationStats(strategy="separable")
+        stats.record_relation("seen_1", 4)
+        d = stats.as_dict()
+        assert d["strategy"] == "separable"
+        assert d["max_relation_size"] == 4
+        assert d["largest_relation"] == "seen_1"
+
+    def test_format_table(self):
+        stats = EvaluationStats(strategy="magic")
+        stats.record_relation("magic_p", 12)
+        text = stats.format_table()
+        assert "magic" in text and "magic_p" in text and "12" in text
+
+
+class TestBudget:
+    def test_relation_budget(self):
+        budget = Budget(max_relation_tuples=10)
+        budget.check_relation("r", 10)  # at the limit: fine
+        with pytest.raises(BudgetExceeded):
+            budget.check_relation("r", 11)
+
+    def test_total_budget(self):
+        budget = Budget(max_total_tuples=10)
+        stats = EvaluationStats()
+        stats.record_relation("a", 6)
+        stats.record_relation("b", 4)
+        budget.check_stats(stats)
+        stats.record_relation("c", 1)
+        with pytest.raises(BudgetExceeded):
+            budget.check_stats(stats)
+
+    def test_iteration_budget(self):
+        budget = Budget(max_iterations=3)
+        stats = EvaluationStats()
+        stats.bump_iterations(4)
+        with pytest.raises(BudgetExceeded):
+            budget.check_stats(stats)
+
+    def test_error_carries_stats(self):
+        budget = Budget(max_relation_tuples=1)
+        stats = EvaluationStats()
+        with pytest.raises(BudgetExceeded) as excinfo:
+            budget.check_relation("r", 5, stats)
+        assert excinfo.value.stats is stats
+
+    def test_unlimited_never_trips(self):
+        stats = EvaluationStats()
+        stats.record_relation("huge", 10**12)
+        stats.bump_iterations(10**9)
+        UNLIMITED.check_relation("huge", 10**12, stats)
+        UNLIMITED.check_stats(stats)

@@ -1,0 +1,123 @@
+"""Unit tests for workload generators and the paper's databases."""
+
+import networkx as nx
+import pytest
+
+from repro.datalog.parser import parse_atom
+from repro.workloads.generators import (
+    binary_tree,
+    chain,
+    cycle,
+    grid,
+    node,
+    random_dag,
+    random_graph,
+    star,
+)
+from repro.workloads.paper import (
+    example_1_1_database,
+    example_1_2_database,
+    lemma_4_2_database,
+    lemma_4_2_program,
+    lemma_4_3_database,
+    lemma_4_3_program,
+)
+
+
+class TestGenerators:
+    def test_node(self):
+        assert node("a", 3) == "a3"
+
+    def test_chain(self):
+        edges = chain(4)
+        assert edges == [("a0", "a1"), ("a1", "a2"), ("a2", "a3")]
+
+    def test_chain_trivial(self):
+        assert chain(1) == []
+        assert chain(0) == []
+
+    def test_cycle(self):
+        edges = cycle(3)
+        assert ("a2", "a0") in edges
+        assert len(edges) == 3
+        assert cycle(0) == []
+
+    def test_binary_tree(self):
+        edges = binary_tree(3)
+        g = nx.DiGraph(edges)
+        assert nx.is_directed_acyclic_graph(g)
+        assert len(g.nodes) == 7
+        assert g.out_degree("a0") == 2
+
+    def test_grid(self):
+        edges = grid(3, 3)
+        g = nx.DiGraph(edges)
+        assert nx.is_directed_acyclic_graph(g)
+        assert len(edges) == 12  # 2 * 3 * 2 internal edges
+
+    def test_random_graph_deterministic(self):
+        assert random_graph(10, 15, seed=3) == random_graph(10, 15, seed=3)
+        assert random_graph(10, 15, seed=3) != random_graph(10, 15, seed=4)
+
+    def test_random_graph_edge_count(self):
+        assert len(random_graph(10, 15, seed=0)) == 15
+
+    def test_random_graph_caps_at_max(self):
+        assert len(random_graph(3, 100, seed=0)) == 6
+
+    def test_random_dag_acyclic(self):
+        g = nx.DiGraph(random_dag(12, 30, seed=1))
+        assert nx.is_directed_acyclic_graph(g)
+
+    def test_star(self):
+        edges = star(3)
+        assert edges == [("a0", "a1"), ("a0", "a2"), ("a0", "a3")]
+
+
+class TestPaperDatabases:
+    def test_example_1_1_database(self):
+        db = example_1_1_database(5)
+        assert db.size("friend") == 4
+        assert db.tuples("friend") == db.tuples("idol")
+        assert db.tuples("perfectFor") == {("a5", "b5")}
+
+    def test_example_1_2_database_closure_is_n_squared(self):
+        """The Section 4 claim depends on buys = {(a_i, b_j)}: check it."""
+        from repro.datalog.seminaive import seminaive_evaluate
+        from repro.workloads.paper import example_1_2_program
+
+        n = 6
+        result = seminaive_evaluate(
+            example_1_2_program(), example_1_2_database(n)
+        )
+        assert len(result.tuples("buys")) == n * n
+
+    def test_lemma_4_2_database(self):
+        db = lemma_4_2_database(3, 2, 2)
+        assert db.size("t0") == 9  # n^k
+        assert db.size("a1") == 2
+        assert db.size("a2") == 0
+
+    def test_lemma_4_2_program_structure(self):
+        program = lemma_4_2_program(3, 2)
+        assert len(program.rules_for("t")) == 3
+        assert program.arity("t") == 3
+
+    def test_lemma_4_3_database(self):
+        db = lemma_4_3_database(4, 2, 3)
+        assert db.tuples("a1") == db.tuples("a2") == db.tuples("a3")
+        assert db.size("t0") == 1
+
+    def test_lemma_programs_reject_bad_parameters(self):
+        with pytest.raises(ValueError):
+            lemma_4_2_program(0, 1)
+        with pytest.raises(ValueError):
+            lemma_4_3_program(1, 0)
+
+    def test_lemma_4_3_answers_exist(self):
+        """t0 is reachable from c1, so the query has answers."""
+        from repro.engine import Engine
+
+        engine = Engine(lemma_4_3_program(2, 2), lemma_4_3_database(4, 2, 2))
+        result = engine.query("t(c1, Y)?", strategy="separable")
+        assert result.answers
