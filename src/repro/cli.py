@@ -24,6 +24,14 @@ Subcommands::
         Rerun the paper's experiment sweeps (no timing calibration) and
         print the measured series as Markdown tables.
 
+    repro-datalog fuzz [--iterations 200] [--seed 0] [--strategy s ...]
+                       [--corpus DIR] [--no-shrink]
+        Differential fuzzing: generate random separable recursions and
+        near-miss mutants, evaluate each query under every applicable
+        strategy, diff answer sets / detection verdicts / statistics
+        invariants, and shrink any disagreement to a minimal replayable
+        repro file (see docs/differential_testing.md).
+
 Also usable as ``python -m repro ...``.
 """
 
@@ -42,6 +50,13 @@ from .datalog.pretty import answers_to_text
 from .engine import STRATEGIES, Engine
 
 __all__ = ["main", "build_parser"]
+
+
+def _nonnegative_int(text: str) -> int:
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
+    return value
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -101,6 +116,44 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser(
         "report",
         help="rerun the paper's experiments and print Markdown tables",
+    )
+
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="differential fuzzing across all evaluation strategies",
+    )
+    fuzz.add_argument(
+        "--iterations",
+        type=_nonnegative_int,
+        default=200,
+        help="number of random cases to generate (default: 200; 0 "
+        "replays the corpus only)",
+    )
+    fuzz.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="PRNG seed; a campaign is reproducible from it (default: 0)",
+    )
+    fuzz.add_argument(
+        "--strategy",
+        action="append",
+        default=[],
+        choices=STRATEGIES,
+        help="restrict to these strategies (repeatable; default: all "
+        "applicable per case)",
+    )
+    fuzz.add_argument(
+        "--corpus",
+        type=Path,
+        default=None,
+        help="corpus directory: existing *.dl repro files are replayed "
+        "first, and new shrunk failures are written there",
+    )
+    fuzz.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="report raw failing cases without delta-debugging them",
     )
     return parser
 
@@ -196,6 +249,26 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return report_main()
 
 
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from .differential import FuzzConfig, run_fuzz
+
+    if args.corpus is not None and not args.corpus.is_dir():
+        # A typo'd path would otherwise silently replay nothing.
+        print(f"error: corpus directory {args.corpus} does not exist",
+              file=sys.stderr)
+        return 2
+    config = FuzzConfig(
+        iterations=args.iterations,
+        seed=args.seed,
+        strategies=tuple(args.strategy) or None,
+        corpus_dir=args.corpus,
+        shrink=not args.no_shrink,
+    )
+    report = run_fuzz(config)
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -204,6 +277,7 @@ def main(argv: list[str] | None = None) -> int:
         "plan": _cmd_plan,
         "advise": _cmd_advise,
         "report": _cmd_report,
+        "fuzz": _cmd_fuzz,
     }
     try:
         return handlers[args.command](args)

@@ -25,7 +25,7 @@ Fact = tuple  # tuple[ConstValue, ...]
 class Relation:
     """A named set of same-arity tuples with lazy secondary indexes."""
 
-    __slots__ = ("name", "arity", "_tuples", "_indexes")
+    __slots__ = ("name", "arity", "_tuples", "_indexes", "_version")
 
     def __init__(self, name: str, arity: int,
                  tuples: Iterable[Fact] = ()) -> None:
@@ -33,8 +33,18 @@ class Relation:
         self.arity = arity
         self._tuples: set[Fact] = set()
         self._indexes: dict[tuple[int, ...], dict[tuple, list[Fact]]] = {}
+        self._version = 0
         for t in tuples:
             self.add(t)
+
+    @property
+    def version(self) -> int:
+        """Mutation counter: bumped on every successful add and on clear.
+
+        Consumers caching state derived from this relation (the engine's
+        base-IDB materialization) compare versions to detect staleness.
+        """
+        return self._version
 
     # -- mutation ---------------------------------------------------------
 
@@ -49,6 +59,7 @@ class Relation:
         if fact in self._tuples:
             return False
         self._tuples.add(fact)
+        self._version += 1
         for positions, index in self._indexes.items():
             key = tuple(fact[p] for p in positions)
             index.setdefault(key, []).append(fact)
@@ -62,6 +73,7 @@ class Relation:
         """Remove all tuples and drop all indexes."""
         self._tuples.clear()
         self._indexes.clear()
+        self._version += 1
 
     # -- queries ----------------------------------------------------------
 
@@ -185,6 +197,20 @@ class Database:
     def predicates(self) -> frozenset[str]:
         """Names of all relations present (including empty ones)."""
         return frozenset(self._relations)
+
+    def fingerprint(self) -> tuple[tuple[str, int, int], ...]:
+        """A cheap mutation fingerprint over all relations.
+
+        ``(name, arity, version)`` per relation, sorted by name;
+        O(#relations), no tuples are hashed.  Any fact added or
+        relation cleared (directly or through an attached view) changes
+        the fingerprint, so caches keyed on it -- the engine's base-IDB
+        materialization -- notice mutations between queries.
+        """
+        return tuple(
+            (name, rel.arity, rel.version)
+            for name, rel in sorted(self._relations.items())
+        )
 
     def arity(self, name: str) -> int | None:
         """Arity of the named relation, or ``None`` if absent."""

@@ -1,0 +1,63 @@
+"""Differential testing: generate, cross-check, shrink, replay.
+
+The paper's central claim (Theorem 2.1 / Theorem 3.1) is that the
+Separable schema computes *exactly* the answers of naive evaluation.
+This package turns that pairwise-agreement obligation across all nine
+strategies in :data:`repro.engine.STRATEGIES` into an executable
+artifact:
+
+* :mod:`~repro.differential.layouts` builds guaranteed-separable
+  programs from an explicit layout description (shared with the
+  hypothesis strategies in ``tests/property/strategies.py``);
+* :mod:`~repro.differential.generator` draws seeded random cases --
+  separable programs, adversarial *near-miss* non-separable mutants,
+  random EDBs, and random full/partial/free selections;
+* :mod:`~repro.differential.oracle` evaluates one case under every
+  applicable strategy and diffs answer sets, detection verdicts, and
+  statistics invariants;
+* :mod:`~repro.differential.shrinker` minimizes a failing case by
+  greedy delta debugging over rules, relations, facts, and constants;
+* :mod:`~repro.differential.cases` serializes cases as replayable
+  ``.dl`` repro files (the fuzz corpus);
+* :mod:`~repro.differential.runner` drives a whole campaign, backing
+  the ``repro-datalog fuzz`` CLI subcommand.
+"""
+
+from .cases import Case, load_case, save_case
+from .generator import CaseGenerator, GeneratorConfig
+from .oracle import (
+    DEFAULT_FUZZ_BUDGET,
+    Disagreement,
+    OracleVerdict,
+    StrategyOutcome,
+    applicable_strategies,
+    make_failure_predicate,
+    run_case,
+)
+from .runner import FuzzConfig, FuzzFailure, FuzzReport, run_fuzz
+from .shrinker import shrink_case
+from .layouts import BuiltRule, BuiltSeparable, SeparableLayout, build_separable
+
+__all__ = [
+    "BuiltRule",
+    "BuiltSeparable",
+    "Case",
+    "CaseGenerator",
+    "DEFAULT_FUZZ_BUDGET",
+    "Disagreement",
+    "FuzzConfig",
+    "FuzzFailure",
+    "FuzzReport",
+    "GeneratorConfig",
+    "OracleVerdict",
+    "SeparableLayout",
+    "StrategyOutcome",
+    "applicable_strategies",
+    "build_separable",
+    "load_case",
+    "make_failure_predicate",
+    "run_case",
+    "run_fuzz",
+    "save_case",
+    "shrink_case",
+]

@@ -1,0 +1,327 @@
+"""Seeded random case generation: separable programs and near-miss mutants.
+
+The generator draws :class:`~repro.differential.layouts.SeparableLayout`
+descriptions (random arities, equivalence-class assignments, multi-rule
+classes, one-atom vs two-atom rule shapes), builds the program through
+:func:`~repro.differential.layouts.build_separable`, then
+
+* with some probability applies one **near-miss mutation** that
+  provably breaks a single condition of Definition 2.4 while keeping
+  the program linear, safe and function-free:
+
+  - ``swap-persistent``: swap two persistent columns inside one
+    recursive body instance, creating a *shifting variable*
+    (Condition 1 fails);
+  - ``extra-touch``: make one rule touch a column outside its class
+    through a fresh EDB atom (pairwise equal-or-disjoint touched sets
+    fail, and the new subgoal is disconnected from the old ones);
+  - ``disconnect``: rename the linking variable of a two-atom chain so
+    the nonrecursive subgoals fall into two maximal connected sets
+    (Condition 4 fails -- the Section 5 "relaxed" regime);
+
+* draws a random EDB over a small shared constant pool (uniform tuples
+  via :func:`repro.workloads.generators.random_relation`, with binary
+  relations occasionally replaced by whole-pool chains or cycles so
+  long paths and cyclic data appear reliably);
+
+* draws a query: a full class selection, a persistent selection, a
+  random partial selection, an all-bound atom, an all-free atom, or a
+  selection with a repeated variable.
+
+Every choice comes from one ``random.Random`` seeded at construction,
+so a campaign is reproducible from ``(seed, iteration index)`` alone.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from ..datalog.atoms import Atom
+from ..datalog.database import Database
+from ..datalog.programs import Program
+from ..datalog.rules import Rule
+from ..datalog.terms import Constant, Variable
+from ..workloads.generators import chain, constant_pool, cycle, random_relation
+from .cases import Case
+from .layouts import BuiltSeparable, RuleSpec, SeparableLayout, build_separable
+
+__all__ = ["GeneratorConfig", "CaseGenerator", "MUTATION_NAMES"]
+
+#: The near-miss mutation kinds, in the order they are attempted.
+MUTATION_NAMES = ("swap-persistent", "extra-touch", "disconnect")
+
+
+@dataclass(frozen=True)
+class GeneratorConfig:
+    """Knobs for the random case distribution."""
+
+    max_arity: int = 4
+    max_classes: int = 3
+    max_rules_per_class: int = 3
+    min_pool: int = 3
+    max_pool: int = 7
+    max_tuples_per_relation: int = 8
+    mutant_probability: float = 0.3
+    structured_edb_probability: float = 0.25
+    free_query_probability: float = 0.1
+    repeated_var_probability: float = 0.1
+
+
+class CaseGenerator:
+    """Draws an endless, reproducible stream of differential cases."""
+
+    def __init__(
+        self,
+        seed: int = 0,
+        config: GeneratorConfig = GeneratorConfig(),
+    ) -> None:
+        self.seed = seed
+        self.config = config
+        self._rng = random.Random(seed)
+
+    # -- layouts -----------------------------------------------------------
+
+    def draw_layout(self) -> SeparableLayout:
+        rng, cfg = self._rng, self.config
+        arity = rng.randint(1, cfg.max_arity)
+        class_count = rng.randint(0, min(cfg.max_classes, arity))
+        assignment = tuple(
+            rng.randint(0, class_count) for _ in range(arity)
+        )
+        used = sorted({c for c in assignment if c > 0})
+        # Renumber so class ids are contiguous 1..n (layout invariant).
+        renumber = {c: i + 1 for i, c in enumerate(used)}
+        assignment = tuple(
+            renumber.get(c, 0) for c in assignment
+        )
+        specs = []
+        for cls in sorted(renumber.values()):
+            for r in range(rng.randint(1, cfg.max_rules_per_class)):
+                specs.append(
+                    RuleSpec(
+                        class_index=cls,
+                        rule_number=r,
+                        two_atoms=rng.random() < 0.5,
+                    )
+                )
+        return SeparableLayout(
+            arity=arity, assignment=assignment, rule_specs=tuple(specs)
+        )
+
+    # -- mutations ---------------------------------------------------------
+
+    def _mutate_swap_persistent(
+        self, built: BuiltSeparable
+    ) -> Optional[list[Rule]]:
+        """Swap two persistent columns in one recursive body instance.
+
+        The head keeps ``Vp`` at position ``p`` while the recursive atom
+        now carries it at position ``q``: a shifting variable.
+        """
+        pers = built.layout.pers_positions
+        recursive = [b for b in built.built_rules if not b.is_exit]
+        if len(pers) < 2 or not recursive:
+            return None
+        victim = self._rng.choice(recursive)
+        p, q = self._rng.sample(list(pers), 2)
+        predicate = built.layout.predicate
+
+        def swap(atom: Atom) -> Atom:
+            args = list(atom.args)
+            args[p], args[q] = args[q], args[p]
+            return Atom(atom.predicate, tuple(args))
+
+        rules = []
+        for b in built.built_rules:
+            if b is victim:
+                body = tuple(
+                    swap(a) if a.predicate == predicate else a
+                    for a in b.rule.body
+                )
+                rules.append(Rule(b.rule.head, body))
+            else:
+                rules.append(b.rule)
+        return rules
+
+    def _mutate_extra_touch(
+        self, built: BuiltSeparable
+    ) -> Optional[list[Rule]]:
+        """Make one class rule touch a column outside its class.
+
+        Position ``p`` (persistent or from another class) gets a fresh
+        body variable bound through a new EDB atom ``xtra(Vp+1, X)``,
+        so the rule's touched set is neither equal to nor disjoint from
+        its old class, and the new subgoal is disconnected from the old
+        nonrecursive subgoals.
+        """
+        recursive = [b for b in built.built_rules if not b.is_exit]
+        candidates = [
+            (b, p)
+            for b in recursive
+            for p in range(built.layout.arity)
+            if p not in b.positions
+        ]
+        if not candidates:
+            return None
+        victim, p = self._rng.choice(candidates)
+        predicate = built.layout.predicate
+        extra_var = Variable("X_extra")
+        extra_atom = Atom("xtra", (Variable(f"V{p + 1}"), extra_var))
+
+        rules = []
+        for b in built.built_rules:
+            if b is victim:
+                body = []
+                for a in b.rule.body:
+                    if a.predicate == predicate:
+                        args = list(a.args)
+                        args[p] = extra_var
+                        body.append(extra_atom)
+                        body.append(Atom(a.predicate, tuple(args)))
+                    else:
+                        body.append(a)
+                rules.append(Rule(b.rule.head, tuple(body)))
+            else:
+                rules.append(b.rule)
+        return rules
+
+    def _mutate_disconnect(
+        self, built: BuiltSeparable
+    ) -> Optional[list[Rule]]:
+        """Break the variable link of a two-atom chain (Condition 4).
+
+        Renaming the existential ``M`` in the second atom leaves the
+        nonrecursive subgoals in two maximal connected sets; conditions
+        1-3 still hold, so this lands exactly in the relaxed regime.
+        """
+        chains = [
+            b for b in built.built_rules if b.two_atoms and not b.is_exit
+        ]
+        if not chains:
+            return None
+        victim = self._rng.choice(chains)
+        rules = []
+        for b in built.built_rules:
+            if b is victim:
+                body = []
+                for a in b.rule.body:
+                    if a.predicate.endswith("b") and Variable("M") in a.args:
+                        body.append(
+                            a.substitute({Variable("M"): Variable("M2")})
+                        )
+                    else:
+                        body.append(a)
+                rules.append(Rule(b.rule.head, tuple(body)))
+            else:
+                rules.append(b.rule)
+        return rules
+
+    def _maybe_mutate(
+        self, built: BuiltSeparable
+    ) -> tuple[list[Rule], Optional[str], list[tuple[str, int]]]:
+        """Return (rules, mutation name or None, extra EDB specs)."""
+        if self._rng.random() >= self.config.mutant_probability:
+            return list(built.rules), None, []
+        mutators = {
+            "swap-persistent": self._mutate_swap_persistent,
+            "extra-touch": self._mutate_extra_touch,
+            "disconnect": self._mutate_disconnect,
+        }
+        names = list(MUTATION_NAMES)
+        self._rng.shuffle(names)
+        for name in names:
+            mutated = mutators[name](built)
+            if mutated is not None:
+                extra = [("xtra", 2)] if name == "extra-touch" else []
+                return mutated, name, extra
+        return list(built.rules), None, []
+
+    # -- data and queries --------------------------------------------------
+
+    def draw_database(
+        self, edb_specs: list[tuple[str, int]], pool: list[str]
+    ) -> Database:
+        rng, cfg = self._rng, self.config
+        db = Database()
+        for name, arity in edb_specs:
+            db.ensure(name, arity)
+            if (
+                arity == 2
+                and rng.random() < cfg.structured_edb_probability
+            ):
+                shape = chain if rng.random() < 0.5 else cycle
+                for fact in shape(len(pool), prefix="c"):
+                    db.add_fact(name, fact)
+                continue
+            count = rng.randint(0, cfg.max_tuples_per_relation)
+            for fact in random_relation(arity, count, pool, rng=rng):
+                db.add_fact(name, fact)
+        return db
+
+    def draw_query(
+        self, layout: SeparableLayout, pool: list[str]
+    ) -> Atom:
+        rng, cfg = self._rng, self.config
+        arity = layout.arity
+        classes = layout.classes
+        pers = layout.pers_positions
+
+        bound: set[int] = set()
+        if rng.random() < cfg.free_query_probability:
+            pass  # all-free query: strategies fall back to materialization
+        else:
+            mode = rng.choice(["full_class", "pers", "random", "all_bound"])
+            if mode == "full_class" and classes:
+                bound |= set(rng.choice(classes))
+            elif mode == "pers" and pers:
+                bound.add(rng.choice(pers))
+            elif mode == "all_bound":
+                bound = set(range(arity))
+            else:
+                bound = {p for p in range(arity) if rng.random() < 0.5}
+                if not bound:
+                    bound.add(rng.randrange(arity))
+
+        free = [p for p in range(arity) if p not in bound]
+        repeated: dict[int, str] = {}
+        if (
+            len(free) >= 2
+            and rng.random() < cfg.repeated_var_probability
+        ):
+            a, b = rng.sample(free, 2)
+            repeated[a] = repeated[b] = "QR"
+
+        args = tuple(
+            Constant(rng.choice(pool))
+            if p in bound
+            else Variable(repeated.get(p, f"Q{p}"))
+            for p in range(arity)
+        )
+        return Atom(layout.predicate, args)
+
+    # -- cases -------------------------------------------------------------
+
+    def draw_case(self) -> Case:
+        rng, cfg = self._rng, self.config
+        layout = self.draw_layout()
+        built = build_separable(layout)
+        rules, mutation, extra_specs = self._maybe_mutate(built)
+        pool = constant_pool(rng.randint(cfg.min_pool, cfg.max_pool))
+        db = self.draw_database(list(built.edb_specs) + extra_specs, pool)
+        query = self.draw_query(layout, pool)
+        return Case(
+            program=Program(rules),
+            database=db,
+            query=query,
+            expect_separable=(mutation is None),
+            note=(
+                f"seed={self.seed} mutation={mutation or 'none'} "
+                f"arity={layout.arity} classes={len(layout.classes)}"
+            ),
+        )
+
+    def cases(self, count: int) -> Iterator[Case]:
+        for _ in range(count):
+            yield self.draw_case()

@@ -1,0 +1,216 @@
+"""Separable-by-construction program layouts.
+
+A :class:`SeparableLayout` is an explicit, serializable description of a
+separable recursion in the shape Definition 2.4 admits:
+
+* an arity ``k`` with every position assigned either to one of up to
+  three equivalence classes or to the persistent remainder;
+* per class, 1-3 recursive rules whose nonrecursive subgoals form one
+  connected set touching exactly that class's columns in the head and
+  the recursive body instance (one wide atom, or a chain of two atoms
+  linked by an existential variable);
+* the exit rule ``t(V1..Vk) :- t0(V1..Vk).``.
+
+:func:`build_separable` turns a layout into concrete rules plus the EDB
+signature the rules consume.  Both the hypothesis strategies in
+``tests/property/strategies.py`` and the seeded fuzz generator in
+:mod:`repro.differential.generator` build programs through this module,
+so the two test harnesses cannot silently drift apart; the near-miss
+mutants in the generator also rely on the per-rule metadata
+(:class:`BuiltRule`) to know which structural invariant each mutation
+breaks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..datalog.atoms import Atom
+from ..datalog.programs import Program
+from ..datalog.rules import Rule
+from ..datalog.terms import Variable
+
+__all__ = [
+    "RuleSpec",
+    "SeparableLayout",
+    "BuiltRule",
+    "BuiltSeparable",
+    "build_separable",
+]
+
+
+@dataclass(frozen=True)
+class RuleSpec:
+    """Shape of one recursive rule inside an equivalence class.
+
+    ``two_atoms`` selects between one wide nonrecursive atom
+    ``e(head cols, body cols)`` and a chain ``ea(head cols, M) &
+    eb(M, body cols)`` connected through the existential ``M``.
+    """
+
+    class_index: int
+    rule_number: int
+    two_atoms: bool
+
+
+@dataclass(frozen=True)
+class SeparableLayout:
+    """A complete description of one separable recursion.
+
+    ``assignment`` maps each 0-based position to a class id; class id 0
+    means *persistent*, ids ``1..n`` are real equivalence classes.
+    Class ids must be contiguous and each non-zero id used by some
+    position must have at least one :class:`RuleSpec`.
+    """
+
+    arity: int
+    assignment: tuple[int, ...]
+    rule_specs: tuple[RuleSpec, ...]
+    predicate: str = "t"
+    exit_predicate: str = "t0"
+
+    def __post_init__(self) -> None:
+        if len(self.assignment) != self.arity:
+            raise ValueError(
+                f"assignment has {len(self.assignment)} entries for "
+                f"arity {self.arity}"
+            )
+        used = {c for c in self.assignment if c > 0}
+        specced = {s.class_index for s in self.rule_specs}
+        if used != specced:
+            raise ValueError(
+                f"classes {sorted(used)} assigned but rules given for "
+                f"{sorted(specced)}"
+            )
+
+    @property
+    def class_positions(self) -> dict[int, tuple[int, ...]]:
+        """``{class id: positions}`` for the real classes (id >= 1)."""
+        positions: dict[int, list[int]] = {}
+        for p, cls in enumerate(self.assignment):
+            if cls > 0:
+                positions.setdefault(cls, []).append(p)
+        return {c: tuple(ps) for c, ps in sorted(positions.items())}
+
+    @property
+    def classes(self) -> list[list[int]]:
+        """Class position lists in class-id order (hypothesis API shape)."""
+        return [list(ps) for ps in self.class_positions.values()]
+
+    @property
+    def pers_positions(self) -> tuple[int, ...]:
+        """Positions in the persistent remainder."""
+        return tuple(
+            p for p, cls in enumerate(self.assignment) if cls == 0
+        )
+
+
+@dataclass(frozen=True)
+class BuiltRule:
+    """One constructed rule plus the structural facts mutations need."""
+
+    rule: Rule
+    class_index: int  # 0 for the exit rule
+    positions: tuple[int, ...]
+    two_atoms: bool
+
+    @property
+    def is_exit(self) -> bool:
+        return self.class_index == 0
+
+
+@dataclass(frozen=True)
+class BuiltSeparable:
+    """The output of :func:`build_separable`."""
+
+    layout: SeparableLayout
+    built_rules: tuple[BuiltRule, ...]
+    edb_specs: tuple[tuple[str, int], ...]
+
+    @property
+    def rules(self) -> tuple[Rule, ...]:
+        return tuple(b.rule for b in self.built_rules)
+
+    @property
+    def program(self) -> Program:
+        return Program(self.rules)
+
+
+def head_variables(arity: int) -> tuple[Variable, ...]:
+    """The canonical rectified head ``(V1, ..., Vk)``."""
+    return tuple(Variable(f"V{i + 1}") for i in range(arity))
+
+
+def build_separable(layout: SeparableLayout) -> BuiltSeparable:
+    """Construct the rules and EDB signature a layout describes.
+
+    The construction is exactly the one the hypothesis strategies used
+    to inline: per class and rule, fresh body variables ``W<p+1>`` at
+    the class positions, head variables elsewhere, and nonrecursive
+    subgoals named ``e<class>_<rule>`` (with ``a``/``b`` suffixes for
+    the two-atom chain shape).
+    """
+    arity = layout.arity
+    head_vars = head_variables(arity)
+    class_positions = layout.class_positions
+    built: list[BuiltRule] = []
+    edb_specs: list[tuple[str, int]] = []
+
+    for spec in layout.rule_specs:
+        positions = class_positions[spec.class_index]
+        width = len(positions)
+        body_vars = {p: Variable(f"W{p + 1}") for p in positions}
+        recursive_args = tuple(
+            body_vars.get(p, head_vars[p]) for p in range(arity)
+        )
+        name = f"e{spec.class_index}_{spec.rule_number}"
+        if spec.two_atoms:
+            mid = Variable("M")
+            first = Atom(
+                name + "a",
+                tuple(head_vars[p] for p in positions) + (mid,),
+            )
+            second = Atom(
+                name + "b",
+                (mid,) + tuple(body_vars[p] for p in positions),
+            )
+            nonrec = (first, second)
+            edb_specs.append((name + "a", width + 1))
+            edb_specs.append((name + "b", width + 1))
+        else:
+            wide = Atom(
+                name,
+                tuple(head_vars[p] for p in positions)
+                + tuple(body_vars[p] for p in positions),
+            )
+            nonrec = (wide,)
+            edb_specs.append((name, 2 * width))
+        built.append(
+            BuiltRule(
+                rule=Rule(
+                    Atom(layout.predicate, head_vars),
+                    nonrec + (Atom(layout.predicate, recursive_args),),
+                ),
+                class_index=spec.class_index,
+                positions=positions,
+                two_atoms=spec.two_atoms,
+            )
+        )
+
+    built.append(
+        BuiltRule(
+            rule=Rule(
+                Atom(layout.predicate, head_vars),
+                (Atom(layout.exit_predicate, head_vars),),
+            ),
+            class_index=0,
+            positions=(),
+            two_atoms=False,
+        )
+    )
+    edb_specs.append((layout.exit_predicate, arity))
+    return BuiltSeparable(
+        layout=layout,
+        built_rules=tuple(built),
+        edb_specs=tuple(edb_specs),
+    )

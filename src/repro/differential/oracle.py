@@ -1,0 +1,328 @@
+"""The differential oracle: one case, every applicable strategy, diffed.
+
+Theorem 2.1 / Theorem 3.1 promise that every strategy in
+:data:`repro.engine.STRATEGIES` computes the same answer set on any
+query it applies to.  :func:`run_case` makes that claim executable for
+one :class:`~repro.differential.cases.Case`:
+
+* the **reference** answer set is semi-naive materialization plus a
+  selection filter (the same oracle the unit suite uses);
+* every strategy :meth:`~repro.engine.Engine.advise` deems applicable
+  (plus ``auto``) runs on a *fresh* engine and its answers are diffed
+  against the reference;
+* the separability **detection verdict** is checked against the
+  generator's ground truth (separable by construction, or a near-miss
+  mutant built to violate Definition 2.4);
+* per-run :class:`~repro.stats.EvaluationStats` **sanity invariants**
+  are checked -- counters never go negative, duplicate elimination
+  never *increases* the produced-tuple count below a materialized
+  relation's size, and the recorded ``ans`` relation bounds the answer
+  count.
+
+Exceptions the paper itself predicts (Counting and the no-dedup
+ablation on cyclic data, budget blowups of the exponential baselines)
+are tolerated as *skips*; anything else an applicable strategy raises
+is a finding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional, Sequence
+
+from ..budget import Budget
+from ..core.detection import analyze_recursion
+from ..datalog.errors import (
+    BudgetExceeded,
+    CyclicDataError,
+    ReproError,
+)
+from ..datalog.seminaive import seminaive_evaluate
+from ..engine import STRATEGIES, Engine
+from ..core.api import _matches_query
+from ..stats import EvaluationStats
+from .cases import Case
+
+__all__ = [
+    "DEFAULT_FUZZ_BUDGET",
+    "Disagreement",
+    "StrategyOutcome",
+    "OracleVerdict",
+    "applicable_strategies",
+    "reference_answers",
+    "run_case",
+    "make_failure_predicate",
+]
+
+#: Bounds each strategy run so divergent methods (no-dedup on cyclic
+#: data) terminate; generous enough that generated cases never trip it.
+DEFAULT_FUZZ_BUDGET = Budget(
+    max_relation_tuples=100_000,
+    max_total_tuples=500_000,
+    max_iterations=5_000,
+)
+
+#: Exceptions the paper predicts for specific (strategy, data) pairs;
+#: runs ending in one of these are skipped, not failed (Lemma 3.4).
+_TOLERATED = (CyclicDataError, BudgetExceeded)
+
+
+@dataclass(frozen=True)
+class Disagreement:
+    """One oracle finding.
+
+    ``kind`` is ``answers`` (answer-set mismatch), ``detection``
+    (separability verdict contradicts ground truth), ``stats`` (a
+    statistics invariant is violated), or ``error`` (an applicable
+    strategy raised an unexpected exception).
+    """
+
+    kind: str
+    strategy: str
+    detail: str
+
+    @property
+    def signature(self) -> tuple[str, str]:
+        """What the shrinker holds fixed while minimizing."""
+        return (self.kind, self.strategy)
+
+    def __str__(self) -> str:
+        return f"[{self.kind}] {self.strategy}: {self.detail}"
+
+
+@dataclass(frozen=True)
+class StrategyOutcome:
+    """The result of running one strategy on one case."""
+
+    strategy: str
+    answers: Optional[frozenset] = None
+    stats: Optional[EvaluationStats] = None
+    skipped: Optional[str] = None
+    error: Optional[str] = None
+
+    @property
+    def ran(self) -> bool:
+        return self.answers is not None
+
+
+@dataclass
+class OracleVerdict:
+    """Everything :func:`run_case` learned about one case."""
+
+    case: Case
+    reference: Optional[frozenset]
+    outcomes: dict[str, StrategyOutcome] = field(default_factory=dict)
+    disagreements: list[Disagreement] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.disagreements
+
+    @property
+    def strategies_run(self) -> list[str]:
+        return [s for s, o in self.outcomes.items() if o.ran]
+
+    def summary(self) -> str:
+        ran = ", ".join(self.strategies_run) or "none"
+        lines = [
+            f"query {self.case.query}?  strategies run: {ran}",
+        ]
+        for d in self.disagreements:
+            lines.append(f"  {d}")
+        if self.ok:
+            lines.append("  all strategies agree")
+        return "\n".join(lines)
+
+
+def reference_answers(case: Case, budget: Budget) -> frozenset:
+    """Semi-naive materialization + selection filter (the ground truth)."""
+    materialized = seminaive_evaluate(
+        case.program, case.database, budget=budget
+    )
+    return frozenset(
+        fact
+        for fact in materialized.tuples(case.query.predicate)
+        if _matches_query(fact, case.query)
+    )
+
+
+def applicable_strategies(
+    case: Case,
+    subset: Optional[Iterable[str]] = None,
+) -> list[str]:
+    """Strategies the engine's own advisor considers applicable.
+
+    ``auto`` is always included (its dispatch decision is itself under
+    test); an explicit ``subset`` intersects the list, preserving the
+    canonical :data:`~repro.engine.STRATEGIES` order.
+    """
+    engine = Engine(case.program, case.database)
+    advice = engine.advise(case.query)
+    names = {"auto", *advice.applicable}
+    if subset is not None:
+        wanted = set(subset)
+        unknown = wanted - set(STRATEGIES)
+        if unknown:
+            raise ValueError(
+                f"unknown strategies {sorted(unknown)}; "
+                f"choose from {STRATEGIES}"
+            )
+        names &= wanted
+    return [s for s in STRATEGIES if s in names]
+
+
+def _stats_violations(
+    outcome_answers: frozenset,
+    stats: EvaluationStats,
+    strategy: str,
+    predicate: str,
+) -> list[str]:
+    """Sanity invariants every run must satisfy (Definition 4.2 side)."""
+    problems: list[str] = []
+    for name, size in stats.relation_sizes.items():
+        if size < 0:
+            problems.append(f"relation {name} recorded negative size {size}")
+    for counter in ("iterations", "tuples_produced", "tuples_examined"):
+        if getattr(stats, counter) < 0:
+            problems.append(f"counter {counter} went negative")
+    if stats.max_relation_size > stats.total_relation_size:
+        problems.append(
+            f"max relation size {stats.max_relation_size} exceeds total "
+            f"{stats.total_relation_size}"
+        )
+    if strategy in ("seminaive", "naive"):
+        # Every tuple stored in the materialized IDB passed through the
+        # produced counter first: dedup never increases `produced`.
+        materialized = stats.relation_sizes.get(predicate, 0)
+        if stats.tuples_produced < materialized:
+            problems.append(
+                f"dedup inflated produced: {predicate} holds "
+                f"{materialized} tuples but only "
+                f"{stats.tuples_produced} were produced"
+            )
+    if "ans" in stats.relation_sizes:
+        if len(outcome_answers) > stats.relation_sizes["ans"]:
+            problems.append(
+                f"answer count {len(outcome_answers)} exceeds recorded "
+                f"ans relation size {stats.relation_sizes['ans']}"
+            )
+    return problems
+
+
+def _diff_detail(reference: frozenset, answers: frozenset) -> str:
+    missing = sorted(reference - answers, key=repr)[:5]
+    extra = sorted(answers - reference, key=repr)[:5]
+    parts = []
+    if missing:
+        parts.append(f"missing {missing}")
+    if extra:
+        parts.append(f"extra {extra}")
+    return (
+        f"{len(answers)} answers vs {len(reference)} reference; "
+        + "; ".join(parts)
+    )
+
+
+def run_case(
+    case: Case,
+    strategies: Optional[Sequence[str]] = None,
+    budget: Budget = DEFAULT_FUZZ_BUDGET,
+) -> OracleVerdict:
+    """Evaluate a case under every applicable strategy and diff results."""
+    verdict = OracleVerdict(case=case, reference=None)
+
+    # Ground-truth detection check (database-independent, so it runs
+    # even when evaluation itself would blow the budget).
+    report = analyze_recursion(case.program, case.query.predicate)
+    if (
+        case.expect_separable is not None
+        and report.separable != case.expect_separable
+    ):
+        verdict.disagreements.append(
+            Disagreement(
+                kind="detection",
+                strategy="detector",
+                detail=(
+                    f"generator says separable={case.expect_separable} "
+                    f"but analyze_recursion says {report.separable}:\n"
+                    + report.explain()
+                ),
+            )
+        )
+
+    try:
+        verdict.reference = reference_answers(case, budget)
+    except _TOLERATED as exc:
+        # The case itself is too heavy for the budget: inconclusive.
+        verdict.outcomes["seminaive"] = StrategyOutcome(
+            strategy="seminaive", skipped=f"reference: {exc}"
+        )
+        return verdict
+
+    for strategy in applicable_strategies(case, strategies):
+        engine = Engine(case.program, case.database, budget=budget)
+        stats = EvaluationStats()
+        try:
+            result = engine.query(case.query, strategy=strategy, stats=stats)
+        except _TOLERATED as exc:
+            verdict.outcomes[strategy] = StrategyOutcome(
+                strategy=strategy, skipped=str(exc)
+            )
+            continue
+        except ReproError as exc:
+            verdict.outcomes[strategy] = StrategyOutcome(
+                strategy=strategy, error=str(exc)
+            )
+            verdict.disagreements.append(
+                Disagreement(
+                    kind="error",
+                    strategy=strategy,
+                    detail=f"{type(exc).__name__}: {exc}",
+                )
+            )
+            continue
+        verdict.outcomes[strategy] = StrategyOutcome(
+            strategy=strategy, answers=result.answers, stats=result.stats
+        )
+        if result.answers != verdict.reference:
+            verdict.disagreements.append(
+                Disagreement(
+                    kind="answers",
+                    strategy=strategy,
+                    detail=_diff_detail(verdict.reference, result.answers),
+                )
+            )
+        for problem in _stats_violations(
+            result.answers, result.stats, result.strategy,
+            case.query.predicate,
+        ):
+            verdict.disagreements.append(
+                Disagreement(kind="stats", strategy=strategy, detail=problem)
+            )
+    return verdict
+
+
+def make_failure_predicate(
+    signature: tuple[str, str],
+    strategies: Optional[Sequence[str]] = None,
+    budget: Budget = DEFAULT_FUZZ_BUDGET,
+) -> Callable[[Case], bool]:
+    """A shrinker predicate: does the case still show *this* failure?
+
+    Holding the ``(kind, strategy)`` signature fixed keeps delta
+    debugging from wandering onto an unrelated failure while it deletes
+    rules and facts; any exception a mangled candidate raises counts as
+    "does not reproduce".
+    """
+
+    def still_fails(candidate: Case) -> bool:
+        try:
+            verdict = run_case(candidate, strategies=strategies,
+                               budget=budget)
+        except Exception:
+            return False
+        return any(
+            d.signature == signature for d in verdict.disagreements
+        )
+
+    return still_fails

@@ -1,0 +1,193 @@
+"""Greedy delta-debugging shrinker for failing differential cases.
+
+A raw fuzz failure carries a program with several classes and rules, a
+dozen relations, and tens of facts -- far more than the disagreement
+needs.  :func:`shrink_case` minimizes the ``(program, database, query)``
+triple while a caller-supplied predicate (usually
+:func:`repro.differential.oracle.make_failure_predicate`) keeps
+reporting the *same* failure:
+
+1. drop whole rules;
+2. drop whole relations;
+3. drop individual facts;
+4. merge constants (rewrite every occurrence of one constant -- in
+   facts and in the query -- to a smaller one), shrinking the active
+   domain;
+
+each pass greedily and all four repeated to a fixpoint.  The result is
+the paper-example-sized repro that gets written to the corpus.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable
+
+from ..datalog.atoms import Atom
+from ..datalog.database import Database
+from ..datalog.programs import Program
+from ..datalog.terms import Constant
+from .cases import Case
+
+__all__ = ["shrink_case", "ShrinkResult"]
+
+
+def _rebuild_database(
+    facts: dict[str, list[tuple]], arities: dict[str, int]
+) -> Database:
+    db = Database()
+    for name, arity in arities.items():
+        db.ensure(name, arity)
+        for fact in facts.get(name, ()):
+            db.add_fact(name, fact)
+    return db
+
+
+def _database_facts(db: Database) -> dict[str, list[tuple]]:
+    return {
+        name: sorted(db.tuples(name), key=repr)
+        for name in sorted(db.predicates())
+    }
+
+
+def _database_arities(db: Database) -> dict[str, int]:
+    return {
+        name: db.arity(name) or 0 for name in sorted(db.predicates())
+    }
+
+
+def _merge_constant(case: Case, old: object, new: object) -> Case:
+    """Rewrite every occurrence of ``old`` to ``new`` in facts + query."""
+    facts = {
+        name: [
+            tuple(new if v == old else v for v in fact)
+            for fact in tuples
+        ]
+        for name, tuples in _database_facts(case.database).items()
+    }
+    db = _rebuild_database(facts, _database_arities(case.database))
+    query = Atom(
+        case.query.predicate,
+        tuple(
+            Constant(new)
+            if isinstance(t, Constant) and t.value == old
+            else t
+            for t in case.query.args
+        ),
+    )
+    return replace(case, database=db, query=query)
+
+
+class ShrinkResult:
+    """The minimized case plus bookkeeping about the search."""
+
+    def __init__(self, case: Case, attempts: int, passes: int) -> None:
+        self.case = case
+        self.attempts = attempts
+        self.passes = passes
+
+    def __iter__(self):  # allow `case, attempts, passes = result`
+        yield self.case
+        yield self.attempts
+        yield self.passes
+
+
+def shrink_case(
+    case: Case,
+    still_fails: Callable[[Case], bool],
+    max_attempts: int = 5000,
+) -> ShrinkResult:
+    """Minimize ``case`` while ``still_fails`` keeps returning True.
+
+    ``still_fails`` must return True for ``case`` itself (the failure
+    to preserve); it is expected to swallow exceptions from mangled
+    candidates and report them as not-failing.  ``max_attempts`` bounds
+    the total number of candidate evaluations.
+    """
+    if not still_fails(case):
+        raise ValueError(
+            "shrink_case requires a failing case: still_fails(case) "
+            "returned False for the starting point"
+        )
+
+    attempts = 0
+    passes = 0
+
+    def try_candidate(candidate: Case) -> bool:
+        nonlocal attempts
+        if attempts >= max_attempts:
+            return False
+        attempts += 1
+        return still_fails(candidate)
+
+    current = case
+    changed = True
+    while changed and attempts < max_attempts:
+        changed = False
+        passes += 1
+
+        # Pass 1: drop whole rules.
+        index = 0
+        while index < len(current.program.rules):
+            rules = list(current.program.rules)
+            del rules[index]
+            try:
+                candidate = replace(current, program=Program(rules))
+            except Exception:
+                index += 1
+                continue
+            if try_candidate(candidate):
+                current = candidate
+                changed = True
+            else:
+                index += 1
+
+        # Pass 2: drop whole relations.
+        for name in list(_database_facts(current.database)):
+            facts = _database_facts(current.database)
+            arities = _database_arities(current.database)
+            if not facts.get(name):
+                continue
+            facts[name] = []
+            candidate = replace(
+                current, database=_rebuild_database(facts, arities)
+            )
+            if try_candidate(candidate):
+                current = candidate
+                changed = True
+
+        # Pass 3: drop individual facts.
+        for name in list(_database_facts(current.database)):
+            index = 0
+            while index < len(_database_facts(current.database)[name]):
+                facts = _database_facts(current.database)
+                arities = _database_arities(current.database)
+                del facts[name][index]
+                candidate = replace(
+                    current, database=_rebuild_database(facts, arities)
+                )
+                if try_candidate(candidate):
+                    current = candidate
+                    changed = True
+                else:
+                    index += 1
+
+        # Pass 4: merge constants down to the smallest one.
+        constants = sorted(
+            current.database.distinct_constants()
+            | {
+                t.value
+                for t in current.query.args
+                if isinstance(t, Constant)
+            },
+            key=repr,
+        )
+        if len(constants) > 1:
+            target = constants[0]
+            for old in constants[1:]:
+                candidate = _merge_constant(current, old, target)
+                if try_candidate(candidate):
+                    current = candidate
+                    changed = True
+
+    return ShrinkResult(current, attempts, passes)

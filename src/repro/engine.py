@@ -130,6 +130,7 @@ class Engine:
         self.order = order
         self._reports: dict[str, SeparabilityReport] = {}
         self._base_db: dict[str, Database] = {}
+        self._base_db_fingerprint = edb.fingerprint()
         self._plans: dict[tuple[str, tuple[int, ...]], SeparablePlan] = {}
 
     # -- analysis ----------------------------------------------------------
@@ -285,7 +286,17 @@ class Engine:
 
     def _database_for(self, predicate: str) -> Database:
         """EDB plus materialized extents of every *base* IDB predicate
-        the given predicate depends on (excluding itself)."""
+        the given predicate depends on (excluding itself).
+
+        The cache is keyed on the EDB's mutation fingerprint: adding
+        facts to (or clearing) any relation between queries invalidates
+        every cached materialization, so answers always reflect the
+        current data.
+        """
+        fingerprint = self.edb.fingerprint()
+        if fingerprint != self._base_db_fingerprint:
+            self._base_db.clear()
+            self._base_db_fingerprint = fingerprint
         cached = self._base_db.get(predicate)
         if cached is not None:
             return cached

@@ -26,6 +26,8 @@ __all__ = [
     "random_graph",
     "random_dag",
     "star",
+    "constant_pool",
+    "random_relation",
 ]
 
 Edges = list[tuple[str, str]]
@@ -141,3 +143,34 @@ def star(n: int, prefix: str = "a", center: str | None = None) -> Edges:
     """Edges from one center node to ``n`` leaves (fanout stress)."""
     center = center or node(prefix, 0)
     return [(center, node(prefix, i + 1)) for i in range(n)]
+
+
+def constant_pool(n: int, prefix: str = "c") -> list[str]:
+    """The shared constant pool fuzzed EDBs draw from (``c0 .. c<n-1>``).
+
+    Keeping every relation over one small pool is what makes joins hit
+    and cycles / converging paths arise naturally in random data.
+    """
+    return [node(prefix, i) for i in range(n)]
+
+
+def random_relation(
+    arity: int,
+    count: int,
+    pool: list[str],
+    rng: random.Random | None = None,
+    seed: int = 0,
+) -> list[tuple[str, ...]]:
+    """``count`` distinct random tuples of the given arity over ``pool``.
+
+    Accepts either an explicit ``random.Random`` (so a caller can thread
+    one generator through a whole workload) or a ``seed``.  The result
+    is sorted for reproducible iteration order, and capped at the number
+    of distinct tuples the pool admits.
+    """
+    rng = rng if rng is not None else random.Random(seed)
+    count = min(count, len(pool) ** arity)
+    chosen: set[tuple[str, ...]] = set()
+    while len(chosen) < count:
+        chosen.add(tuple(rng.choice(pool) for _ in range(arity)))
+    return sorted(chosen)

@@ -127,3 +127,44 @@ class TestDatabase:
         assert db.predicates() == {"p"}
         assert "p" in db
         assert "q" not in db
+
+
+class TestVersioning:
+    """Relation.version / Database.fingerprint drive the Engine's
+    base-materialization cache invalidation."""
+
+    def test_version_bumps_on_new_fact_only(self):
+        rel = Relation("p", 2)
+        v0 = rel.version
+        assert rel.add(("a", "b"))
+        assert rel.version > v0
+        v1 = rel.version
+        assert not rel.add(("a", "b"))  # duplicate
+        assert rel.version == v1
+
+    def test_version_bumps_on_clear(self):
+        rel = Relation("p", 1, [("a",)])
+        v = rel.version
+        rel.clear()
+        assert rel.version > v
+
+    def test_fingerprint_is_order_insensitive(self):
+        a = Database.from_facts({"p": [("a",)], "q": [("b",)]})
+        b = Database()
+        b.ensure("q", 1)
+        b.ensure("p", 1)
+        b.add_fact("q", ("b",))
+        b.add_fact("p", ("a",))
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_fingerprint_changes_on_mutation(self):
+        db = Database.from_facts({"p": [("a",)]})
+        fp = db.fingerprint()
+        db.add_fact("p", ("b",))
+        assert db.fingerprint() != fp
+
+    def test_fingerprint_sees_new_relation(self):
+        db = Database.from_facts({"p": [("a",)]})
+        fp = db.fingerprint()
+        db.ensure("q", 2)
+        assert db.fingerprint() != fp

@@ -1,0 +1,144 @@
+"""Tier-1 entry point for the differential fuzzing subsystem.
+
+Runs a small fixed-seed budget of the generator + oracle (so every CI
+run cross-checks all nine strategies on fresh random cases), replays
+every stored corpus repro file, and pins down the generator's
+contracts: determinism from the seed, detection ground truth, and
+round-tripping of cases through the repro-file format.
+
+The long campaign at the bottom is opt-in via ``pytest -m fuzz``.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.core.detection import analyze_recursion
+from repro.differential import (
+    Case,
+    CaseGenerator,
+    FuzzConfig,
+    applicable_strategies,
+    load_case,
+    run_case,
+    run_fuzz,
+)
+from repro.differential.cases import case_from_text
+from repro.engine import STRATEGIES
+
+CORPUS = Path(__file__).parent / "corpus"
+
+
+class TestFixedSeedSmoke:
+    """The tier-1 budget: 50 cases, every applicable strategy, <60s."""
+
+    def test_50_iterations_agree(self):
+        report = run_fuzz(FuzzConfig(iterations=50, seed=7))
+        assert report.ok, report.summary()
+        assert report.iterations_run == 50
+        # Both halves of the distribution actually showed up.
+        assert report.separable_cases > 0
+        assert report.mutant_cases > 0
+        # Several strategies ran per case on average.
+        assert report.strategy_runs >= 3 * report.iterations_run
+
+    def test_strategy_subset_campaign(self):
+        report = run_fuzz(
+            FuzzConfig(
+                iterations=10,
+                seed=21,
+                strategies=("separable", "magic", "seminaive"),
+            )
+        )
+        assert report.ok, report.summary()
+
+
+class TestCorpusReplay:
+    """Every stored repro file must keep agreeing forever."""
+
+    def test_corpus_is_nonempty(self):
+        assert sorted(CORPUS.glob("*.dl")), (
+            "the checked-in corpus should seed the replay test"
+        )
+
+    @pytest.mark.parametrize(
+        "path", sorted(CORPUS.glob("*.dl")), ids=lambda p: p.name
+    )
+    def test_replay(self, path):
+        verdict = run_case(load_case(path))
+        assert verdict.ok, verdict.summary()
+
+
+class TestGeneratorContracts:
+    def test_deterministic_from_seed(self):
+        first = [c.to_text() for c in CaseGenerator(seed=11).cases(10)]
+        second = [c.to_text() for c in CaseGenerator(seed=11).cases(10)]
+        assert first == second
+
+    def test_seeds_differ(self):
+        a = [c.to_text() for c in CaseGenerator(seed=1).cases(5)]
+        b = [c.to_text() for c in CaseGenerator(seed=2).cases(5)]
+        assert a != b
+
+    def test_detection_ground_truth(self):
+        """Separable-by-construction and near-miss labels are exact."""
+        seen = {True: 0, False: 0}
+        for case in CaseGenerator(seed=3).cases(40):
+            report = analyze_recursion(case.program, case.query.predicate)
+            assert report.separable == case.expect_separable, (
+                f"{case.note}\n{case.to_text()}\n{report.explain()}"
+            )
+            seen[case.expect_separable] += 1
+        assert seen[True] and seen[False]
+
+    def test_case_roundtrips_through_repro_file(self):
+        for case in CaseGenerator(seed=5).cases(5):
+            again = case_from_text(case.to_text())
+            assert again.program == case.program
+            assert str(again.query) == str(case.query)
+            assert again.expect_separable == case.expect_separable
+            for name in case.database.predicates():
+                # Empty relations are not representable as facts; every
+                # stored fact must survive exactly.
+                assert again.database.tuples(name) == (
+                    case.database.tuples(name)
+                )
+
+
+class TestOracle:
+    def test_unknown_strategy_subset_rejected(self):
+        case = next(CaseGenerator(seed=9).cases(1))
+        with pytest.raises(ValueError, match="unknown strategies"):
+            applicable_strategies(case, subset=["quantum"])
+
+    def test_auto_always_applicable(self):
+        case = next(CaseGenerator(seed=9).cases(1))
+        names = applicable_strategies(case)
+        assert "auto" in names
+        assert set(names) <= set(STRATEGIES)
+        # The fallbacks are applicable to everything.
+        for always in ("magic", "seminaive", "naive"):
+            assert always in names
+
+    def test_reference_matches_conftest_oracle(self):
+        from repro.differential.oracle import (
+            DEFAULT_FUZZ_BUDGET,
+            reference_answers,
+        )
+
+        from ..conftest import oracle_answers
+
+        for case in CaseGenerator(seed=13).cases(5):
+            assert reference_answers(case, DEFAULT_FUZZ_BUDGET) == (
+                oracle_answers(case.program, case.database, case.query)
+            )
+
+
+@pytest.mark.fuzz
+class TestLongCampaign:
+    """Opt-in deep run: ``pytest -m fuzz tests/differential``."""
+
+    @pytest.mark.parametrize("seed", [1234, 99])
+    def test_500_iterations(self, seed):
+        report = run_fuzz(FuzzConfig(iterations=500, seed=seed))
+        assert report.ok, report.summary()

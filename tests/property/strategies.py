@@ -1,6 +1,11 @@
 """Hypothesis strategies generating random separable recursions + EDBs.
 
-The generator constructs programs that are separable *by construction*:
+Program construction is shared with the seeded differential fuzzer:
+both describe a recursion as a
+:class:`repro.differential.layouts.SeparableLayout` (arity, class
+assignment, per-class rule shapes) and build rules through
+:func:`repro.differential.layouts.build_separable`, so the property
+suite and ``repro-datalog fuzz`` can never drift apart structurally:
 
 * pick an arity ``k`` and partition the positions into up to three
   equivalence classes plus a persistent remainder;
@@ -22,77 +27,55 @@ from hypothesis import strategies as st
 
 from repro.datalog.atoms import Atom
 from repro.datalog.database import Database
-from repro.datalog.programs import Program
-from repro.datalog.rules import Rule
 from repro.datalog.terms import Constant, Variable
+from repro.differential.layouts import (
+    RuleSpec,
+    SeparableLayout,
+    build_separable,
+)
 
 CONSTANTS = [f"c{i}" for i in range(6)]
 
 
 @st.composite
-def separable_setups(draw):
-    """Draw ``(program, database, class position lists, pers positions)``."""
+def separable_layouts(draw):
+    """Draw a :class:`SeparableLayout` (shape only, no data)."""
     arity = draw(st.integers(min_value=1, max_value=4))
     class_count = draw(st.integers(min_value=0, max_value=min(3, arity)))
     assignment = [
         draw(st.integers(min_value=0, max_value=class_count))
         for _ in range(arity)
     ]
-    # class id 0 means persistent; 1..class_count are real classes.
-    class_positions: dict[int, list[int]] = {}
-    for position, cls in enumerate(assignment):
-        if cls > 0:
-            class_positions.setdefault(cls, []).append(position)
+    # Class id 0 means persistent; renumber the used ids so they are
+    # contiguous 1..n as the layout invariant requires.
+    used = sorted({c for c in assignment if c > 0})
+    renumber = {c: i + 1 for i, c in enumerate(used)}
+    assignment = tuple(renumber.get(c, 0) for c in assignment)
 
-    head_vars = tuple(Variable(f"V{i + 1}") for i in range(arity))
-    rules: list[Rule] = []
-    edb_specs: list[tuple[str, int]] = []
-
-    for cls_index, positions in sorted(class_positions.items()):
-        width = len(positions)
+    specs: list[RuleSpec] = []
+    for cls in sorted(renumber.values()):
         rule_count = draw(st.integers(min_value=1, max_value=3))
         for r in range(rule_count):
-            body_vars = {p: Variable(f"W{p + 1}") for p in positions}
-            recursive_args = tuple(
-                body_vars.get(p, head_vars[p]) for p in range(arity)
-            )
-            name = f"e{cls_index}_{r}"
-            two_atoms = draw(st.booleans())
-            if two_atoms:
-                mid = Variable("M")
-                first = Atom(
-                    name + "a",
-                    tuple(head_vars[p] for p in positions) + (mid,),
-                )
-                second = Atom(
-                    name + "b",
-                    (mid,) + tuple(body_vars[p] for p in positions),
-                )
-                nonrec = (first, second)
-                edb_specs.append((name + "a", width + 1))
-                edb_specs.append((name + "b", width + 1))
-            else:
-                atom = Atom(
-                    name,
-                    tuple(head_vars[p] for p in positions)
-                    + tuple(body_vars[p] for p in positions),
-                )
-                nonrec = (atom,)
-                edb_specs.append((name, 2 * width))
-            rules.append(
-                Rule(
-                    Atom("t", head_vars),
-                    nonrec + (Atom("t", recursive_args),),
+            specs.append(
+                RuleSpec(
+                    class_index=cls,
+                    rule_number=r,
+                    two_atoms=draw(st.booleans()),
                 )
             )
-
-    rules.append(
-        Rule(Atom("t", head_vars), (Atom("t0", head_vars),))
+    return SeparableLayout(
+        arity=arity, assignment=assignment, rule_specs=tuple(specs)
     )
-    edb_specs.append(("t0", arity))
+
+
+@st.composite
+def separable_setups(draw):
+    """Draw ``(program, database, class position lists, pers positions)``."""
+    layout = draw(separable_layouts())
+    built = build_separable(layout)
 
     db = Database()
-    for name, pred_arity in edb_specs:
+    for name, pred_arity in built.edb_specs:
         db.ensure(name, pred_arity)
         tuple_count = draw(st.integers(min_value=0, max_value=8))
         for _ in range(tuple_count):
@@ -101,9 +84,12 @@ def separable_setups(draw):
             )
             db.add_fact(name, fact)
 
-    pers = [p for p, cls in enumerate(assignment) if cls == 0]
-    classes = [sorted(v) for _, v in sorted(class_positions.items())]
-    return Program(rules), db, classes, pers
+    return (
+        built.program,
+        db,
+        layout.classes,
+        list(layout.pers_positions),
+    )
 
 
 @st.composite

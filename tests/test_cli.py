@@ -134,3 +134,43 @@ class TestAdvise:
         out = capsys.readouterr().out
         assert "recommended: magic" in out
         assert "+ relaxed" in out
+
+
+class TestFuzz:
+    def test_small_campaign_agrees(self, capsys):
+        assert main(["fuzz", "--iterations", "5", "--seed", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "all strategies agree" in out
+        assert "iterations=5" in out
+
+    def test_strategy_subset(self, capsys):
+        code = main(
+            [
+                "fuzz", "--iterations", "3", "--seed", "1",
+                "--strategy", "seminaive", "--strategy", "magic",
+            ]
+        )
+        assert code == 0
+
+    def test_corpus_replayed(self, tmp_path, capsys):
+        corpus = tmp_path / "corpus"
+        corpus.mkdir()
+        (corpus / "tc.dl").write_text(
+            "% differential-repro v1\n"
+            "% expect-separable: true\n"
+            "tc(X, Y) :- edge(X, W) & tc(W, Y).\n"
+            "tc(X, Y) :- edge(X, Y).\n"
+            "edge(a, b).\n"
+            "edge(b, c).\n"
+            "tc(a, Y)?\n"
+        )
+        code = main(
+            ["fuzz", "--iterations", "2", "--seed", "3",
+             "--corpus", str(corpus)]
+        )
+        assert code == 0
+        assert "corpus replayed=1" in capsys.readouterr().out
+
+    def test_rejects_unknown_strategy(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["fuzz", "--strategy", "quantum"])

@@ -118,6 +118,53 @@ class TestBaseMaterialization:
         engine, _, _ = ex11_engine
         assert engine.report("buys") is engine.report("buys")
 
+    def test_cache_invalidated_on_edb_mutation(self):
+        """Regression: the base-IDB cache used to survive EDB updates,
+        so answers computed after an ``add_fact`` reflected the stale
+        materialization."""
+        parsed = parse_program(self.PROGRAM)
+        db = Database.from_facts({"wire": [("a", "b")]})
+        engine = Engine(parsed.program, db)
+        before = engine.query("conn(a, Y)?", strategy="separable").answers
+        assert ("a", "c") not in before
+        db.add_fact("wire", ("b", "c"))
+        after = engine.query("conn(a, Y)?", strategy="separable").answers
+        assert ("a", "c") in after
+
+    def test_cache_invalidated_for_every_strategy(self):
+        parsed = parse_program(self.PROGRAM)
+        db = Database.from_facts({"wire": [("a", "b")]})
+        # counting is excluded: the symmetric link rules make the data
+        # cyclic, which that method rejects by design.
+        for strategy in ("magic", "seminaive", "naive"):
+            engine = Engine(parsed.program, db.copy())
+            engine.query("conn(a, Y)?", strategy=strategy)
+            engine.edb.add_fact("wire", ("b", "c"))
+            answers = engine.query(
+                "conn(a, Y)?", strategy=strategy
+            ).answers
+            assert ("a", "c") in answers, strategy
+
+    def test_cache_kept_when_edb_unchanged(self):
+        parsed = parse_program(self.PROGRAM)
+        db = Database.from_facts({"wire": [("a", "b")]})
+        engine = Engine(parsed.program, db)
+        engine.query("conn(a, Y)?", strategy="separable")
+        first = engine._base_db["conn"]
+        # A duplicate insert is a no-op and must not bust the cache.
+        db.add_fact("wire", ("a", "b"))
+        engine.query("conn(b, Y)?", strategy="separable")
+        assert engine._base_db["conn"] is first
+
+    def test_fingerprint_tracks_mutation(self):
+        db = Database.from_facts({"wire": [("a", "b")]})
+        fp = db.fingerprint()
+        assert db.fingerprint() == fp
+        db.add_fact("wire", ("a", "b"))  # duplicate: no change
+        assert db.fingerprint() == fp
+        db.add_fact("wire", ("b", "c"))
+        assert db.fingerprint() != fp
+
 
 class TestErrors:
     def test_unknown_predicate(self, ex11_engine):

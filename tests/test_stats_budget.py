@@ -1,6 +1,8 @@
-"""Unit tests for EvaluationStats and Budget."""
+"""Unit and property tests for EvaluationStats and Budget."""
 
 import pytest
+from hypothesis import given
+from hypothesis import strategies as st
 
 from repro.budget import UNLIMITED, Budget
 from repro.datalog.errors import BudgetExceeded
@@ -113,3 +115,142 @@ class TestBudget:
         stats.bump_iterations(10**9)
         UNLIMITED.check_relation("huge", 10**12, stats)
         UNLIMITED.check_stats(stats)
+
+
+# -- hypothesis strategies ---------------------------------------------------
+
+_sizes = st.dictionaries(
+    st.sampled_from(["magic", "count", "carry_1", "seen_2", "ans", "t"]),
+    st.integers(min_value=0, max_value=10**6),
+    max_size=6,
+)
+_counter = st.integers(min_value=0, max_value=10**6)
+
+
+@st.composite
+def _stats(draw):
+    stats = EvaluationStats(strategy=draw(st.sampled_from(["", "separable"])))
+    for name, size in draw(_sizes).items():
+        stats.record_relation(name, size)
+    stats.bump_iterations(draw(_counter))
+    stats.bump_produced(draw(_counter))
+    stats.bump_examined(draw(_counter))
+    return stats
+
+
+def _snapshot(stats: EvaluationStats):
+    return (
+        dict(stats.relation_sizes),
+        stats.iterations,
+        stats.tuples_produced,
+        stats.tuples_examined,
+    )
+
+
+class TestMergeProperties:
+    """Algebraic laws of EvaluationStats.merge (Lemma 2.1 unions)."""
+
+    @given(_stats(), _stats())
+    def test_merge_is_pointwise_max_and_counter_sum(self, a, b):
+        before_a = _snapshot(a)
+        before_b = _snapshot(b)
+        a.merge(b)
+        sizes_a, its_a, prod_a, exam_a = before_a
+        sizes_b, its_b, prod_b, exam_b = before_b
+        expected = {
+            name: max(sizes_a.get(name, -1), sizes_b.get(name, -1))
+            for name in {*sizes_a, *sizes_b}
+        }
+        assert a.relation_sizes == expected
+        assert a.iterations == its_a + its_b
+        assert a.tuples_produced == prod_a + prod_b
+        assert a.tuples_examined == exam_a + exam_b
+        # merge must not mutate its argument
+        assert _snapshot(b) == before_b
+
+    @given(_stats(), _stats())
+    def test_merge_order_insensitive_on_sizes(self, a, b):
+        """The paper's union measure: sizes commute (counters reorder
+        freely too, being sums)."""
+        a2 = EvaluationStats()
+        a2.merge(a)
+        b2 = EvaluationStats()
+        b2.merge(b)
+        a2.merge(b)
+        b2.merge(a)
+        assert a2.relation_sizes == b2.relation_sizes
+        assert a2.max_relation_size == b2.max_relation_size
+        assert a2.iterations == b2.iterations
+
+    @given(_stats())
+    def test_merge_with_self_doubles_counters_keeps_sizes(self, a):
+        sizes, its, prod, exam = _snapshot(a)
+        a.merge(a)
+        assert a.relation_sizes == sizes
+        assert a.iterations == 2 * its
+        assert a.tuples_produced == 2 * prod
+        assert a.tuples_examined == 2 * exam
+
+    @given(_stats())
+    def test_merge_identity(self, a):
+        before = _snapshot(a)
+        a.merge(EvaluationStats())
+        assert _snapshot(a) == before
+
+    @given(_stats())
+    def test_summary_invariants(self, a):
+        assert 0 <= a.max_relation_size <= a.total_relation_size
+        name, size = a.largest_relation()
+        assert size == a.max_relation_size
+        if a.relation_sizes:
+            assert a.relation_sizes[name] == size
+
+
+class TestBudgetProperties:
+    @given(_stats(), st.integers(min_value=0, max_value=10**6))
+    def test_check_relation_trips_iff_over(self, stats, size):
+        budget = Budget(max_relation_tuples=1000)
+        if size > 1000:
+            with pytest.raises(BudgetExceeded):
+                budget.check_relation("r", size, stats)
+        else:
+            budget.check_relation("r", size, stats)
+
+    @given(_stats())
+    def test_check_stats_trips_iff_over(self, stats):
+        budget = Budget(max_total_tuples=500, max_iterations=500)
+        over = (
+            stats.total_relation_size > 500 or stats.iterations > 500
+        )
+        if over:
+            with pytest.raises(BudgetExceeded) as excinfo:
+                budget.check_stats(stats)
+            assert excinfo.value.stats is stats
+        else:
+            budget.check_stats(stats)
+
+    def test_zero_budget_allows_zero_work(self):
+        """The degenerate budget admits exactly the empty evaluation."""
+        budget = Budget(
+            max_relation_tuples=0, max_total_tuples=0, max_iterations=0
+        )
+        budget.check_relation("r", 0)
+        budget.check_stats(EvaluationStats())
+        empty = EvaluationStats()
+        empty.record_relation("r", 0)
+        budget.check_stats(empty)  # zero-size relations cost nothing
+
+    def test_zero_budget_rejects_any_work(self):
+        budget = Budget(
+            max_relation_tuples=0, max_total_tuples=0, max_iterations=0
+        )
+        with pytest.raises(BudgetExceeded):
+            budget.check_relation("r", 1)
+        one_tuple = EvaluationStats()
+        one_tuple.record_relation("r", 1)
+        with pytest.raises(BudgetExceeded):
+            budget.check_stats(one_tuple)
+        one_iter = EvaluationStats()
+        one_iter.bump_iterations()
+        with pytest.raises(BudgetExceeded):
+            budget.check_stats(one_iter)
