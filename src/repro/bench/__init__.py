@@ -1,0 +1,58 @@
+"""Wall-clock ground truth for the reproduction's performance claims.
+
+The package behind ``repro-datalog bench``:
+
+* :mod:`repro.bench.families` -- the paper's experiment families
+  (E1-E9) as a registry of buildable workloads;
+* :mod:`repro.bench.harness` -- calibrated median-of-k timing with
+  traced warmups, growth-exponent fits, and schema-versioned
+  ``BENCH_<family>.json`` reports;
+* :mod:`repro.bench.gating` -- the ``--check`` regression gate that
+  diffs a fresh run against a committed baseline.
+
+See ``docs/benchmarking.md`` for the report schema and how to read the
+traces.
+"""
+
+from .families import FAMILIES, Family, Workload, resolve_families
+from .gating import (
+    DEFAULT_MIN_TIME_S,
+    DEFAULT_TIME_TOLERANCE,
+    Finding,
+    compare_reports,
+)
+from .harness import (
+    BENCH_BUDGET,
+    SCHEMA,
+    calibrate,
+    classify_exponent,
+    fit_exponent,
+    git_sha,
+    machine_info,
+    report_path,
+    run_family,
+    summarize,
+    write_report,
+)
+
+__all__ = [
+    "BENCH_BUDGET",
+    "DEFAULT_MIN_TIME_S",
+    "DEFAULT_TIME_TOLERANCE",
+    "FAMILIES",
+    "Family",
+    "Finding",
+    "SCHEMA",
+    "Workload",
+    "calibrate",
+    "classify_exponent",
+    "compare_reports",
+    "fit_exponent",
+    "git_sha",
+    "machine_info",
+    "report_path",
+    "resolve_families",
+    "run_family",
+    "summarize",
+    "write_report",
+]

@@ -1,0 +1,283 @@
+"""The paper's experiment families (E1-E9) as benchmarkable workloads.
+
+Each :class:`Family` knows how to build its inputs for one size ``n``
+and which strategies Section 4 (or the extension ablations) compares on
+it.  The parameterizations mirror ``benchmarks/bench_e*.py`` and
+:mod:`repro.reporting` -- this module is the single registry the
+``repro-datalog bench`` harness sweeps, so the wall-clock numbers, the
+pytest-benchmark numbers, and the report tables all describe the same
+inputs.
+
+A family's ``build(n)`` returns a :class:`Workload`: program, database
+and query text.  Strategy names are :data:`repro.engine.STRATEGIES`
+members, plus the pseudo-strategy ``"detect"`` (E6), which times
+separability analysis alone -- the paper's "computationally simple to
+detect" claim -- and touches no data.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable
+
+from ..datalog.database import Database
+from ..datalog.parser import parse_program
+from ..datalog.programs import Program
+from ..workloads.generators import chain, grid, random_dag
+from ..workloads.paper import (
+    example_1_1_database,
+    example_1_1_program,
+    example_1_2_database,
+    example_1_2_program,
+    lemma_4_2_database,
+    lemma_4_2_program,
+    lemma_4_3_database,
+    lemma_4_3_program,
+    section_5_nonseparable_program,
+)
+
+__all__ = ["Family", "Workload", "FAMILIES", "resolve_families"]
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One benchmarkable input: program + data + query."""
+
+    program: Program
+    db: Database
+    query: str
+
+
+@dataclass(frozen=True)
+class Family:
+    """One experiment family of the reproduction."""
+
+    key: str
+    title: str
+    #: What the size parameter means for this family.
+    size_means: str
+    strategies: tuple[str, ...]
+    build: Callable[[int], Workload]
+    #: What Section 4 predicts, recorded into the report for readers.
+    expectation: str
+
+
+def _e1(n: int) -> Workload:
+    return Workload(
+        example_1_1_program(), example_1_1_database(n), "buys(a1, Y)?"
+    )
+
+
+def _e2(n: int) -> Workload:
+    return Workload(
+        example_1_2_program(), example_1_2_database(n), "buys(a1, Y)?"
+    )
+
+
+def _e3(n: int, k: int = 3, w: int = 1) -> Workload:
+    # The Lemma 4.1 shape of benchmarks/bench_e3_lemma41.py at (k, w):
+    # seen_1 is n^w, seen_2 is n^(k-w); with (3, 1) the bound is n^2.
+    head = ", ".join(f"X{j}" for j in range(1, k + 1))
+    bound_head = ", ".join(f"X{j}" for j in range(1, w + 1))
+    bound_body = ", ".join(f"W{j}" for j in range(1, w + 1))
+    rest = ", ".join(f"X{j}" for j in range(w + 1, k + 1))
+    body_args = ", ".join(x for x in [bound_body, rest] if x)
+    program = parse_program(
+        f"t({head}) :- a({bound_head}, {bound_body}) & t({body_args}).\n"
+        f"t({head}) :- t0({head})."
+    ).program
+    consts = [f"c{i}" for i in range(1, n + 1)]
+    db = Database.from_facts(
+        {
+            "a": list(itertools.product(consts, repeat=2 * w)),
+            "t0": list(itertools.product(consts, repeat=k)),
+        }
+    )
+    query = "t(" + ", ".join(["c1"] * w + [f"Q{j}" for j in range(k - w)])
+    return Workload(program, db, query + ")?")
+
+
+def _e4(n: int, k: int = 2, p: int = 2) -> Workload:
+    query = "t(c1, " + ", ".join(f"Q{j}" for j in range(k - 1)) + ")?"
+    return Workload(
+        lemma_4_2_program(k, p), lemma_4_2_database(n, k, p), query
+    )
+
+
+def _e5(n: int, k: int = 2, p: int = 2) -> Workload:
+    return Workload(
+        lemma_4_3_program(k, p), lemma_4_3_database(n, k, p), "t(c1, Y)?"
+    )
+
+
+def _e6(n: int) -> Workload:
+    # n recursive rules; detection must stay near-linear in rule count.
+    head = "t(X1, X2, X3)"
+    lines = [
+        f"{head} :- a{i}(X1, M{i}) & b{i}(M{i}, W) & t(W, X2, X3)."
+        for i in range(n)
+    ]
+    lines.append(f"{head} :- t0(X1, X2, X3).")
+    program = parse_program("\n".join(lines)).program
+    return Workload(program, Database(), "t(c, Q1, Q2)?")
+
+
+_E7_REACHABLE = 10
+
+
+def _e7(n: int) -> Workload:
+    # Fixed reachable chain, n distractor edges: Separable work must not
+    # scale with n (benchmarks/bench_e7_focus.py).
+    db = Database.from_facts(
+        {
+            "friend": chain(_E7_REACHABLE, "a") + chain(n, "z"),
+            "idol": [],
+            "perfectFor": [
+                (f"a{_E7_REACHABLE - 1}", "thing"),
+                (f"z{max(n // 2 - 1, 0)}", "other"),
+            ],
+        }
+    )
+    db.ensure("idol", 2)
+    return Workload(example_1_1_program(), db, "buys(a0, Y)?")
+
+
+_TC_TEXT = "tc(X, Y) :- e(X, W) & tc(W, Y).\ntc(X, Y) :- e(X, Y)."
+
+
+def _e8(n: int) -> Workload:
+    program = parse_program(_TC_TEXT).program
+    db = Database.from_facts(
+        {"e": random_dag(n, max(2 * n, n + 1), seed=11)}
+    )
+    return Workload(program, db, "tc(a0, Y)?")
+
+
+def _e9(n: int) -> Workload:
+    db = Database.from_facts(
+        {
+            "a": chain(n, "x"),
+            "t0": [(f"x{n - 1}", "y0")],
+            "b": chain(n, "y") + chain(n, "zz"),
+        }
+    )
+    return Workload(section_5_nonseparable_program(), db, "t(x0, Y)?")
+
+
+def _sq(n: int) -> int:
+    """Nearest square side for grid sizes (unused sizes stay meaningful)."""
+    return max(int(round(n ** 0.5)), 2)
+
+
+FAMILIES: dict[str, Family] = {
+    "e1": Family(
+        key="e1",
+        title="Example 1.1: Counting Omega(2^n) vs Separable/Magic O(n)",
+        size_means="chain length n",
+        strategies=("separable", "magic", "counting"),
+        build=_e1,
+        expectation=(
+            "counting superpolynomial (path-indexed count relation); "
+            "separable and magic linear"
+        ),
+    ),
+    "e2": Family(
+        key="e2",
+        title="Example 1.2: Magic Omega(n^2) vs Separable O(n)",
+        size_means="chain length n",
+        strategies=("separable", "magic"),
+        build=_e2,
+        expectation="magic quadratic (all buys(a_i, b_j)); separable linear",
+    ),
+    "e3": Family(
+        key="e3",
+        title="Lemma 4.1: Separable O(n^max(w, k-w)) at (k, w) = (3, 1)",
+        size_means="constants per column n",
+        strategies=("separable",),
+        build=_e3,
+        expectation="separable quadratic (seen_2 bound n^(k-w) = n^2)",
+    ),
+    "e4": Family(
+        key="e4",
+        title="Lemma 4.2: Magic n^k vs Separable n^(k-1) at k = 2",
+        size_means="constants per column n",
+        strategies=("separable", "magic"),
+        build=_e4,
+        expectation="magic quadratic; separable linear",
+    ),
+    "e5": Family(
+        key="e5",
+        title="Lemma 4.3: Counting sum p^l vs Separable O(n) at p = 2",
+        size_means="descent depth n",
+        strategies=("separable", "counting"),
+        build=_e5,
+        expectation="counting superpolynomial; separable linear",
+    ),
+    "e6": Family(
+        key="e6",
+        title="Detection cost vs rule count (Section 5)",
+        size_means="recursive rule count",
+        strategies=("detect",),
+        build=_e6,
+        expectation="near-linear detection time, no data touched",
+    ),
+    "e7": Family(
+        key="e7",
+        title="Section 3.2 focus: reachable work vs distractor size",
+        size_means="distractor edges n",
+        strategies=("separable", "magic", "seminaive"),
+        build=_e7,
+        expectation=(
+            "separable tuples_examined constant in n; seminaive scales "
+            "with the whole database"
+        ),
+    ),
+    "e8": Family(
+        key="e8",
+        title="Average case: transitive closure on a random DAG",
+        size_means="node count n",
+        strategies=("separable", "magic", "seminaive", "nodedup"),
+        build=_e8,
+        expectation=(
+            "separable <= magic << seminaive in generated tuples; "
+            "nodedup pays duplicate derivation paths"
+        ),
+    ),
+    "e9": Family(
+        key="e9",
+        title="Section 5 relaxed mode vs Magic on a condition-4 violator",
+        size_means="chain length n",
+        strategies=("relaxed", "magic"),
+        build=_e9,
+        expectation="both linear; relaxed pays the unfocused sideways pass",
+    ),
+}
+
+
+def resolve_families(keys: str | list[str] | None) -> list[Family]:
+    """Parse a ``--families`` argument into Family objects.
+
+    Accepts a comma-separated string, a list of keys, or ``None`` /
+    ``"all"`` for every family.  Unknown keys raise ``ValueError`` with
+    the valid choices.
+    """
+    if keys is None:
+        names = sorted(FAMILIES)
+    else:
+        if isinstance(keys, str):
+            names = [k.strip() for k in keys.split(",") if k.strip()]
+        else:
+            names = list(keys)
+        if names in (["all"], []):
+            names = sorted(FAMILIES)
+    out: list[Family] = []
+    for name in names:
+        family = FAMILIES.get(name.lower())
+        if family is None:
+            raise ValueError(
+                f"unknown family {name!r}; choose from "
+                f"{', '.join(sorted(FAMILIES))}"
+            )
+        out.append(family)
+    return out

@@ -1,0 +1,191 @@
+"""Regression gating: diff a fresh bench run against a committed baseline.
+
+Two classes of gate, matching what is and is not deterministic:
+
+* **hard findings** -- outcome, answer count, ``max_relation_size``,
+  and tracer counters.  These depend only on the code and the (seeded)
+  workloads, never on the machine, so any drift is a real behavioural
+  change; the default tolerance is exact equality.  A relative
+  ``counter_tolerance`` can loosen this for callers who expect small
+  churn (e.g. reviewing a join-heuristic change).
+* **time findings** -- the *normalized* (calibrated) wall-clock ratio
+  must stay under ``time_tolerance``.  Cells whose baseline median is
+  below ``min_time_s`` are skipped: timer noise dominates there and a
+  2x blowup of 40 microseconds is not a regression.
+
+Any finding fails the check (exit code 1 from ``bench --check``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = [
+    "Finding",
+    "compare_reports",
+    "DEFAULT_TIME_TOLERANCE",
+    "DEFAULT_MIN_TIME_S",
+]
+
+DEFAULT_TIME_TOLERANCE = 1.6
+DEFAULT_MIN_TIME_S = 1e-3
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One regression detected between a baseline and a current run."""
+
+    family: str
+    strategy: str
+    n: Optional[int]
+    kind: str  # schema | missing | outcome | answers | size | counter | time
+    message: str
+
+    def __str__(self) -> str:
+        where = (
+            f"{self.family}/{self.strategy}"
+            + (f" n={self.n}" if self.n is not None else "")
+        )
+        return f"[{self.kind}] {where}: {self.message}"
+
+
+def _cells_by_key(report: dict) -> dict[tuple[str, int], dict]:
+    return {
+        (c["strategy"], c["n"]): c for c in report.get("results", [])
+    }
+
+
+def compare_reports(
+    baseline: dict,
+    current: dict,
+    time_tolerance: float = DEFAULT_TIME_TOLERANCE,
+    counter_tolerance: float = 0.0,
+    min_time_s: float = DEFAULT_MIN_TIME_S,
+) -> list[Finding]:
+    """All regressions of ``current`` relative to ``baseline``.
+
+    Only baseline (strategy, n) cells whose size the current run swept
+    (``current["sizes"]``) are compared, so a reduced-n smoke check
+    against a full baseline works; a cell the current run should have
+    produced but did not is a finding.  Extra cells in the current run
+    (a wider sweep) are ignored.  An empty list means the gate passes.
+    """
+    family = baseline.get("family", "?")
+    findings: list[Finding] = []
+
+    if baseline.get("schema") != current.get("schema"):
+        findings.append(
+            Finding(
+                family, "-", None, "schema",
+                f"baseline schema {baseline.get('schema')!r} != current "
+                f"{current.get('schema')!r}; regenerate the baseline",
+            )
+        )
+        return findings
+
+    current_cells = _cells_by_key(current)
+    swept = set(current.get("sizes", []))
+    for key, base in _cells_by_key(baseline).items():
+        strategy, n = key
+        if n not in swept:
+            continue
+        cur = current_cells.get(key)
+        if cur is None:
+            findings.append(
+                Finding(
+                    family, strategy, n, "missing",
+                    "cell present in baseline but not in current run "
+                    "(sweep too narrow?)",
+                )
+            )
+            continue
+        if base["outcome"] != cur["outcome"]:
+            findings.append(
+                Finding(
+                    family, strategy, n, "outcome",
+                    f"outcome changed: {base['outcome']} -> "
+                    f"{cur['outcome']}",
+                )
+            )
+            continue  # downstream measures are incomparable
+        if base.get("answers") != cur.get("answers"):
+            findings.append(
+                Finding(
+                    family, strategy, n, "answers",
+                    f"answer count changed: {base.get('answers')} -> "
+                    f"{cur.get('answers')} (correctness!)",
+                )
+            )
+        if base.get("max_relation_size") != cur.get("max_relation_size"):
+            findings.append(
+                Finding(
+                    family, strategy, n, "size",
+                    f"max_relation_size changed: "
+                    f"{base.get('max_relation_size')} -> "
+                    f"{cur.get('max_relation_size')}",
+                )
+            )
+        findings.extend(
+            _counter_findings(
+                family, strategy, n, base, cur, counter_tolerance
+            )
+        )
+        time_finding = _time_finding(
+            family, strategy, n, base, cur, time_tolerance, min_time_s
+        )
+        if time_finding is not None:
+            findings.append(time_finding)
+    return findings
+
+
+def _counter_findings(
+    family: str,
+    strategy: str,
+    n: int,
+    base: dict,
+    cur: dict,
+    tolerance: float,
+) -> list[Finding]:
+    findings: list[Finding] = []
+    base_counters = base.get("counters") or {}
+    cur_counters = cur.get("counters") or {}
+    for name, base_value in sorted(base_counters.items()):
+        cur_value = cur_counters.get(name, 0)
+        allowed = tolerance * max(abs(base_value), 1)
+        if abs(cur_value - base_value) > allowed:
+            findings.append(
+                Finding(
+                    family, strategy, n, "counter",
+                    f"counter {name} changed: {base_value} -> "
+                    f"{cur_value} (tolerance {tolerance:g})",
+                )
+            )
+    return findings
+
+
+def _time_finding(
+    family: str,
+    strategy: str,
+    n: int,
+    base: dict,
+    cur: dict,
+    tolerance: float,
+    min_time_s: float,
+) -> Optional[Finding]:
+    base_norm = base.get("normalized")
+    cur_norm = cur.get("normalized")
+    base_median = base.get("median_s")
+    if base_norm is None or cur_norm is None or base_median is None:
+        return None
+    if base_median < min_time_s or base_norm <= 0:
+        return None  # below the noise floor; not gateable
+    ratio = cur_norm / base_norm
+    if ratio > tolerance:
+        return Finding(
+            family, strategy, n, "time",
+            f"normalized time ratio {ratio:.2f} exceeds tolerance "
+            f"{tolerance:g} (baseline {base_norm:.3f} units, current "
+            f"{cur_norm:.3f})",
+        )
+    return None

@@ -1,0 +1,403 @@
+"""Calibrated wall-clock sweeps over the experiment families.
+
+The harness turns one :class:`~repro.bench.families.Family` plus a size
+sweep into a schema-versioned report (``BENCH_<family>.json``):
+
+* every (strategy, n) cell runs once with a recording
+  :class:`~repro.observability.Tracer` (the *warmup*, which also
+  discovers non-``ok`` outcomes: a tripped budget, cyclic data, an
+  inapplicable method) and then ``repeats`` times untraced for the
+  median wall-clock time;
+* times are *calibrated*: the report stores ``normalized`` =
+  median seconds divided by the time of a fixed reference workload
+  (semi-naive transitive closure over a 64-chain) measured on the same
+  machine in the same process, so baselines compared across machines
+  mostly cancel the hardware difference -- raw seconds are kept too;
+* per-strategy growth exponents are fitted by least squares on
+  ``log(value) ~ log(n)`` over the ``ok`` sizes, for the deterministic
+  ``max_relation_size`` measure (Definition 4.2) and for the noisy
+  median time, then bucketed into constant/linear/quadratic/cubic/
+  superpolynomial -- the Section 4 separations as two numbers.
+
+Counters and relation sizes are deterministic for a given codebase
+(join orders depend only on relation sizes and bound counts, never on
+set iteration order), which is what makes exact counter gating in
+:mod:`repro.bench.gating` safe while wall-clock gates need tolerances.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import statistics
+import subprocess
+import sys
+import time
+from pathlib import Path
+from typing import Callable, Optional
+
+from ..budget import Budget
+from ..core.detection import analyze_recursion
+from ..datalog.errors import (
+    BudgetExceeded,
+    CyclicDataError,
+    EvaluationError,
+    NotFullSelectionError,
+    NotSeparableError,
+)
+from ..datalog.parser import parse_program, parse_query
+from ..engine import Engine
+from ..observability import Tracer, trace_violations
+from ..stats import EvaluationStats
+from ..workloads.generators import chain
+from .families import Family, Workload
+
+__all__ = [
+    "SCHEMA",
+    "BENCH_BUDGET",
+    "calibrate",
+    "run_family",
+    "write_report",
+    "report_path",
+    "fit_exponent",
+    "classify_exponent",
+    "machine_info",
+    "git_sha",
+]
+
+#: Version tag of the report layout; bump on incompatible changes.
+SCHEMA = "repro-bench/1"
+
+#: Default budget protecting the exponential baselines (mirrors
+#: ``repro.reporting.REPORT_BUDGET``).
+BENCH_BUDGET = Budget(max_relation_tuples=200_000)
+
+#: Tracer counters copied into each report cell.
+_COUNTER_NAMES = (
+    "tuples_examined",
+    "atom_lookups",
+    "bindings_out",
+    "index_builds",
+    "index_tuples",
+    "full_scans",
+    "iterations",
+)
+
+#: Test hook: a factor > 1 stretches every *unit* timing (never the
+#: calibration run) by sleeping the surplus, simulating a uniform
+#: slowdown of the code under test.  The regression-gate tests
+#: monkeypatch this to prove ``bench --check`` fails on a real 2x
+#: slowdown; production runs never touch it.
+_TEST_SLOWDOWN = 1.0
+
+_CALIBRATION_TEXT = "tc(X, Y) :- e(X, W) & tc(W, Y).\ntc(X, Y) :- e(X, Y)."
+_CALIBRATION_N = 64
+
+
+def machine_info() -> dict:
+    """Hardware/interpreter facts stored alongside every report."""
+    return {
+        "platform": platform.platform(),
+        "python": sys.version.split()[0],
+        "implementation": platform.python_implementation(),
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def git_sha() -> str:
+    """The repository HEAD, or ``"unknown"`` outside a checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            cwd=Path(__file__).resolve().parent,
+        )
+    except OSError:
+        return "unknown"
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else "unknown"
+
+
+def calibrate(repeats: int = 5) -> dict:
+    """Time the fixed reference workload; returns the calibration block.
+
+    Uses semi-naive transitive closure over ``chain(64)`` -- heavy
+    enough to dominate timer noise, light enough to cost ~tens of
+    milliseconds.  One discarded warmup run absorbs import and cache
+    effects, and ``unit_s`` is the *minimum* of the repeats: timing
+    noise (scheduler preemption, cache misses) is strictly additive, so
+    the minimum estimates the machine's floor far more stably than a
+    median -- and a jittery unit would rescale every normalized time in
+    the report.  The slowdown shim deliberately does not apply here: a
+    uniformly slower machine must cancel out of normalized times, while
+    a slower *code path* must not.
+    """
+    from ..datalog.database import Database
+    from ..datalog.seminaive import seminaive_evaluate
+
+    program = parse_program(_CALIBRATION_TEXT).program
+    db = Database.from_facts({"e": chain(_CALIBRATION_N)})
+    seminaive_evaluate(program, db)  # warmup, discarded
+    times = []
+    for _ in range(max(repeats, 1)):
+        start = time.perf_counter()
+        seminaive_evaluate(program, db)
+        times.append(time.perf_counter() - start)
+    return {
+        "workload": f"seminaive tc over chain({_CALIBRATION_N})",
+        "unit_s": min(times),
+        "repeats": len(times),
+    }
+
+
+def _make_runner(
+    workload: Workload, strategy: str, budget: Budget
+) -> Callable[[Optional[Tracer]], tuple[int, EvaluationStats]]:
+    """A zero-setup closure running one (workload, strategy) cell.
+
+    Program/data construction and, for engine strategies, plan and
+    base-IDB caches live outside the timed region -- repeats measure
+    steady-state evaluation, not parsing.
+    """
+    if strategy == "detect":
+        predicate = parse_query(workload.query).predicate
+
+        def run_detect(tracer: Optional[Tracer] = None):
+            analyze_recursion(workload.program, predicate)
+            return 0, EvaluationStats()
+
+        return run_detect
+
+    engine = Engine(workload.program, workload.db, budget=budget)
+
+    def run(tracer: Optional[Tracer] = None):
+        stats = EvaluationStats()
+        result = engine.query(
+            workload.query, strategy=strategy, stats=stats, tracer=tracer
+        )
+        return len(result.answers), stats
+
+    return run
+
+
+def _timed(run: Callable) -> float:
+    """One timed repetition, stretched by the test slowdown shim."""
+    start = time.perf_counter()
+    run(None)
+    if _TEST_SLOWDOWN > 1.0:
+        time.sleep((time.perf_counter() - start) * (_TEST_SLOWDOWN - 1.0))
+    return time.perf_counter() - start
+
+
+def _run_cell(
+    family: Family,
+    n: int,
+    strategy: str,
+    budget: Budget,
+    repeats: int,
+    unit_s: float,
+) -> dict:
+    """One (strategy, n) cell: traced warmup, then timed repeats."""
+    workload = family.build(n)
+    run = _make_runner(workload, strategy, budget)
+    tracer = Tracer()
+    outcome = "ok"
+    answers: Optional[int] = None
+    stats = EvaluationStats()
+    try:
+        answers, stats = run(tracer)
+    except BudgetExceeded as exc:
+        outcome, stats = "budget", exc.stats or stats
+    except CyclicDataError as exc:
+        outcome, stats = "cyclic", exc.stats or stats
+    except (NotSeparableError, NotFullSelectionError) as exc:
+        outcome = "n/a"
+    except EvaluationError:
+        # CountingNotApplicable, StablePushNotApplicable, ... -- every
+        # "method does not apply here" verdict, by construction raised
+        # before real work starts.
+        outcome = "n/a"
+
+    cell: dict = {
+        "strategy": strategy,
+        "n": n,
+        "outcome": outcome,
+        "answers": answers,
+        "max_relation_size": stats.max_relation_size,
+        "tuples_produced": stats.tuples_produced,
+        "tuples_examined": stats.tuples_examined,
+        "iterations": stats.iterations,
+        "counters": {
+            name: tracer.counter_total(name) for name in _COUNTER_NAMES
+        },
+        "trace_violations": trace_violations(tracer),
+        "median_s": None,
+        "normalized": None,
+    }
+    if outcome != "ok":
+        return cell
+    times = [_timed(run) for _ in range(max(repeats, 1))]
+    median_s = statistics.median(times)
+    cell["median_s"] = median_s
+    cell["normalized"] = median_s / unit_s if unit_s > 0 else None
+    return cell
+
+
+def fit_exponent(points: list[tuple[float, float]]) -> Optional[float]:
+    """Least-squares slope of ``log(value)`` against ``log(n)``.
+
+    Returns ``None`` with fewer than two positive points (nothing to
+    fit) or when all sizes coincide.
+    """
+    import math
+
+    usable = [(n, v) for n, v in points if n > 0 and v > 0]
+    if len(usable) < 2:
+        return None
+    xs = [math.log(n) for n, _ in usable]
+    ys = [math.log(v) for _, v in usable]
+    mean_x = sum(xs) / len(xs)
+    mean_y = sum(ys) / len(ys)
+    denom = sum((x - mean_x) ** 2 for x in xs)
+    if denom == 0:
+        return None
+    slope = sum(
+        (x - mean_x) * (y - mean_y) for x, y in zip(xs, ys)
+    ) / denom
+    return slope
+
+
+def classify_exponent(exponent: Optional[float]) -> str:
+    """Bucket a fitted exponent into a growth class.
+
+    A true exponential fitted on a log-log scale has no stable slope --
+    it lands far above any polynomial of interest, so everything past
+    cubic reports ``superpolynomial`` (Example 1.1's Counting run fits
+    a "slope" of ~n/log n).
+    """
+    if exponent is None:
+        return "unknown"
+    if exponent < 0.5:
+        return "constant"
+    if exponent < 1.5:
+        return "linear"
+    if exponent < 2.5:
+        return "quadratic"
+    if exponent < 3.5:
+        return "cubic"
+    return "superpolynomial"
+
+
+def _fits(results: list[dict], strategies: tuple[str, ...]) -> list[dict]:
+    fits: list[dict] = []
+    for strategy in strategies:
+        cells = [
+            c
+            for c in results
+            if c["strategy"] == strategy and c["outcome"] == "ok"
+        ]
+        for metric in ("max_relation_size", "median_s"):
+            points = [
+                (c["n"], c[metric]) for c in cells if c[metric]
+            ]
+            exponent = fit_exponent(points)
+            fits.append(
+                {
+                    "strategy": strategy,
+                    "metric": metric,
+                    "exponent": exponent,
+                    "classification": classify_exponent(exponent),
+                    "points": points,
+                }
+            )
+    return fits
+
+
+def run_family(
+    family: Family,
+    sizes: list[int],
+    repeats: int = 5,
+    budget: Budget = BENCH_BUDGET,
+    calibration: Optional[dict] = None,
+) -> dict:
+    """Sweep one family over ``sizes``; returns the full report dict.
+
+    ``calibration`` may be shared across families (one measurement per
+    process); when ``None`` it is measured here.
+    """
+    if calibration is None:
+        calibration = calibrate()
+    results: list[dict] = []
+    for strategy in family.strategies:
+        for n in sizes:
+            results.append(
+                _run_cell(
+                    family, n, strategy, budget, repeats,
+                    calibration["unit_s"],
+                )
+            )
+    return {
+        "schema": SCHEMA,
+        "family": family.key,
+        "title": family.title,
+        "size_means": family.size_means,
+        "expectation": family.expectation,
+        "generated_at": time.strftime(
+            "%Y-%m-%dT%H:%M:%SZ", time.gmtime()
+        ),
+        "git_sha": git_sha(),
+        "machine": machine_info(),
+        "budget_max_relation_tuples": budget.max_relation_tuples,
+        "repeats": repeats,
+        "sizes": list(sizes),
+        "calibration": calibration,
+        "results": results,
+        "fits": _fits(results, family.strategies),
+    }
+
+
+def report_path(out_dir: Path, family_key: str) -> Path:
+    return Path(out_dir) / f"BENCH_{family_key}.json"
+
+
+def write_report(report: dict, out_dir: Path) -> Path:
+    """Write ``BENCH_<family>.json``; returns the path written."""
+    path = report_path(out_dir, report["family"])
+    path.write_text(json.dumps(report, indent=2, sort_keys=False) + "\n")
+    return path
+
+
+def summarize(report: dict) -> str:
+    """A short human-readable table of one family report."""
+    lines = [
+        f"{report['family']}: {report['title']}",
+        f"  sizes={report['sizes']} repeats={report['repeats']} "
+        f"unit_s={report['calibration']['unit_s']:.4f}",
+    ]
+    for cell in report["results"]:
+        timing = (
+            f"{cell['median_s'] * 1e3:9.2f}ms "
+            f"(x{cell['normalized']:.2f})"
+            if cell["median_s"] is not None
+            else f"[{cell['outcome']}]"
+        )
+        lines.append(
+            f"  {cell['strategy']:>10} n={cell['n']:<6} {timing:>22}  "
+            f"max_rel={cell['max_relation_size']:<8} "
+            f"examined={cell['tuples_examined']}"
+        )
+    for fit in report["fits"]:
+        if fit["metric"] != "max_relation_size":
+            continue
+        exp = (
+            f"{fit['exponent']:.2f}" if fit["exponent"] is not None
+            else "n/a"
+        )
+        lines.append(
+            f"  fit {fit['strategy']:>10} {fit['metric']}: "
+            f"exponent {exp} ({fit['classification']})"
+        )
+    return "\n".join(lines)

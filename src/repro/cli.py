@@ -32,6 +32,17 @@ Subcommands::
         invariants, and shrink any disagreement to a minimal replayable
         repro file (see docs/differential_testing.md).
 
+    repro-datalog bench [--families e1,e2,e5] [--sizes 8,16,32]
+                        [--repeats 5] [--out-dir .] [--check]
+                        [--baseline-dir DIR] [--time-tolerance 1.6]
+                        [--counter-tolerance 0.0] [--budget 200000]
+        Calibrated wall-clock sweeps over the paper's experiment
+        families, writing schema-versioned BENCH_<family>.json reports
+        with per-strategy timings, tracer counters and fitted growth
+        exponents; ``--check`` instead diffs a fresh run against the
+        committed baselines and exits 1 on regression (see
+        docs/benchmarking.md).
+
 Also usable as ``python -m repro ...``.
 """
 
@@ -155,6 +166,70 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="report raw failing cases without delta-debugging them",
     )
+
+    bench = sub.add_parser(
+        "bench",
+        help="calibrated wall-clock sweeps over the experiment families",
+    )
+    bench.add_argument(
+        "--families",
+        default="all",
+        help="comma-separated family keys (e1..e9) or 'all' "
+        "(default: all)",
+    )
+    bench.add_argument(
+        "--sizes",
+        default="8,16,32",
+        help="comma-separated size sweep (default: 8,16,32)",
+    )
+    bench.add_argument(
+        "--repeats",
+        type=_nonnegative_int,
+        default=5,
+        help="timed repetitions per cell; the median is reported "
+        "(default: 5)",
+    )
+    bench.add_argument(
+        "--out-dir",
+        type=Path,
+        default=Path("."),
+        help="directory for BENCH_<family>.json reports (default: .)",
+    )
+    bench.add_argument(
+        "--check",
+        action="store_true",
+        help="regression mode: rerun and diff against the baselines in "
+        "--baseline-dir instead of writing reports; exits 1 on any "
+        "finding, 2 when a baseline is missing",
+    )
+    bench.add_argument(
+        "--baseline-dir",
+        type=Path,
+        default=None,
+        help="where committed BENCH_*.json baselines live "
+        "(default: --out-dir)",
+    )
+    bench.add_argument(
+        "--time-tolerance",
+        type=float,
+        default=None,
+        help="max allowed current/baseline normalized-time ratio "
+        "(default: 1.6)",
+    )
+    bench.add_argument(
+        "--counter-tolerance",
+        type=float,
+        default=0.0,
+        help="relative slack for tracer counters / deterministic "
+        "measures (default: 0 = exact)",
+    )
+    bench.add_argument(
+        "--budget",
+        type=_nonnegative_int,
+        default=None,
+        help="max tuples per generated relation before a run is "
+        "recorded as outcome=budget (default: 200000)",
+    )
     return parser
 
 
@@ -269,6 +344,93 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    import json
+
+    from .bench import (
+        BENCH_BUDGET,
+        DEFAULT_TIME_TOLERANCE,
+        calibrate,
+        compare_reports,
+        report_path,
+        resolve_families,
+        run_family,
+        summarize,
+        write_report,
+    )
+    from .budget import Budget
+
+    try:
+        families = resolve_families(args.families)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        sizes = [int(s) for s in str(args.sizes).split(",") if s.strip()]
+    except ValueError:
+        print(f"error: bad --sizes {args.sizes!r}", file=sys.stderr)
+        return 2
+    if not sizes or any(n <= 0 for n in sizes):
+        print("error: --sizes needs positive integers", file=sys.stderr)
+        return 2
+    budget = (
+        Budget(max_relation_tuples=args.budget)
+        if args.budget is not None
+        else BENCH_BUDGET
+    )
+    baseline_dir = args.baseline_dir or args.out_dir
+    time_tolerance = (
+        args.time_tolerance
+        if args.time_tolerance is not None
+        else DEFAULT_TIME_TOLERANCE
+    )
+
+    # Baselines are loaded before any (slow) run so a missing one fails
+    # fast, and so --out-dir may equal --baseline-dir.
+    baselines: dict[str, dict] = {}
+    if args.check:
+        for family in families:
+            path = report_path(baseline_dir, family.key)
+            if not path.is_file():
+                print(
+                    f"error: no baseline {path}; run bench without "
+                    f"--check first and commit the report",
+                    file=sys.stderr,
+                )
+                return 2
+            baselines[family.key] = json.loads(path.read_text())
+
+    calibration = calibrate()
+    findings = []
+    for family in families:
+        report = run_family(
+            family, sizes, repeats=args.repeats, budget=budget,
+            calibration=calibration,
+        )
+        print(summarize(report))
+        if args.check:
+            family_findings = compare_reports(
+                baselines[family.key],
+                report,
+                time_tolerance=time_tolerance,
+                counter_tolerance=args.counter_tolerance,
+            )
+            findings.extend(family_findings)
+        else:
+            args.out_dir.mkdir(parents=True, exist_ok=True)
+            print(f"  wrote {write_report(report, args.out_dir)}")
+        print()
+
+    if args.check:
+        if findings:
+            print(f"REGRESSIONS ({len(findings)}):")
+            for finding in findings:
+                print(f"  {finding}")
+            return 1
+        print("bench --check: no regressions against baseline")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -278,6 +440,7 @@ def main(argv: list[str] | None = None) -> int:
         "advise": _cmd_advise,
         "report": _cmd_report,
         "fuzz": _cmd_fuzz,
+        "bench": _cmd_bench,
     }
     try:
         return handlers[args.command](args)

@@ -31,6 +31,7 @@ from ..datalog.errors import NotFullSelectionError
 from ..datalog.joins import evaluate_body, instantiate_args
 from ..datalog.programs import Program
 from ..datalog.terms import ConstValue, Variable
+from ..observability.tracer import live
 from ..stats import EvaluationStats
 from .analysis import RecursionAnalysis
 from .compiler import compile_plan, compile_selection
@@ -80,10 +81,12 @@ def _evaluate_full(
     stats: Optional[EvaluationStats],
     budget: Budget,
     order: str,
+    tracer=None,
 ) -> set[tuple]:
     plan = compile_selection(selection)
     up_tuples = execute_plan(
-        plan, db, [selection.seed], stats=stats, budget=budget, order=order
+        plan, db, [selection.seed], stats=stats, budget=budget,
+        order=order, tracer=tracer,
     )
     fixed = {p: selection.bound[p] for p in plan.selected_positions}
     return _assemble(selection.analysis.arity, plan, fixed, up_tuples)
@@ -96,6 +99,7 @@ def _evaluate_partial(
     budget: Budget,
     order: str,
     allow_disconnected: bool = False,
+    tracer=None,
 ) -> set[tuple]:
     """Operational Lemma 2.1: ``t_part`` answers plus per-seed ``t_full``."""
     analysis = selection.analysis
@@ -111,11 +115,12 @@ def _evaluate_partial(
     )
     part_selection = classify_selection(part_analysis, selection.query)
     if part_selection.is_full:
-        answers |= _evaluate_full(part_selection, db, stats, budget, order)
+        answers |= _evaluate_full(part_selection, db, stats, budget,
+                                  order, tracer)
     else:  # pragma: no cover - cannot happen: bound cls columns are pers
         answers |= _evaluate_partial(
             part_selection, db, stats, budget, order,
-            allow_disconnected=allow_disconnected,
+            allow_disconnected=allow_disconnected, tracer=tracer,
         )
 
     # t_full: sideways pass through each rule of cls produces fully
@@ -136,14 +141,15 @@ def _evaluate_partial(
     for a in analysis.rules_of_class(cls):
         for bindings in evaluate_body(
             db, a.nonrecursive_atoms, initial_bindings=init, stats=stats,
-            order=order,
+            order=order, tracer=tracer,
         ):
             seed = instantiate_args(seed_terms[a.index], bindings)
             fixed_values = instantiate_args(head_terms, bindings)
             cached = seed_cache.get(seed)
             if cached is None:
                 cached = execute_plan(
-                    plan, db, [seed], stats=stats, budget=budget, order=order
+                    plan, db, [seed], stats=stats, budget=budget,
+                    order=order, tracer=tracer,
                 )
                 seed_cache[seed] = cached
             fixed = dict(zip(cls.positions, fixed_values))
@@ -160,6 +166,7 @@ def evaluate_separable(
     budget: Budget = UNLIMITED,
     order: str = "greedy",
     allow_disconnected: bool = False,
+    tracer=None,
 ) -> frozenset[tuple]:
     """Answer a selection query on a separable recursion.
 
@@ -179,6 +186,7 @@ def evaluate_separable(
 
     Returns the full-arity answer tuples matching the query atom.
     """
+    tracer = live(tracer)
     if analysis is None:
         analysis = require_separable(
             program, query.predicate,
@@ -194,11 +202,12 @@ def evaluate_separable(
             f"materialization for all-free queries)"
         )
     if selection.is_full:
-        answers = _evaluate_full(selection, db, stats, budget, order)
+        answers = _evaluate_full(selection, db, stats, budget, order,
+                                 tracer)
     else:
         answers = _evaluate_partial(
             selection, db, stats, budget, order,
-            allow_disconnected=allow_disconnected,
+            allow_disconnected=allow_disconnected, tracer=tracer,
         )
     result = frozenset(
         fact for fact in answers if _matches_query(fact, query)

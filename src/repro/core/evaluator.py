@@ -15,11 +15,13 @@ are what Lemma 4.1's ``O(n^max(w(e1), k-w(e1)))`` bound speaks about.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from typing import Iterable, Optional
 
 from ..budget import Budget, UNLIMITED
 from ..datalog.database import Database, Relation
 from ..datalog.joins import evaluate_body, instantiate_args
+from ..observability.tracer import live
 from ..stats import EvaluationStats
 from .plan import CARRY, SEEN, CarryJoin, SeparablePlan
 
@@ -45,12 +47,13 @@ def _apply_joins(
     view: Database,
     stats: Optional[EvaluationStats],
     order: str,
+    tracer=None,
 ) -> set[tuple]:
     """Evaluate a union of carry-join terms against a view database."""
     produced: set[tuple] = set()
     for join in joins:
         for bindings in evaluate_body(view, join.body, stats=stats,
-                                      order=order):
+                                      order=order, tracer=tracer):
             if stats is not None:
                 stats.bump_produced()
             produced.add(instantiate_args(join.output, bindings))
@@ -67,30 +70,48 @@ def _carry_loop(
     stats: Optional[EvaluationStats],
     budget: Budget,
     order: str,
+    tracer=None,
 ) -> set[tuple]:
     """One while loop of Figure 2; returns the final ``seen`` set.
 
     ``initial`` seeds both carry and seen (lines 1-2 / 8-9); each
     iteration applies the union of ``joins`` to the carry, removes
     already-seen tuples (the crucial set difference), and accumulates.
+    A live ``tracer`` records a ``separable.loop`` span with the
+    per-iteration post-difference carry sizes -- Lemma 3.4's
+    disjointness makes ``seed + sum(carries) == |seen|`` an invariant
+    the differential oracle checks on every traced run.
     """
     seen: set[tuple] = set(initial)
     carry: set[tuple] = set(initial)
     if stats is not None:
         stats.record_relation(carry_name, len(carry))
         stats.record_relation(seen_name, len(seen))
-    while carry:
-        if stats is not None:
-            stats.bump_iterations()
-        view = _with_pseudo(db, CARRY, Relation(CARRY, arity, carry))
-        produced = _apply_joins(joins, view, stats, order)
-        carry = produced - seen
-        seen |= carry
-        if stats is not None:
-            stats.record_relation(carry_name, len(carry))
-            stats.record_relation(seen_name, len(seen))
-            budget.check_relation(seen_name, len(seen), stats)
-            budget.check_stats(stats)
+    span_cm = (
+        tracer.span("separable.loop", relation=seen_name,
+                    seed=len(initial))
+        if tracer is not None
+        else nullcontext()
+    )
+    with span_cm as span:
+        while carry:
+            if stats is not None:
+                stats.bump_iterations()
+            if tracer is not None:
+                tracer.count("iterations")
+            view = _with_pseudo(db, CARRY, Relation(CARRY, arity, carry))
+            produced = _apply_joins(joins, view, stats, order, tracer)
+            carry = produced - seen
+            seen |= carry
+            if tracer is not None:
+                tracer.record("carry", len(carry))
+            if stats is not None:
+                stats.record_relation(carry_name, len(carry))
+                stats.record_relation(seen_name, len(seen))
+                budget.check_relation(seen_name, len(seen), stats)
+                budget.check_stats(stats)
+        if span is not None:
+            span.attrs["final_seen"] = len(seen)
     return seen
 
 
@@ -101,6 +122,7 @@ def execute_plan(
     stats: Optional[EvaluationStats] = None,
     budget: Budget = UNLIMITED,
     order: str = "greedy",
+    tracer=None,
 ) -> frozenset[tuple]:
     """Run a compiled plan from the given seed tuples.
 
@@ -113,6 +135,7 @@ def execute_plan(
     Callers reassemble full-arity answers by interleaving the selection
     constants (see :mod:`repro.core.api`).
     """
+    tracer = live(tracer)
     seed_set = {tuple(s) for s in seeds}
     for s in seed_set:
         if len(s) != plan.seed_arity:
@@ -132,11 +155,19 @@ def execute_plan(
         stats,
         budget,
         order,
+        tracer,
     )
 
     # Line 8: carry_2 := g_2(seen_1) -- join seen_1 with each exit body.
-    view = _with_pseudo(db, SEEN, Relation(SEEN, plan.seed_arity, seen_1))
-    carry_2 = _apply_joins(plan.exit_joins, view, stats, order)
+    exit_cm = (
+        tracer.span("separable.exit", seen_1=len(seen_1))
+        if tracer is not None
+        else nullcontext()
+    )
+    with exit_cm:
+        view = _with_pseudo(db, SEEN,
+                            Relation(SEEN, plan.seed_arity, seen_1))
+        carry_2 = _apply_joins(plan.exit_joins, view, stats, order, tracer)
 
     # Lines 9-15: the up loop; ans := seen_2.
     seen_2 = _carry_loop(
@@ -149,6 +180,7 @@ def execute_plan(
         stats,
         budget,
         order,
+        tracer,
     )
     if stats is not None:
         stats.record_relation("ans", len(seen_2))

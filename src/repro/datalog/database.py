@@ -93,13 +93,19 @@ class Relation:
         """An immutable snapshot of the current contents."""
         return frozenset(self._tuples)
 
-    def lookup(self, positions: tuple[int, ...], key: tuple) -> list[Fact]:
+    def lookup(self, positions: tuple[int, ...], key: tuple,
+               tracer=None) -> list[Fact]:
         """Tuples whose projection onto ``positions`` equals ``key``.
 
         Builds (and caches) a hash index on ``positions`` on first use.
-        An empty ``positions`` returns all tuples.
+        An empty ``positions`` returns all tuples.  A live ``tracer``
+        is told about index builds (how many, over how many tuples) --
+        the lazily-paid cost that wall-clock benchmarks see but
+        relation-size statistics do not.
         """
         if not positions:
+            if tracer is not None:
+                tracer.count("full_scans")
             return list(self._tuples)
         index = self._indexes.get(positions)
         if index is None:
@@ -108,6 +114,9 @@ class Relation:
                 k = tuple(fact[p] for p in positions)
                 index.setdefault(k, []).append(fact)
             self._indexes[positions] = index
+            if tracer is not None:
+                tracer.count("index_builds")
+                tracer.count("index_tuples", len(self._tuples))
         return index.get(tuple(key), [])
 
     def distinct_values(self) -> set[ConstValue]:
@@ -143,10 +152,22 @@ class Database:
         return db
 
     def copy(self) -> "Database":
-        """A deep copy sharing no mutable state (indexes not copied)."""
+        """A deep copy sharing no mutable state (indexes not copied).
+
+        Aliasing is preserved: a :class:`Relation` mounted under several
+        names via :meth:`attach` is copied *once* and the copy is
+        mounted under the same names, so a write through one alias
+        stays visible through the others -- exactly as in the source
+        database.
+        """
         other = Database()
+        copies: dict[int, Relation] = {}
         for name, rel in self._relations.items():
-            other._relations[name] = Relation(name, rel.arity, rel)
+            clone = copies.get(id(rel))
+            if clone is None:
+                clone = Relation(rel.name, rel.arity, rel)
+                copies[id(rel)] = clone
+            other._relations[name] = clone
         return other
 
     # -- access -----------------------------------------------------------

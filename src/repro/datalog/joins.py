@@ -73,6 +73,7 @@ def _atom_lookup(
     a: Atom,
     bindings: Mapping[Variable, ConstValue],
     stats: Optional[EvaluationStats],
+    tracer=None,
 ) -> Iterator[Bindings]:
     """Yield extensions of ``bindings`` that satisfy atom ``a``.
 
@@ -99,9 +100,13 @@ def _atom_lookup(
             else:
                 free.append((i, term))
 
-    candidates = rel.lookup(tuple(bound_positions), tuple(key))
+    candidates = rel.lookup(tuple(bound_positions), tuple(key),
+                            tracer=tracer)
     if stats is not None:
         stats.bump_examined(len(candidates))
+    if tracer is not None:
+        tracer.count("atom_lookups")
+        tracer.count("tuples_examined", len(candidates))
     for fact in candidates:
         new = dict(bindings)
         ok = True
@@ -114,6 +119,8 @@ def _atom_lookup(
                 ok = False
                 break
         if ok:
+            if tracer is not None:
+                tracer.count("bindings_out")
             yield new
 
 
@@ -151,6 +158,7 @@ def evaluate_body(
     initial_bindings: Optional[Mapping[Variable, ConstValue]] = None,
     stats: Optional[EvaluationStats] = None,
     order: str = "greedy",
+    tracer=None,
 ) -> Iterator[Bindings]:
     """Enumerate substitutions satisfying every atom in ``atoms``.
 
@@ -168,6 +176,11 @@ def evaluate_body(
         ``tuples_examined``.
     order:
         ``"greedy"`` or ``"left_to_right"`` (see module docstring).
+    tracer:
+        Optional :class:`~repro.observability.Tracer`; receives
+        per-atom lookup counts, tuples fetched, and the join fan-out
+        (``bindings_out``).  ``None`` (the default) costs one pointer
+        comparison per lookup.
     """
     if order not in ("greedy", "left_to_right"):
         raise ValueError(f"unknown join order {order!r}")
@@ -189,7 +202,7 @@ def evaluate_body(
         if chosen.predicate == EQ:
             matches = _eq_lookup(chosen, bindings)
         else:
-            matches = _atom_lookup(db, chosen, bindings, stats)
+            matches = _atom_lookup(db, chosen, bindings, stats, tracer)
         for extended in matches:
             yield from recurse(rest, extended)
 

@@ -9,9 +9,11 @@ oracle for the other evaluators and as the bottom rung of benchmark E8.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from typing import Optional
 
 from ..budget import Budget, UNLIMITED
+from ..observability.tracer import live
 from ..stats import EvaluationStats
 from .database import Database
 from .joins import evaluate_body, instantiate_args
@@ -26,6 +28,7 @@ def naive_evaluate(
     stats: Optional[EvaluationStats] = None,
     budget: Budget = UNLIMITED,
     order: str = "greedy",
+    tracer=None,
 ) -> Database:
     """Materialize every IDB predicate of ``program`` over ``edb``.
 
@@ -33,26 +36,40 @@ def naive_evaluate(
     per IDB predicate holding its least-fixpoint extent.  ``edb`` itself
     is not modified.
     """
+    tracer = live(tracer)
     db = edb.copy()
     for predicate in program.idb_predicates:
         db.ensure(predicate, program.arity(predicate))
 
-    changed = True
-    while changed:
-        changed = False
-        if stats is not None:
-            stats.bump_iterations()
-        for r in program.rules:
-            target = db.ensure(r.head.predicate, r.head.arity)
-            for bindings in evaluate_body(db, r.body, stats=stats, order=order):
-                fact = instantiate_args(r.head.args, bindings)
-                if stats is not None:
-                    stats.bump_produced()
-                if target.add(fact):
-                    changed = True
-        if stats is not None:
-            for predicate in program.idb_predicates:
-                stats.record_relation(predicate, db.size(predicate))
-                budget.check_relation(predicate, db.size(predicate), stats)
-            budget.check_stats(stats)
+    span_cm = (
+        tracer.span("naive.fixpoint") if tracer is not None
+        else nullcontext()
+    )
+    with span_cm:
+        changed = True
+        while changed:
+            changed = False
+            new_facts = 0
+            if stats is not None:
+                stats.bump_iterations()
+            if tracer is not None:
+                tracer.count("iterations")
+            for r in program.rules:
+                target = db.ensure(r.head.predicate, r.head.arity)
+                for bindings in evaluate_body(db, r.body, stats=stats,
+                                              order=order, tracer=tracer):
+                    fact = instantiate_args(r.head.args, bindings)
+                    if stats is not None:
+                        stats.bump_produced()
+                    if target.add(fact):
+                        changed = True
+                        new_facts += 1
+            if tracer is not None:
+                tracer.record("new_facts", new_facts)
+            if stats is not None:
+                for predicate in program.idb_predicates:
+                    stats.record_relation(predicate, db.size(predicate))
+                    budget.check_relation(predicate, db.size(predicate),
+                                          stats)
+                budget.check_stats(stats)
     return db

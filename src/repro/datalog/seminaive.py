@@ -17,9 +17,11 @@ restricted to the previous delta.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from typing import Iterable, Optional
 
 from ..budget import Budget, UNLIMITED
+from ..observability.tracer import live
 from ..stats import EvaluationStats
 from .atoms import Atom
 from .database import Database, Relation
@@ -72,63 +74,92 @@ def seminaive_stratum(
     stats: Optional[EvaluationStats] = None,
     budget: Budget = UNLIMITED,
     order: str = "greedy",
+    tracer=None,
 ) -> None:
     """Run one SCC of mutually recursive predicates to fixpoint in ``db``.
 
     ``db`` must already contain every predicate the SCC depends on.
-    Derived facts are added to ``db`` in place.
+    Derived facts are added to ``db`` in place.  A live ``tracer``
+    records one ``seminaive.scc`` span with a per-round ``delta:<p>``
+    series per member predicate (the sizes ``EvaluationStats`` cannot
+    see) plus the initial/final relation sizes.
     """
+    tracer = live(tracer)
     rules = list(rules)
     for p in scc:
         db.ensure(p, program.arity(p))
 
-    # Round 0: full evaluation of every rule (seeds the deltas).
-    deltas: dict[str, Relation] = {
-        p: Relation(p, program.arity(p)) for p in scc
-    }
-    if stats is not None:
-        stats.bump_iterations()
-    for r in rules:
-        target = db.relation(r.head.predicate)
-        assert target is not None
-        for bindings in evaluate_body(db, r.body, stats=stats, order=order):
-            fact = instantiate_args(r.head.args, bindings)
+    span_cm = (
+        tracer.span(
+            "seminaive.scc",
+            scc=sorted(scc),
+            initial={p: db.size(p) for p in sorted(scc)},
+        )
+        if tracer is not None
+        else nullcontext()
+    )
+    with span_cm as span:
+        # Round 0: full evaluation of every rule (seeds the deltas).
+        deltas: dict[str, Relation] = {
+            p: Relation(p, program.arity(p)) for p in scc
+        }
+        if stats is not None:
+            stats.bump_iterations()
+        if tracer is not None:
+            tracer.count("iterations")
+        for r in rules:
+            target = db.relation(r.head.predicate)
+            assert target is not None
+            for bindings in evaluate_body(db, r.body, stats=stats,
+                                          order=order, tracer=tracer):
+                fact = instantiate_args(r.head.args, bindings)
+                if stats is not None:
+                    stats.bump_produced()
+                if target.add(fact):
+                    deltas[r.head.predicate].add(fact)
+        if tracer is not None:
+            for p in sorted(scc):
+                tracer.record(f"delta:{p}", len(deltas[p]))
+
+        variant_cache = {id(r): _delta_variants(r, scc) for r in rules}
+
+        while any(deltas[p] for p in scc):
             if stats is not None:
-                stats.bump_produced()
-            if target.add(fact):
-                deltas[r.head.predicate].add(fact)
+                for p in scc:
+                    stats.record_relation(p, db.size(p))
+                    budget.check_relation(p, db.size(p), stats)
+                budget.check_stats(stats)
+                stats.bump_iterations()
+            if tracer is not None:
+                tracer.count("iterations")
+            view = _delta_views(db, deltas)
+            new_deltas: dict[str, Relation] = {
+                p: Relation(p, program.arity(p)) for p in scc
+            }
+            for r in rules:
+                target = db.relation(r.head.predicate)
+                assert target is not None
+                for body in variant_cache[id(r)]:
+                    for bindings in evaluate_body(view, body, stats=stats,
+                                                  order=order,
+                                                  tracer=tracer):
+                        fact = instantiate_args(r.head.args, bindings)
+                        if stats is not None:
+                            stats.bump_produced()
+                        if target.add(fact):
+                            new_deltas[r.head.predicate].add(fact)
+            deltas = new_deltas
+            if tracer is not None:
+                for p in sorted(scc):
+                    tracer.record(f"delta:{p}", len(deltas[p]))
 
-    variant_cache = {id(r): _delta_variants(r, scc) for r in rules}
-
-    while any(deltas[p] for p in scc):
         if stats is not None:
             for p in scc:
                 stats.record_relation(p, db.size(p))
                 budget.check_relation(p, db.size(p), stats)
             budget.check_stats(stats)
-            stats.bump_iterations()
-        view = _delta_views(db, deltas)
-        new_deltas: dict[str, Relation] = {
-            p: Relation(p, program.arity(p)) for p in scc
-        }
-        for r in rules:
-            target = db.relation(r.head.predicate)
-            assert target is not None
-            for body in variant_cache[id(r)]:
-                for bindings in evaluate_body(view, body, stats=stats,
-                                              order=order):
-                    fact = instantiate_args(r.head.args, bindings)
-                    if stats is not None:
-                        stats.bump_produced()
-                    if target.add(fact):
-                        new_deltas[r.head.predicate].add(fact)
-        deltas = new_deltas
-
-    if stats is not None:
-        for p in scc:
-            stats.record_relation(p, db.size(p))
-            budget.check_relation(p, db.size(p), stats)
-        budget.check_stats(stats)
+        if span is not None:
+            span.attrs["final"] = {p: db.size(p) for p in sorted(scc)}
 
 
 def seminaive_evaluate(
@@ -137,19 +168,21 @@ def seminaive_evaluate(
     stats: Optional[EvaluationStats] = None,
     budget: Budget = UNLIMITED,
     order: str = "greedy",
+    tracer=None,
 ) -> Database:
     """Materialize every IDB predicate of ``program`` over ``edb``.
 
     Returns a new database with the EDB relations plus the least-fixpoint
     extent of each IDB predicate; ``edb`` is not modified.
     """
+    tracer = live(tracer)
     db = edb.copy()
     for scc in program.evaluation_order:
         scc_rules = [
             r for r in program.rules if r.head.predicate in scc
         ]
         seminaive_stratum(scc_rules, scc, db, program, stats=stats,
-                          budget=budget, order=order)
+                          budget=budget, order=order, tracer=tracer)
     # Predicates with no rules at all (possible after restriction) still
     # need empty relations so queries read as empty rather than missing.
     for predicate in program.idb_predicates:

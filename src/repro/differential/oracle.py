@@ -17,7 +17,15 @@ one :class:`~repro.differential.cases.Case`:
   are checked -- counters never go negative, duplicate elimination
   never *increases* the produced-tuple count below a materialized
   relation's size, and the recorded ``ans`` relation bounds the answer
-  count.
+  count;
+* every run records a :class:`~repro.observability.Tracer` and its
+  span forest is checked with
+  :func:`~repro.observability.trace_violations` -- fixpoint delta
+  series must be monotone-terminating and sum-consistent with the
+  final relation sizes, carry loops must satisfy Lemma 3.4's
+  ``seed + sum(carries) == |seen|``, and no span may be left open even
+  when the strategy exits via ``BudgetExceeded`` or
+  ``CyclicDataError``.
 
 Exceptions the paper itself predicts (Counting and the no-dedup
 ablation on cyclic data, budget blowups of the exponential baselines)
@@ -40,6 +48,7 @@ from ..datalog.errors import (
 from ..datalog.seminaive import seminaive_evaluate
 from ..engine import STRATEGIES, Engine
 from ..core.api import _matches_query
+from ..observability import Tracer, trace_violations
 from ..stats import EvaluationStats
 from .cases import Case
 
@@ -73,8 +82,10 @@ class Disagreement:
 
     ``kind`` is ``answers`` (answer-set mismatch), ``detection``
     (separability verdict contradicts ground truth), ``stats`` (a
-    statistics invariant is violated), or ``error`` (an applicable
-    strategy raised an unexpected exception).
+    statistics invariant is violated), ``trace`` (the recorded span
+    forest breaks a fixpoint invariant -- see
+    :func:`repro.observability.trace_violations`), or ``error`` (an
+    applicable strategy raised an unexpected exception).
     """
 
     kind: str
@@ -223,6 +234,15 @@ def _diff_detail(reference: frozenset, answers: frozenset) -> str:
     )
 
 
+def _append_trace_findings(
+    verdict: "OracleVerdict", strategy: str, tracer: Tracer
+) -> None:
+    for problem in trace_violations(tracer):
+        verdict.disagreements.append(
+            Disagreement(kind="trace", strategy=strategy, detail=problem)
+        )
+
+
 def run_case(
     case: Case,
     strategies: Optional[Sequence[str]] = None,
@@ -262,12 +282,19 @@ def run_case(
     for strategy in applicable_strategies(case, strategies):
         engine = Engine(case.program, case.database, budget=budget)
         stats = EvaluationStats()
+        tracer = Tracer()
         try:
-            result = engine.query(case.query, strategy=strategy, stats=stats)
+            result = engine.query(
+                case.query, strategy=strategy, stats=stats, tracer=tracer
+            )
         except _TOLERATED as exc:
             verdict.outcomes[strategy] = StrategyOutcome(
                 strategy=strategy, skipped=str(exc)
             )
+            # Even a tolerated abort must unwind every span (exception
+            # safety of ``Tracer.span``); invariant checks on the
+            # aborted loops themselves are status-gated and skipped.
+            _append_trace_findings(verdict, strategy, tracer)
             continue
         except ReproError as exc:
             verdict.outcomes[strategy] = StrategyOutcome(
@@ -284,6 +311,7 @@ def run_case(
         verdict.outcomes[strategy] = StrategyOutcome(
             strategy=strategy, answers=result.answers, stats=result.stats
         )
+        _append_trace_findings(verdict, strategy, tracer)
         if result.answers != verdict.reference:
             verdict.disagreements.append(
                 Disagreement(

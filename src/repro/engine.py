@@ -42,6 +42,7 @@ from .rewriting.counting import evaluate_counting
 from .rewriting.magic import evaluate_magic
 from .rewriting.selection_push import evaluate_pushed
 from .rewriting.nodedup import execute_plan_nodedup
+from .observability.tracer import live
 from .stats import EvaluationStats
 
 __all__ = ["Engine", "QueryResult", "StrategyAdvice", "STRATEGIES"]
@@ -123,11 +124,14 @@ class Engine:
         edb: Database,
         budget: Budget = UNLIMITED,
         order: str = "greedy",
+        tracer=None,
     ) -> None:
         self.program = program
         self.edb = edb
         self.budget = budget
         self.order = order
+        #: Default tracer for every query (overridable per call).
+        self.tracer = tracer
         self._reports: dict[str, SeparabilityReport] = {}
         self._base_db: dict[str, Database] = {}
         self._base_db_fingerprint = edb.fingerprint()
@@ -327,6 +331,7 @@ class Engine:
         query: Union[Atom, str],
         strategy: str = "auto",
         stats: Optional[EvaluationStats] = None,
+        tracer=None,
     ) -> QueryResult:
         """Answer a query under the chosen strategy.
 
@@ -334,7 +339,9 @@ class Engine:
         ``"buys(tom, Y)?"``.  ``auto`` picks Separable when the queried
         predicate is separable and the query has a constant, Magic Sets
         otherwise, and semi-naive materialization for all-free queries
-        on non-separable predicates.
+        on non-separable predicates.  ``tracer`` overrides the engine's
+        default tracer for this one call; base-IDB materialization is
+        cached across queries and therefore never traced.
         """
         if isinstance(query, str):
             query = parse_query(query)
@@ -348,6 +355,7 @@ class Engine:
             )
         if stats is None:
             stats = EvaluationStats()
+        tracer = live(tracer if tracer is not None else self.tracer)
 
         report: Optional[SeparabilityReport] = None
         if strategy in ("auto", "separable", "relaxed", "nodedup"):
@@ -364,7 +372,7 @@ class Engine:
                 chosen = "magic"
 
         stats.strategy = chosen
-        answers = self._dispatch(chosen, query, report, stats)
+        answers = self._dispatch(chosen, query, report, stats, tracer)
         plan: Optional[SeparablePlan] = None
         if chosen in ("separable", "relaxed", "nodedup"):
             plan = self.plan_for(query)
@@ -383,6 +391,7 @@ class Engine:
         query: Atom,
         report: Optional[SeparabilityReport],
         stats: EvaluationStats,
+        tracer=None,
     ) -> frozenset[tuple]:
         if strategy in ("separable", "relaxed"):
             assert report is not None
@@ -411,6 +420,7 @@ class Engine:
                 budget=self.budget,
                 order=self.order,
                 allow_disconnected=strategy == "relaxed",
+                tracer=tracer,
             )
         if strategy == "nodedup":
             assert report is not None
@@ -436,6 +446,7 @@ class Engine:
                 stats=stats,
                 budget=self.budget,
                 order=self.order,
+                tracer=tracer,
             )
             fixed = {
                 p: selection.bound[p] for p in plan.selected_positions
@@ -455,6 +466,7 @@ class Engine:
             return evaluate_magic(
                 self.program, self.edb, query,
                 stats=stats, budget=self.budget, order=self.order,
+                tracer=tracer,
             )
         if strategy == "counting":
             return evaluate_counting(
@@ -464,6 +476,7 @@ class Engine:
                 stats=stats,
                 budget=self.budget,
                 order=self.order,
+                tracer=tracer,
             )
         if strategy == "pushdown":
             return evaluate_pushed(
@@ -473,6 +486,7 @@ class Engine:
                 stats=stats,
                 budget=self.budget,
                 order=self.order,
+                tracer=tracer,
             )
         evaluate = (
             seminaive_evaluate if strategy == "seminaive" else naive_evaluate
@@ -480,6 +494,7 @@ class Engine:
         materialized = evaluate(
             self.program, self.edb,
             stats=stats, budget=self.budget, order=self.order,
+            tracer=tracer,
         )
         return frozenset(
             fact

@@ -1,0 +1,27 @@
+"""Lightweight tracing for the evaluation hot paths.
+
+Every evaluator in the package accepts an optional ``tracer``; when one
+is live it receives nested wall-clock spans (one per fixpoint loop,
+rewrite, or strategy run), per-span counters (tuples fetched, index
+builds, join fan-out), and per-span *series* (per-iteration delta and
+carry sizes) -- the dynamic quantities that
+:class:`repro.stats.EvaluationStats` aggregates away.
+
+The default is no tracer at all: hot loops guard every emission with a
+single ``tracer is not None`` check, so the untraced path costs one
+pointer comparison (see ``tests/observability/test_overhead.py``).
+:data:`NULL` is a disabled tracer for callers that prefer passing an
+object; :func:`live` normalizes it back to ``None`` at API boundaries.
+"""
+
+from .invariants import trace_violations
+from .tracer import NULL, NullTracer, Span, Tracer, live
+
+__all__ = [
+    "NULL",
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "live",
+    "trace_violations",
+]

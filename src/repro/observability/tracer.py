@@ -1,0 +1,251 @@
+"""Nested wall-clock spans with counters and per-iteration series.
+
+A :class:`Tracer` records a forest of :class:`Span` objects.  Spans
+nest through an explicit stack (``with tracer.span("seminaive.scc")``),
+close with a wall-clock duration even when the body raises (the span's
+``status`` then records the exception type -- ``BudgetExceeded`` mid
+fixpoint must not leak open spans), and carry three kinds of payload:
+
+``attrs``
+    Static facts known at open (or close) time: the SCC members, the
+    seed size, the relation a carry loop fills.
+``counters``
+    Monotone tallies bumped while the span is open: ``tuples_examined``
+    (mirrors the :class:`~repro.stats.EvaluationStats` counter of the
+    same name), ``index_builds``, ``bindings_out``, ``iterations``.
+``series``
+    Ordered per-iteration observations -- the per-round delta sizes of
+    a semi-naive stratum, the per-iteration carry sizes of a Separable
+    loop -- that no scalar counter can represent.
+
+Counters bump on the *innermost open* span so nested strategy phases
+attribute work to themselves; aggregation over the whole run is
+:meth:`Tracer.counter_total`.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+__all__ = ["Span", "Tracer", "NullTracer", "NULL", "live"]
+
+
+class Span:
+    """One timed region of an evaluation, possibly with children."""
+
+    __slots__ = (
+        "name",
+        "attrs",
+        "start_s",
+        "end_s",
+        "status",
+        "counters",
+        "series",
+        "children",
+    )
+
+    def __init__(self, name: str, attrs: dict) -> None:
+        self.name = name
+        self.attrs = attrs
+        self.start_s = time.perf_counter()
+        self.end_s: Optional[float] = None
+        self.status = "open"
+        self.counters: dict[str, int] = {}
+        self.series: dict[str, list] = {}
+        self.children: list[Span] = []
+
+    @property
+    def duration_s(self) -> Optional[float]:
+        """Wall-clock seconds, or ``None`` while the span is open."""
+        if self.end_s is None:
+            return None
+        return self.end_s - self.start_s
+
+    @property
+    def closed(self) -> bool:
+        return self.end_s is not None
+
+    def walk(self) -> Iterator["Span"]:
+        """This span and every descendant, depth first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation (used by bench reports and tests)."""
+        return {
+            "name": self.name,
+            "attrs": dict(self.attrs),
+            "duration_s": self.duration_s,
+            "status": self.status,
+            "counters": dict(self.counters),
+            "series": {k: list(v) for k, v in self.series.items()},
+            "children": [c.to_dict() for c in self.children],
+        }
+
+    def __repr__(self) -> str:
+        timing = (
+            f"{self.duration_s * 1e3:.3f}ms" if self.closed else "open"
+        )
+        return f"Span({self.name}, {timing}, {self.status})"
+
+
+class Tracer:
+    """A recording tracer.  Not thread-safe; use one per evaluation."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.roots: list[Span] = []
+        self._stack: list[Span] = []
+
+    # -- span lifecycle ----------------------------------------------------
+
+    @contextmanager
+    def span(self, name: str, **attrs) -> Iterator[Span]:
+        """Open a nested span; always closes it, recording exceptions."""
+        s = Span(name, attrs)
+        if self._stack:
+            self._stack[-1].children.append(s)
+        else:
+            self.roots.append(s)
+        self._stack.append(s)
+        try:
+            yield s
+        except BaseException as exc:
+            s.status = type(exc).__name__
+            raise
+        else:
+            s.status = "ok"
+        finally:
+            s.end_s = time.perf_counter()
+            self._stack.pop()
+
+    @property
+    def current(self) -> Optional[Span]:
+        """The innermost open span, or ``None`` outside any span."""
+        return self._stack[-1] if self._stack else None
+
+    # -- payload -----------------------------------------------------------
+
+    def count(self, name: str, n: int = 1) -> None:
+        """Bump a counter on the innermost open span.
+
+        Counts emitted outside any span are collected on an implicit
+        root span named ``(toplevel)`` so they are never lost.
+        """
+        target = self._stack[-1] if self._stack else self._toplevel()
+        target.counters[name] = target.counters.get(name, 0) + n
+
+    def record(self, name: str, value) -> None:
+        """Append one observation to a series on the innermost span."""
+        target = self._stack[-1] if self._stack else self._toplevel()
+        target.series.setdefault(name, []).append(value)
+
+    def _toplevel(self) -> Span:
+        if self.roots and self.roots[0].name == "(toplevel)":
+            return self.roots[0]
+        s = Span("(toplevel)", {})
+        s.end_s = s.start_s
+        s.status = "ok"
+        self.roots.insert(0, s)
+        return s
+
+    # -- inspection --------------------------------------------------------
+
+    def spans(self, name: Optional[str] = None) -> Iterator[Span]:
+        """Every recorded span (depth first), optionally filtered by name."""
+        for root in self.roots:
+            for s in root.walk():
+                if name is None or s.name == name:
+                    yield s
+
+    def counter_total(self, name: str) -> int:
+        """Sum of one counter over every span in the trace."""
+        return sum(s.counters.get(name, 0) for s in self.spans())
+
+    def all_closed(self) -> bool:
+        """True when no span is left open (exception safety check)."""
+        return not self._stack and all(
+            s.closed for s in self.spans()
+        )
+
+    def to_dict(self) -> dict:
+        return {"spans": [s.to_dict() for s in self.roots]}
+
+    def format_tree(self) -> str:
+        """An indented human-readable rendering of the span forest."""
+        lines: list[str] = []
+
+        def emit(s: Span, depth: int) -> None:
+            timing = (
+                f"{s.duration_s * 1e3:9.3f}ms" if s.closed else "     open"
+            )
+            counters = " ".join(
+                f"{k}={v}" for k, v in sorted(s.counters.items())
+            )
+            series = " ".join(
+                f"{k}={v}" for k, v in sorted(s.series.items())
+            )
+            detail = " ".join(x for x in (counters, series) if x)
+            lines.append(
+                f"{timing}  {'  ' * depth}{s.name}"
+                + (f"  [{detail}]" if detail else "")
+            )
+            for child in s.children:
+                emit(child, depth + 1)
+
+        for root in self.roots:
+            emit(root, 0)
+        return "\n".join(lines)
+
+
+class NullTracer:
+    """A disabled tracer: every operation is a no-op.
+
+    Exists so call sites may unconditionally hold a tracer object;
+    evaluator entry points normalize it to ``None`` via :func:`live`,
+    keeping the hot loops on the single ``is not None`` guard.
+    """
+
+    enabled = False
+
+    @contextmanager
+    def span(self, name: str, **attrs) -> Iterator[None]:
+        yield None
+
+    def count(self, name: str, n: int = 1) -> None:
+        pass
+
+    def record(self, name: str, value) -> None:
+        pass
+
+    def counter_total(self, name: str) -> int:
+        return 0
+
+    def spans(self, name: Optional[str] = None):
+        return iter(())
+
+    def all_closed(self) -> bool:
+        return True
+
+    def to_dict(self) -> dict:
+        return {"spans": []}
+
+
+#: The shared disabled tracer.
+NULL = NullTracer()
+
+
+def live(tracer) -> Optional[Tracer]:
+    """Normalize a tracer argument: ``None`` unless recording is on.
+
+    Evaluator entry points call this once so their inner loops only pay
+    an ``is not None`` check, whether the caller passed ``None``,
+    :data:`NULL`, or a real :class:`Tracer`.
+    """
+    if tracer is None or not getattr(tracer, "enabled", False):
+        return None
+    return tracer

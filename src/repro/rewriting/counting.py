@@ -37,6 +37,7 @@ method inapplicable (:class:`CountingNotApplicable`).
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import Optional
 
@@ -49,6 +50,7 @@ from ..datalog.programs import Program
 from ..datalog.rectify import rectify_definition
 from ..datalog.rules import Rule
 from ..datalog.terms import Constant, ConstValue, Variable
+from ..observability.tracer import live
 from ..stats import EvaluationStats
 
 __all__ = [
@@ -295,6 +297,7 @@ def evaluate_counting(
     budget: Budget = UNLIMITED,
     order: str = "greedy",
     max_levels: Optional[int] = None,
+    tracer=None,
 ) -> frozenset[tuple]:
     """Answer ``query`` by the Generalized Counting Method.
 
@@ -305,6 +308,7 @@ def evaluate_counting(
     :class:`~repro.datalog.errors.BudgetExceeded` when ``budget`` trips
     first.
     """
+    tracer = live(tracer)
     if stats is not None and not stats.strategy:
         stats.strategy = "counting"
     plan = compile_counting(program, query)
@@ -332,104 +336,133 @@ def evaluate_counting(
         cr.index: (Atom(_CARRY, cr.down_input),) + cr.down_atoms
         for cr in plan.rules
     }
-    while frontier:
-        if level >= max_levels:
-            raise CyclicDataError(
-                f"counting descent exceeded {max_levels} levels; the "
-                f"data reachable from {seed} is cyclic (or a rule has "
-                f"an empty down part)",
-                stats=stats,
-            )
-        level += 1
-        if stats is not None:
-            stats.bump_iterations()
-        new_frontier: list[tuple[tuple[int, ...], set[tuple]]] = []
-        for path, values in frontier:
-            down_carry.clear()
-            down_carry.add_all(values)
-            for cr in plan.rules:
-                produced: set[tuple] = set()
-                for bindings in evaluate_body(down_view, down_bodies[cr.index],
-                                              stats=stats, order=order):
-                    if stats is not None:
-                        stats.bump_produced()
-                    produced.add(instantiate_args(cr.down_output, bindings))
-                if produced:
-                    new_path = path + (cr.index,)
-                    count[(level, new_path)] = produced
-                    count_size += len(produced)
-                    new_frontier.append((new_path, produced))
-            if budget is not UNLIMITED:
+    descent_cm = (
+        tracer.span("counting.descent", seed=list(seed))
+        if tracer is not None
+        else nullcontext()
+    )
+    with descent_cm as descent_span:
+        while frontier:
+            if level >= max_levels:
+                raise CyclicDataError(
+                    f"counting descent exceeded {max_levels} levels; the "
+                    f"data reachable from {seed} is cyclic (or a rule has "
+                    f"an empty down part)",
+                    stats=stats,
+                )
+            level += 1
+            if stats is not None:
+                stats.bump_iterations()
+            if tracer is not None:
+                tracer.count("iterations")
+            new_frontier: list[tuple[tuple[int, ...], set[tuple]]] = []
+            for path, values in frontier:
+                down_carry.clear()
+                down_carry.add_all(values)
+                for cr in plan.rules:
+                    produced: set[tuple] = set()
+                    for bindings in evaluate_body(down_view,
+                                                  down_bodies[cr.index],
+                                                  stats=stats, order=order,
+                                                  tracer=tracer):
+                        if stats is not None:
+                            stats.bump_produced()
+                        produced.add(
+                            instantiate_args(cr.down_output, bindings)
+                        )
+                    if produced:
+                        new_path = path + (cr.index,)
+                        count[(level, new_path)] = produced
+                        count_size += len(produced)
+                        new_frontier.append((new_path, produced))
+                if budget is not UNLIMITED:
+                    budget.check_relation("count", count_size, stats)
+            if tracer is not None:
+                tracer.record("frontier_paths", len(new_frontier))
+                tracer.record("count_size", count_size)
+            if stats is not None:
+                stats.record_relation("count", count_size)
                 budget.check_relation("count", count_size, stats)
-        if stats is not None:
-            stats.record_relation("count", count_size)
-            budget.check_relation("count", count_size, stats)
-            budget.check_stats(stats)
-        frontier = new_frontier
+                budget.check_stats(stats)
+            frontier = new_frontier
+        if descent_span is not None:
+            descent_span.attrs["levels"] = level
+            descent_span.attrs["count_size"] = count_size
 
     # -- ascent: seed per-(level, path) answers from the exit rules ----
     answers_at: dict[tuple[int, tuple[int, ...]], set[tuple]] = {}
     answers_size = 0
-    exit_carry = Relation(_CARRY, len(plan.bound_positions))
-    exit_view = _with_carry(edb, exit_carry)
-    exit_bodies = []
-    for exit_rule in plan.exit_rules:
-        carry_atom = Atom(
-            _CARRY,
-            tuple(exit_rule.head.args[p] for p in plan.bound_positions),
-        )
-        output = tuple(
-            exit_rule.head.args[p] for p in plan.free_positions
-        )
-        exit_bodies.append(((carry_atom,) + tuple(exit_rule.body), output))
-    for (lvl, path), values in count.items():
-        exit_carry.clear()
-        exit_carry.add_all(values)
-        produced: set[tuple] = set()
-        for body, output in exit_bodies:
-            for bindings in evaluate_body(exit_view, body, stats=stats,
-                                          order=order):
-                if stats is not None:
-                    stats.bump_produced()
-                produced.add(instantiate_args(output, bindings))
-        if produced:
-            answers_at[(lvl, path)] = produced
-            answers_size += len(produced)
-
-    # Replay each path backwards, deepest level first.
-    up_carry = Relation(_CARRY, len(plan.free_positions))
-    up_view = _with_carry(edb, up_carry)
-    up_bodies = {
-        cr.index: (Atom(_CARRY, cr.up_input),) + cr.up_atoms
-        for cr in plan.rules
-    }
-    by_level: dict[int, list[tuple[int, tuple[int, ...]]]] = {}
-    for key in count:
-        by_level.setdefault(key[0], []).append(key)
-    for lvl in range(max(by_level, default=0), 0, -1):
-        for key in by_level.get(lvl, ()):
-            if key not in answers_at:
-                continue
-            _, path = key
-            cr = plan.rules[path[-1]]
-            parent = (lvl - 1, path[:-1])
-            up_carry.clear()
-            up_carry.add_all(answers_at[key])
-            produced = set()
-            for bindings in evaluate_body(up_view, up_bodies[cr.index],
-                                          stats=stats, order=order):
-                if stats is not None:
-                    stats.bump_produced()
-                produced.add(instantiate_args(cr.up_output, bindings))
+    ascent_cm = (
+        tracer.span("counting.ascent", paths=len(count))
+        if tracer is not None
+        else nullcontext()
+    )
+    with ascent_cm as ascent_span:
+        exit_carry = Relation(_CARRY, len(plan.bound_positions))
+        exit_view = _with_carry(edb, exit_carry)
+        exit_bodies = []
+        for exit_rule in plan.exit_rules:
+            carry_atom = Atom(
+                _CARRY,
+                tuple(exit_rule.head.args[p] for p in plan.bound_positions),
+            )
+            output = tuple(
+                exit_rule.head.args[p] for p in plan.free_positions
+            )
+            exit_bodies.append(
+                ((carry_atom,) + tuple(exit_rule.body), output)
+            )
+        for (lvl, path), values in count.items():
+            exit_carry.clear()
+            exit_carry.add_all(values)
+            produced: set[tuple] = set()
+            for body, output in exit_bodies:
+                for bindings in evaluate_body(exit_view, body, stats=stats,
+                                              order=order, tracer=tracer):
+                    if stats is not None:
+                        stats.bump_produced()
+                    produced.add(instantiate_args(output, bindings))
             if produced:
-                target = answers_at.setdefault(parent, set())
-                before = len(target)
-                target |= produced
-                answers_size += len(target) - before
-        if stats is not None:
-            stats.record_relation("count_ans", answers_size)
-            budget.check_relation("count_ans", answers_size, stats)
-            budget.check_stats(stats)
+                answers_at[(lvl, path)] = produced
+                answers_size += len(produced)
+
+        # Replay each path backwards, deepest level first.
+        up_carry = Relation(_CARRY, len(plan.free_positions))
+        up_view = _with_carry(edb, up_carry)
+        up_bodies = {
+            cr.index: (Atom(_CARRY, cr.up_input),) + cr.up_atoms
+            for cr in plan.rules
+        }
+        by_level: dict[int, list[tuple[int, tuple[int, ...]]]] = {}
+        for key in count:
+            by_level.setdefault(key[0], []).append(key)
+        for lvl in range(max(by_level, default=0), 0, -1):
+            for key in by_level.get(lvl, ()):
+                if key not in answers_at:
+                    continue
+                _, path = key
+                cr = plan.rules[path[-1]]
+                parent = (lvl - 1, path[:-1])
+                up_carry.clear()
+                up_carry.add_all(answers_at[key])
+                produced = set()
+                for bindings in evaluate_body(up_view, up_bodies[cr.index],
+                                              stats=stats, order=order,
+                                              tracer=tracer):
+                    if stats is not None:
+                        stats.bump_produced()
+                    produced.add(instantiate_args(cr.up_output, bindings))
+                if produced:
+                    target = answers_at.setdefault(parent, set())
+                    before = len(target)
+                    target |= produced
+                    answers_size += len(target) - before
+            if stats is not None:
+                stats.record_relation("count_ans", answers_size)
+                budget.check_relation("count_ans", answers_size, stats)
+                budget.check_stats(stats)
+        if ascent_span is not None:
+            ascent_span.attrs["answers_size"] = answers_size
 
     free_answers = answers_at.get((0, ()), set())
     results: set[tuple] = set()

@@ -27,6 +27,7 @@ concern their sizes.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from typing import Optional
 
 from ..budget import Budget, UNLIMITED
@@ -37,6 +38,7 @@ from ..datalog.programs import Program
 from ..datalog.rules import Rule
 from ..datalog.seminaive import seminaive_evaluate
 from ..datalog.terms import Constant
+from ..observability.tracer import live
 from ..stats import EvaluationStats
 from .adornment import (
     AdornedAtom,
@@ -269,19 +271,30 @@ def evaluate_magic(
     budget: Budget = UNLIMITED,
     order: str = "greedy",
     style: str = "basic",
+    tracer=None,
 ) -> frozenset[tuple]:
     """Answer ``query`` by Magic Sets: rewrite, evaluate, select.
 
     Relation sizes of every generated (magic / adorned / supplementary)
     predicate are recorded in ``stats`` under their rewritten names.
     """
+    tracer = live(tracer)
     if stats is not None and not stats.strategy:
         stats.strategy = "magic"
-    rewrite = magic_rewrite(program, query, style=style)
+    rewrite_cm = (
+        tracer.span("magic.rewrite", style=style)
+        if tracer is not None
+        else nullcontext()
+    )
+    with rewrite_cm as rewrite_span:
+        rewrite = magic_rewrite(program, query, style=style)
+        if rewrite_span is not None:
+            rewrite_span.attrs["rules"] = len(rewrite.program)
     db = edb.copy()
     db.add_ground_atom(rewrite.seed)
     result = seminaive_evaluate(
-        rewrite.program, db, stats=stats, budget=budget, order=order
+        rewrite.program, db, stats=stats, budget=budget, order=order,
+        tracer=tracer,
     )
     answers: set[tuple] = set()
     constants = [

@@ -20,12 +20,14 @@ Behaviour:
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from typing import Iterable, Optional
 
 from ..budget import Budget, UNLIMITED
 from ..core.plan import CARRY, SEEN, SeparablePlan
 from ..datalog.database import Database, Relation
 from ..datalog.errors import CyclicDataError
+from ..observability.tracer import live
 from ..stats import EvaluationStats
 from ..core.evaluator import _apply_joins, _with_pseudo
 
@@ -42,11 +44,15 @@ def _carry_loop_nodedup(
     stats: Optional[EvaluationStats],
     budget: Budget,
     order: str,
+    tracer=None,
 ) -> set[tuple]:
     """A Figure 2 loop with lines 5/12 removed (no set difference).
 
     Terminates when the carry empties (acyclic data) or raises
-    :class:`CyclicDataError` when a carry state repeats.
+    :class:`CyclicDataError` when a carry state repeats.  Traced under
+    ``nodedup.loop`` -- deliberately *not* ``separable.loop``, since
+    without the set difference the carries are not disjoint and the
+    Lemma 3.4 carry invariants do not hold for this ablation.
     """
     seen: set[tuple] = set(initial)
     carry: set[tuple] = set(initial)
@@ -54,26 +60,37 @@ def _carry_loop_nodedup(
     if stats is not None:
         stats.record_relation(carry_name, len(carry))
         stats.record_relation(seen_name, len(seen))
-    while carry:
-        if stats is not None:
-            stats.bump_iterations()
-        view = _with_pseudo(db, CARRY, Relation(CARRY, arity, carry))
-        carry = _apply_joins(joins, view, stats, order)
-        seen |= carry
-        if stats is not None:
-            stats.record_relation(carry_name, len(carry))
-            stats.record_relation(seen_name, len(seen))
-            budget.check_relation(seen_name, len(seen), stats)
-            budget.check_stats(stats)
-        state = frozenset(carry)
-        if carry and state in visited_states:
-            raise CyclicDataError(
-                f"carry state of {carry_name} repeated without the "
-                f"seen-difference; the data is cyclic and the "
-                f"no-dedup iteration diverges",
-                stats=stats,
-            )
-        visited_states.add(state)
+    span_cm = (
+        tracer.span("nodedup.loop", relation=seen_name,
+                    seed=len(initial))
+        if tracer is not None
+        else nullcontext()
+    )
+    with span_cm:
+        while carry:
+            if stats is not None:
+                stats.bump_iterations()
+            if tracer is not None:
+                tracer.count("iterations")
+            view = _with_pseudo(db, CARRY, Relation(CARRY, arity, carry))
+            carry = _apply_joins(joins, view, stats, order, tracer)
+            seen |= carry
+            if tracer is not None:
+                tracer.record("carry", len(carry))
+            if stats is not None:
+                stats.record_relation(carry_name, len(carry))
+                stats.record_relation(seen_name, len(seen))
+                budget.check_relation(seen_name, len(seen), stats)
+                budget.check_stats(stats)
+            state = frozenset(carry)
+            if carry and state in visited_states:
+                raise CyclicDataError(
+                    f"carry state of {carry_name} repeated without the "
+                    f"seen-difference; the data is cyclic and the "
+                    f"no-dedup iteration diverges",
+                    stats=stats,
+                )
+            visited_states.add(state)
     return seen
 
 
@@ -84,20 +101,22 @@ def execute_plan_nodedup(
     stats: Optional[EvaluationStats] = None,
     budget: Budget = UNLIMITED,
     order: str = "greedy",
+    tracer=None,
 ) -> frozenset[tuple]:
     """Run a compiled Separable plan without duplicate elimination."""
+    tracer = live(tracer)
     if stats is not None and not stats.strategy:
         stats.strategy = "nodedup"
     seed_set = {tuple(s) for s in seeds}
     seen_1 = _carry_loop_nodedup(
         plan.down_joins, seed_set, plan.seed_arity, db,
-        "carry_1", "seen_1", stats, budget, order,
+        "carry_1", "seen_1", stats, budget, order, tracer,
     )
     view = _with_pseudo(db, SEEN, Relation(SEEN, plan.seed_arity, seen_1))
-    carry_2 = _apply_joins(plan.exit_joins, view, stats, order)
+    carry_2 = _apply_joins(plan.exit_joins, view, stats, order, tracer)
     seen_2 = _carry_loop_nodedup(
         plan.up_joins, carry_2, plan.answer_arity, db,
-        "carry_2", "seen_2", stats, budget, order,
+        "carry_2", "seen_2", stats, budget, order, tracer,
     )
     if stats is not None:
         stats.record_relation("ans", len(seen_2))

@@ -38,6 +38,7 @@ from ..datalog.programs import Program
 from ..datalog.rules import Rule
 from ..datalog.seminaive import seminaive_evaluate
 from ..datalog.terms import Constant, ConstValue, Variable
+from ..observability.tracer import live
 from ..stats import EvaluationStats
 
 __all__ = [
@@ -144,6 +145,7 @@ def evaluate_pushed(
     stats: Optional[EvaluationStats] = None,
     budget: Budget = UNLIMITED,
     order: str = "greedy",
+    tracer=None,
 ) -> frozenset[tuple]:
     """Answer ``query`` by [AU79] selection pushing + semi-naive.
 
@@ -152,11 +154,13 @@ def evaluate_pushed(
     sigma predicate's extent -- for a pers-column selection on a
     separable recursion this matches Separable's ``seen_2``-side sizes.
     """
+    tracer = live(tracer)
     if stats is not None and not stats.strategy:
         stats.strategy = "pushdown"
     rewritten, sigma, pushed = push_selection(program, query)
     result = seminaive_evaluate(
-        rewritten, edb, stats=stats, budget=budget, order=order
+        rewritten, edb, stats=stats, budget=budget, order=order,
+        tracer=tracer,
     )
     residual = {
         p: t.value

@@ -1,0 +1,51 @@
+"""The family registry: resolution, construction, and strategy lists."""
+
+import pytest
+
+from repro.bench.families import FAMILIES, Workload, resolve_families
+from repro.datalog.parser import parse_query
+from repro.engine import STRATEGIES
+
+
+class TestResolve:
+    def test_all_keyword(self):
+        assert resolve_families("all") == list(FAMILIES.values())
+
+    def test_none_means_all(self):
+        assert resolve_families(None) == list(FAMILIES.values())
+
+    def test_subset_keeps_input_order(self):
+        picked = resolve_families("e5,e1")
+        assert [f.key for f in picked] == ["e5", "e1"]
+
+    def test_whitespace_and_case_tolerated(self):
+        picked = resolve_families(" E1 , e2 ")
+        assert [f.key for f in picked] == ["e1", "e2"]
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(ValueError, match="unknown famil"):
+            resolve_families("e1,nope")
+
+
+class TestRegistry:
+    def test_nine_families(self):
+        assert list(FAMILIES) == [f"e{i}" for i in range(1, 10)]
+
+    @pytest.mark.parametrize("key", list(FAMILIES))
+    def test_build_produces_runnable_workload(self, key):
+        family = FAMILIES[key]
+        workload = family.build(4)
+        assert isinstance(workload, Workload)
+        query = parse_query(workload.query)
+        assert query.predicate
+        assert family.strategies
+        for strategy in family.strategies:
+            assert strategy == "detect" or strategy in STRATEGIES
+
+    def test_sizes_scale_the_data(self):
+        small = FAMILIES["e2"].build(4)
+        large = FAMILIES["e2"].build(16)
+        total = lambda db: sum(
+            db.size(p) for p in db.predicates()
+        )
+        assert total(large.db) > total(small.db)

@@ -1,0 +1,172 @@
+"""Regression-gate tests: ``compare_reports`` and the slowdown shim.
+
+Synthetic reports pin each finding kind; the end-to-end tests run a
+real (tiny) family twice and prove the gate is quiet on an honest
+re-run but fires when the test-only sleep shim stretches every timed
+repetition -- the acceptance story for ``bench --check``.
+"""
+
+import copy
+
+import pytest
+
+import repro.bench.harness as harness
+from repro.bench import calibrate, compare_reports, run_family
+from repro.bench.families import FAMILIES
+from repro.bench.gating import Finding
+
+
+def _synthetic(normalized=1.0, median_s=0.01, **cell_overrides):
+    cell = {
+        "strategy": "magic",
+        "n": 8,
+        "outcome": "ok",
+        "answers": 9,
+        "max_relation_size": 64,
+        "tuples_produced": 100,
+        "tuples_examined": 200,
+        "iterations": 5,
+        "counters": {"tuples_examined": 200, "index_builds": 3},
+        "trace_violations": [],
+        "median_s": median_s,
+        "normalized": normalized,
+    }
+    cell.update(cell_overrides)
+    return {
+        "schema": "repro-bench/1",
+        "family": "e2",
+        "sizes": [8],
+        "results": [cell],
+    }
+
+
+class TestFindingKinds:
+    def test_identical_reports_pass(self):
+        base = _synthetic()
+        assert compare_reports(base, copy.deepcopy(base)) == []
+
+    def test_schema_mismatch_short_circuits(self):
+        base = _synthetic()
+        cur = _synthetic()
+        cur["schema"] = "repro-bench/2"
+        findings = compare_reports(base, cur)
+        assert [f.kind for f in findings] == ["schema"]
+
+    def test_missing_cell(self):
+        cur = _synthetic()
+        cur["results"] = []
+        findings = compare_reports(_synthetic(), cur)
+        assert [f.kind for f in findings] == ["missing"]
+
+    def test_unswept_sizes_are_skipped(self):
+        """A reduced-n smoke run only gates the sizes it swept."""
+        cur = _synthetic()
+        cur["sizes"] = [4]  # baseline cell is n=8: out of scope
+        cur["results"] = []
+        assert compare_reports(_synthetic(), cur) == []
+
+    def test_outcome_change_suppresses_downstream_gates(self):
+        cur = _synthetic(
+            outcome="budget", answers=None, max_relation_size=10
+        )
+        findings = compare_reports(_synthetic(), cur)
+        assert [f.kind for f in findings] == ["outcome"]
+
+    def test_answer_drift_is_a_finding(self):
+        findings = compare_reports(_synthetic(), _synthetic(answers=8))
+        assert [f.kind for f in findings] == ["answers"]
+
+    def test_size_drift_is_a_finding(self):
+        findings = compare_reports(
+            _synthetic(), _synthetic(max_relation_size=128)
+        )
+        assert [f.kind for f in findings] == ["size"]
+
+    def test_counter_drift_is_exact_by_default(self):
+        cur = _synthetic(
+            counters={"tuples_examined": 201, "index_builds": 3}
+        )
+        findings = compare_reports(_synthetic(), cur)
+        assert [f.kind for f in findings] == ["counter"]
+        assert "tuples_examined" in findings[0].message
+
+    def test_counter_tolerance_loosens_the_gate(self):
+        cur = _synthetic(
+            counters={"tuples_examined": 210, "index_builds": 3}
+        )
+        assert (
+            compare_reports(_synthetic(), cur, counter_tolerance=0.1)
+            == []
+        )
+
+    def test_slow_cell_is_a_time_finding(self):
+        findings = compare_reports(
+            _synthetic(normalized=1.0), _synthetic(normalized=2.0)
+        )
+        assert [f.kind for f in findings] == ["time"]
+        assert "ratio 2.00" in findings[0].message
+
+    def test_time_within_tolerance_passes(self):
+        assert (
+            compare_reports(
+                _synthetic(normalized=1.0), _synthetic(normalized=1.5)
+            )
+            == []
+        )
+
+    def test_sub_noise_floor_cells_are_not_time_gated(self):
+        base = _synthetic(normalized=1.0, median_s=1e-5)
+        cur = _synthetic(normalized=50.0, median_s=5e-4)
+        assert compare_reports(base, cur) == []
+
+    def test_finding_renders_location(self):
+        f = Finding("e2", "magic", 8, "time", "too slow")
+        assert str(f) == "[time] e2/magic n=8: too slow"
+
+
+@pytest.fixture(scope="module")
+def calibration():
+    return calibrate(repeats=1)
+
+
+@pytest.fixture(scope="module")
+def e2_baseline(calibration):
+    return run_family(
+        FAMILIES["e2"], [4, 6], repeats=3, calibration=calibration
+    )
+
+
+class TestEndToEnd:
+    def test_honest_rerun_passes(self, e2_baseline, calibration):
+        rerun = run_family(
+            FAMILIES["e2"], [4, 6], repeats=3, calibration=calibration
+        )
+        assert compare_reports(e2_baseline, rerun) == []
+
+    def test_injected_slowdown_fails(
+        self, e2_baseline, calibration, monkeypatch
+    ):
+        """The acceptance shim: a 3x sleep stretch must trip the gate.
+
+        Only cells whose baseline median clears the 1ms noise floor are
+        time-gated; on this family that is the magic strategy at n=6
+        (and usually n=4), so at least one time finding must appear and
+        nothing else may.
+        """
+        monkeypatch.setattr(harness, "_TEST_SLOWDOWN", 3.0)
+        slowed = run_family(
+            FAMILIES["e2"], [4, 6], repeats=3, calibration=calibration
+        )
+        findings = compare_reports(e2_baseline, slowed)
+        assert findings, "3x slowdown escaped the regression gate"
+        assert {f.kind for f in findings} == {"time"}
+        assert ("magic", 6) in {(f.strategy, f.n) for f in findings}
+
+    def test_shim_never_applies_to_calibration(self, monkeypatch):
+        """A uniformly slower machine cancels; a slower code path must
+        not -- so the shim stretches unit timings only."""
+        baseline_unit = calibrate(repeats=1)["unit_s"]
+        monkeypatch.setattr(harness, "_TEST_SLOWDOWN", 50.0)
+        shimmed_unit = calibrate(repeats=1)["unit_s"]
+        # 50x on ~20ms would be a full second; same order instead.
+        assert shimmed_unit < baseline_unit * 10

@@ -1,0 +1,202 @@
+"""Unit and smoke tests for the bench harness.
+
+The full Section 4 sweeps live behind ``pytest -m bench``; here the
+fits, the schema, and the report plumbing are pinned with workloads
+small enough for every CI run.
+"""
+
+import json
+
+import pytest
+
+from repro.bench import (
+    SCHEMA,
+    calibrate,
+    classify_exponent,
+    fit_exponent,
+    git_sha,
+    machine_info,
+    report_path,
+    run_family,
+    write_report,
+)
+from repro.bench.families import FAMILIES
+
+#: Keys every report must carry (docs/benchmarking.md documents them).
+REPORT_KEYS = {
+    "schema",
+    "family",
+    "title",
+    "size_means",
+    "expectation",
+    "generated_at",
+    "git_sha",
+    "machine",
+    "budget_max_relation_tuples",
+    "repeats",
+    "sizes",
+    "calibration",
+    "results",
+    "fits",
+}
+
+CELL_KEYS = {
+    "strategy",
+    "n",
+    "outcome",
+    "answers",
+    "max_relation_size",
+    "tuples_produced",
+    "tuples_examined",
+    "iterations",
+    "counters",
+    "trace_violations",
+    "median_s",
+    "normalized",
+}
+
+
+@pytest.fixture(scope="module")
+def calibration():
+    return calibrate(repeats=1)
+
+
+@pytest.fixture(scope="module")
+def e2_report(calibration):
+    return run_family(
+        FAMILIES["e2"], [4, 6], repeats=1, calibration=calibration
+    )
+
+
+class TestFitExponent:
+    def test_linear_points(self):
+        points = [(n, 3.0 * n) for n in (4, 8, 16, 32)]
+        assert fit_exponent(points) == pytest.approx(1.0)
+
+    def test_quadratic_points(self):
+        points = [(n, 0.5 * n * n) for n in (4, 8, 16, 32)]
+        assert fit_exponent(points) == pytest.approx(2.0)
+
+    def test_exponential_lands_far_above_cubic(self):
+        points = [(n, 2.0 ** n) for n in (4, 8, 16, 32)]
+        exponent = fit_exponent(points)
+        assert exponent > 3.5
+        assert classify_exponent(exponent) == "superpolynomial"
+
+    def test_too_few_points_is_none(self):
+        assert fit_exponent([]) is None
+        assert fit_exponent([(8, 64.0)]) is None
+
+    def test_zero_values_are_dropped(self):
+        assert fit_exponent([(4, 0.0), (8, 0.0), (16, 0.0)]) is None
+
+    def test_coincident_sizes_are_unfittable(self):
+        assert fit_exponent([(8, 1.0), (8, 100.0)]) is None
+
+    @pytest.mark.parametrize(
+        "exponent,bucket",
+        [
+            (None, "unknown"),
+            (0.02, "constant"),
+            (1.0, "linear"),
+            (1.97, "quadratic"),
+            (3.0, "cubic"),
+            (8.0, "superpolynomial"),
+        ],
+    )
+    def test_classification_buckets(self, exponent, bucket):
+        assert classify_exponent(exponent) == bucket
+
+
+class TestCalibration:
+    def test_unit_is_positive_and_labelled(self, calibration):
+        assert calibration["unit_s"] > 0
+        assert "chain(64)" in calibration["workload"]
+        assert calibration["repeats"] == 1
+
+
+class TestReportShape:
+    def test_required_keys(self, e2_report):
+        assert set(e2_report) == REPORT_KEYS
+        assert e2_report["schema"] == SCHEMA
+        assert e2_report["family"] == "e2"
+        assert e2_report["sizes"] == [4, 6]
+
+    def test_cells_are_complete(self, e2_report):
+        assert e2_report["results"], "sweep produced no cells"
+        for cell in e2_report["results"]:
+            assert set(cell) == CELL_KEYS
+            assert cell["outcome"] == "ok"
+            assert cell["answers"] is not None
+            assert cell["median_s"] > 0
+            assert cell["normalized"] > 0
+            assert cell["trace_violations"] == []
+            assert cell["counters"]["tuples_examined"] > 0
+
+    def test_one_cell_per_strategy_size_pair(self, e2_report):
+        keys = [(c["strategy"], c["n"]) for c in e2_report["results"]]
+        assert len(keys) == len(set(keys))
+        assert len(keys) == len(FAMILIES["e2"].strategies) * 2
+
+    def test_fits_cover_both_metrics(self, e2_report):
+        pairs = {(f["strategy"], f["metric"]) for f in e2_report["fits"]}
+        for strategy in FAMILIES["e2"].strategies:
+            assert (strategy, "max_relation_size") in pairs
+            assert (strategy, "median_s") in pairs
+
+    def test_report_is_json_serializable(self, e2_report, tmp_path):
+        path = write_report(e2_report, tmp_path)
+        assert path == report_path(tmp_path, "e2")
+        assert path.name == "BENCH_e2.json"
+        loaded = json.loads(path.read_text())
+        assert loaded["schema"] == SCHEMA
+        assert loaded["results"] == e2_report["results"]
+
+    def test_machine_and_sha_blocks(self):
+        info = machine_info()
+        assert info["python"]
+        assert info["platform"]
+        sha = git_sha()
+        assert sha == "unknown" or all(
+            ch in "0123456789abcdef" for ch in sha
+        )
+
+
+class TestDeterminism:
+    def test_counters_and_sizes_repeat_exactly(self, calibration):
+        """The hard-gated quantities are run-to-run stable."""
+        first = run_family(
+            FAMILIES["e2"], [6], repeats=1, calibration=calibration
+        )
+        second = run_family(
+            FAMILIES["e2"], [6], repeats=1, calibration=calibration
+        )
+        for a, b in zip(first["results"], second["results"]):
+            assert a["counters"] == b["counters"]
+            assert a["max_relation_size"] == b["max_relation_size"]
+            assert a["answers"] == b["answers"]
+
+
+@pytest.mark.bench
+class TestSectionFourSeparations:
+    """Opt-in (``pytest -m bench``): the paper's growth separations."""
+
+    def test_e2_separable_linear_magic_quadratic(self):
+        report = run_family(FAMILIES["e2"], [8, 16, 32], repeats=1)
+        fits = {
+            (f["strategy"], f["metric"]): f for f in report["fits"]
+        }
+        sep = fits[("separable", "max_relation_size")]
+        magic = fits[("magic", "max_relation_size")]
+        assert sep["classification"] == "linear", sep
+        assert magic["classification"] == "quadratic", magic
+
+    def test_e1_counting_superpolynomial(self):
+        report = run_family(FAMILIES["e1"], [8, 16, 32], repeats=1)
+        fits = {
+            (f["strategy"], f["metric"]): f for f in report["fits"]
+        }
+        counting = fits[("counting", "max_relation_size")]
+        assert counting["classification"] == "superpolynomial", counting
+        sep = fits[("separable", "max_relation_size")]
+        assert sep["classification"] == "linear", sep

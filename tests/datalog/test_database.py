@@ -102,6 +102,31 @@ class TestDatabase:
         assert db.size("p") == 1
         assert other.size("p") == 2
 
+    def test_copy_preserves_attach_aliasing(self):
+        # Regression: copy() used to clone a relation once per *name*,
+        # so a relation attached under two names became two unrelated
+        # relations in the copy and writes through one alias vanished
+        # from the other.
+        db = Database()
+        shared = Relation("p", 1, [("a",)])
+        db.attach(shared)
+        db.attach(shared, "alias")
+        other = db.copy()
+        assert other.relation("p") is other.relation("alias")
+        other.add_fact("alias", ("b",))
+        assert other.size("p") == 2
+        # ... while the copy still shares nothing with the original.
+        assert db.size("p") == 1
+        assert shared.tuples() == frozenset({("a",)})
+
+    def test_copy_keeps_distinct_relations_distinct(self):
+        db = Database()
+        db.attach(Relation("p", 1, [("a",)]))
+        db.attach(Relation("q", 1, [("a",)]))
+        other = db.copy()
+        other.add_fact("p", ("b",))
+        assert other.size("q") == 1
+
     def test_attach_shares_relation(self):
         db = Database()
         shared = Relation("p", 1, [("a",)])

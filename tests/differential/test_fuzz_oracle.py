@@ -120,6 +120,50 @@ class TestOracle:
         for always in ("magic", "seminaive", "naive"):
             assert always in names
 
+    def test_trace_invariants_catch_leaked_span(self, monkeypatch):
+        """A strategy that leaks an open span yields a ``trace`` finding."""
+        from repro.engine import Engine
+
+        original = Engine._dispatch
+        leaks = []  # keep the context managers alive past dispatch
+
+        def dispatch(self, strategy, query, report, stats, tracer=None):
+            if tracer is not None and strategy == "seminaive":
+                # Open a span without ever closing it: the exact bug
+                # Tracer.span's finally-block exists to prevent.
+                leak = tracer.span("leaky")
+                leak.__enter__()
+                leaks.append(leak)
+            return original(self, strategy, query, report, stats, tracer)
+
+        monkeypatch.setattr(Engine, "_dispatch", dispatch)
+        case = load_case(CORPUS / "cyclic-transitive-closure.dl")
+        verdict = run_case(case)
+        assert not verdict.ok
+        kinds = {(d.kind, d.strategy) for d in verdict.disagreements}
+        assert ("trace", "seminaive") in kinds, verdict.summary()
+
+    def test_fanout_hourglass_deltas_are_non_monotone(self):
+        """The corpus fan-out case really does grow its deltas again.
+
+        Guards the reason the monotone-terminating invariant is not a
+        stricter "deltas shrink" check: this trace is correct yet its
+        per-round delta series shrinks and then grows.
+        """
+        from repro.engine import Engine
+        from repro.observability import Tracer, trace_violations
+
+        case = load_case(CORPUS / "fanout-hourglass.dl")
+        tracer = Tracer()
+        engine = Engine(case.program, case.database)
+        engine.query(case.query, strategy="seminaive", tracer=tracer)
+        assert trace_violations(tracer) == []
+        (scc,) = tracer.spans("seminaive.scc")
+        deltas = scc.series["delta:tc"]
+        rising = [i for i in range(1, len(deltas))
+                  if deltas[i] > deltas[i - 1]]
+        assert rising, f"expected a growing round in {deltas}"
+
     def test_reference_matches_conftest_oracle(self):
         from repro.differential.oracle import (
             DEFAULT_FUZZ_BUDGET,

@@ -1,0 +1,82 @@
+"""Spans must close even when an evaluation dies mid-fixpoint.
+
+The paper's expensive regimes end in exceptions by design --
+Generalized Counting raises :class:`CyclicDataError` on cyclic data
+(Lemma 3.4) and the exponential baselines trip ``BudgetExceeded`` --
+so the tracer's exception path is a first-class code path: every span
+unwinds, the aborting span records the exception type, and the
+invariant checker stays quiet (aborted loops are status-gated).
+"""
+
+import pytest
+
+from repro.budget import Budget
+from repro.datalog.atoms import Atom
+from repro.datalog.database import Database
+from repro.datalog.errors import BudgetExceeded, CyclicDataError
+from repro.datalog.parser import parse_program
+from repro.datalog.terms import Constant, Variable
+from repro.engine import Engine
+from repro.observability import Tracer, trace_violations
+from repro.workloads import cycle, paper
+
+
+@pytest.fixture
+def example_1_1():
+    program = paper.example_1_1_program()
+    db = Database.from_facts(
+        {
+            "friend": [("tom", "sue"), ("sue", "ann"), ("ann", "joe")],
+            "idol": [("tom", "ann"), ("joe", "kim")],
+            "perfectFor": [
+                ("ann", "camera"),
+                ("kim", "tent"),
+                ("sue", "boat"),
+            ],
+        }
+    )
+    return program, db
+
+
+def test_budget_exceeded_mid_fixpoint_closes_all_spans(example_1_1):
+    program, db = example_1_1
+    query = Atom("buys", (Constant("tom"), Variable("Y")))
+    tracer = Tracer()
+    engine = Engine(program, db, budget=Budget(max_relation_tuples=5))
+    with pytest.raises(BudgetExceeded):
+        engine.query(query, strategy="magic", tracer=tracer)
+    assert tracer.all_closed()
+    statuses = [s.status for s in tracer.spans()]
+    assert "BudgetExceeded" in statuses
+    assert "open" not in statuses
+    assert trace_violations(tracer) == []
+
+
+def test_cyclic_data_error_mid_descent_closes_all_spans():
+    parsed = parse_program(
+        "tc(X, Y) :- e(X, W) & tc(W, Y).\n"
+        "tc(X, Y) :- e(X, Y).\n"
+    )
+    db = Database.from_facts({"e": cycle(4)})
+    query = Atom("tc", (Constant("a0"), Variable("Y")))
+    tracer = Tracer()
+    with pytest.raises(CyclicDataError):
+        Engine(parsed.program, db).query(
+            query, strategy="counting", tracer=tracer
+        )
+    assert tracer.all_closed()
+    statuses = [s.status for s in tracer.spans()]
+    assert "CyclicDataError" in statuses
+    assert "open" not in statuses
+    assert trace_violations(tracer) == []
+
+
+def test_clean_run_leaves_no_open_spans_and_no_violations(example_1_1):
+    program, db = example_1_1
+    query = Atom("buys", (Constant("tom"), Variable("Y")))
+    for strategy in ("separable", "magic", "counting", "seminaive"):
+        tracer = Tracer()
+        Engine(program, db).query(query, strategy=strategy, tracer=tracer)
+        assert tracer.all_closed(), strategy
+        assert trace_violations(tracer) == [], strategy
+        assert all(s.status == "ok" for s in tracer.spans()), strategy

@@ -1,0 +1,69 @@
+"""The default (untraced) path must not pay for the tracer's existence.
+
+Every hot loop guards its emissions with ``tracer is not None`` and
+entry points normalize :data:`NULL` to ``None`` via :func:`live`, so
+``tracer=None`` and ``tracer=NULL`` must execute byte-identical inner
+loops.  The timing check compares the two on a 10k-fact semi-naive
+materialization with a deliberately loose bound -- it exists to catch
+someone re-introducing per-tuple tracer calls on the default path, not
+to benchmark (that is ``repro-datalog bench``'s job).
+"""
+
+import statistics
+import time
+
+from repro.datalog.database import Database
+from repro.datalog.parser import parse_program
+from repro.datalog.seminaive import seminaive_evaluate
+from repro.observability import NULL, Tracer
+from repro.workloads import star
+
+#: One hub fanning out to 10,000 leaves: a 10k-fact EDB whose TC is
+#: another 10k facts, big enough that per-tuple overhead would show.
+N_LEAVES = 10_000
+
+_PROGRAM = parse_program(
+    "tc(X, Y) :- e(X, W) & tc(W, Y).\n"
+    "tc(X, Y) :- e(X, Y).\n"
+).program
+
+
+def _database():
+    return Database.from_facts({"e": star(N_LEAVES)})
+
+
+def _run(tracer):
+    db = _database()
+    start = time.perf_counter()
+    result = seminaive_evaluate(_PROGRAM, db, tracer=tracer)
+    elapsed = time.perf_counter() - start
+    assert result.size("tc") == N_LEAVES
+    return elapsed
+
+
+def _median_time(tracer, repeats=5):
+    return statistics.median(_run(tracer) for _ in range(repeats))
+
+
+def test_null_tracer_within_noise_of_none():
+    none_t = _median_time(None)
+    null_t = _median_time(NULL)
+    # live() turns both into the same None fast path; 1.5x tolerates CI
+    # scheduling noise while still catching an un-normalized NULL that
+    # pays a method call per tuple (an order-of-magnitude regression on
+    # this workload).
+    assert null_t <= none_t * 1.5 + 0.01, (
+        f"NULL tracer path took {null_t:.4f}s vs {none_t:.4f}s untraced"
+    )
+    assert none_t <= null_t * 1.5 + 0.01, (
+        f"untraced path took {none_t:.4f}s vs {null_t:.4f}s with NULL"
+    )
+
+
+def test_live_tracer_records_the_same_run():
+    """Sanity: the instrumented path observes the 10k-fact workload."""
+    tracer = Tracer()
+    _run(tracer)
+    (scc,) = tracer.spans("seminaive.scc")
+    assert scc.attrs["final"] == {"tc": N_LEAVES}
+    assert tracer.counter_total("tuples_examined") > N_LEAVES
