@@ -1,0 +1,109 @@
+#!/usr/bin/env python
+"""CI smoke check for the profiler artifact chain.
+
+Profiles the Example 1.2 query through the public CLI, then validates
+every artifact the observability pipeline promises:
+
+1. the chrome-trace JSON parses and its B/E events are balanced;
+2. the JSONL event log replays into a tracer whose exporter output is
+   byte-identical to the live trace's;
+3. the deterministic (``--no-timings``) text report is stable across
+   two runs.
+
+Exit status 0 on success; any failure raises.
+
+Usage: python scripts/validate_profile_artifacts.py [program.dl] [query]
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+DEFAULT_PROGRAM = REPO / "examples" / "example_1_2.dl"
+
+
+def run_cli(*args: str) -> str:
+    result = subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True,
+        text=True,
+        cwd=REPO,
+    )
+    if result.returncode != 0:
+        raise SystemExit(
+            f"repro {' '.join(args)} failed ({result.returncode}):\n"
+            f"{result.stderr}"
+        )
+    return result.stdout
+
+
+def check_balanced(events: list[dict]) -> None:
+    stack: list[str] = []
+    for event in events:
+        if event["ph"] == "B":
+            stack.append(event["name"])
+        elif event["ph"] == "E":
+            assert stack, f"E event for {event['name']} with no open B"
+            opened = stack.pop()
+            assert opened == event["name"], (
+                f"mismatched close: B {opened} vs E {event['name']}"
+            )
+    assert not stack, f"unclosed B events: {stack}"
+
+
+def main(argv: list[str]) -> int:
+    program = argv[1] if len(argv) > 1 else str(DEFAULT_PROGRAM)
+    query = argv[2] if len(argv) > 2 else None
+    base = [program] + ([query] if query else [])
+    workdir = Path(tempfile.mkdtemp(prefix="repro-profile-smoke-"))
+
+    # 1. chrome trace parses and is balanced.
+    trace_path = workdir / "smoke.trace.json"
+    events_path = workdir / "smoke.jsonl"
+    run_cli(
+        "profile", *base, "--format", "chrome-trace",
+        "--out", str(trace_path), "--events", str(events_path),
+    )
+    chrome = json.loads(trace_path.read_text())
+    assert chrome["traceEvents"], "empty traceEvents"
+    check_balanced(chrome["traceEvents"])
+    print(f"chrome trace ok: {len(chrome['traceEvents'])} events, "
+          f"B/E balanced")
+
+    # 2. the JSONL log replays byte-identically.
+    sys.path.insert(0, str(REPO / "src"))
+    from repro.observability import (  # noqa: E402
+        read_events,
+        replay_file,
+        to_chrome_trace,
+        to_metrics_text,
+    )
+
+    events = read_events(events_path)
+    assert events[0]["type"] == "trace_start"
+    replayed = replay_file(events_path)
+    replayed_chrome = json.dumps(to_chrome_trace(replayed),
+                                 sort_keys=True)
+    live_chrome = json.dumps(chrome, sort_keys=True)
+    assert replayed_chrome == live_chrome, (
+        "replayed chrome trace differs from the live export"
+    )
+    assert to_metrics_text(replayed)
+    print(f"event log ok: {len(events)} events replay byte-identically")
+
+    # 3. the untimed text report is deterministic.
+    first = run_cli("profile", *base, "--no-timings")
+    second = run_cli("profile", *base, "--no-timings")
+    assert first == second, "untimed profile report is not deterministic"
+    assert first.startswith("EXPLAIN ANALYZE"), first[:80]
+    print("text report ok: deterministic EXPLAIN ANALYZE output")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

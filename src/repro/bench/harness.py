@@ -48,7 +48,7 @@ from ..datalog.errors import (
 )
 from ..datalog.parser import parse_program, parse_query
 from ..engine import Engine
-from ..observability import Tracer, trace_violations
+from ..observability import Tracer, to_chrome_trace, trace_violations
 from ..stats import EvaluationStats
 from ..workloads.generators import chain
 from .families import Family, Workload
@@ -199,11 +199,20 @@ def _run_cell(
     budget: Budget,
     repeats: int,
     unit_s: float,
+    trace_dir: Optional[Path] = None,
 ) -> dict:
-    """One (strategy, n) cell: traced warmup, then timed repeats."""
+    """One (strategy, n) cell: traced warmup, then timed repeats.
+
+    With a ``trace_dir``, the warmup run's trace is exported as a
+    chrome-trace JSON next to the report and its path recorded under
+    the cell's ``trace`` key (additive: gating ignores unknown keys,
+    so existing baselines remain comparable).
+    """
     workload = family.build(n)
     run = _make_runner(workload, strategy, budget)
-    tracer = Tracer()
+    tracer = Tracer(context={
+        "family": family.key, "strategy": strategy, "n": n,
+    })
     outcome = "ok"
     answers: Optional[int] = None
     stats = EvaluationStats()
@@ -237,6 +246,15 @@ def _run_cell(
         "median_s": None,
         "normalized": None,
     }
+    if trace_dir is not None:
+        trace_dir.mkdir(parents=True, exist_ok=True)
+        trace_path = (
+            trace_dir / f"{family.key}-{strategy}-n{n}.trace.json"
+        )
+        trace_path.write_text(
+            json.dumps(to_chrome_trace(tracer), sort_keys=True) + "\n"
+        )
+        cell["trace"] = str(trace_path)
     if outcome != "ok":
         return cell
     times = [_timed(run) for _ in range(max(repeats, 1))]
@@ -322,11 +340,13 @@ def run_family(
     repeats: int = 5,
     budget: Budget = BENCH_BUDGET,
     calibration: Optional[dict] = None,
+    trace_dir: Optional[Path] = None,
 ) -> dict:
     """Sweep one family over ``sizes``; returns the full report dict.
 
     ``calibration`` may be shared across families (one measurement per
-    process); when ``None`` it is measured here.
+    process); when ``None`` it is measured here.  ``trace_dir``
+    (optional) collects one chrome-trace JSON per cell.
     """
     if calibration is None:
         calibration = calibrate()
@@ -336,7 +356,7 @@ def run_family(
             results.append(
                 _run_cell(
                     family, n, strategy, budget, repeats,
-                    calibration["unit_s"],
+                    calibration["unit_s"], trace_dir=trace_dir,
                 )
             )
     return {

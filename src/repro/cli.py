@@ -20,6 +20,19 @@ Subcommands::
         Show which strategies apply to a query and why, plus the
         Section 3.2 regular-expression view of the expansion.
 
+    repro-datalog profile PROGRAM.dl ['p(c, X)?'] [--strategy auto]
+                          [--format text|json|chrome-trace]
+                          [--events trace.jsonl] [--out FILE]
+                          [--no-timings]
+        Profile one query end to end: run it with a live tracer and
+        print an EXPLAIN ANALYZE-style report (plan, strategy advice,
+        span tree with wall-clock shares, per-rule work, generated
+        relation sizes, per-iteration deltas).  ``--format
+        chrome-trace`` emits a Perfetto/chrome://tracing-loadable JSON
+        trace instead; ``--events`` additionally streams the raw event
+        log to a JSONL file replayable with
+        ``repro.observability.replay_file`` (see docs/observability.md).
+
     repro-datalog report
         Rerun the paper's experiment sweeps (no timing calibration) and
         print the measured series as Markdown tables.
@@ -123,6 +136,52 @@ def build_parser() -> argparse.ArgumentParser:
     )
     advise.add_argument("program", type=Path)
     advise.add_argument("--query", required=True, help="query text")
+
+    profile = sub.add_parser(
+        "profile",
+        help="run one query under a tracer and print an EXPLAIN "
+        "ANALYZE-style report",
+    )
+    profile.add_argument("program", type=Path, help="Datalog source file")
+    profile.add_argument(
+        "query",
+        nargs="?",
+        default=None,
+        help="query text, e.g. 'buys(tom, Y)?' (default: the single "
+        "query found in the file)",
+    )
+    profile.add_argument(
+        "--strategy",
+        choices=STRATEGIES,
+        default="auto",
+        help="evaluation strategy to profile (default: auto)",
+    )
+    profile.add_argument(
+        "--format",
+        choices=("text", "json", "chrome-trace"),
+        default="text",
+        help="report format (default: text); chrome-trace emits a "
+        "Perfetto-loadable trace-event JSON",
+    )
+    profile.add_argument(
+        "--events",
+        type=Path,
+        default=None,
+        help="also stream the raw event log to this JSONL file "
+        "(schema repro-events/1, replayable offline)",
+    )
+    profile.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="write the report here instead of stdout",
+    )
+    profile.add_argument(
+        "--no-timings",
+        action="store_true",
+        help="omit wall-clock figures from the text report (makes the "
+        "output deterministic for a given program and query)",
+    )
 
     sub.add_parser(
         "report",
@@ -230,6 +289,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="max tuples per generated relation before a run is "
         "recorded as outcome=budget (default: 200000)",
     )
+    bench.add_argument(
+        "--trace-dir",
+        type=Path,
+        default=None,
+        help="write one chrome-trace JSON per cell here and record its "
+        "path in the report (default: <out-dir>/traces when writing "
+        "reports; off under --check)",
+    )
     return parser
 
 
@@ -318,6 +385,49 @@ def _cmd_advise(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    import json
+
+    from .observability import JsonlFileSink
+
+    parsed = _load(args.program)
+    if args.query is not None:
+        query = parse_query(args.query)
+    else:
+        file_queries = list(parsed.queries)
+        if len(file_queries) != 1:
+            print(
+                f"error: {args.program} has {len(file_queries)} queries; "
+                f"pass one explicitly, e.g. 'p(c, X)?'",
+                file=sys.stderr,
+            )
+            return 2
+        query = file_queries[0]
+
+    engine = Engine(parsed.program, parsed.database)
+    sink = JsonlFileSink(args.events) if args.events is not None else None
+    try:
+        prof = engine.profile(query, strategy=args.strategy, sink=sink)
+    finally:
+        if sink is not None:
+            sink.close()
+
+    if args.format == "text":
+        output = prof.render_text(timings=not args.no_timings)
+    elif args.format == "json":
+        output = json.dumps(prof.to_json(), indent=2, sort_keys=True)
+    else:  # chrome-trace
+        output = json.dumps(prof.to_chrome_trace(), sort_keys=True)
+
+    if args.out is not None:
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        args.out.write_text(output + "\n")
+        print(f"wrote {args.out}")
+    else:
+        print(output)
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from .reporting import main as report_main
 
@@ -400,12 +510,18 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                 return 2
             baselines[family.key] = json.loads(path.read_text())
 
+    # Traces only make sense when writing reports; in --check mode the
+    # run is a throwaway comparison, so tracing stays off unless asked.
+    trace_dir = args.trace_dir
+    if trace_dir is None and not args.check:
+        trace_dir = args.out_dir / "traces"
+
     calibration = calibrate()
     findings = []
     for family in families:
         report = run_family(
             family, sizes, repeats=args.repeats, budget=budget,
-            calibration=calibration,
+            calibration=calibration, trace_dir=trace_dir,
         )
         print(summarize(report))
         if args.check:
@@ -438,6 +554,7 @@ def main(argv: list[str] | None = None) -> int:
         "detect": _cmd_detect,
         "plan": _cmd_plan,
         "advise": _cmd_advise,
+        "profile": _cmd_profile,
         "report": _cmd_report,
         "fuzz": _cmd_fuzz,
         "bench": _cmd_bench,

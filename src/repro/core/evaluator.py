@@ -48,15 +48,29 @@ def _apply_joins(
     stats: Optional[EvaluationStats],
     order: str,
     tracer=None,
+    label: Optional[str] = None,
 ) -> set[tuple]:
-    """Evaluate a union of carry-join terms against a view database."""
+    """Evaluate a union of carry-join terms against a view database.
+
+    With a live ``tracer`` and a ``label`` (the loop's relation name),
+    each join term's applications and distinct outputs are attributed
+    to ``rule_apps:<label>#<i>`` / ``rule_out:<label>#<i>`` counters --
+    the compiled-plan analogue of the per-rule rows the profiler shows
+    for rewritten-program strategies.
+    """
     produced: set[tuple] = set()
-    for join in joins:
+    for ji, join in enumerate(joins):
+        before = len(produced)
         for bindings in evaluate_body(view, join.body, stats=stats,
                                       order=order, tracer=tracer):
             if stats is not None:
                 stats.bump_produced()
             produced.add(instantiate_args(join.output, bindings))
+        if tracer is not None and label is not None:
+            tracer.count(f"rule_apps:{label}#{ji}")
+            out = len(produced) - before
+            if out:
+                tracer.count(f"rule_out:{label}#{ji}", out)
     return produced
 
 
@@ -100,7 +114,8 @@ def _carry_loop(
             if tracer is not None:
                 tracer.count("iterations")
             view = _with_pseudo(db, CARRY, Relation(CARRY, arity, carry))
-            produced = _apply_joins(joins, view, stats, order, tracer)
+            produced = _apply_joins(joins, view, stats, order, tracer,
+                                    label=seen_name)
             carry = produced - seen
             seen |= carry
             if tracer is not None:
@@ -167,7 +182,8 @@ def execute_plan(
     with exit_cm:
         view = _with_pseudo(db, SEEN,
                             Relation(SEEN, plan.seed_arity, seen_1))
-        carry_2 = _apply_joins(plan.exit_joins, view, stats, order, tracer)
+        carry_2 = _apply_joins(plan.exit_joins, view, stats, order, tracer,
+                               label="exit")
 
     # Lines 9-15: the up loop; ans := seen_2.
     seen_2 = _carry_loop(

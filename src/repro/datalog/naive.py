@@ -54,16 +54,24 @@ def naive_evaluate(
                 stats.bump_iterations()
             if tracer is not None:
                 tracer.count("iterations")
-            for r in program.rules:
+            for ri, r in enumerate(program.rules):
                 target = db.ensure(r.head.predicate, r.head.arity)
+                produced_r = 0
                 for bindings in evaluate_body(db, r.body, stats=stats,
                                               order=order, tracer=tracer):
                     fact = instantiate_args(r.head.args, bindings)
+                    produced_r += 1
                     if stats is not None:
                         stats.bump_produced()
                     if target.add(fact):
                         changed = True
                         new_facts += 1
+                if tracer is not None:
+                    tracer.count(f"rule_apps:{r.head.predicate}#{ri}")
+                    if produced_r:
+                        tracer.count(
+                            f"rule_out:{r.head.predicate}#{ri}", produced_r
+                        )
             if tracer is not None:
                 tracer.record("new_facts", new_facts)
             if stats is not None:

@@ -98,6 +98,14 @@ def seminaive_stratum(
         if tracer is not None
         else nullcontext()
     )
+    # Per-rule labels for the profiler's rule rows; only paid when
+    # traced (the labels also key the rule_apps/rule_out counters).
+    labels = (
+        [f"{r.head.predicate}#{i}" for i, r in enumerate(rules)]
+        if tracer is not None
+        else None
+    )
+
     with span_cm as span:
         # Round 0: full evaluation of every rule (seeds the deltas).
         deltas: dict[str, Relation] = {
@@ -107,16 +115,22 @@ def seminaive_stratum(
             stats.bump_iterations()
         if tracer is not None:
             tracer.count("iterations")
-        for r in rules:
+        for ri, r in enumerate(rules):
             target = db.relation(r.head.predicate)
             assert target is not None
+            produced_r = 0
             for bindings in evaluate_body(db, r.body, stats=stats,
                                           order=order, tracer=tracer):
                 fact = instantiate_args(r.head.args, bindings)
+                produced_r += 1
                 if stats is not None:
                     stats.bump_produced()
                 if target.add(fact):
                     deltas[r.head.predicate].add(fact)
+            if tracer is not None:
+                tracer.count(f"rule_apps:{labels[ri]}")
+                if produced_r:
+                    tracer.count(f"rule_out:{labels[ri]}", produced_r)
         if tracer is not None:
             for p in sorted(scc):
                 tracer.record(f"delta:{p}", len(deltas[p]))
@@ -136,18 +150,24 @@ def seminaive_stratum(
             new_deltas: dict[str, Relation] = {
                 p: Relation(p, program.arity(p)) for p in scc
             }
-            for r in rules:
+            for ri, r in enumerate(rules):
                 target = db.relation(r.head.predicate)
                 assert target is not None
+                produced_r = 0
                 for body in variant_cache[id(r)]:
                     for bindings in evaluate_body(view, body, stats=stats,
                                                   order=order,
                                                   tracer=tracer):
                         fact = instantiate_args(r.head.args, bindings)
+                        produced_r += 1
                         if stats is not None:
                             stats.bump_produced()
                         if target.add(fact):
                             new_deltas[r.head.predicate].add(fact)
+                if tracer is not None and variant_cache[id(r)]:
+                    tracer.count(f"rule_apps:{labels[ri]}")
+                    if produced_r:
+                        tracer.count(f"rule_out:{labels[ri]}", produced_r)
             deltas = new_deltas
             if tracer is not None:
                 for p in sorted(scc):

@@ -91,6 +91,12 @@ class Disagreement:
     kind: str
     strategy: str
     detail: str
+    #: Compact profile of the offending run (iteration counts, relation
+    #: sizes, span summaries) -- evidence travelling with the finding,
+    #: so a report can be triaged without re-running the case.  Excluded
+    #: from equality/hashing: two findings are the "same" when their
+    #: diagnosis matches, however the run happened to be timed.
+    profile: Optional[dict] = field(default=None, compare=False)
 
     @property
     def signature(self) -> tuple[str, str]:
@@ -234,12 +240,56 @@ def _diff_detail(reference: frozenset, answers: frozenset) -> str:
     )
 
 
+def _profile_summary(
+    strategy: str,
+    stats: Optional[EvaluationStats],
+    tracer: Tracer,
+) -> dict:
+    """Evidence attached to findings: what the offending run did.
+
+    A trimmed-down cousin of the CLI profiler's report -- the
+    Definition 4.2 totals plus one entry per recorded span -- small
+    enough to embed in every :class:`Disagreement` so a fuzz report
+    can be triaged without replaying the case.
+    """
+    spans: list[dict] = []
+
+    def walk(span, depth: int) -> None:
+        entry: dict = {
+            "name": span.name, "depth": depth, "status": span.status,
+        }
+        if span.attrs:
+            entry["attrs"] = dict(span.attrs)
+        if span.counters:
+            entry["counters"] = dict(sorted(span.counters.items()))
+        spans.append(entry)
+        for child in span.children:
+            walk(child, depth + 1)
+
+    for root in tracer.roots:
+        walk(root, 0)
+    summary: dict = {"strategy": strategy, "spans": spans}
+    if stats is not None:
+        summary.update(
+            iterations=stats.iterations,
+            tuples_produced=stats.tuples_produced,
+            tuples_examined=stats.tuples_examined,
+            max_relation_size=stats.max_relation_size,
+            relation_sizes=dict(stats.relation_sizes),
+        )
+    return summary
+
+
 def _append_trace_findings(
-    verdict: "OracleVerdict", strategy: str, tracer: Tracer
+    verdict: "OracleVerdict",
+    strategy: str,
+    tracer: Tracer,
+    profile: Optional[dict] = None,
 ) -> None:
     for problem in trace_violations(tracer):
         verdict.disagreements.append(
-            Disagreement(kind="trace", strategy=strategy, detail=problem)
+            Disagreement(kind="trace", strategy=strategy, detail=problem,
+                         profile=profile)
         )
 
 
@@ -294,7 +344,10 @@ def run_case(
             # Even a tolerated abort must unwind every span (exception
             # safety of ``Tracer.span``); invariant checks on the
             # aborted loops themselves are status-gated and skipped.
-            _append_trace_findings(verdict, strategy, tracer)
+            profile = _profile_summary(
+                strategy, getattr(exc, "stats", None) or stats, tracer
+            )
+            _append_trace_findings(verdict, strategy, tracer, profile)
             continue
         except ReproError as exc:
             verdict.outcomes[strategy] = StrategyOutcome(
@@ -305,19 +358,22 @@ def run_case(
                     kind="error",
                     strategy=strategy,
                     detail=f"{type(exc).__name__}: {exc}",
+                    profile=_profile_summary(strategy, stats, tracer),
                 )
             )
             continue
         verdict.outcomes[strategy] = StrategyOutcome(
             strategy=strategy, answers=result.answers, stats=result.stats
         )
-        _append_trace_findings(verdict, strategy, tracer)
+        profile = _profile_summary(strategy, result.stats, tracer)
+        _append_trace_findings(verdict, strategy, tracer, profile)
         if result.answers != verdict.reference:
             verdict.disagreements.append(
                 Disagreement(
                     kind="answers",
                     strategy=strategy,
                     detail=_diff_detail(verdict.reference, result.answers),
+                    profile=profile,
                 )
             )
         for problem in _stats_violations(
@@ -325,7 +381,8 @@ def run_case(
             case.query.predicate,
         ):
             verdict.disagreements.append(
-                Disagreement(kind="stats", strategy=strategy, detail=problem)
+                Disagreement(kind="stats", strategy=strategy, detail=problem,
+                             profile=profile)
             )
     return verdict
 

@@ -65,6 +65,16 @@ class FuzzFailure:
             f"case #{self.index} ({rules} rules, {facts} facts): "
             + "; ".join(str(d) for d in self.verdict.disagreements)
         ]
+        for d in self.verdict.disagreements:
+            if d.profile is None:
+                continue
+            lines.append(
+                f"  evidence[{d.strategy}]: "
+                f"iterations={d.profile.get('iterations', '?')} "
+                f"max_relation={d.profile.get('max_relation_size', '?')} "
+                f"examined={d.profile.get('tuples_examined', '?')} "
+                f"spans={len(d.profile.get('spans', ()))}"
+            )
         if self.shrunk is not None:
             s_rules, s_facts = self.shrunk.size()
             lines.append(

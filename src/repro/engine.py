@@ -17,6 +17,7 @@ strategies run, and the materialization is cached across queries.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Optional, Union
 
@@ -42,7 +43,8 @@ from .rewriting.counting import evaluate_counting
 from .rewriting.magic import evaluate_magic
 from .rewriting.selection_push import evaluate_pushed
 from .rewriting.nodedup import execute_plan_nodedup
-from .observability.tracer import live
+from .observability.profiler import QueryProfile
+from .observability.tracer import Tracer, live
 from .stats import EvaluationStats
 
 __all__ = ["Engine", "QueryResult", "StrategyAdvice", "STRATEGIES"]
@@ -383,6 +385,43 @@ class Engine:
             stats=stats,
             report=report,
             plan=plan,
+        )
+
+    def profile(
+        self,
+        query: Union[Atom, str],
+        strategy: str = "auto",
+        sink=None,
+    ) -> QueryProfile:
+        """Answer a query under a recording tracer; return the profile.
+
+        The ``EXPLAIN ANALYZE`` entry point: runs the query exactly as
+        :meth:`query` would (same strategy dispatch, same caches) but
+        under a fresh :class:`~repro.observability.Tracer`, and bundles
+        the result with the strategy advice and the recorded span
+        forest into a :class:`~repro.observability.QueryProfile`.
+
+        ``sink`` is an optional :class:`~repro.observability.EventSink`
+        that streams the trace as it is recorded (e.g. a
+        :class:`~repro.observability.JsonlFileSink` for later replay);
+        the caller owns closing it.
+        """
+        if isinstance(query, str):
+            query = parse_query(query)
+        advice = self.advise(query)
+        tracer = Tracer(
+            sink=sink,
+            context={"query": str(query), "strategy": strategy},
+        )
+        start = time.perf_counter()
+        result = self.query(query, strategy=strategy, tracer=tracer)
+        wall_s = time.perf_counter() - start
+        return QueryProfile(
+            result=result,
+            advice=advice,
+            tracer=tracer,
+            requested=strategy,
+            wall_s=wall_s,
         )
 
     def _dispatch(

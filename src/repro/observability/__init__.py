@@ -12,16 +12,56 @@ single ``tracer is not None`` check, so the untraced path costs one
 pointer comparison (see ``tests/observability/test_overhead.py``).
 :data:`NULL` is a disabled tracer for callers that prefer passing an
 object; :func:`live` normalizes it back to ``None`` at API boundaries.
+
+On top of the tracer sits the telemetry pipeline:
+
+* :mod:`repro.observability.events` -- an :class:`EventSink` protocol
+  with ring-buffer, JSONL-file, and fan-out sinks; a tracer built with
+  ``Tracer(sink=...)`` streams every span open/close, counter bump and
+  per-iteration observation as a schema-versioned event, and
+  :func:`replay_trace` rebuilds an equivalent trace from a stored
+  stream;
+* :mod:`repro.observability.export` -- pure-function exporters over a
+  completed (live or replayed) trace: Chrome trace-event JSON and
+  Prometheus-style metrics text;
+* :mod:`repro.observability.profiler` -- :class:`QueryProfile`, the
+  ``EXPLAIN ANALYZE``-style per-query report behind
+  :meth:`repro.engine.Engine.profile` and ``repro-datalog profile``.
 """
 
+from .events import (
+    EVENT_SCHEMA,
+    CompositeSink,
+    EventSink,
+    JsonlFileSink,
+    RingBufferSink,
+    read_events,
+    replay_file,
+    replay_trace,
+)
+from .export import to_chrome_trace, to_metrics_text
 from .invariants import trace_violations
+from .profiler import QueryProfile, RuleRow, rule_rows
 from .tracer import NULL, NullTracer, Span, Tracer, live
 
 __all__ = [
+    "EVENT_SCHEMA",
+    "CompositeSink",
+    "EventSink",
+    "JsonlFileSink",
     "NULL",
     "NullTracer",
+    "QueryProfile",
+    "RingBufferSink",
+    "RuleRow",
     "Span",
     "Tracer",
     "live",
+    "read_events",
+    "replay_file",
+    "replay_trace",
+    "rule_rows",
+    "to_chrome_trace",
+    "to_metrics_text",
     "trace_violations",
 ]

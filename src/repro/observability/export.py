@@ -1,0 +1,187 @@
+"""Exporters: a completed trace rendered for external tooling.
+
+Both exporters are pure functions over a :class:`Tracer` whose spans
+are closed -- the tracer may be the live object an evaluation just
+filled, or one rebuilt from a JSONL event file with
+:func:`repro.observability.events.replay_trace`; the two produce
+byte-identical output, which is what makes shipped event logs a
+faithful substitute for being there.
+
+:func:`to_chrome_trace`
+    Chrome trace-event JSON (the ``traceEvents`` array format), loadable
+    in Perfetto or ``about:tracing``.  Every span becomes a balanced
+    ``B``/``E`` duration pair on one track; counters become ``C``
+    events carrying running totals (so the viewer draws a monotone
+    work curve); per-iteration series become ``C`` events spaced evenly
+    across their span (the per-round delta/carry cardinalities as a
+    little histogram under the span that produced them).
+
+:func:`to_metrics_text`
+    Prometheus-style text exposition of the trace's final counter
+    totals, for scrape-shaped pipelines and quick ``grep``-ing.
+"""
+
+from __future__ import annotations
+
+from .tracer import Span, Tracer
+
+__all__ = ["to_chrome_trace", "to_metrics_text"]
+
+_PID = 1
+_TID = 1
+
+
+def _origin(tracer: Tracer) -> float:
+    starts = [s.start_s for s in tracer.spans()]
+    return min(starts) if starts else 0.0
+
+
+def _us(t: float, origin: float) -> float:
+    """Seconds -> microseconds relative to the trace origin."""
+    return (t - origin) * 1e6
+
+
+def _span_events(span: Span, origin: float, out: list[dict]) -> None:
+    end_s = span.end_s if span.end_s is not None else span.start_s
+    out.append(
+        {
+            "name": span.name,
+            "ph": "B",
+            "ts": _us(span.start_s, origin),
+            "pid": _PID,
+            "tid": _TID,
+            "args": dict(span.attrs),
+        }
+    )
+    for name, values in sorted(span.series.items()):
+        # One C event per observation, evenly spaced over the span so
+        # the viewer shows the per-iteration shape in place.
+        step = (end_s - span.start_s) / (len(values) + 1)
+        for i, value in enumerate(values):
+            out.append(
+                {
+                    "name": f"{span.name}.{name}",
+                    "ph": "C",
+                    "ts": _us(span.start_s + (i + 1) * step, origin),
+                    "pid": _PID,
+                    "tid": _TID,
+                    "args": {name: value},
+                }
+            )
+    for child in span.children:
+        _span_events(child, origin, out)
+    out.append(
+        {
+            "name": span.name,
+            "ph": "E",
+            "ts": _us(end_s, origin),
+            "pid": _PID,
+            "tid": _TID,
+            "args": {"status": span.status, "counters": dict(span.counters)},
+        }
+    )
+
+
+def to_chrome_trace(tracer: Tracer) -> dict:
+    """The trace as a Chrome trace-event JSON object.
+
+    Returns ``{"traceEvents": [...], "otherData": {...}}`` -- dump it
+    with ``json.dumps`` and load the file in Perfetto.  ``B``/``E``
+    events are emitted in nesting order, so they are balanced by
+    construction; running counter totals are attached as ``C`` events
+    at each span's close timestamp.
+    """
+    origin = _origin(tracer)
+    events: list[dict] = []
+    for root in tracer.roots:
+        _span_events(root, origin, events)
+
+    # Running totals per counter name, in span-close order, so the
+    # viewer's counter track rises monotonically as work happens.
+    totals: dict[str, int] = {}
+    counter_events: list[dict] = []
+    for span in sorted(
+        tracer.spans(), key=lambda s: s.end_s if s.end_s is not None else 0.0
+    ):
+        if not span.counters:
+            continue
+        for name, value in sorted(span.counters.items()):
+            totals[name] = totals.get(name, 0) + value
+            counter_events.append(
+                {
+                    "name": name,
+                    "ph": "C",
+                    "ts": _us(
+                        span.end_s if span.end_s is not None
+                        else span.start_s,
+                        origin,
+                    ),
+                    "pid": _PID,
+                    "tid": _TID,
+                    "args": {name: totals[name]},
+                }
+            )
+    events.extend(counter_events)
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "exporter": "repro.observability.export",
+            "context": dict(getattr(tracer, "context", {}) or {}),
+        },
+    }
+
+
+def _metric_name(counter: str) -> str:
+    """Counter name -> a legal Prometheus metric name."""
+    safe = "".join(
+        c if c.isalnum() or c == "_" else "_" for c in counter
+    )
+    return f"repro_{safe}_total"
+
+
+def to_metrics_text(tracer: Tracer) -> str:
+    """Final counter totals in the Prometheus text exposition format.
+
+    One ``counter`` metric per tracer counter name (summed over every
+    span), plus ``repro_spans_total``.  Rule-indexed counters
+    (``rule_out:<label>``) become labelled samples of one metric.
+    """
+    lines: list[str] = []
+    totals: dict[str, int] = {}
+    spans = 0
+    for span in tracer.spans():
+        spans += 1
+        for name, value in span.counters.items():
+            totals[name] = totals.get(name, 0) + value
+
+    plain: dict[str, int] = {}
+    labelled: dict[str, dict[str, int]] = {}
+    for name, value in totals.items():
+        if ":" in name:
+            metric, _, label = name.partition(":")
+            labelled.setdefault(metric, {})[label] = value
+        else:
+            plain[name] = value
+
+    lines.append("# HELP repro_spans_total Spans recorded in the trace.")
+    lines.append("# TYPE repro_spans_total counter")
+    lines.append(f"repro_spans_total {spans}")
+    for name in sorted(plain):
+        metric = _metric_name(name)
+        lines.append(
+            f"# HELP {metric} Tracer counter {name!r} summed over the trace."
+        )
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {plain[name]}")
+    for name in sorted(labelled):
+        metric = _metric_name(name)
+        lines.append(
+            f"# HELP {metric} Tracer counter {name!r} by rule label."
+        )
+        lines.append(f"# TYPE {metric} counter")
+        for label in sorted(labelled[name]):
+            lines.append(
+                f'{metric}{{rule="{label}"}} {labelled[name][label]}'
+            )
+    return "\n".join(lines) + "\n"

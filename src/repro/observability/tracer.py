@@ -44,6 +44,7 @@ class Span:
         "counters",
         "series",
         "children",
+        "sid",
     )
 
     def __init__(self, name: str, attrs: dict) -> None:
@@ -55,6 +56,8 @@ class Span:
         self.counters: dict[str, int] = {}
         self.series: dict[str, list] = {}
         self.children: list[Span] = []
+        #: Stream-unique id, assigned only when a sink is attached.
+        self.sid: Optional[int] = None
 
     @property
     def duration_s(self) -> Optional[float]:
@@ -93,13 +96,40 @@ class Span:
 
 
 class Tracer:
-    """A recording tracer.  Not thread-safe; use one per evaluation."""
+    """A recording tracer.  Not thread-safe; use one per evaluation.
+
+    An optional ``sink`` (see :mod:`repro.observability.events`)
+    additionally receives every state change as a structured event the
+    moment it is recorded; ``context`` is an arbitrary dict (query id,
+    strategy, ...) stamped into the stream's leading ``trace_start``
+    record.  Without a sink the tracer behaves exactly as before: the
+    emission paths are guarded by a single ``self._sink is not None``
+    check, so in-memory-only tracing pays nothing for the event layer.
+    """
 
     enabled = True
 
-    def __init__(self) -> None:
+    def __init__(self, sink=None, context: Optional[dict] = None) -> None:
         self.roots: list[Span] = []
         self._stack: list[Span] = []
+        self._sink = sink
+        self._next_sid = 0
+        self.context: dict = dict(context or {})
+        if sink is not None:
+            from .events import EVENT_SCHEMA
+
+            sink.emit(
+                {
+                    "type": "trace_start",
+                    "schema": EVENT_SCHEMA,
+                    "context": dict(self.context),
+                }
+            )
+
+    @property
+    def sink(self):
+        """The attached event sink, or ``None``."""
+        return self._sink
 
     # -- span lifecycle ----------------------------------------------------
 
@@ -107,11 +137,14 @@ class Tracer:
     def span(self, name: str, **attrs) -> Iterator[Span]:
         """Open a nested span; always closes it, recording exceptions."""
         s = Span(name, attrs)
-        if self._stack:
-            self._stack[-1].children.append(s)
+        parent = self._stack[-1] if self._stack else None
+        if parent is not None:
+            parent.children.append(s)
         else:
             self.roots.append(s)
         self._stack.append(s)
+        if self._sink is not None:
+            self._emit_open(s, parent)
         try:
             yield s
         except BaseException as exc:
@@ -122,6 +155,35 @@ class Tracer:
         finally:
             s.end_s = time.perf_counter()
             self._stack.pop()
+            if self._sink is not None:
+                # Counter totals ride on the close event rather than as
+                # one event per bump: bumps happen per tuple in the hot
+                # join loops, and per-bump emission would make a file
+                # sink cost a json.dumps per tuple.
+                self._sink.emit(
+                    {
+                        "type": "span_close",
+                        "sid": s.sid,
+                        "t": s.end_s,
+                        "status": s.status,
+                        "attrs": dict(s.attrs),
+                        "counters": dict(s.counters),
+                    }
+                )
+
+    def _emit_open(self, s: Span, parent: Optional[Span]) -> None:
+        s.sid = self._next_sid
+        self._next_sid += 1
+        self._sink.emit(
+            {
+                "type": "span_open",
+                "sid": s.sid,
+                "parent": parent.sid if parent is not None else None,
+                "name": s.name,
+                "t": s.start_s,
+                "attrs": dict(s.attrs),
+            }
+        )
 
     @property
     def current(self) -> Optional[Span]:
@@ -138,11 +200,27 @@ class Tracer:
         """
         target = self._stack[-1] if self._stack else self._toplevel()
         target.counters[name] = target.counters.get(name, 0) + n
+        if self._sink is not None and target.end_s is not None:
+            # Open spans carry their totals on span_close; only the
+            # implicit (toplevel) span is already closed when counts
+            # land on it, so those bumps stream individually.
+            self._sink.emit(
+                {"type": "count", "sid": target.sid, "name": name, "n": n}
+            )
 
     def record(self, name: str, value) -> None:
         """Append one observation to a series on the innermost span."""
         target = self._stack[-1] if self._stack else self._toplevel()
         target.series.setdefault(name, []).append(value)
+        if self._sink is not None:
+            self._sink.emit(
+                {
+                    "type": "series",
+                    "sid": target.sid,
+                    "name": name,
+                    "value": value,
+                }
+            )
 
     def _toplevel(self) -> Span:
         if self.roots and self.roots[0].name == "(toplevel)":
@@ -151,6 +229,17 @@ class Tracer:
         s.end_s = s.start_s
         s.status = "ok"
         self.roots.insert(0, s)
+        if self._sink is not None:
+            self._emit_open(s, None)
+            self._sink.emit(
+                {
+                    "type": "span_close",
+                    "sid": s.sid,
+                    "t": s.end_s,
+                    "status": s.status,
+                    "attrs": {},
+                }
+            )
         return s
 
     # -- inspection --------------------------------------------------------

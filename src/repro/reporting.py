@@ -11,7 +11,6 @@ regenerating the tables after a code change.
 
 from __future__ import annotations
 
-import time
 from typing import Callable, Iterable
 
 from .budget import Budget
@@ -19,6 +18,7 @@ from .core.api import evaluate_separable
 from .core.detection import analyze_recursion, require_separable
 from .datalog.errors import BudgetExceeded, CyclicDataError
 from .datalog.parser import parse_atom, parse_program
+from .observability.tracer import Tracer
 from .rewriting.counting import CountingNotApplicable, evaluate_counting
 from .rewriting.magic import evaluate_magic
 from .stats import EvaluationStats
@@ -42,22 +42,29 @@ REPORT_BUDGET = Budget(max_relation_tuples=200_000)
 
 
 def _measure(evaluator: Callable, program, db, query) -> tuple[str, Row]:
-    """Run one (method, input) cell; returns (outcome, measures)."""
+    """Run one (method, input) cell; returns (outcome, measures).
+
+    Timing goes through a ``report.cell`` tracer span (perf_counter
+    under the hood), so report runs produce the same span forest as
+    every other instrumented path -- attach a sink to the tracer here
+    and the sweep becomes exportable like any profiled query.
+    """
     stats = EvaluationStats()
-    start = time.perf_counter()
+    tracer = Tracer()
     try:
-        evaluator(program, db, query, stats=stats, budget=REPORT_BUDGET)
+        with tracer.span("report.cell") as cell:
+            evaluator(program, db, query, stats=stats,
+                      budget=REPORT_BUDGET, tracer=tracer)
     except BudgetExceeded:
         return "budget", {"max_relation": f">{REPORT_BUDGET.max_relation_tuples}"}
     except CyclicDataError:
         return "cyclic", {"max_relation": "CyclicDataError"}
     except CountingNotApplicable:
         return "n/a", {"max_relation": "not applicable"}
-    elapsed = time.perf_counter() - start
     return "ok", {
         "max_relation": stats.max_relation_size,
         "largest": stats.largest_relation()[0],
-        "seconds": round(elapsed, 4),
+        "seconds": round(cell.duration_s, 4),
     }
 
 
@@ -155,15 +162,15 @@ def experiment_e6(rs: Iterable[int] = (2, 16, 64)) -> list[Row]:
         ]
         lines.append(f"{head} :- t0(X1, X2, X3).")
         program = parse_program("\n".join(lines)).program
-        start = time.perf_counter()
-        report = analyze_recursion(program, "t")
-        elapsed = time.perf_counter() - start
+        tracer = Tracer()
+        with tracer.span("report.detect", rules=r) as cell:
+            report = analyze_recursion(program, "t")
         rows.append(
             {
                 "method": "detect",
                 "rules": r,
                 "separable": report.separable,
-                "seconds": round(elapsed, 5),
+                "seconds": round(cell.duration_s, 5),
             }
         )
     return rows

@@ -370,6 +370,12 @@ def evaluate_counting(
                         produced.add(
                             instantiate_args(cr.down_output, bindings)
                         )
+                    if tracer is not None:
+                        tracer.count(f"rule_apps:down#{cr.index}")
+                        if produced:
+                            tracer.count(
+                                f"rule_out:down#{cr.index}", len(produced)
+                            )
                     if produced:
                         new_path = path + (cr.index,)
                         count[(level, new_path)] = produced
@@ -416,12 +422,19 @@ def evaluate_counting(
             exit_carry.clear()
             exit_carry.add_all(values)
             produced: set[tuple] = set()
-            for body, output in exit_bodies:
+            for ei, (body, output) in enumerate(exit_bodies):
+                before = len(produced)
                 for bindings in evaluate_body(exit_view, body, stats=stats,
                                               order=order, tracer=tracer):
                     if stats is not None:
                         stats.bump_produced()
                     produced.add(instantiate_args(output, bindings))
+                if tracer is not None:
+                    tracer.count(f"rule_apps:exit#{ei}")
+                    if len(produced) > before:
+                        tracer.count(
+                            f"rule_out:exit#{ei}", len(produced) - before
+                        )
             if produced:
                 answers_at[(lvl, path)] = produced
                 answers_size += len(produced)

@@ -73,7 +73,8 @@ def _carry_loop_nodedup(
             if tracer is not None:
                 tracer.count("iterations")
             view = _with_pseudo(db, CARRY, Relation(CARRY, arity, carry))
-            carry = _apply_joins(joins, view, stats, order, tracer)
+            carry = _apply_joins(joins, view, stats, order, tracer,
+                                 label=seen_name)
             seen |= carry
             if tracer is not None:
                 tracer.record("carry", len(carry))

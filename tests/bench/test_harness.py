@@ -162,6 +162,39 @@ class TestReportShape:
         )
 
 
+class TestTraceExport:
+    def test_trace_dir_writes_chrome_traces_per_cell(
+        self, calibration, tmp_path
+    ):
+        trace_dir = tmp_path / "traces"
+        report = run_family(
+            FAMILIES["e2"], [4], repeats=1, calibration=calibration,
+            trace_dir=trace_dir,
+        )
+        for cell in report["results"]:
+            assert "trace" in cell
+            path = tmp_path / "traces" / (
+                f"e2-{cell['strategy']}-n{cell['n']}.trace.json"
+            )
+            assert str(path) == cell["trace"]
+            data = json.loads(path.read_text())
+            assert data["otherData"]["context"] == {
+                "family": "e2",
+                "strategy": cell["strategy"],
+                "n": cell["n"],
+            }
+            depth = 0
+            for event in data["traceEvents"]:
+                if event["ph"] == "B":
+                    depth += 1
+                elif event["ph"] == "E":
+                    depth -= 1
+            assert depth == 0
+
+    def test_without_trace_dir_cells_have_no_trace_key(self, e2_report):
+        assert all("trace" not in c for c in e2_report["results"])
+
+
 class TestDeterminism:
     def test_counters_and_sizes_repeat_exactly(self, calibration):
         """The hard-gated quantities are run-to-run stable."""

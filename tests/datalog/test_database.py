@@ -193,3 +193,52 @@ class TestVersioning:
         fp = db.fingerprint()
         db.ensure("q", 2)
         assert db.fingerprint() != fp
+
+    def test_fingerprint_sees_mutation_through_alias(self):
+        # attach() shares the Relation object, so a fact added through
+        # the alias bumps the one shared version counter -- and the
+        # fingerprint must change under *both* names.
+        db = Database.from_facts({"p": [("a", "b")]})
+        rel = db.relation("p")
+        db.attach(rel, "view")
+        fp = db.fingerprint()
+        db.add_fact("view", ("c", "d"))
+        assert db.fingerprint() != fp
+        assert ("c", "d") in db.tuples("p")
+
+    def test_fingerprint_sees_alias_mutated_in_other_database(self):
+        # The sharing crosses Database objects too: a view database
+        # mutating an attached relation invalidates the owner's
+        # fingerprint (this is what keeps Engine caches honest when
+        # evaluators build _with_pseudo-style views).
+        owner = Database.from_facts({"p": [("a",)]})
+        view = Database()
+        view.attach(owner.relation("p"), "q")
+        fp = owner.fingerprint()
+        view.add_fact("q", ("b",))
+        assert owner.fingerprint() != fp
+
+
+class TestAliasCacheInvalidation:
+    """Engine base-IDB caches must notice mutations made through an
+    attach() alias of an EDB relation."""
+
+    def test_engine_recomputes_after_alias_mutation(self):
+        from repro.datalog.parser import parse_program
+        from repro.engine import Engine
+
+        parsed = parse_program(
+            "tc(X, Y) :- e(X, Y).\n"
+            "tc(X, Y) :- e(X, W) & tc(W, Y).\n"
+            "e(a, b)."
+        )
+        engine = Engine(parsed.program, parsed.database)
+        first = engine.query("tc(a, Y)?", strategy="seminaive")
+        assert first.answers == frozenset({("a", "b")})
+
+        alias = Database()
+        alias.attach(parsed.database.relation("e"), "edges")
+        alias.add_fact("edges", ("b", "c"))
+
+        second = engine.query("tc(a, Y)?", strategy="seminaive")
+        assert second.answers == frozenset({("a", "b"), ("a", "c")})

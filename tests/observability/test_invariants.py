@@ -1,0 +1,89 @@
+"""trace_violations on strategies and outcomes it does not model.
+
+The invariant checker knows the ``seminaive.scc`` and
+``separable.loop`` span shapes.  Everything else -- the Counting
+descent/ascent spans, budget-truncated runs -- must pass through with
+*no false positives*: a partial trace is not a broken trace, and a
+strategy the checker has no model for is not a violation.
+"""
+
+import pytest
+
+from repro.budget import Budget
+from repro.datalog.errors import BudgetExceeded
+from repro.engine import Engine
+from repro.observability import Tracer, trace_violations
+from repro.workloads.paper import (
+    example_1_1_database,
+    example_1_1_program,
+)
+
+
+def _engine(n=6, budget=None):
+    kwargs = {} if budget is None else {"budget": budget}
+    return Engine(
+        example_1_1_program(), example_1_1_database(n), **kwargs
+    )
+
+
+class TestCountingTraces:
+    def test_clean_counting_run_has_no_violations(self):
+        tracer = Tracer()
+        result = _engine().query(
+            "buys(a1, Y)?", strategy="counting", tracer=tracer
+        )
+        assert result.answers
+        assert trace_violations(tracer) == []
+
+    def test_counting_records_descent_and_ascent_spans(self):
+        tracer = Tracer()
+        _engine().query("buys(a1, Y)?", strategy="counting", tracer=tracer)
+        names = [s.name for s in tracer.spans()]
+        assert "counting.descent" in names
+        assert "counting.ascent" in names
+        assert all(s.closed for s in tracer.spans())
+
+    def test_counting_rule_accounting_counters(self):
+        tracer = Tracer()
+        _engine().query("buys(a1, Y)?", strategy="counting", tracer=tracer)
+        apps = {
+            name
+            for span in tracer.spans()
+            for name in span.counters
+            if name.startswith("rule_apps:")
+        }
+        assert any(name.startswith("rule_apps:down#") for name in apps)
+        assert any(name.startswith("rule_apps:exit#") for name in apps)
+
+
+class TestBudgetTruncatedTraces:
+    """A BudgetExceeded abort leaves a *partial* trace: spans unwound
+    (exception safety), aborted loops status-gated out of the
+    monotone-termination and sum-consistency checks."""
+
+    @pytest.mark.parametrize("strategy", ["counting", "separable",
+                                          "seminaive"])
+    def test_no_false_positives_on_partial_trace(self, strategy):
+        tracer = Tracer()
+        budget = Budget(max_relation_tuples=2)
+        with pytest.raises(BudgetExceeded):
+            _engine(n=8, budget=budget).query(
+                "buys(a1, Y)?", strategy=strategy, tracer=tracer
+            )
+        assert trace_violations(tracer) == []
+
+    @pytest.mark.parametrize("strategy", ["counting", "separable",
+                                          "seminaive"])
+    def test_every_span_closed_after_abort(self, strategy):
+        tracer = Tracer()
+        budget = Budget(max_relation_tuples=2)
+        with pytest.raises(BudgetExceeded):
+            _engine(n=8, budget=budget).query(
+                "buys(a1, Y)?", strategy=strategy, tracer=tracer
+            )
+        spans = list(tracer.spans())
+        assert spans
+        assert all(s.closed for s in spans)
+        # The aborted loop's status records the exception class, which
+        # is what gates it out of the fixpoint-shape checks above.
+        assert any(s.status == "BudgetExceeded" for s in spans)

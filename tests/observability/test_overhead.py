@@ -67,3 +67,42 @@ def test_live_tracer_records_the_same_run():
     (scc,) = tracer.spans("seminaive.scc")
     assert scc.attrs["final"] == {"tc": N_LEAVES}
     assert tracer.counter_total("tuples_examined") > N_LEAVES
+
+
+def test_jsonl_sink_overhead_bounded(tmp_path):
+    """Streaming events to a JSONL file must stay cheap.
+
+    Events fire per span and per iteration -- counter totals ride on
+    span_close, never per tuple -- so an E2-style run (Example 1.2,
+    magic, n=64) with a file sink attached must finish within 2x the
+    untraced wall-clock (plus an additive constant for timer noise on
+    a fast cell).
+    """
+    from repro.engine import Engine
+    from repro.observability import JsonlFileSink
+    from repro.workloads.paper import (
+        example_1_2_database,
+        example_1_2_program,
+    )
+
+    def run(sink_path=None):
+        engine = Engine(example_1_2_program(), example_1_2_database(64))
+        sink = JsonlFileSink(sink_path) if sink_path is not None else None
+        tracer = Tracer(sink=sink) if sink is not None else None
+        start = time.perf_counter()
+        result = engine.query(
+            "buys(a1, Y)?", strategy="magic", tracer=tracer
+        )
+        elapsed = time.perf_counter() - start
+        if sink is not None:
+            sink.close()
+        assert result.answers
+        return elapsed
+
+    untraced = statistics.median(run() for _ in range(5))
+    traced = statistics.median(
+        run(tmp_path / f"t{i}.jsonl") for i in range(5)
+    )
+    assert traced <= untraced * 2.0 + 0.05, (
+        f"JSONL-sink run took {traced:.4f}s vs {untraced:.4f}s untraced"
+    )

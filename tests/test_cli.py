@@ -136,6 +136,79 @@ class TestAdvise:
         assert "+ relaxed" in out
 
 
+class TestProfile:
+    def test_text_report_default_query(self, program_file, capsys):
+        assert main(["profile", str(program_file)]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("EXPLAIN ANALYZE  buys(tom, Y)?")
+        assert "-- plan --" in out
+        assert "-- per-rule work --" in out
+        assert "wall-clock" in out
+
+    def test_no_timings_is_deterministic(self, program_file, capsys):
+        assert main(["profile", str(program_file), "--no-timings"]) == 0
+        first = capsys.readouterr().out
+        assert main(["profile", str(program_file), "--no-timings"]) == 0
+        assert capsys.readouterr().out == first
+        assert "ms" not in first
+
+    def test_explicit_query_and_strategy(self, program_file, capsys):
+        code = main(
+            ["profile", str(program_file), "buys(sue, Y)?",
+             "--strategy", "magic"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "buys(sue, Y)?" in out
+        assert "strategy: magic" in out
+
+    def test_chrome_trace_format(self, program_file, tmp_path, capsys):
+        import json
+
+        out_file = tmp_path / "t.trace.json"
+        code = main(
+            ["profile", str(program_file), "--format", "chrome-trace",
+             "--out", str(out_file)]
+        )
+        assert code == 0
+        data = json.loads(out_file.read_text())
+        events = data["traceEvents"]
+        assert events
+        depth = 0
+        for event in events:
+            if event["ph"] == "B":
+                depth += 1
+            elif event["ph"] == "E":
+                depth -= 1
+                assert depth >= 0
+        assert depth == 0
+
+    def test_json_format(self, program_file, capsys):
+        import json
+
+        assert main(["profile", str(program_file), "--format", "json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["strategy"] == "separable"
+        assert data["answers"] == 2
+
+    def test_events_file_replays(self, program_file, tmp_path, capsys):
+        from repro.observability import replay_file
+
+        events = tmp_path / "t.jsonl"
+        code = main(
+            ["profile", str(program_file), "--events", str(events)]
+        )
+        assert code == 0
+        replayed = replay_file(events)
+        assert any(s.name == "separable.loop" for s in replayed.spans())
+
+    def test_ambiguous_file_queries_error(self, tmp_path, capsys):
+        path = tmp_path / "two.dl"
+        path.write_text(EX12 + "buys(sue, Y)?\n")
+        assert main(["profile", str(path)]) == 2
+        assert "2 queries" in capsys.readouterr().err
+
+
 class TestFuzz:
     def test_small_campaign_agrees(self, capsys):
         assert main(["fuzz", "--iterations", "5", "--seed", "7"]) == 0
