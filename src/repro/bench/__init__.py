@@ -20,6 +20,7 @@ from .gating import (
     DEFAULT_TIME_TOLERANCE,
     Finding,
     compare_reports,
+    plan_growth_findings,
 )
 from .harness import (
     BENCH_BUDGET,
@@ -50,6 +51,7 @@ __all__ = [
     "fit_exponent",
     "git_sha",
     "machine_info",
+    "plan_growth_findings",
     "report_path",
     "resolve_families",
     "run_family",

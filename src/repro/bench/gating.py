@@ -24,6 +24,7 @@ from typing import Optional
 __all__ = [
     "Finding",
     "compare_reports",
+    "plan_growth_findings",
     "DEFAULT_TIME_TOLERANCE",
     "DEFAULT_MIN_TIME_S",
 ]
@@ -136,6 +137,46 @@ def compare_reports(
         )
         if time_finding is not None:
             findings.append(time_finding)
+    findings.extend(plan_growth_findings(current))
+    return findings
+
+
+def plan_growth_findings(report: dict) -> list[Finding]:
+    """Hard gate: join-plan compiles must not grow with database size.
+
+    Plans are compiled per (rule body, binding signature, size rank) --
+    never per tuple -- so within one strategy the ``plan_compiles``
+    counter must be identical at every ``ok`` size of the sweep.  A
+    counter that rises with ``n`` means some hot path is compiling per
+    datum (a plan-cache key leaking data into itself), which silently
+    re-introduces the per-call planning cost the cache exists to
+    remove.  Checked against the *current* run alone; cells recorded
+    before the counter existed (no ``plan_compiles`` key) are skipped.
+    """
+    family = report.get("family", "?")
+    findings: list[Finding] = []
+    per_strategy: dict[str, list[tuple[int, int]]] = {}
+    for cell in report.get("results", []):
+        if cell.get("outcome") != "ok":
+            continue
+        counters = cell.get("counters") or {}
+        if "plan_compiles" not in counters:
+            continue
+        per_strategy.setdefault(cell["strategy"], []).append(
+            (cell["n"], counters["plan_compiles"])
+        )
+    for strategy, points in sorted(per_strategy.items()):
+        points.sort()
+        values = {compiles for _, compiles in points}
+        if len(values) > 1:
+            shown = " ".join(f"n={n}:{c}" for n, c in points)
+            findings.append(
+                Finding(
+                    family, strategy, None, "plan",
+                    f"plan_compiles grows with database size ({shown}); "
+                    f"plans must be size-independent",
+                )
+            )
     return findings
 
 

@@ -82,6 +82,9 @@ _COUNTER_NAMES = (
     "index_tuples",
     "full_scans",
     "iterations",
+    "plan_compiles",
+    "plan_cache_hits",
+    "plan_cache_misses",
 )
 
 #: Test hook: a factor > 1 stretches every *unit* timing (never the
@@ -210,6 +213,13 @@ def _run_cell(
     """
     workload = family.build(n)
     run = _make_runner(workload, strategy, budget)
+    # A cold join-plan cache per cell: the traced warmup then reports
+    # the full compile count for this (strategy, n), making the
+    # plan_compiles counter comparable across cells and runs -- the
+    # plan-growth gate in :mod:`repro.bench.gating` relies on this.
+    from ..datalog.plan_cache import PLAN_CACHE
+
+    PLAN_CACHE.clear()
     tracer = Tracer(context={
         "family": family.key, "strategy": strategy, "n": n,
     })

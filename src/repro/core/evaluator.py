@@ -20,7 +20,7 @@ from typing import Iterable, Optional
 
 from ..budget import Budget, UNLIMITED
 from ..datalog.database import Database, Relation
-from ..datalog.joins import evaluate_body, instantiate_args
+from ..datalog.joins import evaluate_body_project
 from ..observability.tracer import live
 from ..stats import EvaluationStats
 from .plan import CARRY, SEEN, CarryJoin, SeparablePlan
@@ -61,11 +61,12 @@ def _apply_joins(
     produced: set[tuple] = set()
     for ji, join in enumerate(joins):
         before = len(produced)
-        for bindings in evaluate_body(view, join.body, stats=stats,
-                                      order=order, tracer=tracer):
+        for fact in evaluate_body_project(view, join.body, join.output,
+                                          stats=stats, order=order,
+                                          tracer=tracer):
             if stats is not None:
                 stats.bump_produced()
-            produced.add(instantiate_args(join.output, bindings))
+            produced.add(fact)
         if tracer is not None and label is not None:
             tracer.count(f"rule_apps:{label}#{ji}")
             out = len(produced) - before
@@ -107,13 +108,19 @@ def _carry_loop(
         if tracer is not None
         else nullcontext()
     )
+    # One view and one carry relation for the whole loop: each round
+    # refills the relation in place (a clear + bulk add_all) instead of
+    # rebuilding the Database wrapper and re-copying the base mounts.
+    carry_rel = Relation(CARRY, arity)
+    view = _with_pseudo(db, CARRY, carry_rel)
     with span_cm as span:
         while carry:
             if stats is not None:
                 stats.bump_iterations()
             if tracer is not None:
                 tracer.count("iterations")
-            view = _with_pseudo(db, CARRY, Relation(CARRY, arity, carry))
+            carry_rel.clear()
+            carry_rel.add_all(carry)
             produced = _apply_joins(joins, view, stats, order, tracer,
                                     label=seen_name)
             carry = produced - seen

@@ -6,17 +6,31 @@ a :class:`~repro.datalog.database.Database`.  It is the inner loop of
 every evaluator in this package: naive, semi-naive, magic, counting, and
 the Separable carry loops all reduce to body evaluations.
 
+Bodies are executed through compiled :class:`~repro.datalog.plan_cache.
+JoinPlan` kernels cached in the module-wide
+:data:`~repro.datalog.plan_cache.PLAN_CACHE` -- the atom order, index
+signatures, and variable slots are derived once per (body,
+bound-variable signature, order) and reused across every fixpoint
+round.  The pre-existing interpreter survives as
+:func:`evaluate_body_interpreted`: same contract, no compilation, used
+as the differential reference for the compiled path.
+
 Two atom orders are offered:
 
 ``"left_to_right"``
     Evaluate atoms exactly in the given order -- this matches the paper's
     left-to-right evaluation of expansion strings (Section 3.4) and is
-    what the proofs reason about.
+    what the proofs reason about.  ``eq/2`` atoms whose sides are not
+    yet bound are deferred until another atom binds a side (they are
+    pure filters, so commuting them later never changes the result set).
 
 ``"greedy"``
     At each step pick the atom with the most bound argument positions
-    (ties broken by smaller relation).  A standard, simple join-order
-    heuristic; results are identical, only the work differs.
+    (ties broken by smaller relation, then body position).  A standard,
+    simple join-order heuristic; results are identical, only the work
+    differs.  The compiled path derives the order once per call
+    (``plan_cache.greedy_permutation``); the interpreted path
+    re-derives it per recursion node.
 """
 
 from __future__ import annotations
@@ -26,18 +40,133 @@ from typing import Iterator, Mapping, Optional, Sequence
 from ..stats import EvaluationStats
 from .atoms import Atom
 from .database import Database
+from .plan_cache import EQ, PLAN_CACHE
 from .terms import Constant, ConstValue, Variable
 
-__all__ = ["evaluate_body", "instantiate_args", "Bindings", "EQ"]
+__all__ = [
+    "evaluate_body",
+    "evaluate_body_project",
+    "evaluate_body_interpreted",
+    "instantiate_args",
+    "Bindings",
+    "EQ",
+]
 
 #: Evaluators bind variables directly to raw constant values.
 Bindings = dict[Variable, ConstValue]
 
-#: Reserved built-in equality predicate, produced by rectification
-#: (Section 2: repeated head variables and head constants "can be handled
-#: by adding equalities to the rule bodies").  ``eq(X, Y)`` filters when
-#: both sides are bound and assigns when exactly one is.
-EQ = "eq"
+_EMPTY_SIG: frozenset[Variable] = frozenset()
+
+
+def evaluate_body(
+    db: Database,
+    atoms: Sequence[Atom],
+    initial_bindings: Optional[Mapping[Variable, ConstValue]] = None,
+    stats: Optional[EvaluationStats] = None,
+    order: str = "greedy",
+    tracer=None,
+) -> Iterator[Bindings]:
+    """Enumerate substitutions satisfying every atom in ``atoms``.
+
+    Compiles (or fetches from :data:`~repro.datalog.plan_cache.PLAN_CACHE`)
+    a :class:`~repro.datalog.plan_cache.JoinPlan` for the body and the
+    bound-variable signature of ``initial_bindings``, then runs it.
+
+    Parameters
+    ----------
+    db:
+        Source of facts for every predicate mentioned in ``atoms``.
+    atoms:
+        The conjunction to satisfy.  An empty conjunction yields exactly
+        the initial bindings (vacuous truth).
+    initial_bindings:
+        Pre-bound variables (e.g. selection constants pushed in).
+    stats:
+        Optional accumulator; base tuples fetched are counted as
+        ``tuples_examined``.
+    order:
+        ``"greedy"`` or ``"left_to_right"`` (see module docstring).
+    tracer:
+        Optional :class:`~repro.observability.Tracer`; receives
+        per-atom lookup counts, tuples fetched, the join fan-out
+        (``bindings_out``), and the plan-cache traffic
+        (``plan_compiles`` / ``plan_cache_hits`` / ``plan_cache_misses``).
+        ``None`` (the default) costs one pointer comparison per lookup.
+    """
+    if order not in ("greedy", "left_to_right"):
+        raise ValueError(f"unknown join order {order!r}")
+    if not atoms:
+        yield dict(initial_bindings) if initial_bindings else {}
+        return
+    body = tuple(atoms)
+    if initial_bindings:
+        sig = frozenset(
+            t
+            for a in body
+            for t in a.args
+            if isinstance(t, Variable)
+            and initial_bindings.get(t) is not None
+        )
+    else:
+        sig = _EMPTY_SIG
+    plan = PLAN_CACHE.plan_for(body, sig, order, db, tracer)
+    yield from plan.execute(db, initial_bindings, stats, tracer)
+
+
+def evaluate_body_project(
+    db: Database,
+    atoms: Sequence[Atom],
+    output: Sequence,
+    initial_bindings: Optional[Mapping[Variable, ConstValue]] = None,
+    stats: Optional[EvaluationStats] = None,
+    order: str = "greedy",
+    tracer=None,
+) -> Iterator[tuple[ConstValue, ...]]:
+    """``instantiate_args(output, b) for b in evaluate_body(...)``, fused.
+
+    The fixpoint loops all follow a body evaluation with an immediate
+    projection onto the rule head; going through a bindings dict per
+    derivation costs a dict build plus one hash per variable.  This
+    entry point has the compiled plan ground ``output`` (typically
+    ``rule.head.args``) directly from its register file instead.
+    Counters, ordering, and result multiset match the two-step form
+    exactly.
+    """
+    if order not in ("greedy", "left_to_right"):
+        raise ValueError(f"unknown join order {order!r}")
+    output = tuple(output)
+    if not atoms:
+        yield instantiate_args(
+            output, initial_bindings if initial_bindings else {}
+        )
+        return
+    body = tuple(atoms)
+    if initial_bindings:
+        sig = frozenset(
+            t
+            for a in body
+            for t in a.args
+            if isinstance(t, Variable)
+            and initial_bindings.get(t) is not None
+        )
+    else:
+        sig = _EMPTY_SIG
+    plan = PLAN_CACHE.plan_for(body, sig, order, db, tracer)
+    yield from plan.execute_project(output, db, initial_bindings, stats,
+                                    tracer)
+
+
+# ---------------------------------------------------------------------------
+# The interpreted reference path
+# ---------------------------------------------------------------------------
+
+
+def _eq_ready(a: Atom, bindings: Mapping[Variable, ConstValue]) -> bool:
+    """True if at least one side of an ``eq/2`` atom has a value."""
+    for t in a.args:
+        if isinstance(t, Constant) or bindings.get(t) is not None:
+            return True
+    return False
 
 
 def _eq_lookup(
@@ -152,7 +281,7 @@ def _choose_next(
     return best_index
 
 
-def evaluate_body(
+def evaluate_body_interpreted(
     db: Database,
     atoms: Sequence[Atom],
     initial_bindings: Optional[Mapping[Variable, ConstValue]] = None,
@@ -160,27 +289,13 @@ def evaluate_body(
     order: str = "greedy",
     tracer=None,
 ) -> Iterator[Bindings]:
-    """Enumerate substitutions satisfying every atom in ``atoms``.
+    """:func:`evaluate_body` without plan compilation.
 
-    Parameters
-    ----------
-    db:
-        Source of facts for every predicate mentioned in ``atoms``.
-    atoms:
-        The conjunction to satisfy.  An empty conjunction yields exactly
-        the initial bindings (vacuous truth).
-    initial_bindings:
-        Pre-bound variables (e.g. selection constants pushed in).
-    stats:
-        Optional accumulator; base tuples fetched are counted as
-        ``tuples_examined``.
-    order:
-        ``"greedy"`` or ``"left_to_right"`` (see module docstring).
-    tracer:
-        Optional :class:`~repro.observability.Tracer`; receives
-        per-atom lookup counts, tuples fetched, and the join fan-out
-        (``bindings_out``).  ``None`` (the default) costs one pointer
-        comparison per lookup.
+    Re-derives the join order and bound/free split at every recursion
+    node and copies the bindings dict per extension.  Kept as the
+    executable specification the compiled path is property-tested
+    against (``tests/property/test_property_plan_cache.py``); not used
+    on any evaluator hot path.
     """
     if order not in ("greedy", "left_to_right"):
         raise ValueError(f"unknown join order {order!r}")
@@ -196,7 +311,14 @@ def evaluate_body(
         if order == "greedy":
             idx = _choose_next(remaining, bindings, db)
         else:
+            # Left to right, except unready eq atoms wait for a binder;
+            # if only unready eqs remain, fall through to the first so
+            # _eq_lookup raises the unsafe-rule ValueError.
             idx = 0
+            for j, cand in enumerate(remaining):
+                if cand.predicate != EQ or _eq_ready(cand, bindings):
+                    idx = j
+                    break
         chosen = remaining[idx]
         rest = remaining[:idx] + remaining[idx + 1:]
         if chosen.predicate == EQ:

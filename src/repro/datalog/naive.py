@@ -16,7 +16,7 @@ from ..budget import Budget, UNLIMITED
 from ..observability.tracer import live
 from ..stats import EvaluationStats
 from .database import Database
-from .joins import evaluate_body, instantiate_args
+from .joins import evaluate_body_project
 from .programs import Program
 
 __all__ = ["naive_evaluate"]
@@ -57,9 +57,9 @@ def naive_evaluate(
             for ri, r in enumerate(program.rules):
                 target = db.ensure(r.head.predicate, r.head.arity)
                 produced_r = 0
-                for bindings in evaluate_body(db, r.body, stats=stats,
-                                              order=order, tracer=tracer):
-                    fact = instantiate_args(r.head.args, bindings)
+                for fact in evaluate_body_project(db, r.body, r.head.args,
+                                                  stats=stats, order=order,
+                                                  tracer=tracer):
                     produced_r += 1
                     if stats is not None:
                         stats.bump_produced()

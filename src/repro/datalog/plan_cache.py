@@ -1,0 +1,726 @@
+"""Compiled join kernels: slot-based plans cached per (body, signature).
+
+:func:`~repro.datalog.joins.evaluate_body` used to re-derive the join
+order, re-split bound/free argument positions, and copy a full bindings
+dict per extension on *every* rule application -- once per rule per
+fixpoint round.  This module compiles a rule body once into a
+:class:`JoinPlan` -- a flat sequence of atom steps with precomputed
+index signatures (bound-position tuples), key templates, free-variable
+slot assignments, and ``eq/2`` guards fused between steps -- and
+executes it as an iterative nested loop over a flat register array.
+Bindings dicts materialize only at the yield boundary, so the public
+``evaluate_body`` contract is unchanged while the per-tuple cost drops
+to a few tuple unpacks.
+
+Plans are **pure functions of the body, the bound-variable signature,
+and the atom sequence actually executed** -- never of tuple values:
+
+* the greedy heuristic needs relation sizes only to break ties, so the
+  ordering pass (:func:`greedy_permutation` -- one O(k^2) sweep per
+  ``evaluate_body`` call, replacing the interpreter's per-recursion-node
+  re-derivation) is separated from compilation: the cache is keyed on
+  the resulting *permutation*, and a plan compiled on round 1 is still
+  correct (and still the same plan) on round 40.  No invalidation
+  machinery is needed, and because a permutation depends only on the
+  size *ranks* of the body's relations -- which take O(1) distinct
+  values per body over any fixpoint run -- ``plan_compiles`` stays O(1)
+  per (body, signature) regardless of database size or round count;
+* what *does* depend on the data -- which tuples an index bucket holds
+  -- already lives inside :class:`~repro.datalog.database.Relation`'s
+  lazy indexes, which are maintained incrementally on ``add``.
+
+The module-level :data:`PLAN_CACHE` is shared by every evaluator;
+callers that want deterministic ``plan_*`` counters (the bench harness)
+call :meth:`PlanCache.clear` first.
+
+One deliberate fast-path divergence from the old interpreter: a plan
+resolves all body relations up front and yields nothing if any is
+absent or empty.  That is sound for every evaluator here (a relation
+empty at call start cannot contribute a match, and fixpoint loops only
+grow relations via *completed* matches), but it means a consumer that
+grows a relation from empty *while* iterating the generator will not
+see the late tuples -- the interpreted path would have, one recursion
+level at a time.  No caller does this.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping, Optional, Sequence
+
+from ..stats import EvaluationStats
+from .atoms import Atom
+from .database import Database, Relation
+from .terms import Constant, ConstValue, Variable
+
+__all__ = [
+    "EQ",
+    "JoinPlan",
+    "PlanCache",
+    "PLAN_CACHE",
+    "compile_join_plan",
+    "greedy_permutation",
+]
+
+#: Reserved built-in equality predicate, produced by rectification
+#: (Section 2: repeated head variables and head constants "can be handled
+#: by adding equalities to the rule bodies").  ``eq(X, Y)`` filters when
+#: both sides are bound and assigns when exactly one is.
+EQ = "eq"
+
+# Guard opcodes (compiled eq/2 atoms).  Operand sources are encoded as
+# (is_slot, value): a register index when is_slot, a constant otherwise.
+_FILTER = 0  # (0, a_is_slot, a, b_is_slot, b) -- pass iff values equal
+_ASSIGN = 1  # (1, src_is_slot, src, dst_slot) -- regs[dst] = value
+
+_SENTINEL = object()
+
+
+class JoinPlan:
+    """A compiled join kernel for one (body, bound-signature, order).
+
+    Immutable once built; see :func:`compile_join_plan`.  ``steps`` is a
+    tuple of ``(predicate, positions, key_sources, writes, checks,
+    guards)`` records:
+
+    ``positions``
+        bound argument positions, the index signature passed to
+        :meth:`Relation.lookup`;
+    ``key_sources``
+        per bound position, ``(is_slot, slot_or_const)`` -- how to build
+        the lookup key from the register file;
+    ``writes``
+        ``(position, slot)`` for the first occurrence of each free
+        variable in the atom;
+    ``checks``
+        ``(position, slot)`` for repeated free variables within the
+        atom (slot was written earlier in the same step);
+    ``guards``
+        compiled ``eq/2`` atoms scheduled between this step and the
+        next: filters and assigns over the register file.
+    """
+
+    __slots__ = (
+        "body",
+        "bound_vars",
+        "order",
+        "n_slots",
+        "preload",
+        "pre_guards",
+        "steps",
+        "outputs",
+        "always_empty",
+        # steps split into parallel tuples, saving an unpack per probe
+        "_preds",
+        "_positions",
+        "_keysrc",
+        "_writes",
+        "_checks",
+        "_guards",
+        # variable -> register slot, and cached projection templates
+        "_slot_of",
+        "_templates",
+    )
+
+    def __init__(
+        self,
+        body: tuple[Atom, ...],
+        bound_vars: frozenset[Variable],
+        order: str,
+        n_slots: int,
+        preload: tuple[tuple[Variable, int], ...],
+        pre_guards: tuple[tuple, ...],
+        steps: tuple[tuple, ...],
+        outputs: tuple[tuple[Variable, int], ...],
+        always_empty: bool,
+        slot_of: Optional[dict[Variable, int]] = None,
+    ) -> None:
+        self.body = body
+        self.bound_vars = bound_vars
+        self.order = order
+        self.n_slots = n_slots
+        self.preload = preload
+        self.pre_guards = pre_guards
+        self.steps = steps
+        self.outputs = outputs
+        self.always_empty = always_empty
+        self._preds = tuple(st[0] for st in steps)
+        self._positions = tuple(st[1] for st in steps)
+        self._keysrc = tuple(st[2] for st in steps)
+        self._writes = tuple(st[3] for st in steps)
+        self._checks = tuple(st[4] for st in steps)
+        self._guards = tuple(st[5] for st in steps)
+        self._slot_of = dict(slot_of) if slot_of else {}
+        self._templates: dict[tuple, Optional[tuple]] = {}
+
+    def atom_order(self) -> tuple[str, ...]:
+        """Predicates in execution order (for tests and plan dumps)."""
+        return tuple(st[0] for st in self.steps)
+
+    def execute(
+        self,
+        db: Database,
+        initial_bindings: Optional[Mapping[Variable, ConstValue]],
+        stats: Optional[EvaluationStats] = None,
+        tracer=None,
+    ) -> Iterator[dict[Variable, ConstValue]]:
+        """Enumerate satisfying bindings dicts against ``db``.
+
+        Lazy: relations are probed as the consumer advances, and index
+        buckets are iterated live (tuples added to an already non-empty
+        relation mid-iteration are visible, exactly as interpreted).
+        """
+        regs: list = [None] * self.n_slots
+        base_items = tuple(initial_bindings.items()) if initial_bindings \
+            else ()
+        outputs = self.outputs
+        for _ in self._solutions(regs, db, initial_bindings, stats, tracer):
+            out = dict(base_items)
+            for var, s in outputs:
+                out[var] = regs[s]
+            yield out
+
+    def execute_project(
+        self,
+        output: tuple,
+        db: Database,
+        initial_bindings: Optional[Mapping[Variable, ConstValue]] = None,
+        stats: Optional[EvaluationStats] = None,
+        tracer=None,
+    ) -> Iterator[tuple]:
+        """Like ``execute`` followed by ``instantiate_args(output, ...)``
+        -- but the ground tuples are built straight from the register
+        file, skipping the bindings dict (and its per-key hashing)
+        entirely.  ``output`` is a term sequence, typically a rule
+        head's args.
+        """
+        template = self._template_for(output)
+        if template is None:
+            # Some output term has no register (e.g. a variable bound
+            # only in initial_bindings, outside the body): take the
+            # dict path so KeyError semantics match instantiate_args.
+            from .joins import instantiate_args
+            for b in self.execute(db, initial_bindings, stats, tracer):
+                yield instantiate_args(output, b)
+            return
+        regs: list = [None] * self.n_slots
+        for _ in self._solutions(regs, db, initial_bindings, stats, tracer):
+            yield tuple(regs[s] if f else s for f, s in template)
+
+    def _template_for(self, output: tuple) -> Optional[tuple]:
+        """(is_slot, slot_or_const) per output term; None -> fallback."""
+        tpl = self._templates.get(output, _SENTINEL)
+        if tpl is _SENTINEL:
+            entries = []
+            slot_of = self._slot_of
+            for term in output:
+                if isinstance(term, Constant):
+                    entries.append((False, term.value))
+                else:
+                    s = slot_of.get(term)
+                    if s is None:
+                        entries = None
+                        break
+                    entries.append((True, s))
+            tpl = tuple(entries) if entries is not None else None
+            self._templates[output] = tpl
+        return tpl
+
+    def _solutions(
+        self,
+        regs: list,
+        db: Database,
+        initial_bindings: Optional[Mapping[Variable, ConstValue]],
+        stats: Optional[EvaluationStats],
+        tracer=None,
+    ) -> Iterator[None]:
+        """Yield once per satisfying assignment, leaving it in ``regs``."""
+        if self.always_empty:
+            return
+        if self.preload:
+            for var, s in self.preload:
+                regs[s] = initial_bindings[var]  # type: ignore[index]
+        for g in self.pre_guards:
+            if g[0] == _FILTER:
+                if (regs[g[2]] if g[1] else g[2]) != \
+                        (regs[g[4]] if g[3] else g[4]):
+                    return
+            else:
+                regs[g[3]] = regs[g[2]] if g[1] else g[2]
+
+        n = len(self._preds)
+        relation = db.relation
+        rels: list[Relation] = []
+        for pred in self._preds:
+            rel = relation(pred)
+            if rel is None or not rel:
+                return  # empty-body-relation fast path (see module doc)
+            rels.append(rel)
+
+        if n == 0:
+            yield None
+            return
+
+        count = tracer.count if tracer is not None else None
+        positions = self._positions
+        keysrc = self._keysrc
+        writes = self._writes
+        checks = self._checks
+        guards = self._guards
+
+        def probe(d: int) -> list:
+            key = tuple((regs[v] if f else v) for f, v in keysrc[d])
+            cands = rels[d].lookup(positions[d], key, tracer)
+            if stats is not None:
+                stats.bump_examined(len(cands))
+            if count is not None:
+                count("atom_lookups")
+                count("tuples_examined", len(cands))
+            return cands
+
+        last = n - 1
+        w_last = writes[last]
+        c_last = checks[last]
+        g_last = guards[last]
+
+        if n == 1:
+            for fact in probe(0):
+                for i, s in w_last:
+                    regs[s] = fact[i]
+                ok = True
+                for i, s in c_last:
+                    if fact[i] != regs[s]:
+                        ok = False
+                        break
+                if not ok:
+                    continue
+                if count is not None:
+                    count("bindings_out")
+                for g in g_last:
+                    if g[0] == _FILTER:
+                        if (regs[g[2]] if g[1] else g[2]) != \
+                                (regs[g[4]] if g[3] else g[4]):
+                            ok = False
+                            break
+                    else:
+                        regs[g[3]] = regs[g[2]] if g[1] else g[2]
+                if not ok:
+                    continue
+                yield None
+            return
+
+        # Levels 0..n-2 run on an explicit iterator stack; the innermost
+        # level is a plain for-loop so the bulk of the candidate tuples
+        # iterate at C speed.
+        inner = last - 1
+        iters: list = [None] * last
+        iters[0] = iter(probe(0))
+        depth = 0
+        sentinel = _SENTINEL
+        while depth >= 0:
+            fact = next(iters[depth], sentinel)
+            if fact is sentinel:
+                depth -= 1
+                continue
+            for i, s in writes[depth]:
+                regs[s] = fact[i]
+            ok = True
+            for i, s in checks[depth]:  # repeated-variable checks
+                if fact[i] != regs[s]:
+                    ok = False
+                    break
+            if not ok:
+                continue
+            if count is not None:
+                count("bindings_out")
+            for g in guards[depth]:  # fused eq guards
+                if g[0] == _FILTER:
+                    if (regs[g[2]] if g[1] else g[2]) != \
+                            (regs[g[4]] if g[3] else g[4]):
+                        ok = False
+                        break
+                else:
+                    regs[g[3]] = regs[g[2]] if g[1] else g[2]
+            if not ok:
+                continue
+            if depth != inner:
+                depth += 1
+                iters[depth] = iter(probe(depth))
+                continue
+            for fact in probe(last):
+                for i, s in w_last:
+                    regs[s] = fact[i]
+                ok = True
+                for i, s in c_last:
+                    if fact[i] != regs[s]:
+                        ok = False
+                        break
+                if not ok:
+                    continue
+                if count is not None:
+                    count("bindings_out")
+                for g in g_last:
+                    if g[0] == _FILTER:
+                        if (regs[g[2]] if g[1] else g[2]) != \
+                                (regs[g[4]] if g[3] else g[4]):
+                            ok = False
+                            break
+                    else:
+                        regs[g[3]] = regs[g[2]] if g[1] else g[2]
+                if not ok:
+                    continue
+                yield None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"JoinPlan({' & '.join(map(str, self.body))}, "
+            f"bound={sorted(v.name for v in self.bound_vars)}, "
+            f"order={self.order!r}, steps={self.atom_order()})"
+        )
+
+
+def greedy_permutation(
+    body: tuple[Atom, ...],
+    bound_vars: frozenset[Variable],
+    db: Optional[Database] = None,
+) -> tuple[int, ...]:
+    """Greedy execution order as a permutation of body positions.
+
+    The interpreter's heuristic -- most bound argument positions first,
+    smaller relation on ties -- computed once per call instead of once
+    per recursion node.  How many positions of an atom are bound depends
+    only on *which* variables are bound (never on their values), so for
+    a fixed database-size ranking the permutation is a pure function of
+    (body, signature).  An unready ``eq`` (no side bound yet) sorts
+    last and is only ever picked when nothing can bind it -- the
+    unsafe-rule case, which compiles to the same ValueError the
+    interpreter raises.  With ``db=None`` all sizes read 0 and ties
+    fall back to body position.
+    """
+    remaining = list(range(len(body)))
+    bound = set(bound_vars)
+    ordered: list[int] = []
+    while remaining:
+        best = 0
+        best_key = None
+        for j, idx in enumerate(remaining):
+            a = body[idx]
+            nb = 0
+            for t in a.args:
+                if isinstance(t, Constant) or t in bound:
+                    nb += 1
+            if a.predicate == EQ:
+                key = (0 if nb else 1, -nb, 0, idx)
+            else:
+                rel = db.relation(a.predicate) if db is not None else None
+                key = (0, -nb, len(rel) if rel is not None else 0, idx)
+            if best_key is None or key < best_key:
+                best_key = key
+                best = j
+        idx = remaining.pop(best)
+        ordered.append(idx)
+        for t in body[idx].args:
+            if isinstance(t, Variable):
+                bound.add(t)
+    return tuple(ordered)
+
+
+def _order_left_to_right(
+    body: tuple[Atom, ...], bound_vars: frozenset[Variable]
+) -> list[Atom]:
+    """Given order, except unready ``eq`` atoms wait for a binder.
+
+    Rectification may emit ``eq(V2, V1)`` *before* the atom that binds
+    ``V1``; deferring it to the earliest point where a side is bound
+    preserves left-to-right semantics (eq atoms are pure filters --
+    commuting one later never changes the result set) instead of
+    crashing.  Atoms that never become ready fall through to the end,
+    where compilation raises the interpreter's unsafe-rule ValueError.
+    """
+    bound = set(bound_vars)
+
+    def ready(a: Atom) -> bool:
+        for t in a.args:
+            if isinstance(t, Constant) or t in bound:
+                return True
+        return False
+
+    ordered: list[Atom] = []
+    pending: list[Atom] = []
+
+    def place(a: Atom) -> None:
+        ordered.append(a)
+        for t in a.args:
+            if isinstance(t, Variable):
+                bound.add(t)
+
+    for a in body:
+        if a.predicate == EQ and a.arity == 2 and not ready(a):
+            pending.append(a)
+            continue
+        place(a)
+        progressed = True
+        while progressed and pending:
+            progressed = False
+            for k, p in enumerate(pending):
+                if ready(p):
+                    place(pending.pop(k))
+                    progressed = True
+                    break
+    ordered.extend(pending)  # still unready: unsafe, raises at compile
+    return ordered
+
+
+def compile_join_plan(
+    atoms: Sequence[Atom],
+    bound_vars: frozenset[Variable] = frozenset(),
+    order: str = "greedy",
+    db: Optional[Database] = None,
+) -> JoinPlan:
+    """Compile a conjunction into a :class:`JoinPlan`.
+
+    ``bound_vars`` is the signature: the body variables the caller will
+    supply in ``initial_bindings``.  For ``order="greedy"`` the atom
+    sequence comes from :func:`greedy_permutation` (pass ``db`` for the
+    size tiebreak).  Raises the same ``ValueError`` as the interpreter
+    for an ``eq`` atom whose sides can never be bound (unsafe rule) or
+    whose arity is not 2.
+    """
+    if order not in ("greedy", "left_to_right"):
+        raise ValueError(f"unknown join order {order!r}")
+    body = tuple(atoms)
+    if order == "greedy":
+        perm = greedy_permutation(body, bound_vars, db)
+        ordered = [body[i] for i in perm]
+    else:
+        ordered = _order_left_to_right(body, bound_vars)
+    return _compile_sequence(body, bound_vars, order, ordered)
+
+
+def _compile_sequence(
+    body: tuple[Atom, ...],
+    bound_vars: frozenset[Variable],
+    order: str,
+    ordered: list[Atom],
+) -> JoinPlan:
+    """Compile an already-ordered atom sequence into a :class:`JoinPlan`."""
+    slot_of: dict[Variable, int] = {}
+    preload: list[tuple[Variable, int]] = []
+    bound: set[Variable] = set(bound_vars)
+    always_empty = False
+
+    def slot(v: Variable) -> int:
+        s = slot_of.get(v)
+        if s is None:
+            s = len(slot_of)
+            slot_of[v] = s
+            if v in bound_vars:
+                preload.append((v, s))
+        return s
+
+    pre_guards: list[tuple] = []
+    raw_steps: list[list] = []
+    guard_sink = pre_guards  # eq atoms attach to the preceding step
+
+    for a in ordered:
+        if a.predicate == EQ:
+            if a.arity != 2:
+                raise ValueError(f"built-in {EQ} requires arity 2, got {a}")
+            left, right = a.args
+            l_const = isinstance(left, Constant)
+            r_const = isinstance(right, Constant)
+            l_known = l_const or left in bound
+            r_known = r_const or right in bound
+            if l_known and r_known:
+                if l_const and r_const:
+                    if left.value != right.value:
+                        always_empty = True
+                    continue  # constant-folded either way
+                guard_sink.append((
+                    _FILTER,
+                    not l_const, left.value if l_const else slot(left),
+                    not r_const, right.value if r_const else slot(right),
+                ))
+            elif l_known:
+                dst = slot(right)
+                bound.add(right)  # type: ignore[arg-type]
+                guard_sink.append((
+                    _ASSIGN,
+                    not l_const, left.value if l_const else slot(left),
+                    dst,
+                ))
+            elif r_known:
+                dst = slot(left)
+                bound.add(left)  # type: ignore[arg-type]
+                guard_sink.append((
+                    _ASSIGN,
+                    not r_const, right.value if r_const else slot(right),
+                    dst,
+                ))
+            else:
+                raise ValueError(
+                    f"cannot evaluate {a}: both sides unbound (unsafe rule?)"
+                )
+            continue
+
+        positions: list[int] = []
+        key_sources: list[tuple] = []
+        writes: list[tuple[int, int]] = []
+        checks: list[tuple[int, int]] = []
+        local: dict[Variable, int] = {}
+        for i, term in enumerate(a.args):
+            if isinstance(term, Constant):
+                positions.append(i)
+                key_sources.append((False, term.value))
+            elif term in bound:
+                positions.append(i)
+                key_sources.append((True, slot(term)))
+            elif term in local:
+                checks.append((i, local[term]))
+            else:
+                s = slot(term)
+                local[term] = s
+                writes.append((i, s))
+        bound.update(local)
+        guards: list[tuple] = []
+        raw_steps.append([
+            a.predicate,
+            tuple(positions),
+            tuple(key_sources),
+            tuple(writes),
+            tuple(checks),
+            guards,
+        ])
+        guard_sink = guards
+
+    steps = tuple(
+        (p, pos, ks, w, c, tuple(g)) for p, pos, ks, w, c, g in raw_steps
+    )
+    outputs = tuple(
+        (v, s) for v, s in slot_of.items() if v not in bound_vars
+    )
+    return JoinPlan(
+        body=body,
+        bound_vars=bound_vars,
+        order=order,
+        n_slots=len(slot_of),
+        preload=tuple(preload),
+        pre_guards=tuple(pre_guards),
+        steps=steps,
+        outputs=outputs,
+        always_empty=always_empty,
+        slot_of=slot_of,
+    )
+
+
+class PlanCache:
+    """FIFO-bounded cache of :class:`JoinPlan` objects.
+
+    Keyed by ``(body atoms, bound-variable signature, atom sequence)``
+    -- everything a plan is a function of, so entries can never be
+    stale (plans are value-independent; see the module docstring).
+    ``hits`` / ``misses`` / ``compiles`` mirror the tracer counters
+    ``plan_cache_hits`` / ``plan_cache_misses`` / ``plan_compiles``
+    for callers without a tracer.
+    """
+
+    __slots__ = ("maxsize", "hits", "misses", "compiles", "_plans")
+
+    def __init__(self, maxsize: int = 4096) -> None:
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self.compiles = 0
+        self._plans: dict[tuple, JoinPlan] = {}
+
+    def plan_for(
+        self,
+        body: tuple[Atom, ...],
+        bound_vars: frozenset[Variable],
+        order: str,
+        db: Optional[Database] = None,
+        tracer=None,
+    ) -> JoinPlan:
+        """The cached plan for this key, compiling on first sight.
+
+        For ``order="greedy"`` the cheap per-call ordering pass runs
+        first and the permutation joins the key, so a size-rank change
+        mid-run transparently selects (or compiles) the matching plan
+        rather than executing a stale order.
+        """
+        if order == "greedy":
+            # The greedy walk only ever *compares* sizes, so its outcome
+            # is a function of the size-sorted position order (stable
+            # argsort) plus which relations are empty -- both O(1)
+            # distinct values per body over a run, and far cheaper to
+            # key on than re-running the walk every call.
+            if db is not None:
+                sizes = []
+                for a in body:
+                    rel = (
+                        db.relation(a.predicate)
+                        if a.predicate != EQ else None
+                    )
+                    sizes.append(len(rel) if rel is not None else 0)
+                rank = tuple(sorted(range(len(body)),
+                                    key=sizes.__getitem__))
+                zeros = tuple(s == 0 for s in sizes)
+                key = (body, bound_vars, rank, zeros)
+            else:
+                key = (body, bound_vars, "greedy")
+        else:
+            key = (body, bound_vars, order)
+        plan = self._plans.get(key)
+        if plan is not None:
+            self.hits += 1
+            if tracer is not None:
+                tracer.count("plan_cache_hits")
+            return plan
+        self.misses += 1
+        if tracer is not None:
+            tracer.count("plan_cache_misses")
+        if order == "greedy":
+            perm = greedy_permutation(body, bound_vars, db)
+            plan = _compile_sequence(body, bound_vars, order,
+                                     [body[i] for i in perm])
+        else:
+            plan = _compile_sequence(
+                body, bound_vars, order,
+                _order_left_to_right(body, bound_vars),
+            )
+        self.compiles += 1
+        if tracer is not None:
+            tracer.count("plan_compiles")
+        if len(self._plans) >= self.maxsize:  # FIFO eviction
+            del self._plans[next(iter(self._plans))]
+        self._plans[key] = plan
+        return plan
+
+    def clear(self) -> None:
+        """Drop all plans and zero the counters."""
+        self._plans.clear()
+        self.hits = 0
+        self.misses = 0
+        self.compiles = 0
+
+    def stats(self) -> dict[str, int]:
+        """Counter snapshot: ``{size, hits, misses, compiles}``."""
+        return {
+            "size": len(self._plans),
+            "hits": self.hits,
+            "misses": self.misses,
+            "compiles": self.compiles,
+        }
+
+    def __len__(self) -> int:
+        return len(self._plans)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PlanCache(size={len(self._plans)}, hits={self.hits}, "
+            f"misses={self.misses}, compiles={self.compiles})"
+        )
+
+
+#: The process-wide default cache, shared by every evaluator so plans
+#: survive across fixpoint rounds, strategies, and queries.
+PLAN_CACHE = PlanCache()

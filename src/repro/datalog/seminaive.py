@@ -25,7 +25,7 @@ from ..observability.tracer import live
 from ..stats import EvaluationStats
 from .atoms import Atom
 from .database import Database, Relation
-from .joins import evaluate_body, instantiate_args
+from .joins import evaluate_body_project
 from .programs import Program
 from .rules import Rule
 
@@ -108,9 +108,9 @@ def seminaive_stratum(
 
     with span_cm as span:
         # Round 0: full evaluation of every rule (seeds the deltas).
-        deltas: dict[str, Relation] = {
-            p: Relation(p, program.arity(p)) for p in scc
-        }
+        # New facts accumulate in plain sets and are installed into the
+        # delta relations in one bulk add_all per predicate per round.
+        delta_sets: dict[str, set] = {p: set() for p in scc}
         if stats is not None:
             stats.bump_iterations()
         if tracer is not None:
@@ -119,18 +119,22 @@ def seminaive_stratum(
             target = db.relation(r.head.predicate)
             assert target is not None
             produced_r = 0
-            for bindings in evaluate_body(db, r.body, stats=stats,
-                                          order=order, tracer=tracer):
-                fact = instantiate_args(r.head.args, bindings)
+            fresh = delta_sets[r.head.predicate]
+            for fact in evaluate_body_project(db, r.body, r.head.args,
+                                              stats=stats, order=order,
+                                              tracer=tracer):
                 produced_r += 1
                 if stats is not None:
                     stats.bump_produced()
                 if target.add(fact):
-                    deltas[r.head.predicate].add(fact)
+                    fresh.add(fact)
             if tracer is not None:
                 tracer.count(f"rule_apps:{labels[ri]}")
                 if produced_r:
                     tracer.count(f"rule_out:{labels[ri]}", produced_r)
+        deltas: dict[str, Relation] = {
+            p: Relation(p, program.arity(p), delta_sets[p]) for p in scc
+        }
         if tracer is not None:
             for p in sorted(scc):
                 tracer.record(f"delta:{p}", len(deltas[p]))
@@ -155,10 +159,10 @@ def seminaive_stratum(
                 assert target is not None
                 produced_r = 0
                 for body in variant_cache[id(r)]:
-                    for bindings in evaluate_body(view, body, stats=stats,
-                                                  order=order,
-                                                  tracer=tracer):
-                        fact = instantiate_args(r.head.args, bindings)
+                    for fact in evaluate_body_project(
+                        view, body, r.head.args, stats=stats, order=order,
+                        tracer=tracer,
+                    ):
                         produced_r += 1
                         if stats is not None:
                             stats.bump_produced()

@@ -141,6 +141,19 @@ class Engine:
 
     # -- analysis ----------------------------------------------------------
 
+    def join_plan_stats(self) -> dict:
+        """Counters of the process-wide compiled-join-plan cache.
+
+        ``{"size", "hits", "misses", "compiles"}`` from
+        :data:`repro.datalog.plan_cache.PLAN_CACHE` -- the cache every
+        evaluator hot path shares.  ``compiles`` staying flat while
+        queries repeat is the "compiled once, executed many times"
+        property benchmark gating asserts.
+        """
+        from .datalog.plan_cache import PLAN_CACHE
+
+        return PLAN_CACHE.stats()
+
     def report(self, predicate: str) -> SeparabilityReport:
         """The (cached) separability report for one IDB predicate."""
         cached = self._reports.get(predicate)

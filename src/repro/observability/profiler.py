@@ -221,6 +221,13 @@ class QueryProfile:
             + (f"join_fanout={fanout:.3f}" if fanout is not None
                else "join_fanout=n/a")
         )
+        lines.append(
+            f"plan_compiles={self.tracer.counter_total('plan_compiles')} "
+            f"plan_cache_hits="
+            f"{self.tracer.counter_total('plan_cache_hits')} "
+            f"plan_cache_misses="
+            f"{self.tracer.counter_total('plan_cache_misses')}"
+        )
         return "\n".join(lines)
 
     def to_json(self) -> dict:

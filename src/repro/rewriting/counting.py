@@ -45,7 +45,7 @@ from ..budget import Budget, UNLIMITED
 from ..datalog.atoms import Atom, connected_components
 from ..datalog.database import Database, Relation
 from ..datalog.errors import CyclicDataError, EvaluationError
-from ..datalog.joins import evaluate_body, instantiate_args
+from ..datalog.joins import evaluate_body_project
 from ..datalog.programs import Program
 from ..datalog.rectify import rectify_definition
 from ..datalog.rules import Rule
@@ -361,15 +361,13 @@ def evaluate_counting(
                 down_carry.add_all(values)
                 for cr in plan.rules:
                     produced: set[tuple] = set()
-                    for bindings in evaluate_body(down_view,
-                                                  down_bodies[cr.index],
-                                                  stats=stats, order=order,
-                                                  tracer=tracer):
+                    for fact in evaluate_body_project(
+                        down_view, down_bodies[cr.index], cr.down_output,
+                        stats=stats, order=order, tracer=tracer,
+                    ):
                         if stats is not None:
                             stats.bump_produced()
-                        produced.add(
-                            instantiate_args(cr.down_output, bindings)
-                        )
+                        produced.add(fact)
                     if tracer is not None:
                         tracer.count(f"rule_apps:down#{cr.index}")
                         if produced:
@@ -424,11 +422,12 @@ def evaluate_counting(
             produced: set[tuple] = set()
             for ei, (body, output) in enumerate(exit_bodies):
                 before = len(produced)
-                for bindings in evaluate_body(exit_view, body, stats=stats,
-                                              order=order, tracer=tracer):
+                for fact in evaluate_body_project(exit_view, body, output,
+                                                  stats=stats, order=order,
+                                                  tracer=tracer):
                     if stats is not None:
                         stats.bump_produced()
-                    produced.add(instantiate_args(output, bindings))
+                    produced.add(fact)
                 if tracer is not None:
                     tracer.count(f"rule_apps:exit#{ei}")
                     if len(produced) > before:
@@ -459,12 +458,13 @@ def evaluate_counting(
                 up_carry.clear()
                 up_carry.add_all(answers_at[key])
                 produced = set()
-                for bindings in evaluate_body(up_view, up_bodies[cr.index],
-                                              stats=stats, order=order,
-                                              tracer=tracer):
+                for fact in evaluate_body_project(
+                    up_view, up_bodies[cr.index], cr.up_output,
+                    stats=stats, order=order, tracer=tracer,
+                ):
                     if stats is not None:
                         stats.bump_produced()
-                    produced.add(instantiate_args(cr.up_output, bindings))
+                    produced.add(fact)
                 if produced:
                     target = answers_at.setdefault(parent, set())
                     before = len(target)

@@ -28,6 +28,30 @@ class TestRelation:
         r = Relation("p", 1)
         assert r.add_all([("a",), ("b",), ("a",)]) == 2
 
+    def test_add_all_patches_live_indexes_once(self):
+        r = Relation("p", 2, [("a", "b")])
+        r.lookup((0,), ("a",))  # force index build
+        assert r.add_all([("a", "z"), ("b", "c"), ("a", "b")]) == 2
+        assert sorted(r.lookup((0,), ("a",))) == [("a", "b"), ("a", "z")]
+        assert r.lookup((0,), ("b",)) == [("b", "c")]
+
+    def test_add_all_arity_enforced(self):
+        r = Relation("p", 2)
+        with pytest.raises(ArityError):
+            r.add_all([("a", "b"), ("c",)])
+
+    def test_add_all_bumps_version_by_new_count(self):
+        r = Relation("p", 1, [("a",)])
+        v = r.version
+        assert r.add_all([("a",), ("b",), ("c",)]) == 2
+        assert r.version == v + 2
+
+    def test_add_all_empty_batch_keeps_version(self):
+        r = Relation("p", 1, [("a",)])
+        v = r.version
+        assert r.add_all([("a",)]) == 0
+        assert r.version == v
+
     def test_lookup_builds_index(self):
         r = Relation("p", 2, [("a", "b"), ("a", "c"), ("x", "y")])
         assert sorted(r.lookup((0,), ("a",))) == [("a", "b"), ("a", "c")]
@@ -59,6 +83,19 @@ class TestRelation:
     def test_distinct_values(self):
         r = Relation("p", 2, [("a", "b"), ("b", "c")])
         assert r.distinct_values() == {"a", "b", "c"}
+
+    def test_distinct_values_cached_until_mutation(self):
+        r = Relation("p", 2, [("a", "b")])
+        first = r.distinct_values()
+        assert first is r.distinct_values()  # same frozenset, no rescan
+        r.add(("c", "d"))
+        assert r.distinct_values() == {"a", "b", "c", "d"}
+
+    def test_distinct_values_cache_survives_clear(self):
+        r = Relation("p", 1, [("a",)])
+        r.distinct_values()
+        r.clear()
+        assert r.distinct_values() == frozenset()
 
     def test_clear(self):
         r = Relation("p", 1, [("a",)])
@@ -142,6 +179,23 @@ class TestDatabase:
     def test_distinct_constants(self):
         db = Database.from_facts({"p": [("a", "b")], "q": [("b", "c")]})
         assert db.distinct_constants() == {"a", "b", "c"}
+
+    def test_distinct_constants_cached_until_mutation(self):
+        db = Database.from_facts({"p": [("a",)]})
+        first = db.distinct_constants()
+        assert first is db.distinct_constants()
+        db.add_fact("p", ("b",))
+        assert db.distinct_constants() == {"a", "b"}
+
+    def test_distinct_constants_cache_sees_alias_mutation(self):
+        # The fingerprint key covers mutations made through an attach()
+        # alias in another database, same as the engine's caches.
+        db = Database.from_facts({"p": [("a",)]})
+        assert db.distinct_constants() == {"a"}
+        view = Database()
+        view.attach(db.relation("p"), "q")
+        view.add_fact("q", ("b",))
+        assert db.distinct_constants() == {"a", "b"}
 
     def test_total_tuples(self):
         db = Database.from_facts({"p": [("a",), ("b",)], "q": [("c", "d")]})

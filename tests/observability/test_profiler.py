@@ -5,6 +5,7 @@ import json
 import pytest
 
 from repro.datalog.parser import parse_program
+from repro.datalog.plan_cache import PLAN_CACHE
 from repro.engine import Engine
 from repro.observability import (
     QueryProfile,
@@ -70,9 +71,12 @@ class TestRenderText:
         assert "%" in text
 
     def test_untimed_report_is_deterministic(self):
-        # Fresh engine per run: a reused engine legitimately skips
-        # index builds the first run paid for, shifting those counters.
+        # Fresh engine and plan cache per run: a reused engine
+        # legitimately skips index builds the first run paid for, and a
+        # warm plan cache turns compiles into hits, shifting those
+        # counters.
         def report():
+            PLAN_CACHE.clear()
             parsed = parse_program(EX12)
             eng = Engine(parsed.program, parsed.database)
             return eng.profile("buys(tom, Y)?").render_text(timings=False)
