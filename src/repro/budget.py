@@ -1,4 +1,4 @@
-"""Tuple and iteration budgets for evaluation strategies.
+"""Tuple, iteration and wall-clock budgets for evaluation strategies.
 
 The exponential baselines (Generalized Counting, the Henschen-Naqvi-style
 levelwise method) generate relations of size Omega(2^n) on the paper's
@@ -6,12 +6,25 @@ worst cases, and diverge outright on cyclic data.  A :class:`Budget`
 bounds how much work any strategy may do so benchmarks and property
 tests terminate; exceeding it raises
 :class:`repro.datalog.errors.BudgetExceeded` with the partial statistics
-attached, which the benches report as "exceeded budget at n = ...".
+attached (and a :attr:`~repro.errors.BudgetExceeded.limit` tag naming
+the limit that tripped), which the benches report as "exceeded budget at
+n = ...".
+
+Wall-clock limits (:attr:`Budget.max_wall_seconds`) serve a different
+master: a query *service* cannot let one divergent request pin a worker
+thread forever, whatever its tuple counts look like.  The clock is
+explicit -- :meth:`Budget.start_clock` returns a copy with an absolute
+monotonic deadline stamped in, so one immutable base budget can be
+shared by many concurrent requests, each with its own deadline.  Every
+fixpoint loop calls :meth:`Budget.check_wall` once per iteration
+alongside :meth:`check_stats`; the check is a single ``is None`` test
+when no deadline is armed.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, replace
 
 from .errors import BudgetExceeded
 from .stats import EvaluationStats
@@ -32,11 +45,61 @@ class Budget:
     max_iterations:
         Cap on total fixpoint iterations (guards divergence on cyclic
         data for level-tracking methods).
+    max_wall_seconds:
+        Cap on elapsed wall-clock time (``None`` = unlimited).  Only
+        enforced once :meth:`start_clock` has armed a deadline -- the
+        engine arms one per query, the service one per request attempt.
+    deadline:
+        Absolute ``time.monotonic()`` instant after which
+        :meth:`check_wall` raises; set by :meth:`start_clock`, not by
+        hand.
     """
 
     max_relation_tuples: int = 10_000_000
     max_total_tuples: int = 50_000_000
     max_iterations: int = 1_000_000
+    max_wall_seconds: float | None = None
+    deadline: float | None = None
+
+    def with_wall_limit(self, seconds: float | None) -> "Budget":
+        """A copy with :attr:`max_wall_seconds` replaced (clock unarmed)."""
+        return replace(self, max_wall_seconds=seconds, deadline=None)
+
+    def start_clock(self, now: float | None = None) -> "Budget":
+        """Arm the wall-clock deadline; a no-op without a wall limit.
+
+        Returns a copy whose :attr:`deadline` is ``now +
+        max_wall_seconds`` on the monotonic clock.  Each query (or each
+        service request attempt) should arm its own copy so a shared
+        base budget never leaks one caller's deadline into another's.
+        """
+        if self.max_wall_seconds is None:
+            return self
+        if now is None:
+            now = time.monotonic()
+        return replace(self, deadline=now + self.max_wall_seconds)
+
+    def remaining_seconds(self, now: float | None = None) -> float | None:
+        """Seconds until the armed deadline (``None`` when unarmed)."""
+        if self.deadline is None:
+            return None
+        if now is None:
+            now = time.monotonic()
+        return self.deadline - now
+
+    def check_wall(self, stats: EvaluationStats | None = None) -> None:
+        """Raise :class:`BudgetExceeded` once the armed deadline passes."""
+        if self.deadline is None:
+            return
+        now = time.monotonic()
+        if now > self.deadline:
+            overrun = now - self.deadline
+            raise BudgetExceeded(
+                f"wall clock exceeded the {self.max_wall_seconds:.3f}s "
+                f"budget (over by {overrun:.3f}s)",
+                stats=stats,
+                limit="wall_clock",
+            )
 
     def check_relation(self, name: str, size: int,
                        stats: EvaluationStats | None = None) -> None:
@@ -46,22 +109,31 @@ class Budget:
                 f"relation {name} reached {size} tuples "
                 f"(budget {self.max_relation_tuples})",
                 stats=stats,
+                limit="relation_tuples",
             )
 
     def check_stats(self, stats: EvaluationStats) -> None:
-        """Raise :class:`BudgetExceeded` on aggregate overruns."""
+        """Raise :class:`BudgetExceeded` on aggregate overruns.
+
+        Also enforces the wall-clock deadline so the many existing
+        per-iteration ``check_stats`` call sites pick up deadlines
+        without each loop naming :meth:`check_wall` explicitly.
+        """
         if stats.total_relation_size > self.max_total_tuples:
             raise BudgetExceeded(
                 f"total generated tuples reached {stats.total_relation_size} "
                 f"(budget {self.max_total_tuples})",
                 stats=stats,
+                limit="total_tuples",
             )
         if stats.iterations > self.max_iterations:
             raise BudgetExceeded(
                 f"iteration count reached {stats.iterations} "
                 f"(budget {self.max_iterations})",
                 stats=stats,
+                limit="iterations",
             )
+        self.check_wall(stats)
 
 
 #: A budget that is large enough to never trip in ordinary use.

@@ -45,6 +45,19 @@ Subcommands::
         invariants, and shrink any disagreement to a minimal replayable
         repro file (see docs/differential_testing.md).
 
+    repro-datalog serve PROGRAM.dl [--query 'p(c, X)?' ...]
+                        [--workers 4] [--repeat 1] [--deadline SECS]
+                        [--strategy auto] [--metrics-out FILE]
+                        [--events FILE] [--stats]
+        Batch driver for the concurrent query service: serve the given
+        queries (times --repeat) from a thread pool over a
+        snapshot-isolated EDB view with full-selection memoization and
+        per-request deadlines, then print a serving summary (statuses,
+        p50/p99 latency, memo hit rate).  ``--metrics-out`` writes the
+        service metrics as Prometheus text (or JSON with a .json
+        suffix); ``--events`` streams per-request records to a JSONL
+        event log (see docs/serving.md).
+
     repro-datalog bench [--families e1,e2,e5] [--sizes 8,16,32]
                         [--repeats 5] [--out-dir .] [--check]
                         [--baseline-dir DIR] [--time-tolerance 1.6]
@@ -224,6 +237,66 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-shrink",
         action="store_true",
         help="report raw failing cases without delta-debugging them",
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="batch-serve queries concurrently with snapshot isolation, "
+        "memoization and deadlines",
+    )
+    serve.add_argument("program", type=Path, help="Datalog source file")
+    serve.add_argument(
+        "--query",
+        action="append",
+        default=[],
+        help="query text (repeatable; defaults to the queries found in "
+        "the file)",
+    )
+    serve.add_argument(
+        "--workers",
+        type=_nonnegative_int,
+        default=4,
+        help="thread-pool size (default: 4)",
+    )
+    serve.add_argument(
+        "--repeat",
+        type=_nonnegative_int,
+        default=1,
+        help="serve each query this many times (default: 1); repeats "
+        "exercise the full-selection memo",
+    )
+    serve.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        help="per-request wall-clock deadline in seconds "
+        "(default: none)",
+    )
+    serve.add_argument(
+        "--strategy",
+        choices=STRATEGIES,
+        default="auto",
+        help="evaluation strategy (default: auto)",
+    )
+    serve.add_argument(
+        "--metrics-out",
+        type=Path,
+        default=None,
+        help="write service metrics here: Prometheus text, or a JSON "
+        "snapshot when the suffix is .json",
+    )
+    serve.add_argument(
+        "--events",
+        type=Path,
+        default=None,
+        help="stream per-request service events to this JSONL file "
+        "(schema repro-events/1)",
+    )
+    serve.add_argument(
+        "--stats",
+        action="store_true",
+        help="print per-request answers and status lines, not just the "
+        "summary",
     )
 
     bench = sub.add_parser(
@@ -454,6 +527,93 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import json
+
+    from .observability import JsonlFileSink
+    from .service import QueryService, ServiceConfig
+
+    parsed = _load(args.program)
+    queries = [parse_query(q) for q in args.query] or list(parsed.queries)
+    if not queries:
+        print("no queries given (use --query or put 'p(c, X)?' in the file)")
+        return 1
+    if args.workers < 1:
+        print("error: --workers must be >= 1", file=sys.stderr)
+        return 2
+    if args.repeat < 1:
+        print("error: --repeat must be >= 1", file=sys.stderr)
+        return 2
+
+    requests = [q for q in queries for _ in range(args.repeat)]
+    config = ServiceConfig(
+        workers=args.workers,
+        default_deadline_s=args.deadline,
+    )
+    sink = JsonlFileSink(args.events) if args.events is not None else None
+    try:
+        with QueryService(
+            parsed.program, parsed.database, config, sink=sink
+        ) as service:
+            results = service.batch(requests, strategy=args.strategy)
+            metrics = service.metrics_dict()
+            metrics_text = service.metrics_text()
+    finally:
+        if sink is not None:
+            sink.close()
+
+    if args.stats:
+        for result in results:
+            line = (
+                f"{result.query}  status={result.status} "
+                f"answers={len(result.answers)} "
+                f"strategy={result.strategy} "
+                f"latency={result.latency_s * 1e3:.1f}ms"
+            )
+            if result.error:
+                line += f"  ({result.error})"
+            print(line)
+        print()
+
+    by_status = metrics["by_status"]
+    lat = metrics["latency_s"]
+    memo = metrics.get("memo", {})
+    lookups = memo.get("hits", 0) + memo.get("misses", 0)
+    hit_rate = memo.get("hits", 0) / lookups if lookups else 0.0
+    print(f"served {len(results)} requests on {args.workers} workers")
+    print(
+        "  statuses: "
+        + ", ".join(f"{k}={by_status[k]}" for k in sorted(by_status))
+    )
+    print(
+        f"  latency: p50={lat['p50'] * 1e3:.1f}ms "
+        f"p99={lat['p99'] * 1e3:.1f}ms max={lat['max'] * 1e3:.1f}ms"
+    )
+    print(
+        f"  memo: {memo.get('hits', 0)} hits / {lookups} lookups "
+        f"({hit_rate:.0%}), {memo.get('coalesced', 0)} coalesced, "
+        f"{memo.get('size', 0)} resident"
+    )
+    print(
+        f"  snapshots={metrics['snapshots_created']} "
+        f"retries={metrics['retries']} "
+        f"deadline_trips={metrics['deadline_trips']}"
+    )
+
+    if args.metrics_out is not None:
+        args.metrics_out.parent.mkdir(parents=True, exist_ok=True)
+        if args.metrics_out.suffix == ".json":
+            args.metrics_out.write_text(
+                json.dumps(metrics, indent=2, sort_keys=True) + "\n"
+            )
+        else:
+            args.metrics_out.write_text(metrics_text)
+        print(f"wrote {args.metrics_out}")
+
+    failed = sum(1 for r in results if r.status == "error")
+    return 0 if failed == 0 else 1
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     import json
 
@@ -557,6 +717,7 @@ def main(argv: list[str] | None = None) -> int:
         "profile": _cmd_profile,
         "report": _cmd_report,
         "fuzz": _cmd_fuzz,
+        "serve": _cmd_serve,
         "bench": _cmd_bench,
     }
     try:

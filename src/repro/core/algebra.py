@@ -247,6 +247,7 @@ def execute_plan_algebra(
         stats.record_relation("carry_1", len(carry))
         stats.record_relation("seen_1", len(seen_1))
     while carry:
+        budget.check_wall(stats)
         if stats is not None:
             stats.bump_iterations()
         produced = _run_joins(down, db, CARRY, frozenset(carry), stats)
@@ -265,6 +266,7 @@ def execute_plan_algebra(
         stats.record_relation("carry_2", len(carry))
         stats.record_relation("seen_2", len(seen_2))
     while carry:
+        budget.check_wall(stats)
         if stats is not None:
             stats.bump_iterations()
         produced = _run_joins(up, db, CARRY, frozenset(carry), stats)

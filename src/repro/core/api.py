@@ -27,13 +27,13 @@ from typing import Optional
 from ..budget import Budget, UNLIMITED
 from ..datalog.atoms import Atom
 from ..datalog.database import Database
-from ..datalog.errors import NotFullSelectionError
+from ..datalog.errors import BudgetExceeded, NotFullSelectionError
 from ..datalog.joins import evaluate_body, instantiate_args
 from ..datalog.programs import Program
 from ..datalog.terms import ConstValue, Variable
 from ..observability.tracer import live
 from ..stats import EvaluationStats
-from .analysis import RecursionAnalysis
+from .analysis import EquivalenceClass, RecursionAnalysis
 from .compiler import compile_plan, compile_selection
 from .detection import require_separable
 from .evaluator import execute_plan
@@ -41,7 +41,7 @@ from .plan import SeparablePlan
 from .rewrite import choose_rewrite_class, program_without_class
 from .selections import Selection, classify_selection
 
-__all__ = ["evaluate_separable"]
+__all__ = ["evaluate_separable", "full_selection_key"]
 
 
 def _assemble(
@@ -75,6 +75,84 @@ def _matches_query(fact: tuple, query: Atom) -> bool:
     return True
 
 
+def full_selection_key(
+    analysis: RecursionAnalysis,
+    selected_class: Optional[EquivalenceClass],
+    selected_positions: tuple[int, ...],
+    seed: tuple,
+    order: str,
+) -> tuple:
+    """The memo key identifying one full-selection carry/seen run.
+
+    A compiled plan is a pure function of the analysis and the selected
+    component, and a run of it is additionally a function of the seed
+    vector and the join order, so this tuple keys exactly the Lemma 2.1
+    unit of work a cross-request memo may share.  The analysis object
+    itself participates (it is a frozen dataclass), which keeps ``t``
+    and its ``t_part`` rewrite -- same predicate name, different
+    programs -- from colliding.  Callers scope the key to one database
+    snapshot (the service adds the EDB fingerprint).
+    """
+    component = (
+        ("class", selected_class.index)
+        if selected_class is not None
+        else ("pers", selected_positions)
+    )
+    return (analysis, component, tuple(seed), order)
+
+
+def _run_plan(
+    plan: SeparablePlan,
+    key: Optional[tuple],
+    db: Database,
+    seed: tuple,
+    stats: Optional[EvaluationStats],
+    budget: Budget,
+    order: str,
+    tracer=None,
+    memo=None,
+) -> frozenset[tuple]:
+    """Execute one full-selection plan, through the memo when given.
+
+    The memo (see :class:`repro.service.FullSelectionMemo`) caches and
+    coalesces on ``key``; each miss runs under a *fresh* branch
+    :class:`EvaluationStats` so the cached entry carries exactly the
+    work that one full selection cost, and every consumer -- first
+    evaluator or cache hit -- merges that branch into its own
+    accumulator.  A budget trip during the miss merges the partial
+    branch into the caller's stats before propagating, so union-level
+    handlers always see the complete picture.
+    """
+    if memo is None or key is None:
+        return execute_plan(
+            plan, db, [seed], stats=stats, budget=budget,
+            order=order, tracer=tracer,
+        )
+
+    def compute() -> tuple[frozenset[tuple], EvaluationStats]:
+        branch = EvaluationStats()
+        try:
+            tuples = execute_plan(
+                plan, db, [seed], stats=branch, budget=budget,
+                order=order, tracer=tracer,
+            )
+        except BudgetExceeded as exc:
+            if stats is not None:
+                stats.merge(branch)
+                exc.stats = stats
+            raise
+        return tuples, branch
+
+    tuples, branch = memo.get_or_run(key, compute)
+    if stats is not None:
+        stats.merge(branch)
+        # Branch misses are metered against a fresh accumulator, so the
+        # union-level limits must be re-applied to the merged totals --
+        # a cache hit still spends the caller's budget.
+        budget.check_stats(stats)
+    return tuples
+
+
 def _evaluate_full(
     selection: Selection,
     db: Database,
@@ -82,12 +160,15 @@ def _evaluate_full(
     budget: Budget,
     order: str,
     tracer=None,
+    memo=None,
 ) -> set[tuple]:
     plan = compile_selection(selection)
-    up_tuples = execute_plan(
-        plan, db, [selection.seed], stats=stats, budget=budget,
-        order=order, tracer=tracer,
+    key = full_selection_key(
+        selection.analysis, selection.selected_class,
+        selection.selected_positions, selection.seed, order,
     )
+    up_tuples = _run_plan(plan, key, db, selection.seed, stats, budget,
+                          order, tracer, memo)
     fixed = {p: selection.bound[p] for p in plan.selected_positions}
     return _assemble(selection.analysis.arity, plan, fixed, up_tuples)
 
@@ -100,60 +181,83 @@ def _evaluate_partial(
     order: str,
     allow_disconnected: bool = False,
     tracer=None,
+    memo=None,
 ) -> set[tuple]:
-    """Operational Lemma 2.1: ``t_part`` answers plus per-seed ``t_full``."""
+    """Operational Lemma 2.1: ``t_part`` answers plus per-seed ``t_full``.
+
+    The evaluation is a union of full selections.  When any branch
+    raises :class:`BudgetExceeded`, the exception leaves here carrying
+    the *merged* statistics of every completed branch (not just the
+    failing one) and the answers assembled so far as
+    :attr:`~repro.errors.BudgetExceeded.partial` -- the query service
+    degrades those into a ``PartialResult`` instead of a bare error.
+    """
     analysis = selection.analysis
     cls = choose_rewrite_class(analysis, set(selection.bound))
     answers: set[tuple] = set()
 
-    # t_part: the recursion without cls; the same query is full there
-    # because cls's columns are persistent in t_part.
-    part_program = program_without_class(analysis, cls)
-    part_analysis = require_separable(
-        part_program, analysis.predicate,
-        allow_disconnected=allow_disconnected,
-    )
-    part_selection = classify_selection(part_analysis, selection.query)
-    if part_selection.is_full:
-        answers |= _evaluate_full(part_selection, db, stats, budget,
-                                  order, tracer)
-    else:  # pragma: no cover - cannot happen: bound cls columns are pers
-        answers |= _evaluate_partial(
-            part_selection, db, stats, budget, order,
-            allow_disconnected=allow_disconnected, tracer=tracer,
+    try:
+        # t_part: the recursion without cls; the same query is full
+        # there because cls's columns are persistent in t_part.
+        part_program = program_without_class(analysis, cls)
+        part_analysis = require_separable(
+            part_program, analysis.predicate,
+            allow_disconnected=allow_disconnected,
         )
+        part_selection = classify_selection(part_analysis, selection.query)
+        if part_selection.is_full:
+            answers |= _evaluate_full(part_selection, db, stats, budget,
+                                      order, tracer, memo)
+        else:  # pragma: no cover - cannot happen: bound cls cols are pers
+            answers |= _evaluate_partial(
+                part_selection, db, stats, budget, order,
+                allow_disconnected=allow_disconnected, tracer=tracer,
+                memo=memo,
+            )
 
-    # t_full: sideways pass through each rule of cls produces fully
-    # bound seeds; evaluate the original recursion once per seed.
-    plan = compile_plan(analysis, selected_class=cls)
-    head_vars = analysis.head_vars
-    init = {
-        head_vars[p]: selection.bound[p]
-        for p in cls.positions
-        if p in selection.bound
-    }
-    seed_terms = {
-        a.index: tuple(a.recursive_atom.args[p] for p in cls.positions)
-        for a in analysis.rules_of_class(cls)
-    }
-    head_terms = tuple(head_vars[p] for p in cls.positions)
-    seed_cache: dict[tuple, frozenset[tuple]] = {}
-    for a in analysis.rules_of_class(cls):
-        for bindings in evaluate_body(
-            db, a.nonrecursive_atoms, initial_bindings=init, stats=stats,
-            order=order, tracer=tracer,
-        ):
-            seed = instantiate_args(seed_terms[a.index], bindings)
-            fixed_values = instantiate_args(head_terms, bindings)
-            cached = seed_cache.get(seed)
-            if cached is None:
-                cached = execute_plan(
-                    plan, db, [seed], stats=stats, budget=budget,
-                    order=order, tracer=tracer,
-                )
-                seed_cache[seed] = cached
-            fixed = dict(zip(cls.positions, fixed_values))
-            answers |= _assemble(analysis.arity, plan, fixed, cached)
+        # t_full: sideways pass through each rule of cls produces fully
+        # bound seeds; evaluate the original recursion once per seed.
+        plan = compile_plan(analysis, selected_class=cls)
+        head_vars = analysis.head_vars
+        init = {
+            head_vars[p]: selection.bound[p]
+            for p in cls.positions
+            if p in selection.bound
+        }
+        seed_terms = {
+            a.index: tuple(a.recursive_atom.args[p] for p in cls.positions)
+            for a in analysis.rules_of_class(cls)
+        }
+        head_terms = tuple(head_vars[p] for p in cls.positions)
+        seed_cache: dict[tuple, frozenset[tuple]] = {}
+        for a in analysis.rules_of_class(cls):
+            for bindings in evaluate_body(
+                db, a.nonrecursive_atoms, initial_bindings=init,
+                stats=stats, order=order, tracer=tracer,
+            ):
+                seed = instantiate_args(seed_terms[a.index], bindings)
+                fixed_values = instantiate_args(head_terms, bindings)
+                cached = seed_cache.get(seed)
+                if cached is None:
+                    key = full_selection_key(
+                        analysis, cls, cls.positions, seed, order,
+                    )
+                    cached = _run_plan(plan, key, db, seed, stats,
+                                       budget, order, tracer, memo)
+                    seed_cache[seed] = cached
+                fixed = dict(zip(cls.positions, fixed_values))
+                answers |= _assemble(analysis.arity, plan, fixed, cached)
+    except BudgetExceeded as exc:
+        # The failing branch attached only its own stats; replace them
+        # with the union accumulator (which the completed branches
+        # already merged into) and keep the answers assembled so far.
+        if stats is not None:
+            exc.stats = stats
+        if exc.partial is None:
+            exc.partial = frozenset(
+                f for f in answers if _matches_query(f, selection.query)
+            )
+        raise
     return answers
 
 
@@ -167,6 +271,7 @@ def evaluate_separable(
     order: str = "greedy",
     allow_disconnected: bool = False,
     tracer=None,
+    memo=None,
 ) -> frozenset[tuple]:
     """Answer a selection query on a separable recursion.
 
@@ -183,6 +288,14 @@ def evaluate_separable(
         The query atom; at least one argument must be a constant.
     analysis:
         A pre-computed :class:`RecursionAnalysis` to skip re-detection.
+    memo:
+        An optional full-selection memo (anything with ``get_or_run(key,
+        compute)``, e.g. :class:`repro.service.FullSelectionMemo`):
+        every carry/seen run -- the direct one for a full selection, and
+        each branch of the Lemma 2.1 union for a partial one -- is
+        served from it when already answered, and computed once under a
+        fresh branch ``EvaluationStats`` otherwise.  The caller must
+        scope the memo (or the keys) to this exact ``db`` snapshot.
 
     Returns the full-arity answer tuples matching the query atom.
     """
@@ -203,11 +316,12 @@ def evaluate_separable(
         )
     if selection.is_full:
         answers = _evaluate_full(selection, db, stats, budget, order,
-                                 tracer)
+                                 tracer, memo)
     else:
         answers = _evaluate_partial(
             selection, db, stats, budget, order,
             allow_disconnected=allow_disconnected, tracer=tracer,
+            memo=memo,
         )
     result = frozenset(
         fact for fact in answers if _matches_query(fact, query)

@@ -115,6 +115,9 @@ def _carry_loop(
     view = _with_pseudo(db, CARRY, carry_rel)
     with span_cm as span:
         while carry:
+            # Wall-clock deadlines must trip even for stats-less
+            # callers (the stats-guarded checks below cannot).
+            budget.check_wall(stats)
             if stats is not None:
                 stats.bump_iterations()
             if tracer is not None:

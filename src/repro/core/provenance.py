@@ -111,6 +111,7 @@ def _traced_loop(
         carry.add(s)
         parents.setdefault(s, None)
     while carry:
+        budget.check_wall(stats)
         if stats is not None:
             stats.bump_iterations()
         view = _with_pseudo(db, CARRY, Relation(CARRY, arity, carry))

@@ -48,6 +48,7 @@ def naive_evaluate(
     with span_cm:
         changed = True
         while changed:
+            budget.check_wall(stats)
             changed = False
             new_facts = 0
             if stats is not None:

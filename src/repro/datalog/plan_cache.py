@@ -45,6 +45,7 @@ level at a time.  No caller does this.
 
 from __future__ import annotations
 
+import threading
 from typing import Iterator, Mapping, Optional, Sequence
 
 from ..stats import EvaluationStats
@@ -613,7 +614,7 @@ def _compile_sequence(
 
 
 class PlanCache:
-    """FIFO-bounded cache of :class:`JoinPlan` objects.
+    """FIFO-bounded, thread-safe cache of :class:`JoinPlan` objects.
 
     Keyed by ``(body atoms, bound-variable signature, atom sequence)``
     -- everything a plan is a function of, so entries can never be
@@ -621,9 +622,17 @@ class PlanCache:
     ``hits`` / ``misses`` / ``compiles`` mirror the tracer counters
     ``plan_cache_hits`` / ``plan_cache_misses`` / ``plan_compiles``
     for callers without a tracer.
+
+    The module-global :data:`PLAN_CACHE` is shared by every evaluator in
+    the process, including the query service's worker threads, so the
+    whole miss/compile/evict sequence and the counters run under one
+    lock.  Compilation itself happens outside the lock (it is pure and
+    at worst duplicated by two racing threads -- the second result wins,
+    counted as one extra compile, never a dropped entry).
     """
 
-    __slots__ = ("maxsize", "hits", "misses", "compiles", "_plans")
+    __slots__ = ("maxsize", "hits", "misses", "compiles", "_plans",
+                 "_lock")
 
     def __init__(self, maxsize: int = 4096) -> None:
         self.maxsize = maxsize
@@ -631,6 +640,7 @@ class PlanCache:
         self.misses = 0
         self.compiles = 0
         self._plans: dict[tuple, JoinPlan] = {}
+        self._lock = threading.Lock()
 
     def plan_for(
         self,
@@ -669,13 +679,14 @@ class PlanCache:
                 key = (body, bound_vars, "greedy")
         else:
             key = (body, bound_vars, order)
-        plan = self._plans.get(key)
-        if plan is not None:
-            self.hits += 1
-            if tracer is not None:
-                tracer.count("plan_cache_hits")
-            return plan
-        self.misses += 1
+        with self._lock:
+            plan = self._plans.get(key)
+            if plan is not None:
+                self.hits += 1
+                if tracer is not None:
+                    tracer.count("plan_cache_hits")
+                return plan
+            self.misses += 1
         if tracer is not None:
             tracer.count("plan_cache_misses")
         if order == "greedy":
@@ -687,29 +698,38 @@ class PlanCache:
                 body, bound_vars, order,
                 _order_left_to_right(body, bound_vars),
             )
-        self.compiles += 1
         if tracer is not None:
             tracer.count("plan_compiles")
-        if len(self._plans) >= self.maxsize:  # FIFO eviction
-            del self._plans[next(iter(self._plans))]
-        self._plans[key] = plan
+        with self._lock:
+            self.compiles += 1
+            # Evict strictly *before* inserting, and only entries other
+            # than ours: the insert below always lands, so the entry
+            # just compiled can never be the one evicted.
+            while len(self._plans) >= self.maxsize:  # FIFO eviction
+                oldest = next(iter(self._plans))
+                if oldest == key:  # pragma: no cover - defensive
+                    break
+                del self._plans[oldest]
+            self._plans[key] = plan
         return plan
 
     def clear(self) -> None:
         """Drop all plans and zero the counters."""
-        self._plans.clear()
-        self.hits = 0
-        self.misses = 0
-        self.compiles = 0
+        with self._lock:
+            self._plans.clear()
+            self.hits = 0
+            self.misses = 0
+            self.compiles = 0
 
     def stats(self) -> dict[str, int]:
         """Counter snapshot: ``{size, hits, misses, compiles}``."""
-        return {
-            "size": len(self._plans),
-            "hits": self.hits,
-            "misses": self.misses,
-            "compiles": self.compiles,
-        }
+        with self._lock:
+            return {
+                "size": len(self._plans),
+                "hits": self.hits,
+                "misses": self.misses,
+                "compiles": self.compiles,
+            }
 
     def __len__(self) -> int:
         return len(self._plans)

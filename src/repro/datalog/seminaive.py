@@ -142,6 +142,7 @@ def seminaive_stratum(
         variant_cache = {id(r): _delta_variants(r, scc) for r in rules}
 
         while any(deltas[p] for p in scc):
+            budget.check_wall(stats)
             if stats is not None:
                 for p in scc:
                     stats.record_relation(p, db.size(p))

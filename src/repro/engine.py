@@ -347,6 +347,8 @@ class Engine:
         strategy: str = "auto",
         stats: Optional[EvaluationStats] = None,
         tracer=None,
+        budget: Optional[Budget] = None,
+        memo=None,
     ) -> QueryResult:
         """Answer a query under the chosen strategy.
 
@@ -357,6 +359,14 @@ class Engine:
         on non-separable predicates.  ``tracer`` overrides the engine's
         default tracer for this one call; base-IDB materialization is
         cached across queries and therefore never traced.
+
+        ``budget`` overrides the engine's budget for this one call (the
+        query service threads per-request deadline budgets through
+        here); either way the wall clock is armed afresh via
+        :meth:`Budget.start_clock`, so a ``max_wall_seconds`` limit
+        means "per query", never "since the engine was built".  ``memo``
+        is an optional full-selection memo forwarded to the Separable
+        strategies (see :func:`repro.core.api.evaluate_separable`).
         """
         if isinstance(query, str):
             query = parse_query(query)
@@ -370,6 +380,10 @@ class Engine:
             )
         if stats is None:
             stats = EvaluationStats()
+        if budget is None:
+            budget = self.budget
+        if budget.deadline is None:
+            budget = budget.start_clock()
         tracer = live(tracer if tracer is not None else self.tracer)
 
         report: Optional[SeparabilityReport] = None
@@ -387,7 +401,8 @@ class Engine:
                 chosen = "magic"
 
         stats.strategy = chosen
-        answers = self._dispatch(chosen, query, report, stats, tracer)
+        answers = self._dispatch(chosen, query, report, stats, tracer,
+                                 budget, memo)
         plan: Optional[SeparablePlan] = None
         if chosen in ("separable", "relaxed", "nodedup"):
             plan = self.plan_for(query)
@@ -444,7 +459,11 @@ class Engine:
         report: Optional[SeparabilityReport],
         stats: EvaluationStats,
         tracer=None,
+        budget: Optional[Budget] = None,
+        memo=None,
     ) -> frozenset[tuple]:
+        if budget is None:
+            budget = self.budget
         if strategy in ("separable", "relaxed"):
             assert report is not None
             acceptable = report.separable or (
@@ -469,10 +488,11 @@ class Engine:
                 query,
                 analysis=report.analysis,
                 stats=stats,
-                budget=self.budget,
+                budget=budget,
                 order=self.order,
                 allow_disconnected=strategy == "relaxed",
                 tracer=tracer,
+                memo=memo,
             )
         if strategy == "nodedup":
             assert report is not None
@@ -496,7 +516,7 @@ class Engine:
                 self._database_for(query.predicate),
                 [selection.seed],
                 stats=stats,
-                budget=self.budget,
+                budget=budget,
                 order=self.order,
                 tracer=tracer,
             )
@@ -517,7 +537,7 @@ class Engine:
         if strategy == "magic":
             return evaluate_magic(
                 self.program, self.edb, query,
-                stats=stats, budget=self.budget, order=self.order,
+                stats=stats, budget=budget, order=self.order,
                 tracer=tracer,
             )
         if strategy == "counting":
@@ -526,7 +546,7 @@ class Engine:
                 self._database_for(query.predicate),
                 query,
                 stats=stats,
-                budget=self.budget,
+                budget=budget,
                 order=self.order,
                 tracer=tracer,
             )
@@ -536,7 +556,7 @@ class Engine:
                 self._database_for(query.predicate),
                 query,
                 stats=stats,
-                budget=self.budget,
+                budget=budget,
                 order=self.order,
                 tracer=tracer,
             )
@@ -545,7 +565,7 @@ class Engine:
         )
         materialized = evaluate(
             self.program, self.edb,
-            stats=stats, budget=self.budget, order=self.order,
+            stats=stats, budget=budget, order=self.order,
             tracer=tracer,
         )
         return frozenset(

@@ -70,16 +70,46 @@ class EvaluationError(ReproError):
 
 
 class BudgetExceeded(EvaluationError):
-    """An evaluation exceeded its tuple or iteration budget.
+    """An evaluation exceeded one of its budget limits.
 
     Used to stop the exponential baselines (Generalized Counting, the
-    Henschen-Naqvi-style levelwise method) gracefully in benchmarks.
-    The partially accumulated statistics are attached as :attr:`stats`.
+    Henschen-Naqvi-style levelwise method) gracefully in benchmarks, and
+    by the query service to enforce per-request deadlines.
+
+    Attributes
+    ----------
+    stats:
+        The partially accumulated :class:`repro.stats.EvaluationStats`.
+        When the trip happened inside a Lemma 2.1 union evaluation this
+        is the *merged* accumulator over every already-completed full
+        selection, not just the failing branch.
+    limit:
+        Which limit tripped: ``"relation_tuples"``, ``"total_tuples"``,
+        ``"iterations"`` or ``"wall_clock"`` (``None`` for callers that
+        raise without tagging).  ``"wall_clock"`` trips are the only
+        ones worth retrying -- every other limit is deterministic.
+    partial:
+        Answers from completed union branches, when the evaluation can
+        degrade gracefully (``None`` when nothing was completed or the
+        strategy cannot produce partial answers).
     """
 
-    def __init__(self, message: str, stats: object | None = None) -> None:
+    def __init__(
+        self,
+        message: str,
+        stats: object | None = None,
+        limit: str | None = None,
+        partial: frozenset | None = None,
+    ) -> None:
         self.stats = stats
+        self.limit = limit
+        self.partial = partial
         super().__init__(message)
+
+    @property
+    def retryable(self) -> bool:
+        """True when retrying might succeed (wall-clock contention)."""
+        return self.limit == "wall_clock"
 
 
 class CyclicDataError(EvaluationError):

@@ -343,6 +343,7 @@ def evaluate_counting(
     )
     with descent_cm as descent_span:
         while frontier:
+            budget.check_wall(stats)
             if level >= max_levels:
                 raise CyclicDataError(
                     f"counting descent exceeded {max_levels} levels; the "
@@ -417,6 +418,7 @@ def evaluate_counting(
                 ((carry_atom,) + tuple(exit_rule.body), output)
             )
         for (lvl, path), values in count.items():
+            budget.check_wall(stats)
             exit_carry.clear()
             exit_carry.add_all(values)
             produced: set[tuple] = set()
@@ -449,6 +451,7 @@ def evaluate_counting(
         for key in count:
             by_level.setdefault(key[0], []).append(key)
         for lvl in range(max(by_level, default=0), 0, -1):
+            budget.check_wall(stats)
             for key in by_level.get(lvl, ()):
                 if key not in answers_at:
                     continue

@@ -68,6 +68,7 @@ def _carry_loop_nodedup(
     )
     with span_cm:
         while carry:
+            budget.check_wall(stats)
             if stats is not None:
                 stats.bump_iterations()
             if tracer is not None:

@@ -1,0 +1,36 @@
+"""Concurrent query serving over the Separable evaluator.
+
+The paper closes (Section 5) by casting the compiled Separable method
+as "a useful component of a recursive query processor".  This package
+is that component grown to service shape: a thread pool answering many
+selections at once over a mutating EDB, with snapshot isolation
+(:meth:`~repro.datalog.database.Database.fingerprint`-keyed immutable
+copies), cross-request full-selection memoization (the Lemma 2.1 cache
+unit, with in-flight coalescing), and per-request wall-clock deadline
+budgets with graceful degradation to partial union results.
+
+Entry points: :class:`QueryService` (the server),
+:class:`ServiceConfig` (tunables), :class:`ServiceResult` /
+:class:`PartialResult` (responses), :class:`FullSelectionMemo` (the
+cache), :class:`ServiceMetrics` / :class:`MetricsTracer` (aggregated
+observability, exportable as Prometheus text or JSON).
+"""
+
+from .memo import FullSelectionMemo
+from .metrics import MetricsTracer, ServiceMetrics
+from .service import (
+    PartialResult,
+    QueryService,
+    ServiceConfig,
+    ServiceResult,
+)
+
+__all__ = [
+    "QueryService",
+    "ServiceConfig",
+    "ServiceResult",
+    "PartialResult",
+    "FullSelectionMemo",
+    "ServiceMetrics",
+    "MetricsTracer",
+]

@@ -1,0 +1,282 @@
+"""Service metrics: thread-safe counters, latency quantiles, exports.
+
+Two pieces:
+
+:class:`MetricsTracer`
+    A thread-safe tracer facade satisfying the evaluator tracer
+    protocol (``span`` / ``count`` / ``record``; see
+    :mod:`repro.observability.tracer`).  The service hands one shared
+    instance to every worker's evaluation, so the per-loop counters the
+    evaluators already emit -- ``iterations``, ``tuples_examined``,
+    ``plan_cache_hits``, per-loop ``separable.loop`` span opens --
+    aggregate across all requests with no per-request tracer objects.
+    Spans are counted (``span:<name>``), not materialized: a service
+    cannot keep an unbounded forest.  The stress test's "the carry loop
+    ran exactly once for K coalesced duplicates" assertion reads
+    ``span:separable.loop`` here.
+
+:class:`ServiceMetrics`
+    Request-level aggregates -- queue depth, per-status request counts,
+    retries, deadline trips, latency reservoir with p50/p99 -- plus the
+    exporters: :meth:`ServiceMetrics.to_metrics_text` renders the
+    Prometheus text format (same conventions as
+    :func:`repro.observability.export.to_metrics_text`, so one scrape
+    pipeline handles traces and the service alike), and
+    :meth:`ServiceMetrics.as_dict` the JSON shape the CLI batch driver
+    writes as its artifact.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from ..observability.export import _metric_name
+
+__all__ = ["MetricsTracer", "ServiceMetrics"]
+
+
+class MetricsTracer:
+    """Aggregating, thread-safe stand-in for a recording tracer.
+
+    Every counter bump and span open lands in one flat dict under a
+    lock; series observations are dropped (unbounded per-iteration data
+    has no place in service-lifetime aggregates).  Satisfies
+    :func:`repro.observability.tracer.live` via ``enabled = True``.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, int] = {}
+
+    @contextmanager
+    def span(self, name: str, **attrs) -> Iterator[None]:
+        self.count(f"span:{name}")
+        yield None
+
+    def count(self, name: str, n: int = 1) -> None:
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + n
+
+    def record(self, name: str, value) -> None:
+        pass
+
+    def counter_total(self, name: str) -> int:
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def counters(self) -> dict[str, int]:
+        """A snapshot of every aggregated counter."""
+        with self._lock:
+            return dict(self._counters)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._counters.clear()
+
+
+def _quantile(sorted_values: list[float], q: float) -> float:
+    """Nearest-rank quantile of an already-sorted nonempty list."""
+    if not sorted_values:
+        return 0.0
+    rank = max(0, min(len(sorted_values) - 1,
+                      round(q * (len(sorted_values) - 1))))
+    return sorted_values[rank]
+
+
+class ServiceMetrics:
+    """Request-level aggregates for one :class:`~repro.service.QueryService`.
+
+    All methods are thread-safe.  ``latency_capacity`` bounds the
+    latency reservoir (most recent completions win), keeping a
+    long-lived service's memory flat while the quantiles track current
+    behaviour.
+    """
+
+    def __init__(self, latency_capacity: int = 65_536) -> None:
+        self._lock = threading.Lock()
+        self.tracer = MetricsTracer()
+        self._submitted = 0
+        self._started = 0
+        self._completed = 0
+        self._by_status: dict[str, int] = {}
+        self._retries = 0
+        self._deadline_trips = 0
+        self._snapshots_created = 0
+        self._latencies: deque[float] = deque(maxlen=latency_capacity)
+
+    # -- recording (called by the service) --------------------------------
+
+    def request_submitted(self) -> None:
+        with self._lock:
+            self._submitted += 1
+
+    def request_started(self) -> None:
+        with self._lock:
+            self._started += 1
+
+    def request_completed(self, status: str, latency_s: float) -> None:
+        with self._lock:
+            self._completed += 1
+            self._by_status[status] = self._by_status.get(status, 0) + 1
+            self._latencies.append(latency_s)
+
+    def retry(self) -> None:
+        with self._lock:
+            self._retries += 1
+
+    def deadline_trip(self) -> None:
+        with self._lock:
+            self._deadline_trips += 1
+
+    def snapshot_created(self) -> None:
+        with self._lock:
+            self._snapshots_created += 1
+
+    # -- reading ------------------------------------------------------------
+
+    @property
+    def queue_depth(self) -> int:
+        """Requests submitted but not yet picked up by a worker."""
+        with self._lock:
+            return self._submitted - self._started
+
+    @property
+    def in_flight(self) -> int:
+        """Requests currently being evaluated."""
+        with self._lock:
+            return self._started - self._completed
+
+    def latency_quantile(self, q: float) -> float:
+        with self._lock:
+            values = sorted(self._latencies)
+        return _quantile(values, q)
+
+    def as_dict(self, memo_stats: Optional[dict] = None) -> dict:
+        """JSON-ready snapshot (the batch driver's artifact payload)."""
+        with self._lock:
+            values = sorted(self._latencies)
+            out: dict = {
+                "requests_submitted": self._submitted,
+                "requests_completed": self._completed,
+                "queue_depth": self._submitted - self._started,
+                "in_flight": self._started - self._completed,
+                "by_status": dict(self._by_status),
+                "retries": self._retries,
+                "deadline_trips": self._deadline_trips,
+                "snapshots_created": self._snapshots_created,
+                "latency_s": {
+                    "count": len(values),
+                    "p50": _quantile(values, 0.50),
+                    "p99": _quantile(values, 0.99),
+                    "max": values[-1] if values else 0.0,
+                },
+            }
+        out["evaluator_counters"] = self.tracer.counters()
+        if memo_stats is not None:
+            out["memo"] = dict(memo_stats)
+        return out
+
+    def to_metrics_text(self, memo_stats: Optional[dict] = None) -> str:
+        """Prometheus text exposition of the service's current state.
+
+        ``repro_service_*`` gauges/counters/summary plus every
+        aggregated evaluator counter under the same
+        ``repro_<counter>_total`` names
+        :func:`repro.observability.export.to_metrics_text` uses -- one
+        scrape config covers offline traces and the live service.
+        """
+        snap = self.as_dict(memo_stats=memo_stats)
+        lines: list[str] = []
+
+        def gauge(name: str, help_text: str, value) -> None:
+            metric = f"repro_service_{name}"
+            lines.append(f"# HELP {metric} {help_text}")
+            lines.append(f"# TYPE {metric} gauge")
+            lines.append(f"{metric} {value}")
+
+        gauge("queue_depth", "Requests waiting for a worker.",
+              snap["queue_depth"])
+        gauge("in_flight", "Requests currently evaluating.",
+              snap["in_flight"])
+
+        lines.append("# HELP repro_service_requests_total Completed "
+                     "requests by status.")
+        lines.append("# TYPE repro_service_requests_total counter")
+        for status in sorted(snap["by_status"]):
+            lines.append(
+                f'repro_service_requests_total{{status="{status}"}} '
+                f"{snap['by_status'][status]}"
+            )
+        for name, help_text in (
+            ("retries_total", "Attempts retried after a transient trip."),
+            ("deadline_trips_total", "Wall-clock budget trips."),
+            ("snapshots_total", "EDB snapshots materialized."),
+        ):
+            key = {
+                "retries_total": "retries",
+                "deadline_trips_total": "deadline_trips",
+                "snapshots_total": "snapshots_created",
+            }[name]
+            metric = f"repro_service_{name}"
+            lines.append(f"# HELP {metric} {help_text}")
+            lines.append(f"# TYPE {metric} counter")
+            lines.append(f"{metric} {snap[key]}")
+
+        lat = snap["latency_s"]
+        lines.append("# HELP repro_service_latency_seconds Request "
+                     "latency quantiles over the recent reservoir.")
+        lines.append("# TYPE repro_service_latency_seconds summary")
+        lines.append(
+            f'repro_service_latency_seconds{{quantile="0.5"}} '
+            f"{lat['p50']:.6f}"
+        )
+        lines.append(
+            f'repro_service_latency_seconds{{quantile="0.99"}} '
+            f"{lat['p99']:.6f}"
+        )
+        lines.append(f"repro_service_latency_seconds_count {lat['count']}")
+
+        if memo_stats is not None:
+            lines.append("# HELP repro_service_memo_events_total "
+                         "Full-selection memo events by kind.")
+            lines.append("# TYPE repro_service_memo_events_total counter")
+            for kind in ("hits", "misses", "coalesced", "evictions"):
+                lines.append(
+                    f'repro_service_memo_events_total{{kind="{kind}"}} '
+                    f"{memo_stats.get(kind, 0)}"
+                )
+            gauge("memo_size", "Entries resident in the memo.",
+                  memo_stats.get("size", 0))
+
+        plain: dict[str, int] = {}
+        labelled: dict[str, dict[str, int]] = {}
+        for name, value in snap["evaluator_counters"].items():
+            if ":" in name:
+                metric, _, label = name.partition(":")
+                labelled.setdefault(metric, {})[label] = value
+            else:
+                plain[name] = value
+        for name in sorted(plain):
+            metric = _metric_name(name)
+            lines.append(
+                f"# HELP {metric} Evaluator counter {name!r} summed "
+                f"over all requests."
+            )
+            lines.append(f"# TYPE {metric} counter")
+            lines.append(f"{metric} {plain[name]}")
+        for name in sorted(labelled):
+            metric = _metric_name(name)
+            lines.append(
+                f"# HELP {metric} Evaluator counter {name!r} by label."
+            )
+            lines.append(f"# TYPE {metric} counter")
+            for label in sorted(labelled[name]):
+                lines.append(
+                    f'{metric}{{rule="{label}"}} {labelled[name][label]}'
+                )
+        return "\n".join(lines) + "\n"

@@ -1,0 +1,470 @@
+"""A concurrent query service over one program and one mutable EDB.
+
+:class:`QueryService` is the deployment shape the paper's Section 5
+sketches ("a useful component of a recursive query processor") grown to
+serving size: a thread pool answers many queries at once while the EDB
+keeps changing underneath, with three guarantees no bare
+:class:`~repro.engine.Engine` call gives:
+
+**Snapshot isolation.**  Each request is served against an immutable
+copy of the EDB captured at dequeue time, keyed on
+:meth:`~repro.datalog.database.Database.fingerprint`.  Capture and
+mutation are serialized on one lock (mutations go through
+:meth:`QueryService.mutate`), so a fingerprint can never be torn --
+every answer is exactly the serial answer for *some* database state the
+service actually passed through.  Snapshots are shared by every request
+that sees the same fingerprint and a small LRU keeps recent ones warm
+across a mutation burst.
+
+**Full-selection memoization.**  Lemma 2.1 reduces every selection to a
+union of full selections; the service threads a
+:class:`~repro.service.FullSelectionMemo` (scoped to the snapshot
+fingerprint) through the Separable evaluator, so already-answered full
+selections are served from cache and K concurrent identical ones
+coalesce onto a single carry/seen run.
+
+**Deadline budgets.**  Every request runs under a per-attempt
+:class:`~repro.budget.Budget` whose wall clock is armed at submission:
+a divergent or overweight evaluation trips
+:class:`~repro.errors.BudgetExceeded` inside its fixpoint loop instead
+of pinning a worker.  Wall-clock trips (the only retryable kind) get
+bounded retry with exponential backoff; a Lemma 2.1 union that dies
+mid-way degrades into a :class:`PartialResult` carrying the merged
+:class:`~repro.stats.EvaluationStats` and answers of its completed
+branches.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional, Sequence, Union
+
+from ..budget import Budget, UNLIMITED
+from ..datalog.atoms import Atom
+from ..datalog.database import Database
+from ..datalog.errors import BudgetExceeded, ReproError
+from ..datalog.parser import parse_query
+from ..datalog.programs import Program
+from ..engine import Engine, QueryResult
+from ..observability.events import EVENT_SCHEMA, EventSink
+from ..stats import EvaluationStats
+from .memo import FullSelectionMemo
+from .metrics import ServiceMetrics
+
+__all__ = [
+    "ServiceConfig",
+    "PartialResult",
+    "ServiceResult",
+    "QueryService",
+]
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tunables for one :class:`QueryService`.
+
+    Attributes
+    ----------
+    workers:
+        Thread-pool size.
+    memo_size:
+        Bound on the full-selection memo (entries, LRU).
+    snapshot_cache_size:
+        How many recent EDB snapshots to keep warm.
+    default_deadline_s:
+        Per-request wall-clock deadline applied when a request names
+        none (``None`` = no deadline).  Measured from submission, so
+        queue wait counts -- a deadline is a promise to the caller,
+        not to the evaluator.
+    max_retries:
+        Extra attempts after a *retryable* (wall-clock) budget trip.
+    retry_backoff_s:
+        Sleep before the first retry; doubles per attempt.
+    order:
+        Join order handed to every evaluation.
+    budget:
+        Base tuple/iteration budget shared by all requests; the
+        per-request deadline is layered onto a copy.
+    """
+
+    workers: int = 4
+    memo_size: int = 1024
+    snapshot_cache_size: int = 4
+    default_deadline_s: Optional[float] = None
+    max_retries: int = 1
+    retry_backoff_s: float = 0.02
+    order: str = "greedy"
+    budget: Budget = UNLIMITED
+
+
+@dataclass(frozen=True)
+class PartialResult:
+    """What a deadline-tripped union evaluation still managed to answer.
+
+    ``stats`` is the *merged* :class:`EvaluationStats` over every
+    completed full selection of the Lemma 2.1 union (plus the failing
+    branch's partial work) -- see the satellite contract in
+    :mod:`repro.core.api`.
+    """
+
+    answers: frozenset
+    stats: Optional[EvaluationStats]
+    reason: str
+    limit: Optional[str]
+
+
+@dataclass(frozen=True)
+class ServiceResult:
+    """One served request: answers plus serving provenance.
+
+    ``status`` is ``"ok"`` (complete answers), ``"partial"`` (budget
+    tripped mid-union; ``partial`` carries what completed) or
+    ``"error"`` (no answers; ``error`` says why).  ``fingerprint`` is
+    the EDB fingerprint of the snapshot the request was served against
+    -- the handle callers use to reason about which database state they
+    observed.
+    """
+
+    query: Atom
+    strategy: str
+    status: str
+    answers: frozenset
+    stats: Optional[EvaluationStats]
+    fingerprint: tuple
+    latency_s: float
+    attempts: int
+    error: Optional[str] = None
+    limit: Optional[str] = None
+    partial: Optional[PartialResult] = None
+    result: Optional[QueryResult] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def __len__(self) -> int:
+        return len(self.answers)
+
+    def sorted(self) -> list[tuple]:
+        """Answers in a stable order (for display and tests)."""
+        return sorted(self.answers, key=repr)
+
+
+@dataclass
+class _Snapshot:
+    """One immutable EDB state with its per-state engine."""
+
+    fingerprint: tuple
+    db: Database
+    engine: Engine
+
+
+class QueryService:
+    """Serve concurrent queries over a snapshot-isolated EDB view.
+
+    Use as a context manager (or call :meth:`close`); the thread pool
+    holds non-daemon workers.  ``sink`` is an optional
+    :class:`~repro.observability.EventSink` receiving one
+    ``service_request`` event per completion (the stream opens with a
+    standard ``trace_start`` record so
+    :func:`repro.observability.read_events` accepts it; trace replay
+    skips the service records as unknown types).
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        edb: Database,
+        config: Optional[ServiceConfig] = None,
+        metrics: Optional[ServiceMetrics] = None,
+        sink: Optional[EventSink] = None,
+    ) -> None:
+        self.program = program
+        self.edb = edb
+        self.config = config or ServiceConfig()
+        self.metrics = metrics or ServiceMetrics()
+        self.memo = FullSelectionMemo(self.config.memo_size)
+        self._sink = sink
+        self._sink_lock = threading.Lock()
+        if sink is not None:
+            sink.emit(
+                {
+                    "type": "trace_start",
+                    "schema": EVENT_SCHEMA,
+                    "context": {"component": "service",
+                                "workers": self.config.workers},
+                }
+            )
+        self._snapshot_lock = threading.Lock()
+        self._snapshots: OrderedDict[tuple, _Snapshot] = OrderedDict()
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.config.workers,
+            thread_name_prefix="repro-service",
+        )
+        self._closed = False
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def close(self, wait: bool = True) -> None:
+        """Stop accepting work and (by default) drain the pool."""
+        self._closed = True
+        self._executor.shutdown(wait=wait)
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- mutation and snapshots ---------------------------------------------
+
+    def mutate(self, fn: Callable[[Database], object]) -> object:
+        """Apply a mutation to the live EDB, atomically w.r.t. snapshots.
+
+        ``fn`` receives the live database; whatever it returns is
+        passed through.  Because snapshot capture holds the same lock,
+        no request can ever observe a half-applied mutation (a "torn"
+        fingerprint): it is served against the state before ``fn`` or
+        after it, never during.
+        """
+        with self._snapshot_lock:
+            return fn(self.edb)
+
+    def add_fact(self, name: str, fact: tuple) -> bool:
+        """Convenience :meth:`mutate` for the common single-fact case."""
+        return self.mutate(lambda db: db.add_fact(name, fact))
+
+    def _snapshot(self) -> _Snapshot:
+        """The snapshot for the EDB's current fingerprint (LRU-cached)."""
+        with self._snapshot_lock:
+            fingerprint = self.edb.fingerprint()
+            snap = self._snapshots.get(fingerprint)
+            if snap is not None:
+                self._snapshots.move_to_end(fingerprint)
+                return snap
+            db = self.edb.copy()
+            snap = _Snapshot(
+                fingerprint=fingerprint,
+                db=db,
+                engine=Engine(
+                    self.program,
+                    db,
+                    budget=self.config.budget,
+                    order=self.config.order,
+                    tracer=self.metrics.tracer,
+                ),
+            )
+            self._snapshots[fingerprint] = snap
+            while len(self._snapshots) > self.config.snapshot_cache_size:
+                self._snapshots.popitem(last=False)
+        self.metrics.snapshot_created()
+        return snap
+
+    # -- serving ------------------------------------------------------------
+
+    def submit(
+        self,
+        query: Union[Atom, str],
+        strategy: str = "auto",
+        deadline_s: Optional[float] = None,
+    ) -> "Future[ServiceResult]":
+        """Enqueue one request; returns a future of :class:`ServiceResult`.
+
+        Query text is parsed here (synchronously) so malformed requests
+        fail fast in the caller, not in a worker.
+        """
+        if self._closed:
+            raise RuntimeError("service is closed")
+        if isinstance(query, str):
+            query = parse_query(query)
+        if deadline_s is None:
+            deadline_s = self.config.default_deadline_s
+        submitted = time.monotonic()
+        self.metrics.request_submitted()
+        return self._executor.submit(
+            self._serve, query, strategy, deadline_s, submitted
+        )
+
+    def query(
+        self,
+        query: Union[Atom, str],
+        strategy: str = "auto",
+        deadline_s: Optional[float] = None,
+    ) -> ServiceResult:
+        """Synchronous :meth:`submit` (enqueue and wait)."""
+        return self.submit(query, strategy, deadline_s).result()
+
+    def batch(
+        self,
+        queries: Iterable[Union[Atom, str]],
+        strategy: str = "auto",
+        deadline_s: Optional[float] = None,
+    ) -> list[ServiceResult]:
+        """Submit many requests and wait for all (submission order)."""
+        futures = [
+            self.submit(q, strategy, deadline_s) for q in queries
+        ]
+        return [f.result() for f in futures]
+
+    # -- internals ----------------------------------------------------------
+
+    def _attempt_budget(
+        self,
+        deadline_at: Optional[float],
+        now: float,
+    ) -> Budget:
+        """The budget for one attempt, wall clock armed from ``now``."""
+        base = self.config.budget
+        if deadline_at is not None:
+            remaining = max(deadline_at - now, 0.0)
+            wall = base.max_wall_seconds
+            if wall is None or remaining < wall:
+                base = base.with_wall_limit(remaining)
+        return base.start_clock(now)
+
+    def _serve(
+        self,
+        query: Atom,
+        strategy: str,
+        deadline_s: Optional[float],
+        submitted: float,
+    ) -> ServiceResult:
+        self.metrics.request_started()
+        deadline_at = (
+            submitted + deadline_s if deadline_s is not None else None
+        )
+        attempts = 0
+        backoff = self.config.retry_backoff_s
+        while True:
+            attempts += 1
+            snap = self._snapshot()
+            budget = self._attempt_budget(deadline_at, time.monotonic())
+            try:
+                result = snap.engine.query(
+                    query,
+                    strategy=strategy,
+                    budget=budget,
+                    memo=self.memo.scoped(snap.fingerprint),
+                    tracer=self.metrics.tracer,
+                )
+            except BudgetExceeded as exc:
+                if exc.limit == "wall_clock":
+                    self.metrics.deadline_trip()
+                remaining = (
+                    deadline_at - time.monotonic()
+                    if deadline_at is not None
+                    else None
+                )
+                can_retry = (
+                    exc.retryable
+                    and attempts <= self.config.max_retries
+                    and (remaining is None or remaining > backoff)
+                )
+                if can_retry:
+                    self.metrics.retry()
+                    time.sleep(backoff)
+                    backoff *= 2
+                    continue
+                out = self._degraded(query, strategy, snap, exc,
+                                     submitted, attempts)
+            except ReproError as exc:
+                out = ServiceResult(
+                    query=query,
+                    strategy=strategy,
+                    status="error",
+                    answers=frozenset(),
+                    stats=None,
+                    fingerprint=snap.fingerprint,
+                    latency_s=time.monotonic() - submitted,
+                    attempts=attempts,
+                    error=f"{type(exc).__name__}: {exc}",
+                )
+            else:
+                out = ServiceResult(
+                    query=query,
+                    strategy=result.strategy,
+                    status="ok",
+                    answers=result.answers,
+                    stats=result.stats,
+                    fingerprint=snap.fingerprint,
+                    latency_s=time.monotonic() - submitted,
+                    attempts=attempts,
+                    result=result,
+                )
+            self._finish(out)
+            return out
+
+    def _degraded(
+        self,
+        query: Atom,
+        strategy: str,
+        snap: _Snapshot,
+        exc: BudgetExceeded,
+        submitted: float,
+        attempts: int,
+    ) -> ServiceResult:
+        """Budget trip, out of retries: partial answers if any exist."""
+        stats = exc.stats if isinstance(exc.stats, EvaluationStats) else None
+        if exc.partial is not None:
+            partial = PartialResult(
+                answers=exc.partial,
+                stats=stats,
+                reason=str(exc),
+                limit=exc.limit,
+            )
+            return ServiceResult(
+                query=query,
+                strategy=strategy,
+                status="partial",
+                answers=partial.answers,
+                stats=stats,
+                fingerprint=snap.fingerprint,
+                latency_s=time.monotonic() - submitted,
+                attempts=attempts,
+                error=str(exc),
+                limit=exc.limit,
+                partial=partial,
+            )
+        return ServiceResult(
+            query=query,
+            strategy=strategy,
+            status="error",
+            answers=frozenset(),
+            stats=stats,
+            fingerprint=snap.fingerprint,
+            latency_s=time.monotonic() - submitted,
+            attempts=attempts,
+            error=str(exc),
+            limit=exc.limit,
+        )
+
+    def _finish(self, out: ServiceResult) -> None:
+        self.metrics.request_completed(out.status, out.latency_s)
+        if self._sink is not None:
+            event = {
+                "type": "service_request",
+                "query": str(out.query),
+                "strategy": out.strategy,
+                "status": out.status,
+                "answers": len(out.answers),
+                "attempts": out.attempts,
+                "latency_s": out.latency_s,
+                "queue_depth": self.metrics.queue_depth,
+                "limit": out.limit,
+            }
+            with self._sink_lock:
+                self._sink.emit(event)
+
+    # -- introspection ------------------------------------------------------
+
+    def metrics_dict(self) -> dict:
+        """Service + memo + evaluator counters, JSON-ready."""
+        return self.metrics.as_dict(memo_stats=self.memo.stats())
+
+    def metrics_text(self) -> str:
+        """Prometheus text exposition (see :mod:`.metrics`)."""
+        return self.metrics.to_metrics_text(memo_stats=self.memo.stats())

@@ -268,3 +268,70 @@ class TestPlanCompilesAreSizeIndependent:
             assert len(result.answers) == n - 1
             counts.add(PLAN_CACHE.stats()["compiles"])
         assert len(counts) == 1
+
+
+class TestPlanCacheThreadSafety:
+    """The cache is shared by the query service's worker threads: its
+    counters must stay consistent and its eviction must never drop the
+    entry just inserted, no matter the interleaving."""
+
+    @staticmethod
+    def _bodies(k):
+        return [
+            (atom("edge", "X", f"Y{i}"), atom("edge", f"Y{i}", "Z"))
+            for i in range(k)
+        ]
+
+    def test_concurrent_lookups_keep_counters_consistent(self):
+        import threading
+
+        cache = PlanCache(maxsize=64)
+        db = Database.from_facts({"edge": [("a", "b"), ("b", "c")]})
+        bodies = self._bodies(6)
+        lookups_per_thread = 50
+        threads = []
+
+        def worker(seed):
+            for i in range(lookups_per_thread):
+                body = bodies[(seed + i) % len(bodies)]
+                plan = cache.plan_for(body, frozenset(), "greedy", db)
+                assert plan.body == body
+
+        for seed in range(8):
+            threads.append(threading.Thread(target=worker, args=(seed,)))
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(30)
+        stats = cache.stats()
+        # Every lookup was counted exactly once, as a hit or a miss.
+        assert stats["hits"] + stats["misses"] == 8 * lookups_per_thread
+        # Racing misses may compile duplicates (compilation runs outside
+        # the lock by design), but never lose an insert.
+        assert stats["compiles"] >= len(bodies)
+        assert stats["size"] == len(bodies)
+
+    def test_eviction_under_contention_never_drops_fresh_entry(self):
+        import threading
+
+        cache = PlanCache(maxsize=2)
+        db = Database.from_facts({"edge": [("a", "b")]})
+        bodies = self._bodies(8)
+        failures = []
+
+        def worker(seed):
+            for i in range(60):
+                body = bodies[(seed * 7 + i) % len(bodies)]
+                plan = cache.plan_for(body, frozenset(), "greedy", db)
+                if plan.body != body:
+                    failures.append((seed, i))
+
+        threads = [
+            threading.Thread(target=worker, args=(s,)) for s in range(6)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(30)
+        assert not failures
+        assert cache.stats()["size"] <= 2

@@ -127,14 +127,16 @@ class TestOracle:
         original = Engine._dispatch
         leaks = []  # keep the context managers alive past dispatch
 
-        def dispatch(self, strategy, query, report, stats, tracer=None):
+        def dispatch(self, strategy, query, report, stats, tracer=None,
+                     budget=None, memo=None):
             if tracer is not None and strategy == "seminaive":
                 # Open a span without ever closing it: the exact bug
                 # Tracer.span's finally-block exists to prevent.
                 leak = tracer.span("leaky")
                 leak.__enter__()
                 leaks.append(leak)
-            return original(self, strategy, query, report, stats, tracer)
+            return original(self, strategy, query, report, stats, tracer,
+                            budget, memo)
 
         monkeypatch.setattr(Engine, "_dispatch", dispatch)
         case = load_case(CORPUS / "cyclic-transitive-closure.dl")

@@ -60,8 +60,10 @@ def broken_magic(monkeypatch):
     """A strategy stub that silently loses answers mentioning 'poison'."""
     original = Engine._dispatch
 
-    def dispatch(self, strategy, query, report, stats, tracer=None):
-        answers = original(self, strategy, query, report, stats, tracer)
+    def dispatch(self, strategy, query, report, stats, tracer=None,
+                 budget=None, memo=None):
+        answers = original(self, strategy, query, report, stats, tracer,
+                           budget, memo)
         if strategy == "magic":
             answers = frozenset(a for a in answers if "poison" not in a)
         return answers

@@ -1,0 +1,233 @@
+"""QueryService: statuses, deadlines, retries, snapshots, metrics, events."""
+
+import pytest
+
+from repro.budget import Budget
+from repro.datalog.database import Database
+from repro.datalog.errors import DatalogSyntaxError
+from repro.observability import JsonlFileSink, read_events
+from repro.service import QueryService, ServiceConfig
+from repro.workloads import paper
+
+from ..conftest import oracle_answers
+
+
+@pytest.fixture
+def ex11():
+    program = paper.example_1_1_program()
+    db = Database.from_facts(
+        {
+            "friend": [("tom", "sue"), ("sue", "ann"), ("ann", "joe")],
+            "idol": [("tom", "ann"), ("joe", "kim")],
+            "perfectFor": [
+                ("ann", "camera"),
+                ("kim", "tent"),
+                ("sue", "boat"),
+            ],
+        }
+    )
+    return program, db
+
+
+@pytest.fixture
+def ex24():
+    """Example 2.4 data where ``t(x0, Y, Z)?`` is a partial selection."""
+    program = paper.example_2_4_program()
+    n = 8
+    db = Database.from_facts(
+        {
+            "a": [
+                (f"x{i}", f"y{i}", f"x{i + 1}", f"y{i + 1}")
+                for i in range(n)
+            ],
+            "b": [(f"w{i}", f"w{i + 1}") for i in range(n)],
+            "t0": [(f"x{i}", f"y{i}", "w0") for i in range(n + 1)],
+        }
+    )
+    return program, db
+
+
+class TestServing:
+    def test_ok_result_matches_oracle(self, ex11):
+        program, db = ex11
+        with QueryService(program, db) as service:
+            result = service.query("buys(tom, Y)?")
+        from repro.datalog.parser import parse_query
+
+        assert result.ok and result.status == "ok"
+        assert result.strategy == "separable"
+        assert result.answers == oracle_answers(
+            program, db, parse_query("buys(tom, Y)?")
+        )
+        assert result.attempts == 1
+        assert result.stats is not None
+        assert result.latency_s >= 0.0
+
+    def test_batch_preserves_submission_order(self, ex11):
+        program, db = ex11
+        queries = ["buys(tom, Y)?", "buys(sue, Y)?", "buys(tom, Y)?"]
+        with QueryService(program, db) as service:
+            results = service.batch(queries)
+        assert [str(r.query) for r in results] == [
+            "buys(tom, Y)", "buys(sue, Y)", "buys(tom, Y)",
+        ]
+        assert results[0].answers == results[2].answers
+
+    def test_repeats_hit_the_memo(self, ex11):
+        program, db = ex11
+        with QueryService(program, db) as service:
+            service.batch(["buys(tom, Y)?"] * 10)
+            stats = service.memo.stats()
+        assert stats["misses"] == 1
+        assert stats["hits"] == 9
+
+    def test_submit_after_close_raises(self, ex11):
+        program, db = ex11
+        service = QueryService(program, db)
+        service.close()
+        with pytest.raises(RuntimeError):
+            service.submit("buys(tom, Y)?")
+
+    def test_malformed_query_fails_in_caller(self, ex11):
+        program, db = ex11
+        with QueryService(program, db) as service:
+            with pytest.raises(DatalogSyntaxError):
+                service.submit("buys(tom Y")
+
+    def test_unknown_predicate_is_an_error_result(self, ex11):
+        program, db = ex11
+        with QueryService(program, db) as service:
+            result = service.query("nope(tom, Y)?")
+        assert result.status == "error"
+        assert not result.answers
+        assert "UnknownPredicateError" in result.error
+
+
+class TestSnapshots:
+    def test_mutation_changes_fingerprint_and_answers(self, ex11):
+        program, db = ex11
+        with QueryService(program, db) as service:
+            before = service.query("buys(tom, Y)?")
+            service.add_fact("perfectFor", ("joe", "kayak"))
+            after = service.query("buys(tom, Y)?")
+        assert before.fingerprint != after.fingerprint
+        assert after.answers > before.answers
+        assert ("tom", "kayak") in after.answers
+
+    def test_snapshots_are_shared_per_fingerprint(self, ex11):
+        program, db = ex11
+        with QueryService(program, db) as service:
+            service.batch(["buys(tom, Y)?", "buys(sue, Y)?"] * 3)
+            metrics = service.metrics_dict()
+        assert metrics["snapshots_created"] == 1
+
+    def test_memo_is_scoped_to_the_snapshot(self, ex11):
+        program, db = ex11
+        with QueryService(program, db) as service:
+            before = service.query("buys(tom, Y)?")
+            service.add_fact("perfectFor", ("sue", "kayak"))
+            after = service.query("buys(tom, Y)?")
+        # Same query, new fingerprint: a fresh miss, never a stale hit.
+        assert service.memo.stats()["misses"] == 2
+        assert ("tom", "kayak") in after.answers
+        assert ("tom", "kayak") not in before.answers
+
+
+class TestDegradation:
+    def test_partial_result_carries_completed_branches(self, ex24):
+        program, db = ex24
+        config = ServiceConfig(budget=Budget(max_total_tuples=24))
+        with QueryService(program, db, config) as service:
+            result = service.query("t(x0, Y, Z)?")
+        assert result.status == "partial"
+        assert result.limit == "total_tuples"
+        assert result.partial is not None
+        assert result.answers == result.partial.answers
+        assert result.answers  # the t_part branch completed
+        assert result.stats is not None and result.stats.tuples_produced > 0
+        assert result.attempts == 1  # tuple trips are not retryable
+
+    def test_budget_error_without_partial(self, ex24):
+        program, db = ex24
+        config = ServiceConfig(budget=Budget(max_total_tuples=5))
+        with QueryService(program, db, config) as service:
+            result = service.query("t(x0, Y, Z)?")
+        assert result.status in ("partial", "error")
+        if result.status == "error":
+            assert not result.answers
+        assert result.limit == "total_tuples"
+
+    def test_deadline_trips_and_retries(self):
+        # Counting on Example 1.1 builds an Omega(2^n) count relation:
+        # effectively divergent at n=26, so every attempt trips its wall
+        # clock until the deadline is spent.
+        program = paper.example_1_1_program()
+        db = paper.example_1_1_database(26)
+        # A per-attempt wall limit (no overall deadline) retries until
+        # max_retries is spent -- there is always "time remaining".
+        config = ServiceConfig(
+            max_retries=1,
+            retry_backoff_s=0.01,
+            budget=Budget(max_wall_seconds=0.05),
+        )
+        with QueryService(program, db, config) as service:
+            result = service.query("buys(a1, Y)?", strategy="counting")
+            metrics = service.metrics_dict()
+        assert result.status == "error"
+        assert result.limit == "wall_clock"
+        assert result.attempts == 2  # initial + one retry
+        assert metrics["retries"] == 1
+        assert metrics["deadline_trips"] == 2
+
+    def test_default_deadline_from_config(self):
+        program = paper.example_1_1_program()
+        db = paper.example_1_1_database(26)
+        config = ServiceConfig(default_deadline_s=0.1, max_retries=0)
+        with QueryService(program, db, config) as service:
+            result = service.query("buys(a1, Y)?", strategy="counting")
+        assert result.status == "error"
+        assert result.limit == "wall_clock"
+        assert result.attempts == 1
+
+
+class TestObservability:
+    def test_metrics_text_exposition(self, ex11):
+        program, db = ex11
+        with QueryService(program, db) as service:
+            service.batch(["buys(tom, Y)?"] * 4)
+            text = service.metrics_text()
+        assert 'repro_service_requests_total{status="ok"} 4' in text
+        assert "repro_service_latency_seconds_count 4" in text
+        assert 'repro_service_memo_events_total{kind="hits"} 3' in text
+        assert "repro_service_snapshots_total 1" in text
+        # Evaluator counters aggregate through the shared MetricsTracer
+        # under the same names the offline trace exporter uses.
+        assert "repro_iterations_total" in text
+
+    def test_metrics_dict_shape(self, ex11):
+        program, db = ex11
+        with QueryService(program, db) as service:
+            service.query("buys(tom, Y)?")
+            snap = service.metrics_dict()
+        assert snap["requests_submitted"] == 1
+        assert snap["by_status"] == {"ok": 1}
+        assert snap["queue_depth"] == 0 and snap["in_flight"] == 0
+        assert snap["latency_s"]["count"] == 1
+        assert snap["memo"]["misses"] == 1
+        assert "iterations" in snap["evaluator_counters"]
+
+    def test_event_stream_is_replayable(self, ex11, tmp_path):
+        program, db = ex11
+        path = tmp_path / "service_events.jsonl"
+        sink = JsonlFileSink(path)
+        try:
+            with QueryService(program, db, sink=sink) as service:
+                service.batch(["buys(tom, Y)?", "buys(sue, Y)?"])
+        finally:
+            sink.close()
+        events = read_events(path)
+        assert events[0]["type"] == "trace_start"
+        requests = [e for e in events if e["type"] == "service_request"]
+        assert len(requests) == 2
+        assert all(e["status"] == "ok" for e in requests)
+        assert all("latency_s" in e and "queue_depth" in e for e in requests)

@@ -247,3 +247,91 @@ class TestFuzz:
     def test_rejects_unknown_strategy(self, capsys):
         with pytest.raises(SystemExit):
             main(["fuzz", "--strategy", "quantum"])
+
+
+class TestServe:
+    def test_batch_serve_summary(self, program_file, capsys):
+        assert main(["serve", str(program_file), "--workers", "2",
+                     "--repeat", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "served 3 requests on 2 workers" in out
+        assert "statuses: ok=3" in out
+        assert "memo:" in out and "hits" in out
+
+    def test_explicit_queries_and_stats(self, program_file, capsys):
+        assert main([
+            "serve", str(program_file),
+            "--query", "buys(tom, Y)?",
+            "--query", "buys(sue, Y)?",
+            "--stats",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "buys(tom, Y)  status=ok" in out
+        assert "buys(sue, Y)  status=ok" in out
+
+    def test_metrics_out_prometheus_text(self, program_file, tmp_path,
+                                         capsys):
+        metrics = tmp_path / "metrics.prom"
+        assert main(["serve", str(program_file), "--repeat", "4",
+                     "--metrics-out", str(metrics)]) == 0
+        text = metrics.read_text()
+        assert 'repro_service_requests_total{status="ok"} 4' in text
+        assert "repro_service_latency_seconds_count 4" in text
+        assert 'wrote' in capsys.readouterr().out
+
+    def test_metrics_out_json(self, program_file, tmp_path, capsys):
+        import json
+
+        metrics = tmp_path / "metrics.json"
+        assert main(["serve", str(program_file),
+                     "--metrics-out", str(metrics)]) == 0
+        snap = json.loads(metrics.read_text())
+        assert snap["by_status"] == {"ok": 1}
+        assert snap["memo"]["misses"] >= 1
+        capsys.readouterr()
+
+    def test_events_file_replays(self, program_file, tmp_path, capsys):
+        from repro.observability import read_events
+
+        events_path = tmp_path / "service.jsonl"
+        assert main(["serve", str(program_file), "--repeat", "2",
+                     "--events", str(events_path)]) == 0
+        events = read_events(events_path)
+        assert events[0]["type"] == "trace_start"
+        assert [e["type"] for e in events].count("service_request") == 2
+        capsys.readouterr()
+
+    def test_deadline_trips_divergent_requests(self, tmp_path, capsys):
+        # Counting on the Example 1.1 chain wants Omega(2^n) count
+        # tuples: with a tight deadline the request degrades instead of
+        # hanging the driver.
+        from repro.workloads.paper import example_1_1_database
+
+        path = tmp_path / "deep.dl"
+        lines = [
+            "buys(X, Y) :- friend(X, W) & buys(W, Y).",
+            "buys(X, Y) :- idol(X, W) & buys(W, Y).",
+            "buys(X, Y) :- perfectFor(X, Y).",
+        ]
+        db = example_1_1_database(24)
+        for name in ("friend", "idol", "perfectFor"):
+            for fact in sorted(db.tuples(name)):
+                args = ", ".join(fact)
+                lines.append(f"{name}({args}).")
+        path.write_text("\n".join(lines) + "\n")
+        code = main([
+            "serve", str(path),
+            "--query", "buys(a1, Y)?",
+            "--strategy", "counting",
+            "--deadline", "0.2",
+        ])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "deadline_trips=" in out
+        assert "error=1" in out
+
+    def test_no_queries(self, tmp_path, capsys):
+        path = tmp_path / "empty.dl"
+        path.write_text("p(X, Y) :- e(X, Y).\ne(a, b).\n")
+        assert main(["serve", str(path)]) == 1
+        assert "no queries" in capsys.readouterr().out

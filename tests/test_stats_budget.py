@@ -254,3 +254,88 @@ class TestBudgetProperties:
         one_iter.bump_iterations()
         with pytest.raises(BudgetExceeded):
             budget.check_stats(one_iter)
+
+
+class TestWallClockBudget:
+    def test_default_is_unlimited(self):
+        budget = Budget()
+        assert budget.max_wall_seconds is None
+        assert budget.deadline is None
+        budget.check_wall()  # unarmed: a no-op forever
+
+    def test_unarmed_limit_never_trips(self):
+        # A wall limit without start_clock() is inert by design: the
+        # deadline is per-query, armed by Engine.query.
+        budget = Budget(max_wall_seconds=0.0)
+        budget.check_wall()
+
+    def test_start_clock_arms_a_deadline(self):
+        budget = Budget(max_wall_seconds=10.0).start_clock(now=100.0)
+        assert budget.deadline == 110.0
+        assert budget.remaining_seconds(now=104.0) == 6.0
+
+    def test_start_clock_without_limit_is_identity(self):
+        budget = Budget()
+        assert budget.start_clock() is budget
+
+    def test_expired_deadline_trips_with_wall_clock_limit(self):
+        budget = Budget(max_wall_seconds=0.0).start_clock(now=0.0)
+        with pytest.raises(BudgetExceeded) as excinfo:
+            budget.check_wall()
+        assert excinfo.value.limit == "wall_clock"
+        assert excinfo.value.retryable
+        assert "wall clock" in str(excinfo.value)
+
+    def test_check_stats_also_checks_the_wall(self):
+        budget = Budget(max_wall_seconds=0.0).start_clock(now=0.0)
+        stats = EvaluationStats()
+        with pytest.raises(BudgetExceeded) as excinfo:
+            budget.check_stats(stats)
+        assert excinfo.value.limit == "wall_clock"
+        assert excinfo.value.stats is stats
+
+    def test_with_wall_limit_replaces_and_disarms(self):
+        armed = Budget(max_wall_seconds=5.0).start_clock(now=0.0)
+        tightened = armed.with_wall_limit(1.0)
+        assert tightened.max_wall_seconds == 1.0
+        assert tightened.deadline is None  # must be re-armed
+
+    def test_limit_tags_name_the_tripped_limit(self):
+        stats = EvaluationStats()
+        stats.record_relation("r", 2)
+        with pytest.raises(BudgetExceeded) as excinfo:
+            Budget(max_relation_tuples=1).check_relation("r", 2, stats)
+        assert excinfo.value.limit == "relation_tuples"
+        assert not excinfo.value.retryable
+
+        over_iters = EvaluationStats()
+        over_iters.bump_iterations(2)
+        with pytest.raises(BudgetExceeded) as excinfo:
+            Budget(max_iterations=1).check_stats(over_iters)
+        assert excinfo.value.limit == "iterations"
+        assert not excinfo.value.retryable
+
+    def test_engine_query_arms_the_wall_clock_per_query(self):
+        from repro.datalog.database import Database
+        from repro.engine import Engine
+        from repro.workloads.paper import example_1_1_program
+
+        program = example_1_1_program()
+        db = Database.from_facts(
+            {
+                "friend": [("tom", "sue")],
+                "idol": [],
+                "perfectFor": [("sue", "boat")],
+            }
+        )
+        engine = Engine(program, db, budget=Budget(max_wall_seconds=30.0))
+        # Far-off deadline: queries pass, and pass again later (each
+        # call re-arms, so the limit never becomes "since construction").
+        result = engine.query("buys(tom, Y)?")
+        assert result.answers == frozenset({("tom", "boat")})
+        with pytest.raises(BudgetExceeded) as excinfo:
+            engine.query(
+                "buys(tom, Y)?",
+                budget=Budget(max_wall_seconds=0.0),
+            )
+        assert excinfo.value.limit == "wall_clock"
