@@ -20,6 +20,7 @@ from .gating import (
     DEFAULT_TIME_TOLERANCE,
     Finding,
     compare_reports,
+    maintenance_findings,
     plan_growth_findings,
 )
 from .harness import (
@@ -51,6 +52,7 @@ __all__ = [
     "fit_exponent",
     "git_sha",
     "machine_info",
+    "maintenance_findings",
     "plan_growth_findings",
     "report_path",
     "resolve_families",

@@ -10,9 +10,15 @@ inputs.
 
 A family's ``build(n)`` returns a :class:`Workload`: program, database
 and query text.  Strategy names are :data:`repro.engine.STRATEGIES`
-members, plus the pseudo-strategy ``"detect"`` (E6), which times
-separability analysis alone -- the paper's "computationally simple to
-detect" claim -- and touches no data.
+members, plus three pseudo-strategies the harness special-cases:
+``"detect"`` (E6), which times separability analysis alone -- the
+paper's "computationally simple to detect" claim -- and touches no
+data; and ``"incremental"`` / ``"fromscratch"`` (the
+``incremental-write`` family), which replay one mutation stream
+through :class:`repro.maintenance.MaintainedView` repairs versus a
+full recomputation per write.  A mutation family supplies the stream
+via :attr:`Family.mutations`; the stream is *balanced* (every insert
+is later deleted) so each timed repeat starts from the same state.
 """
 
 from __future__ import annotations
@@ -61,6 +67,10 @@ class Family:
     build: Callable[[int], Workload]
     #: What Section 4 predicts, recorded into the report for readers.
     expectation: str
+    #: For mutation families: ``mutations(n)`` yields the balanced op
+    #: stream ``[("add" | "del", relation, fact), ...]`` both
+    #: pseudo-strategies replay.  ``None`` for query-only families.
+    mutations: Callable[[int], list] | None = None
 
 
 def _e1(n: int) -> Workload:
@@ -170,6 +180,35 @@ def _sq(n: int) -> int:
     return max(int(round(n ** 0.5)), 2)
 
 
+def _incremental_write(n: int) -> Workload:
+    # Example 1.1's chain again: every perfectFor insert at a_i derives
+    # buys(a_k, p) for all k <= i, so writes ripple through the
+    # recursion and the maintained view earns its keep.
+    return Workload(
+        example_1_1_program(), example_1_1_database(n), "buys(a1, Y)?"
+    )
+
+
+def _incremental_write_ops(n: int) -> list:
+    """The balanced mutation stream for ``incremental-write``.
+
+    ``n`` fresh ``perfectFor`` facts are inserted at the head of the
+    chain (anchors a1/a2: localized writes, the case incremental
+    maintenance exists for), then deleted in reverse order, so the
+    database (and the maintained IDB) ends every replay exactly where
+    it started -- timed repeats are i.i.d.  Products accumulate
+    mid-replay, so from-scratch re-derives a ``buys`` extent of
+    Theta(n^2) tuples per write while each repair touches O(1) facts:
+    the Section 4 separation, restated for writes.  Deletions exercise
+    the DRed path, insertions the delta-seeded restart.
+    """
+    adds = [
+        ("add", "perfectFor", (f"a{1 + (j % 2)}", f"p{j}"))
+        for j in range(n)
+    ]
+    return adds + [("del", rel, fact) for _, rel, fact in reversed(adds)]
+
+
 FAMILIES: dict[str, Family] = {
     "e1": Family(
         key="e1",
@@ -251,6 +290,18 @@ FAMILIES: dict[str, Family] = {
         strategies=("relaxed", "magic"),
         build=_e9,
         expectation="both linear; relaxed pays the unfocused sideways pass",
+    ),
+    "incremental-write": Family(
+        key="incremental-write",
+        title="Incremental maintenance vs recompute on a write stream",
+        size_means="chain length n",
+        strategies=("incremental", "fromscratch"),
+        build=_incremental_write,
+        expectation=(
+            "incremental repairs touch O(delta) facts per write; "
+            "from-scratch re-derives the whole IDB per write"
+        ),
+        mutations=_incremental_write_ops,
     ),
 }
 

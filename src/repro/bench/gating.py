@@ -24,6 +24,7 @@ from typing import Optional
 __all__ = [
     "Finding",
     "compare_reports",
+    "maintenance_findings",
     "plan_growth_findings",
     "DEFAULT_TIME_TOLERANCE",
     "DEFAULT_MIN_TIME_S",
@@ -40,7 +41,9 @@ class Finding:
     family: str
     strategy: str
     n: Optional[int]
-    kind: str  # schema | missing | outcome | answers | size | counter | time
+    # schema | missing | outcome | answers | size | counter | time |
+    # plan | maintenance
+    kind: str
     message: str
 
     def __str__(self) -> str:
@@ -138,6 +141,56 @@ def compare_reports(
         if time_finding is not None:
             findings.append(time_finding)
     findings.extend(plan_growth_findings(current))
+    findings.extend(maintenance_findings(current, min_time_s=min_time_s))
+    return findings
+
+
+def maintenance_findings(
+    report: dict, min_time_s: float = DEFAULT_MIN_TIME_S
+) -> list[Finding]:
+    """Hard gate: incremental maintenance must beat recomputation.
+
+    For every size where a report carries both maintenance
+    pseudo-strategies (the ``incremental-write`` family), the
+    ``incremental`` median must be strictly below the ``fromscratch``
+    median, and both must count the same answers over the replayed
+    mutation stream -- the correctness cross-check that makes the speed
+    number meaningful.  Checked against the *current* run alone: both
+    cells are timed in the same process on the same machine, so no
+    calibration or baseline is involved.  Sizes whose from-scratch
+    median sits under ``min_time_s`` are skipped as noise, matching the
+    time gate's floor.
+    """
+    family = report.get("family", "?")
+    cells = _cells_by_key(report)
+    findings: list[Finding] = []
+    for (strategy, n), inc in sorted(cells.items()):
+        if strategy != "incremental":
+            continue
+        fs = cells.get(("fromscratch", n))
+        if fs is None or inc["outcome"] != "ok" or fs["outcome"] != "ok":
+            continue
+        if inc.get("answers") != fs.get("answers"):
+            findings.append(
+                Finding(
+                    family, strategy, n, "answers",
+                    f"incremental counted {inc.get('answers')} answers "
+                    f"over the mutation stream, from-scratch "
+                    f"{fs.get('answers')} (correctness!)",
+                )
+            )
+        inc_s, fs_s = inc.get("median_s"), fs.get("median_s")
+        if inc_s is None or fs_s is None or fs_s < min_time_s:
+            continue
+        if inc_s >= fs_s:
+            findings.append(
+                Finding(
+                    family, strategy, n, "maintenance",
+                    f"incremental median {inc_s * 1e3:.2f}ms is not "
+                    f"below from-scratch {fs_s * 1e3:.2f}ms; repairs "
+                    f"must beat recomputation",
+                )
+            )
     return findings
 
 

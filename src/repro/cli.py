@@ -298,6 +298,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="print per-request answers and status lines, not just the "
         "summary",
     )
+    serve.add_argument(
+        "--incremental",
+        action="store_true",
+        help="maintain the IDB incrementally under mutation instead of "
+        "invalidating snapshots and memo entries per fingerprint",
+    )
+    serve.add_argument(
+        "--mutations",
+        type=_nonnegative_int,
+        default=0,
+        help="interleave this many deterministic synthetic base-table "
+        "mutations with the request stream (default: 0)",
+    )
 
     bench = sub.add_parser(
         "bench",
@@ -306,8 +319,8 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--families",
         default="all",
-        help="comma-separated family keys (e1..e9) or 'all' "
-        "(default: all)",
+        help="comma-separated family keys (e1..e9, incremental-write) "
+        "or 'all' (default: all)",
     )
     bench.add_argument(
         "--sizes",
@@ -527,6 +540,35 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _serve_mutation_stream(database, program, count: int) -> list[tuple]:
+    """A deterministic insert/delete stream over the program's EDB.
+
+    Round-robins inserts of fresh synthetic facts across the base
+    predicates, deleting an earlier synthetic insert every third step,
+    so the write-heavy smoke run exercises both the counting insert
+    path and DRed deletion without depending on the input data.
+    """
+    names = sorted(
+        n for n in program.edb_predicates
+        if database.relation(n) is not None
+    )
+    if not names:
+        return []
+    ops: list[tuple] = []
+    pending: list[tuple[str, tuple]] = []
+    for i in range(count):
+        if i % 3 == 2 and pending:
+            name, fact = pending.pop(0)
+            ops.append(("del", name, fact))
+        else:
+            name = names[i % len(names)]
+            arity = database.arity(name) or 1
+            fact = tuple(f"mut{i}c{j}" for j in range(arity))
+            ops.append(("add", name, fact))
+            pending.append((name, fact))
+    return ops
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import json
 
@@ -549,13 +591,51 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     config = ServiceConfig(
         workers=args.workers,
         default_deadline_s=args.deadline,
+        incremental=args.incremental,
+    )
+    mutations = _serve_mutation_stream(
+        parsed.database, parsed.program, args.mutations
     )
     sink = JsonlFileSink(args.events) if args.events is not None else None
     try:
         with QueryService(
             parsed.program, parsed.database, config, sink=sink
         ) as service:
-            results = service.batch(requests, strategy=args.strategy)
+            if mutations:
+                stride = max(1, len(requests) // (len(mutations) + 1))
+                futures = []
+                stream = iter(mutations)
+                for i, q in enumerate(requests):
+                    if i and i % stride == 0:
+                        op = next(stream, None)
+                        if op is not None:
+                            kind, name, fact = op
+                            if kind == "add":
+                                service.mutate(
+                                    lambda db, n=name, f=fact:
+                                    db.add_fact(n, f)
+                                )
+                            else:
+                                service.mutate(
+                                    lambda db, n=name, f=fact:
+                                    db.remove_fact(n, f)
+                                )
+                    futures.append(
+                        service.submit(q, strategy=args.strategy)
+                    )
+                for kind, name, fact in stream:
+                    if kind == "add":
+                        service.mutate(
+                            lambda db, n=name, f=fact: db.add_fact(n, f)
+                        )
+                    else:
+                        service.mutate(
+                            lambda db, n=name, f=fact:
+                            db.remove_fact(n, f)
+                        )
+                results = [f.result() for f in futures]
+            else:
+                results = service.batch(requests, strategy=args.strategy)
             metrics = service.metrics_dict()
             metrics_text = service.metrics_text()
     finally:
@@ -599,6 +679,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         f"retries={metrics['retries']} "
         f"deadline_trips={metrics['deadline_trips']}"
     )
+    if args.incremental:
+        print(
+            f"  incremental: view_repairs={metrics['view_repairs']} "
+            f"view_rebuilds={metrics['view_rebuilds']} "
+            f"snapshots_repaired={metrics['snapshots_repaired']} "
+            f"memo_survived={memo.get('survived', 0)} "
+            f"memo_repaired={memo.get('repaired', 0)}"
+        )
 
     if args.metrics_out is not None:
         args.metrics_out.parent.mkdir(parents=True, exist_ok=True)

@@ -41,7 +41,11 @@ from .plan import SeparablePlan
 from .rewrite import choose_rewrite_class, program_without_class
 from .selections import Selection, classify_selection
 
-__all__ = ["evaluate_separable", "full_selection_key"]
+__all__ = [
+    "evaluate_separable",
+    "full_selection_from_extent",
+    "full_selection_key",
+]
 
 
 def _assemble(
@@ -99,6 +103,36 @@ def full_selection_key(
         else ("pers", selected_positions)
     )
     return (analysis, component, tuple(seed), order)
+
+
+def full_selection_from_extent(
+    analysis: RecursionAnalysis,
+    component: tuple,
+    seed: tuple,
+    extent,
+) -> frozenset[tuple]:
+    """Recompute one memoized full-selection value from a ``t`` extent.
+
+    A cached carry/seen run for ``(component, seed)`` holds exactly
+    ``σ_{component=seed}(t)`` projected onto the non-selected columns
+    in ascending position order (the compiler's ``up_positions``).
+    Given a maintained materialization of ``t``, the same value falls
+    out of a projection -- this is how the service repairs a dirty memo
+    entry after a mutation without re-running the carry loops.
+    """
+    from .selections import component_positions
+
+    positions = component_positions(analysis, component)
+    selected = set(positions)
+    up_positions = tuple(
+        p for p in range(analysis.arity) if p not in selected
+    )
+    seed = tuple(seed)
+    return frozenset(
+        tuple(fact[p] for p in up_positions)
+        for fact in extent
+        if tuple(fact[p] for p in positions) == seed
+    )
 
 
 def _run_plan(

@@ -25,7 +25,12 @@ from ..datalog.errors import NotFullSelectionError
 from ..datalog.terms import Constant, ConstValue, Variable
 from .analysis import EquivalenceClass, RecursionAnalysis
 
-__all__ = ["Selection", "classify_selection"]
+__all__ = [
+    "Selection",
+    "SelectionDirtiness",
+    "classify_selection",
+    "component_positions",
+]
 
 
 @dataclass(frozen=True)
@@ -156,6 +161,56 @@ def classify_selection(
         selected_class=None,
         selected_positions=(),
     )
+
+
+def component_positions(
+    analysis: RecursionAnalysis, component: tuple
+) -> tuple[int, ...]:
+    """Argument positions of a memo-key component.
+
+    ``component`` is the discriminated pair a
+    :func:`repro.core.api.full_selection_key` carries: ``("class", i)``
+    for equivalence class ``e_i`` or ``("pers", positions)`` for a
+    pers-driven (dummy class) selection.
+    """
+    kind, payload = component
+    if kind == "class":
+        for cls in analysis.classes:
+            if cls.index == payload:
+                return cls.positions
+        raise ValueError(
+            f"analysis of {analysis.predicate} has no class {payload}"
+        )
+    if kind == "pers":
+        return tuple(payload)
+    raise ValueError(f"unknown selection component kind {kind!r}")
+
+
+class SelectionDirtiness:
+    """Which full-selection keys a set of changed ``t`` facts dirties.
+
+    Theorem 2.1 makes the equivalence classes independent: the answers
+    of the full selection ``(component, seed)`` are exactly the ``t``
+    facts whose projection onto the component's positions equals the
+    seed, so a mutation dirties the key iff some changed fact projects
+    onto it.  Projections are computed once per distinct position set
+    and shared across every key the memo holds for this analysis.
+    """
+
+    def __init__(self, analysis: RecursionAnalysis, changed_facts) -> None:
+        self.analysis = analysis
+        self._changed = tuple(changed_facts)
+        self._seen: dict[tuple[int, ...], frozenset[tuple]] = {}
+
+    def dirty(self, component: tuple, seed: tuple) -> bool:
+        positions = component_positions(self.analysis, component)
+        seen = self._seen.get(positions)
+        if seen is None:
+            seen = frozenset(
+                tuple(fact[p] for p in positions) for fact in self._changed
+            )
+            self._seen[positions] = seen
+        return tuple(seed) in seen
 
 
 def require_full(selection: Selection) -> Selection:

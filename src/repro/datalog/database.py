@@ -26,7 +26,7 @@ class Relation:
     """A named set of same-arity tuples with lazy secondary indexes."""
 
     __slots__ = ("name", "arity", "_tuples", "_indexes", "_version",
-                 "_distinct_cache")
+                 "_distinct_cache", "_observers")
 
     def __init__(self, name: str, arity: int,
                  tuples: Iterable[Fact] = ()) -> None:
@@ -36,12 +36,38 @@ class Relation:
         self._indexes: dict[tuple[int, ...], dict[tuple, list[Fact]]] = {}
         self._version = 0
         self._distinct_cache: tuple[int, frozenset[ConstValue]] | None = None
+        self._observers: tuple = ()
         if tuples:
             self.add_all(tuples)
 
+    # -- observation -------------------------------------------------------
+
+    def observe(self, callback) -> None:
+        """Subscribe ``callback(relation, fact, sign)`` to mutations.
+
+        ``sign`` is ``+1`` for an effective insert, ``-1`` for an
+        effective delete, and ``0`` with ``fact=None`` for a wholesale
+        reset (:meth:`clear`) that cannot be expressed as a delta.
+        Observers are stored in a tuple so the no-observer hot path
+        costs a single falsy check.
+        """
+        if callback not in self._observers:
+            self._observers = self._observers + (callback,)
+
+    def unobserve(self, callback) -> None:
+        """Remove a previously subscribed callback (missing is a no-op).
+
+        Matched by equality, not identity: a bound method like
+        ``capture._on_event`` is a fresh object on every attribute
+        access, and subscribers pass exactly that.
+        """
+        self._observers = tuple(
+            cb for cb in self._observers if cb != callback
+        )
+
     @property
     def version(self) -> int:
-        """Mutation counter: bumped on every successful add and on clear.
+        """Mutation counter: bumped on every effective add, discard, clear.
 
         Consumers caching state derived from this relation (the engine's
         base-IDB materialization) compare versions to detect staleness.
@@ -65,6 +91,9 @@ class Relation:
         for positions, index in self._indexes.items():
             key = tuple(fact[p] for p in positions)
             index.setdefault(key, []).append(fact)
+        if self._observers:
+            for cb in self._observers:
+                cb(self, fact, 1)
         return True
 
     def add_all(self, facts: Iterable[Fact]) -> int:
@@ -96,13 +125,60 @@ class Relation:
             for fact in new:
                 key = tuple(fact[p] for p in positions)
                 index.setdefault(key, []).append(fact)
+        if self._observers:
+            for fact in new:
+                for cb in self._observers:
+                    cb(self, fact, 1)
         return len(new)
+
+    def discard(self, fact: Fact) -> bool:
+        """Remove a tuple; returns True if it was present.
+
+        Live indexes are patched in place (the bucket entry is removed,
+        empty buckets dropped) so a delete costs the same O(#indexes)
+        walk as :meth:`add` instead of an index rebuild.
+        """
+        fact = tuple(fact)
+        if len(fact) != self.arity:
+            raise ArityError(
+                f"relation {self.name} has arity {self.arity}, "
+                f"got tuple of length {len(fact)}: {fact!r}"
+            )
+        if fact not in self._tuples:
+            return False
+        self._tuples.discard(fact)
+        self._version += 1
+        for positions, index in self._indexes.items():
+            key = tuple(fact[p] for p in positions)
+            bucket = index.get(key)
+            if bucket is not None:
+                try:
+                    bucket.remove(fact)
+                except ValueError:
+                    pass
+                if not bucket:
+                    del index[key]
+        if self._observers:
+            for cb in self._observers:
+                cb(self, fact, -1)
+        return True
+
+    def discard_all(self, facts: Iterable[Fact]) -> int:
+        """Remove many tuples; returns the number that were present."""
+        removed = 0
+        for f in facts:
+            if self.discard(f):
+                removed += 1
+        return removed
 
     def clear(self) -> None:
         """Remove all tuples and drop all indexes."""
         self._tuples.clear()
         self._indexes.clear()
         self._version += 1
+        if self._observers:
+            for cb in self._observers:
+                cb(self, None, 0)
 
     # -- queries ----------------------------------------------------------
 
@@ -180,6 +256,8 @@ class Database:
         self._relations: dict[str, Relation] = {}
         self._distinct_cache: tuple[tuple, frozenset[ConstValue]] | None = \
             None
+        self._observers: list = []
+        self._fp_cache: tuple[int, tuple] | None = None
 
     # -- construction -----------------------------------------------------
 
@@ -200,6 +278,9 @@ class Database:
         mounted under the same names, so a write through one alias
         stays visible through the others -- exactly as in the source
         database.
+
+        Observers are *not* inherited: a copy is a private snapshot and
+        mutating it must not feed the original's delta capture.
         """
         other = Database()
         copies: dict[int, Relation] = {}
@@ -210,6 +291,30 @@ class Database:
                 copies[id(rel)] = clone
             other._relations[name] = clone
         return other
+
+    # -- observation -------------------------------------------------------
+
+    def observe(self, callback) -> None:
+        """Subscribe ``callback(relation, fact, sign)`` to every relation.
+
+        Current relations are subscribed immediately; relations created
+        later through :meth:`ensure` / :meth:`add_fact` are subscribed
+        on creation.  Mounting a foreign relation via :meth:`attach`
+        while observed is reported as a reset event (``fact=None,
+        sign=0``) because its existing tuples never produced deltas.
+        """
+        if callback in self._observers:
+            return
+        self._observers.append(callback)
+        for rel in {id(r): r for r in self._relations.values()}.values():
+            rel.observe(callback)
+
+    def unobserve(self, callback) -> None:
+        """Unsubscribe from the database and all its relations."""
+        if callback in self._observers:
+            self._observers.remove(callback)
+        for rel in {id(r): r for r in self._relations.values()}.values():
+            rel.unobserve(callback)
 
     # -- access -----------------------------------------------------------
 
@@ -222,6 +327,13 @@ class Database:
         in for an IDB predicate) without copying tuples.
         """
         self._relations[name or relation.name] = relation
+        self._fp_cache = None
+        if self._observers:
+            # The mounted relation's tuples arrived without deltas;
+            # observers can only treat this as a wholesale reset.
+            for cb in self._observers:
+                relation.observe(cb)
+                cb(relation, None, 0)
 
     def ensure(self, name: str, arity: int) -> Relation:
         """Get the named relation, creating it empty if absent."""
@@ -229,6 +341,9 @@ class Database:
         if rel is None:
             rel = Relation(name, arity)
             self._relations[name] = rel
+            self._fp_cache = None
+            for cb in self._observers:
+                rel.observe(cb)
         elif rel.arity != arity:
             raise ArityError(
                 f"relation {name} already exists with arity {rel.arity}, "
@@ -249,6 +364,13 @@ class Database:
         """Insert one tuple, creating the relation if needed."""
         return self.ensure(name, len(fact)).add(tuple(fact))
 
+    def remove_fact(self, name: str, fact: Fact) -> bool:
+        """Remove one tuple; False if the relation or tuple is absent."""
+        rel = self._relations.get(name)
+        if rel is None:
+            return False
+        return rel.discard(tuple(fact))
+
     def add_ground_atom(self, a: Atom) -> bool:
         """Insert a ground atom as a fact."""
         if not a.is_ground():
@@ -267,12 +389,27 @@ class Database:
         O(#relations), no tuples are hashed.  Any fact added or
         relation cleared (directly or through an attached view) changes
         the fingerprint, so caches keyed on it -- the engine's base-IDB
-        materialization -- notice mutations between queries.
+        materialization, the service's snapshot lookup -- notice
+        mutations between queries.
+
+        The sorted tuple is cached and validated against the sum of all
+        relation versions: versions only ever increase, so any mutation
+        strictly increases the sum and a stale hit is impossible.
+        Membership changes that could leave the sum unchanged (a new
+        empty relation, an attach) explicitly drop the cache.
         """
-        return tuple(
+        total = 0
+        for rel in self._relations.values():
+            total += rel._version
+        cached = self._fp_cache
+        if cached is not None and cached[0] == total:
+            return cached[1]
+        fp = tuple(
             (name, rel.arity, rel.version)
             for name, rel in sorted(self._relations.items())
         )
+        self._fp_cache = (total, fp)
+        return fp
 
     def arity(self, name: str) -> int | None:
         """Arity of the named relation, or ``None`` if absent."""

@@ -18,7 +18,7 @@ restricted to the previous delta.
 from __future__ import annotations
 
 from contextlib import nullcontext
-from typing import Iterable, Optional
+from typing import Iterable, Mapping, Optional
 
 from ..budget import Budget, UNLIMITED
 from ..observability.tracer import live
@@ -75,6 +75,7 @@ def seminaive_stratum(
     budget: Budget = UNLIMITED,
     order: str = "greedy",
     tracer=None,
+    initial_deltas: Optional[Mapping[str, Iterable]] = None,
 ) -> None:
     """Run one SCC of mutually recursive predicates to fixpoint in ``db``.
 
@@ -83,6 +84,14 @@ def seminaive_stratum(
     records one ``seminaive.scc`` span with a per-round ``delta:<p>``
     series per member predicate (the sizes ``EvaluationStats`` cannot
     see) plus the initial/final relation sizes.
+
+    ``initial_deltas`` restarts the fixpoint from an explicit seed
+    instead of the usual round-0 full evaluation: ``{predicate: facts}``
+    for SCC members.  The seeds are installed (new ones become round
+    0's delta) and propagation proceeds with delta variants only.  The
+    caller must guarantee ``db`` is already a fixpoint of the SCC
+    *except for* consequences of the seeds -- this is the delta-seeded
+    restart incremental insert maintenance runs after a base mutation.
     """
     tracer = live(tracer)
     rules = list(rules)
@@ -115,7 +124,20 @@ def seminaive_stratum(
             stats.bump_iterations()
         if tracer is not None:
             tracer.count("iterations")
-        for ri, r in enumerate(rules):
+        if initial_deltas is not None:
+            for p, facts in initial_deltas.items():
+                if p not in scc:
+                    raise ValueError(
+                        f"initial delta for {p!r} is not a member of "
+                        f"this SCC"
+                    )
+                target = db.relation(p)
+                assert target is not None
+                fresh = delta_sets[p]
+                for fact in facts:
+                    if target.add(tuple(fact)):
+                        fresh.add(tuple(fact))
+        for ri, r in enumerate(rules if initial_deltas is None else ()):
             target = db.relation(r.head.predicate)
             assert target is not None
             produced_r = 0

@@ -1,0 +1,15 @@
+"""Incremental view maintenance: delta capture + maintained IDB state.
+
+:class:`DeltaCapture` turns raw :class:`~repro.datalog.database.Relation`
+mutations (observed at ``version`` granularity) into net per-relation
+insert/delete sets; :class:`MaintainedView` repairs a materialized IDB
+under those deltas -- counting-based insert maintenance through a
+delta-seeded semi-naive restart, DRed-style delete/rederive for
+deletions -- instead of re-running the fixpoint from scratch.  See
+``docs/incremental.md`` for the algorithm and its limits.
+"""
+
+from .capture import DeltaCapture
+from .view import MaintainedView
+
+__all__ = ["DeltaCapture", "MaintainedView"]

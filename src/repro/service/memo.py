@@ -77,6 +77,8 @@ class FullSelectionMemo:
         self.misses = 0
         self.coalesced = 0
         self.evictions = 0
+        self.repaired = 0
+        self.survived = 0
         self._lock = threading.Lock()
         self._entries: OrderedDict[tuple, object] = OrderedDict()
         self._inflight: dict[tuple, _InFlight] = {}
@@ -136,6 +138,50 @@ class FullSelectionMemo:
         """
         return ScopedMemo(self, scope)
 
+    def rescope(self, old_scope: object, new_scope: object,
+                decide: Callable) -> tuple[int, int]:
+        """Migrate entries from one snapshot scope to another.
+
+        Incremental maintenance's memo-repair hook: every completed
+        entry whose scope prefix equals ``old_scope`` is popped, handed
+        to ``decide(key_tail, value)``, and re-inserted under
+        ``new_scope`` when the verdict is ``("keep", _)`` (unchanged --
+        counted as *survived*) or ``("repair", new_value)`` (counted as
+        *repaired*); ``("drop", _)`` discards it.  ``decide`` runs
+        outside the lock -- repairing may project a whole relation.
+        In-flight leaders still publishing into the old scope are
+        harmless: their entries are simply dead weight until evicted.
+
+        Returns ``(survived, repaired)``.
+        """
+        with self._lock:
+            moved = [
+                (key, value) for key, value in self._entries.items()
+                if key and key[0] == old_scope
+            ]
+            for key, _ in moved:
+                del self._entries[key]
+        survived = repaired = 0
+        keep: list[tuple[tuple, object]] = []
+        for key, value in moved:
+            verdict, new_value = decide(key[1:], value)
+            if verdict == "keep":
+                keep.append(((new_scope,) + key[1:], value))
+                survived += 1
+            elif verdict == "repair":
+                keep.append(((new_scope,) + key[1:], new_value))
+                repaired += 1
+        with self._lock:
+            for key, value in keep:
+                self._entries[key] = value
+                self._entries.move_to_end(key)
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+            self.survived += survived
+            self.repaired += repaired
+        return survived, repaired
+
     def clear(self) -> None:
         """Drop all completed entries and zero the counters.
 
@@ -148,9 +194,11 @@ class FullSelectionMemo:
             self.misses = 0
             self.coalesced = 0
             self.evictions = 0
+            self.repaired = 0
+            self.survived = 0
 
     def stats(self) -> dict[str, int]:
-        """Counter snapshot: size/hits/misses/coalesced/evictions."""
+        """Counter snapshot: size plus every event counter."""
         with self._lock:
             return {
                 "size": len(self._entries),
@@ -158,6 +206,8 @@ class FullSelectionMemo:
                 "misses": self.misses,
                 "coalesced": self.coalesced,
                 "evictions": self.evictions,
+                "repaired": self.repaired,
+                "survived": self.survived,
             }
 
     def __len__(self) -> int:

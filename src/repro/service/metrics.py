@@ -107,6 +107,9 @@ class ServiceMetrics:
         self._retries = 0
         self._deadline_trips = 0
         self._snapshots_created = 0
+        self._snapshots_repaired = 0
+        self._view_repairs = 0
+        self._view_rebuilds = 0
         self._latencies: deque[float] = deque(maxlen=latency_capacity)
 
     # -- recording (called by the service) --------------------------------
@@ -136,6 +139,18 @@ class ServiceMetrics:
     def snapshot_created(self) -> None:
         with self._lock:
             self._snapshots_created += 1
+
+    def snapshot_repaired(self) -> None:
+        with self._lock:
+            self._snapshots_repaired += 1
+
+    def view_repair(self) -> None:
+        with self._lock:
+            self._view_repairs += 1
+
+    def view_rebuild(self) -> None:
+        with self._lock:
+            self._view_rebuilds += 1
 
     # -- reading ------------------------------------------------------------
 
@@ -169,6 +184,9 @@ class ServiceMetrics:
                 "retries": self._retries,
                 "deadline_trips": self._deadline_trips,
                 "snapshots_created": self._snapshots_created,
+                "snapshots_repaired": self._snapshots_repaired,
+                "view_repairs": self._view_repairs,
+                "view_rebuilds": self._view_rebuilds,
                 "latency_s": {
                     "count": len(values),
                     "p50": _quantile(values, 0.50),
@@ -216,11 +234,20 @@ class ServiceMetrics:
             ("retries_total", "Attempts retried after a transient trip."),
             ("deadline_trips_total", "Wall-clock budget trips."),
             ("snapshots_total", "EDB snapshots materialized."),
+            ("snapshots_repaired_total",
+             "Snapshots rebuilt by structural sharing after a mutation."),
+            ("view_repairs_total",
+             "Incremental IDB repairs applied by the maintained view."),
+            ("view_rebuilds_total",
+             "Full view rebuilds after a delta-capture overflow."),
         ):
             key = {
                 "retries_total": "retries",
                 "deadline_trips_total": "deadline_trips",
                 "snapshots_total": "snapshots_created",
+                "snapshots_repaired_total": "snapshots_repaired",
+                "view_repairs_total": "view_repairs",
+                "view_rebuilds_total": "view_rebuilds",
             }[name]
             metric = f"repro_service_{name}"
             lines.append(f"# HELP {metric} {help_text}")
@@ -245,7 +272,8 @@ class ServiceMetrics:
             lines.append("# HELP repro_service_memo_events_total "
                          "Full-selection memo events by kind.")
             lines.append("# TYPE repro_service_memo_events_total counter")
-            for kind in ("hits", "misses", "coalesced", "evictions"):
+            for kind in ("hits", "misses", "coalesced", "evictions",
+                         "repaired", "survived"):
                 lines.append(
                     f'repro_service_memo_events_total{{kind="{kind}"}} '
                     f"{memo_stats.get(kind, 0)}"

@@ -44,12 +44,17 @@ from dataclasses import dataclass, field
 from typing import Callable, Iterable, Optional, Sequence, Union
 
 from ..budget import Budget, UNLIMITED
+from ..core.analysis import RecursionAnalysis
+from ..core.api import full_selection_from_extent
+from ..core.detection import require_separable
+from ..core.selections import SelectionDirtiness
 from ..datalog.atoms import Atom
-from ..datalog.database import Database
+from ..datalog.database import Database, Relation
 from ..datalog.errors import BudgetExceeded, ReproError
 from ..datalog.parser import parse_query
 from ..datalog.programs import Program
 from ..engine import Engine, QueryResult
+from ..maintenance import DeltaCapture, MaintainedView
 from ..observability.events import EVENT_SCHEMA, EventSink
 from ..stats import EvaluationStats
 from .memo import FullSelectionMemo
@@ -89,6 +94,13 @@ class ServiceConfig:
     budget:
         Base tuple/iteration budget shared by all requests; the
         per-request deadline is layered onto a copy.
+    incremental:
+        Maintain a materialized IDB view under mutation (see
+        :mod:`repro.maintenance`): :meth:`QueryService.mutate` captures
+        per-relation deltas, repairs the view incrementally, migrates
+        surviving/repairable memo entries to the new fingerprint, and
+        rebuilds the snapshot by structural sharing -- instead of
+        invalidating everything the fingerprint bump used to discard.
     """
 
     workers: int = 4
@@ -99,6 +111,7 @@ class ServiceConfig:
     retry_backoff_s: float = 0.02
     order: str = "greedy"
     budget: Budget = UNLIMITED
+    incremental: bool = False
 
 
 @dataclass(frozen=True)
@@ -201,6 +214,13 @@ class QueryService:
             )
         self._snapshot_lock = threading.Lock()
         self._snapshots: OrderedDict[tuple, _Snapshot] = OrderedDict()
+        self._view: Optional[MaintainedView] = (
+            MaintainedView(program, edb, order=self.config.order)
+            if self.config.incremental
+            else None
+        )
+        self._analysis_cache: dict[str, Optional[RecursionAnalysis]] = {}
+        self._deps_cache: dict[RecursionAnalysis, frozenset[str]] = {}
         self._executor = ThreadPoolExecutor(
             max_workers=self.config.workers,
             thread_name_prefix="repro-service",
@@ -230,9 +250,183 @@ class QueryService:
         no request can ever observe a half-applied mutation (a "torn"
         fingerprint): it is served against the state before ``fn`` or
         after it, never during.
+
+        With :attr:`ServiceConfig.incremental` set, the mutation is
+        observed as per-relation deltas and absorbed before the lock is
+        released: the maintained IDB view is repaired (or rebuilt on a
+        delta-capture overflow), memo entries for clean full-selection
+        keys migrate to the new fingerprint, and the next snapshot is
+        assembled by structural sharing of unchanged relations.
         """
         with self._snapshot_lock:
-            return fn(self.edb)
+            if self._view is None:
+                return fn(self.edb)
+            old_fp = self.edb.fingerprint()
+            capture = DeltaCapture(
+                self.edb, guard_predicates=self.program.idb_predicates
+            )
+            try:
+                return fn(self.edb)
+            finally:
+                capture.detach()
+                self._absorb_mutation(old_fp, capture)
+
+    def _absorb_mutation(self, old_fp: tuple,
+                         capture: DeltaCapture) -> None:
+        """Repair view, memo, and snapshot after a captured mutation."""
+        new_fp = self.edb.fingerprint()
+        if new_fp == old_fp:
+            return
+        assert self._view is not None
+        if capture.overflow:
+            self._view.rebuild(self.edb)
+            self.metrics.view_rebuild()
+            return
+        net = capture.net()
+        try:
+            idb_changes = self._view.apply(net)
+        except Exception:
+            # A delta the maintenance layer cannot express exactly
+            # (e.g. through an aliased relation) degrades to a rebuild;
+            # correctness first, incrementality when possible.
+            self._view.rebuild(self.edb)
+            self.metrics.view_rebuild()
+            return
+        self.metrics.view_repair()
+        mutated = frozenset(net)
+        self._repair_memo(old_fp, new_fp, mutated, idb_changes)
+        self._repair_snapshot(old_fp, new_fp, mutated)
+
+    def _primary_analysis(self, pred: str) -> Optional[RecursionAnalysis]:
+        """The service program's own analysis of ``pred`` (None: not
+        separable), as opposed to a Lemma 2.1 rewrite's analysis."""
+        if pred not in self._analysis_cache:
+            try:
+                analysis = require_separable(self.program, pred)
+            except ReproError:
+                analysis = None
+            self._analysis_cache[pred] = analysis
+        return self._analysis_cache[pred]
+
+    def _analysis_dependencies(
+        self, analysis: RecursionAnalysis
+    ) -> frozenset[str]:
+        """All predicates the analysed recursion transitively reads."""
+        cached = self._deps_cache.get(analysis)
+        if cached is not None:
+            return cached
+        base: set[str] = set()
+        for rule_analysis in analysis.rules:
+            for atom in rule_analysis.nonrecursive_atoms:
+                base.add(atom.predicate)
+        for rule in analysis.exit_rules:
+            for atom in rule.body:
+                base.add(atom.predicate)
+        deps = set(base)
+        for pred in base:
+            if pred in self.program.predicates:
+                deps |= self.program.depends_on(pred)
+        frozen = frozenset(deps)
+        self._deps_cache[analysis] = frozen
+        return frozen
+
+    def _repair_memo(
+        self,
+        old_fp: tuple,
+        new_fp: tuple,
+        mutated: frozenset[str],
+        idb_changes: dict[str, tuple[frozenset, frozenset]],
+    ) -> None:
+        """Migrate old-fingerprint memo entries to the new fingerprint.
+
+        Theorem 2.1's class independence gives the dirtiness rule: a
+        full-selection entry of the primary analysis changes only if
+        some inserted or deleted ``t`` fact projects onto its selected
+        component exactly at its seed.  Clean entries survive verbatim;
+        dirty ones are repaired by projecting the maintained extent.
+        Entries for non-primary analyses (``t_part`` rewrites) survive
+        only when the mutation cannot reach anything they read.
+        """
+        changed_by_pred = {
+            pred: ins | dels for pred, (ins, dels) in idb_changes.items()
+        }
+        dirtiness: dict[str, SelectionDirtiness] = {}
+
+        def decide(tail: tuple, value):
+            if len(tail) != 4:
+                return ("drop", None)
+            analysis, component, seed, _order = tail
+            if not isinstance(analysis, RecursionAnalysis):
+                return ("drop", None)
+            pred = analysis.predicate
+            primary = self._primary_analysis(pred)
+            if primary is not None and analysis == primary:
+                changed = changed_by_pred.get(pred)
+                if not changed:
+                    return ("keep", value)
+                probe = dirtiness.get(pred)
+                if probe is None:
+                    probe = SelectionDirtiness(analysis, changed)
+                    dirtiness[pred] = probe
+                try:
+                    if not probe.dirty(component, seed):
+                        return ("keep", value)
+                    up_tuples = full_selection_from_extent(
+                        analysis, component, seed,
+                        self._view.db.tuples(pred),
+                    )
+                except ValueError:
+                    return ("drop", None)
+                return ("repair", (up_tuples, EvaluationStats()))
+            deps = self._analysis_dependencies(analysis)
+            if deps & mutated or any(
+                changed_by_pred.get(p) for p in deps
+            ):
+                return ("drop", None)
+            return ("keep", value)
+
+        self.memo.rescope(old_fp, new_fp, decide)
+
+    def _repair_snapshot(self, old_fp: tuple, new_fp: tuple,
+                         mutated: frozenset[str]) -> None:
+        """Build the new-fingerprint snapshot by structural sharing.
+
+        Snapshots are never mutated once captured, so relations the
+        delta did not touch are attached as the *same* objects the
+        previous snapshot serves from; only mutated relations are
+        copied fresh from the live EDB.  Without a previous snapshot
+        there is nothing to share and the next request pays the usual
+        full copy.
+        """
+        prev = self._snapshots.get(old_fp)
+        if prev is None:
+            return
+        db = Database()
+        for name in sorted(self.edb.predicates()):
+            live = self.edb.relation(name)
+            assert live is not None
+            shared = prev.db.relation(name)
+            if (name in mutated or shared is None
+                    or shared.arity != live.arity):
+                db.attach(Relation(live.name, live.arity, live), name)
+            else:
+                db.attach(shared, name)
+        snap = _Snapshot(
+            fingerprint=new_fp,
+            db=db,
+            engine=Engine(
+                self.program,
+                db,
+                budget=self.config.budget,
+                order=self.config.order,
+                tracer=self.metrics.tracer,
+            ),
+        )
+        self._snapshots[new_fp] = snap
+        self._snapshots.move_to_end(new_fp)
+        while len(self._snapshots) > self.config.snapshot_cache_size:
+            self._snapshots.popitem(last=False)
+        self.metrics.snapshot_repaired()
 
     def add_fact(self, name: str, fact: tuple) -> bool:
         """Convenience :meth:`mutate` for the common single-fact case."""

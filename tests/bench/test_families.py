@@ -27,9 +27,15 @@ class TestResolve:
             resolve_families("e1,nope")
 
 
+#: Harness-level pseudo-strategies with no Engine counterpart.
+PSEUDO = {"detect", "incremental", "fromscratch"}
+
+
 class TestRegistry:
-    def test_nine_families(self):
-        assert list(FAMILIES) == [f"e{i}" for i in range(1, 10)]
+    def test_registry_keys(self):
+        assert list(FAMILIES) == [f"e{i}" for i in range(1, 10)] + [
+            "incremental-write"
+        ]
 
     @pytest.mark.parametrize("key", list(FAMILIES))
     def test_build_produces_runnable_workload(self, key):
@@ -40,7 +46,23 @@ class TestRegistry:
         assert query.predicate
         assert family.strategies
         for strategy in family.strategies:
-            assert strategy == "detect" or strategy in STRATEGIES
+            assert strategy in PSEUDO or strategy in STRATEGIES
+
+    def test_mutation_streams_are_balanced(self):
+        """Every insert is deleted again: replays are idempotent."""
+        for family in FAMILIES.values():
+            if family.mutations is None:
+                continue
+            for n in (4, 9):
+                ops = family.mutations(n)
+                added = [
+                    (rel, fact) for op, rel, fact in ops if op == "add"
+                ]
+                removed = [
+                    (rel, fact) for op, rel, fact in ops if op == "del"
+                ]
+                assert sorted(added) == sorted(removed)
+                assert len(set(added)) == len(added)
 
     def test_sizes_scale_the_data(self):
         small = FAMILIES["e2"].build(4)

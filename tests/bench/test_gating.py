@@ -11,7 +11,12 @@ import copy
 import pytest
 
 import repro.bench.harness as harness
-from repro.bench import calibrate, compare_reports, run_family
+from repro.bench import (
+    calibrate,
+    compare_reports,
+    maintenance_findings,
+    run_family,
+)
 from repro.bench.families import FAMILIES
 from repro.bench.gating import Finding
 
@@ -124,6 +129,74 @@ class TestFindingKinds:
         assert str(f) == "[time] e2/magic n=8: too slow"
 
 
+def _maintenance_report(inc_s=0.002, fs_s=0.01, inc_answers=40,
+                        fs_answers=40, outcome="ok"):
+    def cell(strategy, median_s, answers):
+        return {
+            "strategy": strategy, "n": 8, "outcome": outcome,
+            "answers": answers, "max_relation_size": 0,
+            "tuples_produced": 0, "tuples_examined": 0, "iterations": 0,
+            "counters": {}, "trace_violations": [],
+            "median_s": median_s, "normalized": median_s / 0.005,
+        }
+
+    return {
+        "schema": "repro-bench/1",
+        "family": "incremental-write",
+        "sizes": [8],
+        "results": [
+            cell("incremental", inc_s, inc_answers),
+            cell("fromscratch", fs_s, fs_answers),
+        ],
+    }
+
+
+class TestMaintenanceGate:
+    def test_faster_incremental_passes(self):
+        assert maintenance_findings(_maintenance_report()) == []
+
+    def test_slower_incremental_fails(self):
+        findings = maintenance_findings(
+            _maintenance_report(inc_s=0.02, fs_s=0.01)
+        )
+        assert [f.kind for f in findings] == ["maintenance"]
+        assert "beat recomputation" in findings[0].message
+
+    def test_tie_fails(self):
+        # "Strictly faster": a repair path that merely matches a full
+        # recomputation is not earning its complexity.
+        findings = maintenance_findings(
+            _maintenance_report(inc_s=0.01, fs_s=0.01)
+        )
+        assert [f.kind for f in findings] == ["maintenance"]
+
+    def test_answer_mismatch_is_a_correctness_finding(self):
+        findings = maintenance_findings(
+            _maintenance_report(inc_answers=41)
+        )
+        assert [f.kind for f in findings] == ["answers"]
+
+    def test_noise_floor_skips_speed_but_not_answers(self):
+        report = _maintenance_report(
+            inc_s=9e-4, fs_s=5e-4, inc_answers=41
+        )
+        assert [f.kind for f in maintenance_findings(report)] == [
+            "answers"
+        ]
+
+    def test_non_ok_cells_are_skipped(self):
+        report = _maintenance_report(inc_s=0.02, outcome="budget")
+        assert maintenance_findings(report) == []
+
+    def test_compare_reports_runs_the_gate_on_the_current_run(self):
+        base = _maintenance_report()
+        cur = _maintenance_report(inc_s=0.02, fs_s=0.01)
+        # Times moved under the baseline tolerance is irrelevant here:
+        # the maintenance gate judges the current run against itself.
+        findings = compare_reports(base, cur, time_tolerance=1e9)
+        assert "maintenance" in {f.kind for f in findings}
+
+
 @pytest.fixture(scope="module")
 def calibration():
     return calibrate(repeats=1)
@@ -131,15 +204,18 @@ def calibration():
 
 @pytest.fixture(scope="module")
 def e2_baseline(calibration):
+    # Sizes large enough that the magic medians clear the gate's 1ms
+    # noise floor on any plausible machine; n=6 used to straddle it,
+    # making the slowdown test pass or fail on scheduler luck.
     return run_family(
-        FAMILIES["e2"], [4, 6], repeats=3, calibration=calibration
+        FAMILIES["e2"], [8, 12], repeats=3, calibration=calibration
     )
 
 
 class TestEndToEnd:
     def test_honest_rerun_passes(self, e2_baseline, calibration):
         rerun = run_family(
-            FAMILIES["e2"], [4, 6], repeats=3, calibration=calibration
+            FAMILIES["e2"], [8, 12], repeats=3, calibration=calibration
         )
         assert compare_reports(e2_baseline, rerun) == []
 
@@ -149,18 +225,18 @@ class TestEndToEnd:
         """The acceptance shim: a 3x sleep stretch must trip the gate.
 
         Only cells whose baseline median clears the 1ms noise floor are
-        time-gated; on this family that is the magic strategy at n=6
-        (and usually n=4), so at least one time finding must appear and
+        time-gated; on this family that is the magic strategy at n=12
+        (and usually n=8), so at least one time finding must appear and
         nothing else may.
         """
         monkeypatch.setattr(harness, "_TEST_SLOWDOWN", 3.0)
         slowed = run_family(
-            FAMILIES["e2"], [4, 6], repeats=3, calibration=calibration
+            FAMILIES["e2"], [8, 12], repeats=3, calibration=calibration
         )
         findings = compare_reports(e2_baseline, slowed)
         assert findings, "3x slowdown escaped the regression gate"
         assert {f.kind for f in findings} == {"time"}
-        assert ("magic", 6) in {(f.strategy, f.n) for f in findings}
+        assert ("magic", 12) in {(f.strategy, f.n) for f in findings}
 
     def test_shim_never_applies_to_calibration(self, monkeypatch):
         """A uniformly slower machine cancels; a slower code path must

@@ -210,6 +210,49 @@ class TestDeterminism:
             assert a["answers"] == b["answers"]
 
 
+class TestIncrementalWriteFamily:
+    """The maintenance pseudo-strategies through the real harness."""
+
+    @pytest.fixture(scope="class")
+    def iw_report(self, calibration):
+        return run_family(
+            FAMILIES["incremental-write"], [6], repeats=2,
+            calibration=calibration,
+        )
+
+    def test_both_strategies_complete(self, iw_report):
+        cells = {c["strategy"]: c for c in iw_report["results"]}
+        assert set(cells) == {"incremental", "fromscratch"}
+        for cell in cells.values():
+            assert cell["outcome"] == "ok"
+            assert cell["median_s"] > 0
+
+    def test_answers_agree_across_strategies(self, iw_report):
+        """The in-report delta oracle: repairs count the same answers
+        after every write as a from-scratch recomputation."""
+        cells = {c["strategy"]: c for c in iw_report["results"]}
+        answers = cells["incremental"]["answers"]
+        assert answers == cells["fromscratch"]["answers"]
+        assert answers > 0
+
+    def test_counters_stay_deterministic_zeros(self, iw_report):
+        # Both runners bypass the tracer, so the hard counter gate
+        # compares exact zeros instead of machine-dependent noise.
+        for cell in iw_report["results"]:
+            assert all(v == 0 for v in cell["counters"].values())
+            assert cell["max_relation_size"] == 0
+
+    def test_balanced_stream_restores_the_database(self):
+        family = FAMILIES["incremental-write"]
+        workload = family.build(6)
+        before = workload.db.fingerprint()
+        report = run_family(
+            family, [6], repeats=1, calibration=calibrate(repeats=1)
+        )
+        assert report["results"][0]["outcome"] == "ok"
+        assert family.build(6).db.fingerprint() == before
+
+
 @pytest.mark.bench
 class TestSectionFourSeparations:
     """Opt-in (``pytest -m bench``): the paper's growth separations."""

@@ -296,3 +296,163 @@ class TestAliasCacheInvalidation:
 
         second = engine.query("tc(a, Y)?", strategy="seminaive")
         assert second.answers == frozenset({("a", "b"), ("a", "c")})
+
+
+class TestDiscard:
+    def test_discard_removes_and_reports(self):
+        rel = Relation("p", 2, [("a", "b"), ("c", "d")])
+        assert rel.discard(("a", "b"))
+        assert ("a", "b") not in rel
+        assert len(rel) == 1
+
+    def test_discard_absent_is_a_noop(self):
+        rel = Relation("p", 2, [("a", "b")])
+        v = rel.version
+        assert not rel.discard(("x", "y"))
+        assert rel.version == v
+
+    def test_discard_enforces_arity(self):
+        rel = Relation("p", 2)
+        with pytest.raises(ArityError):
+            rel.discard(("a",))
+
+    def test_discard_bumps_version(self):
+        rel = Relation("p", 1, [("a",)])
+        v = rel.version
+        rel.discard(("a",))
+        assert rel.version > v
+
+    def test_discard_patches_live_indexes(self):
+        rel = Relation("p", 2, [("a", "b"), ("a", "c"), ("d", "e")])
+        assert sorted(rel.lookup((0,), ("a",))) == [
+            ("a", "b"), ("a", "c"),
+        ]
+        rel.discard(("a", "b"))
+        # Same index object, no rebuild: the bucket was patched.
+        assert rel.lookup((0,), ("a",)) == [("a", "c")]
+        rel.discard(("a", "c"))
+        assert rel.lookup((0,), ("a",)) == []
+        assert rel.lookup((0,), ("d",)) == [("d", "e")]
+
+    def test_discard_all_counts_present_only(self):
+        rel = Relation("p", 1, [("a",), ("b",)])
+        assert rel.discard_all([("a",), ("z",), ("b",)]) == 2
+        assert len(rel) == 0
+
+    def test_database_remove_fact(self):
+        db = Database.from_facts({"p": [("a",)]})
+        assert db.remove_fact("p", ("a",))
+        assert not db.remove_fact("p", ("a",))
+        assert not db.remove_fact("missing", ("a",))
+
+
+class TestObservers:
+    def test_add_discard_clear_events(self):
+        rel = Relation("p", 1)
+        events = []
+        rel.observe(lambda r, f, s: events.append((r.name, f, s)))
+        rel.add(("a",))
+        rel.add(("a",))            # duplicate: no event
+        rel.discard(("a",))
+        rel.discard(("a",))        # absent: no event
+        rel.clear()
+        assert events == [
+            ("p", ("a",), 1), ("p", ("a",), -1), ("p", None, 0),
+        ]
+
+    def test_add_all_fires_per_new_fact(self):
+        rel = Relation("p", 1, [("a",)])
+        events = []
+        rel.observe(lambda r, f, s: events.append((f, s)))
+        rel.add_all([("a",), ("b",), ("c",)])
+        assert events == [(("b",), 1), (("c",), 1)]
+
+    def test_unobserve_bound_method_by_equality(self):
+        # A bound method is a fresh object on every attribute access;
+        # unobserve must match by equality or detach silently fails.
+        class Sink:
+            def __init__(self):
+                self.events = []
+
+            def on_event(self, rel, fact, sign):
+                self.events.append((fact, sign))
+
+        sink = Sink()
+        rel = Relation("p", 1)
+        rel.observe(sink.on_event)
+        rel.add(("a",))
+        rel.unobserve(sink.on_event)
+        rel.add(("b",))
+        assert sink.events == [(("a",), 1)]
+
+    def test_database_observe_covers_future_relations(self):
+        db = Database.from_facts({"p": [("a",)]})
+        events = []
+        db.observe(lambda r, f, s: events.append((r.name, f, s)))
+        db.add_fact("p", ("b",))
+        db.add_fact("q", ("x",))   # relation created after observe()
+        assert events == [("p", ("b",), 1), ("q", ("x",), 1)]
+
+    def test_database_attach_emits_reset(self):
+        db = Database.from_facts({"p": [("a",)]})
+        events = []
+        db.observe(lambda r, f, s: events.append(s))
+        db.attach(Relation("q", 1, [("x",)]), "q")
+        assert 0 in events  # a mounted foreign extent is not a delta
+
+    def test_copy_does_not_inherit_observers(self):
+        db = Database.from_facts({"p": [("a",)]})
+        events = []
+        db.observe(lambda r, f, s: events.append(s))
+        clone = db.copy()
+        clone.add_fact("p", ("b",))
+        assert events == []
+
+
+class TestFingerprintCache:
+    """The cached fingerprint must be indistinguishable from a fresh
+    recomputation after arbitrary mutation sequences."""
+
+    @staticmethod
+    def _recompute(db):
+        return tuple(
+            (name, rel.arity, rel.version)
+            for name, rel in sorted(db._relations.items())
+        )
+
+    def test_cached_equals_recomputed_after_mutations(self):
+        db = Database.from_facts({"p": [("a",)], "q": [("x", "y")]})
+        steps = [
+            lambda: db.add_fact("p", ("b",)),
+            lambda: db.remove_fact("p", ("a",)),
+            lambda: db.add_fact("r", ("z",)),          # new relation
+            lambda: db.relation("q").clear(),
+            lambda: db.add_fact("q", ("x", "y")),
+            lambda: db.ensure("s", 3),                 # empty relation
+            lambda: db.attach(Relation("t", 1, [("w",)]), "t"),
+            lambda: db.remove_fact("r", ("z",)),
+        ]
+        for step in steps:
+            step()
+            assert db.fingerprint() == self._recompute(db), step
+            # And again: the second read is the cached path.
+            assert db.fingerprint() == self._recompute(db)
+
+    def test_repeated_reads_hit_the_cache(self):
+        db = Database.from_facts({"p": [("a",)]})
+        first = db.fingerprint()
+        assert db.fingerprint() is first  # same cached tuple object
+
+    def test_ensure_existing_does_not_invalidate(self):
+        db = Database.from_facts({"p": [("a",)]})
+        first = db.fingerprint()
+        db.ensure("p", 1)
+        assert db.fingerprint() is first
+
+    def test_discard_is_visible_through_the_cache(self):
+        # discard bumps the version, so the version-sum check must
+        # reject the cached tuple even though membership shrank.
+        db = Database.from_facts({"p": [("a",), ("b",)]})
+        fp = db.fingerprint()
+        db.remove_fact("p", ("b",))
+        assert db.fingerprint() != fp

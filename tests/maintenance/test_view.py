@@ -1,0 +1,236 @@
+"""DRed edge cases for :class:`repro.maintenance.MaintainedView`.
+
+Every scenario here is one the overestimate/rederive split is known to
+get wrong when implemented carelessly: cycles whose members support
+each other, facts with several independent derivations losing only one,
+and no-op writes that must leave exact counts untouched.  Each test
+cross-checks the repaired view against a view rebuilt from scratch on
+the mutated base -- extent *and* per-fact derivation counts.
+"""
+
+import pytest
+
+from repro.datalog.database import Database
+from repro.datalog.parser import parse_program
+from repro.maintenance import MaintainedView
+
+TC = parse_program(
+    "tc(X, Y) :- e(X, W) & tc(W, Y).\ntc(X, Y) :- e(X, Y)."
+).program
+
+BUYS = parse_program(
+    """
+    buys(X, Y) :- friend(X, W) & buys(W, Y).
+    buys(X, Y) :- idol(X, W) & buys(W, Y).
+    buys(X, Y) :- perfectFor(X, Y).
+    """
+).program
+
+
+def assert_matches_rebuild(view: MaintainedView, edb: Database) -> None:
+    """Extent and exact counts equal a from-scratch view on ``edb``."""
+    oracle = MaintainedView(view.program, edb, order=view.order)
+    for pred in view.idb:
+        got = set(view.db.tuples(pred))
+        want = set(oracle.db.tuples(pred))
+        assert got == want, pred
+        for fact in want:
+            assert view.count(pred, fact) == oracle.count(pred, fact), (
+                pred, fact,
+            )
+        assert set(view.counts[pred]) == set(oracle.counts[pred])
+
+
+def tc_edb(edges) -> Database:
+    return Database.from_facts({"e": list(edges)})
+
+
+class TestCycles:
+    def test_breaking_a_cycle_keeps_supported_survivors(self):
+        # a -> b -> c -> a: every tc pair holds.  Dropping (c, a) must
+        # rederive exactly the pairs the remaining chain supports --
+        # the facts DRed's overestimate sweeps away but that keep
+        # outside support.
+        edb = tc_edb([("a", "b"), ("b", "c"), ("c", "a")])
+        view = MaintainedView(TC, edb)
+        assert set(view.db.tuples("tc")) == {
+            (x, y) for x in "abc" for y in "abc"
+        }
+        view.apply({"e": (frozenset(), frozenset([("c", "a")]))})
+        edb.remove_fact("e", ("c", "a"))
+        assert set(view.db.tuples("tc")) == {
+            ("a", "b"), ("a", "c"), ("b", "c"),
+        }
+        assert_matches_rebuild(view, edb)
+
+    def test_two_cycles_sharing_a_node(self):
+        # Figure-eight: killing one loop must not take the other down.
+        edb = tc_edb([
+            ("a", "b"), ("b", "a"), ("a", "c"), ("c", "a"),
+        ])
+        view = MaintainedView(TC, edb)
+        view.apply({"e": (frozenset(), frozenset([("b", "a")]))})
+        edb.remove_fact("e", ("b", "a"))
+        assert ("c", "a") in set(view.db.tuples("tc"))
+        assert ("b", "a") not in set(view.db.tuples("tc"))
+        assert_matches_rebuild(view, edb)
+
+    def test_insert_closing_a_cycle(self):
+        # The insert path's hardest case: e(c, a) makes every pair
+        # derivable, including facts whose derivations never pass
+        # through the directly seeded tc(c, *) heads.
+        edb = tc_edb([("a", "b"), ("b", "c")])
+        view = MaintainedView(TC, edb)
+        view.apply({"e": (frozenset([("c", "a")]), frozenset())})
+        edb.add_fact("e", ("c", "a"))
+        assert set(view.db.tuples("tc")) == {
+            (x, y) for x in "abc" for y in "abc"
+        }
+        assert_matches_rebuild(view, edb)
+
+    def test_cycle_fed_by_external_edge_survives_feeder_loss(self):
+        # x -> a with cycle a <-> b: deleting (x, a) removes only the
+        # x-rooted pairs; the cycle is self-supporting.
+        edb = tc_edb([("x", "a"), ("a", "b"), ("b", "a")])
+        view = MaintainedView(TC, edb)
+        view.apply({"e": (frozenset(), frozenset([("x", "a")]))})
+        edb.remove_fact("e", ("x", "a"))
+        assert set(view.db.tuples("tc")) == {
+            ("a", "b"), ("b", "a"), ("a", "a"), ("b", "b"),
+        }
+        assert_matches_rebuild(view, edb)
+
+
+class TestSupportCounting:
+    def test_losing_one_of_two_supports_keeps_the_fact(self):
+        edb = Database.from_facts({
+            "friend": [("a", "b")],
+            "idol": [("a", "b")],
+            "perfectFor": [("b", "p")],
+        })
+        view = MaintainedView(BUYS, edb)
+        assert view.count("buys", ("a", "p")) == 2
+        view.apply({"friend": (frozenset(), frozenset([("a", "b")]))})
+        edb.remove_fact("friend", ("a", "b"))
+        assert ("a", "p") in set(view.db.tuples("buys"))
+        assert view.count("buys", ("a", "p")) == 1
+        assert_matches_rebuild(view, edb)
+
+    def test_losing_the_last_support_drops_the_fact(self):
+        edb = Database.from_facts({
+            "friend": [("a", "b")],
+            "idol": [("a", "b")],
+            "perfectFor": [("b", "p")],
+        })
+        view = MaintainedView(BUYS, edb)
+        changes = view.apply({
+            "friend": (frozenset(), frozenset([("a", "b")])),
+            "idol": (frozenset(), frozenset([("a", "b")])),
+        })
+        edb.remove_fact("friend", ("a", "b"))
+        edb.remove_fact("idol", ("a", "b"))
+        assert ("a", "p") not in set(view.db.tuples("buys"))
+        assert view.count("buys", ("a", "p")) == 0
+        assert ("a", "p") in changes["buys"][1]
+        assert_matches_rebuild(view, edb)
+
+    def test_insert_adding_a_second_derivation_bumps_the_count(self):
+        edb = Database.from_facts({
+            "friend": [("a", "b")],
+            "perfectFor": [("b", "p")],
+        })
+        view = MaintainedView(BUYS, edb)
+        assert view.count("buys", ("a", "p")) == 1
+        # idol(a, b) adds a second derivation of an existing fact --
+        # no extent change, but the count must move.
+        changes = view.apply({"idol": (frozenset([("a", "b")]),
+                                       frozenset())})
+        edb.add_fact("idol", ("a", "b"))
+        assert changes == {}  # extent unchanged; only the count moved
+        assert view.count("buys", ("a", "p")) == 2
+        assert_matches_rebuild(view, edb)
+
+
+class TestIdempotence:
+    def test_reinserting_a_present_fact_changes_nothing(self):
+        edb = tc_edb([("a", "b"), ("b", "c")])
+        view = MaintainedView(TC, edb)
+        before = {f: view.count("tc", f) for f in view.db.tuples("tc")}
+        changes = view.apply({"e": (frozenset([("a", "b")]),
+                                    frozenset())})
+        assert changes == {}
+        assert {
+            f: view.count("tc", f) for f in view.db.tuples("tc")
+        } == before
+
+    def test_deleting_an_absent_fact_changes_nothing(self):
+        edb = tc_edb([("a", "b")])
+        view = MaintainedView(TC, edb)
+        changes = view.apply({"e": (frozenset(),
+                                    frozenset([("z", "z")]))})
+        assert changes == {}
+        assert set(view.db.tuples("tc")) == {("a", "b")}
+
+    def test_delete_then_reinsert_restores_counts_exactly(self):
+        edb = tc_edb([("a", "b"), ("b", "c"), ("c", "a")])
+        view = MaintainedView(TC, edb)
+        before = {f: view.count("tc", f) for f in view.db.tuples("tc")}
+        view.apply({"e": (frozenset(), frozenset([("b", "c")]))})
+        view.apply({"e": (frozenset([("b", "c")]), frozenset())})
+        assert {
+            f: view.count("tc", f) for f in view.db.tuples("tc")
+        } == before
+        assert_matches_rebuild(view, edb)
+
+    def test_cancelling_batch_is_a_noop(self):
+        edb = tc_edb([("a", "b")])
+        view = MaintainedView(TC, edb)
+        changes = view.apply({
+            "e": (frozenset([("a", "b")]), frozenset([("z", "z")])),
+        })
+        assert changes == {}
+
+
+class TestApplyContract:
+    def test_idb_delta_is_rejected(self):
+        view = MaintainedView(TC, tc_edb([("a", "b")]))
+        with pytest.raises(ValueError, match="derived predicate"):
+            view.apply({"tc": (frozenset([("x", "y")]), frozenset())})
+
+    def test_net_idb_changes_are_reported(self):
+        edb = tc_edb([("a", "b")])
+        view = MaintainedView(TC, edb)
+        changes = view.apply({"e": (frozenset([("b", "c")]),
+                                    frozenset())})
+        assert changes == {
+            "tc": (frozenset([("b", "c"), ("a", "c")]), frozenset()),
+        }
+
+    def test_new_base_relation_via_insert(self):
+        # Inserting into a relation the database has never seen.
+        edb = Database.from_facts({
+            "friend": [("a", "b")], "idol": [],
+            "perfectFor": [("b", "p")],
+        })
+        view = MaintainedView(BUYS, edb)
+        view.apply({"cheaper_stub": (frozenset([("q", "p")]),
+                                     frozenset())})
+        edb.add_fact("cheaper_stub", ("q", "p"))
+        assert_matches_rebuild(view, edb)
+
+    def test_mixed_batch_matches_rebuild(self):
+        edb = Database.from_facts({
+            "friend": [("a", "b"), ("b", "c")],
+            "idol": [("a", "c")],
+            "perfectFor": [("c", "p")],
+        })
+        view = MaintainedView(BUYS, edb)
+        view.apply({
+            "friend": (frozenset([("c", "d")]),
+                       frozenset([("a", "b")])),
+            "perfectFor": (frozenset([("d", "q")]), frozenset()),
+        })
+        edb.add_fact("friend", ("c", "d"))
+        edb.remove_fact("friend", ("a", "b"))
+        edb.add_fact("perfectFor", ("d", "q"))
+        assert_matches_rebuild(view, edb)
