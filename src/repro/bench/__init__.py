@@ -21,6 +21,7 @@ from .gating import (
     Finding,
     compare_reports,
     maintenance_findings,
+    parallel_findings,
     plan_growth_findings,
 )
 from .harness import (
@@ -53,6 +54,7 @@ __all__ = [
     "git_sha",
     "machine_info",
     "maintenance_findings",
+    "parallel_findings",
     "plan_growth_findings",
     "report_path",
     "resolve_families",

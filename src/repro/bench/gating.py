@@ -25,13 +25,29 @@ __all__ = [
     "Finding",
     "compare_reports",
     "maintenance_findings",
+    "parallel_findings",
     "plan_growth_findings",
     "DEFAULT_TIME_TOLERANCE",
     "DEFAULT_MIN_TIME_S",
+    "PARALLEL_MIN_SPEEDUP",
+    "PARALLEL_SPEEDUP_WORKERS",
+    "PARALLEL_REQUIRED_CPUS",
+    "PARALLEL_SPEEDUP_MIN_S",
 ]
 
 DEFAULT_TIME_TOLERANCE = 1.6
 DEFAULT_MIN_TIME_S = 1e-3
+
+#: The speedup the parallel-scaling family must show ...
+PARALLEL_MIN_SPEEDUP = 1.5
+#: ... at this worker count ...
+PARALLEL_SPEEDUP_WORKERS = 4
+#: ... but only on machines with at least this many CPUs (a process
+#: pool cannot beat serial on a single core, and pretending otherwise
+#: would make the gate a permanent lie on small CI runners).
+PARALLEL_REQUIRED_CPUS = 4
+#: Serial medians below this are too noisy to anchor a speedup claim.
+PARALLEL_SPEEDUP_MIN_S = 0.05
 
 
 @dataclass(frozen=True)
@@ -142,6 +158,95 @@ def compare_reports(
             findings.append(time_finding)
     findings.extend(plan_growth_findings(current))
     findings.extend(maintenance_findings(current, min_time_s=min_time_s))
+    findings.extend(parallel_findings(current))
+    return findings
+
+
+def parallel_findings(
+    report: dict,
+    min_speedup: float = PARALLEL_MIN_SPEEDUP,
+    speedup_workers: int = PARALLEL_SPEEDUP_WORKERS,
+    required_cpus: int = PARALLEL_REQUIRED_CPUS,
+    min_serial_s: float = PARALLEL_SPEEDUP_MIN_S,
+) -> list[Finding]:
+    """Gates for the ``parallel-scaling`` family's current run.
+
+    **Correctness (always):** every ``parallel-N`` cell must count the
+    same answers as the same-size ``serial`` cell *and* match its
+    ``answers_sha`` -- a digest of the sorted answer set, so the
+    byte-identical-answers contract is checked, not just cardinality.
+
+    **Speedup (hardware-gated):** on machines reporting at least
+    ``required_cpus`` CPUs, the ``parallel-{speedup_workers}`` cell at
+    the largest size whose serial median clears ``min_serial_s`` must
+    run at least ``min_speedup`` times faster than serial.  On smaller
+    machines (e.g. a 1-CPU container) the speedup gate is skipped:
+    physics, not tolerance -- the correctness gates still apply, and
+    the committed report records the ``cpu_count`` it was measured on.
+
+    Checked against the *current* run alone, like the maintenance
+    gate: serial and parallel cells are timed in the same process on
+    the same machine, so no calibration is involved.
+    """
+    family = report.get("family", "?")
+    cells = _cells_by_key(report)
+    findings: list[Finding] = []
+    for (strategy, n), cell in sorted(cells.items()):
+        if not strategy.startswith("parallel-"):
+            continue
+        serial = cells.get(("serial", n))
+        if (serial is None or cell["outcome"] != "ok"
+                or serial["outcome"] != "ok"):
+            continue
+        if cell.get("answers") != serial.get("answers"):
+            findings.append(
+                Finding(
+                    family, strategy, n, "answers",
+                    f"parallel counted {cell.get('answers')} answers, "
+                    f"serial {serial.get('answers')} (correctness!)",
+                )
+            )
+        sha_p = cell.get("answers_sha")
+        sha_s = serial.get("answers_sha")
+        if sha_p is not None and sha_s is not None and sha_p != sha_s:
+            findings.append(
+                Finding(
+                    family, strategy, n, "answers",
+                    f"answer digest diverged from serial "
+                    f"({sha_s[:12]} -> {sha_p[:12]}): same count, "
+                    f"different tuples (correctness!)",
+                )
+            )
+
+    cpus = (report.get("machine") or {}).get("cpu_count") or 0
+    if cpus < required_cpus:
+        return findings
+    eligible: list[tuple[int, float, float]] = []
+    for (strategy, n), cell in cells.items():
+        if strategy != f"parallel-{speedup_workers}":
+            continue
+        serial = cells.get(("serial", n))
+        if (serial is None or cell["outcome"] != "ok"
+                or serial["outcome"] != "ok"):
+            continue
+        serial_s = serial.get("median_s")
+        par_s = cell.get("median_s")
+        if serial_s is None or par_s is None or serial_s < min_serial_s:
+            continue
+        eligible.append((n, serial_s, par_s))
+    if eligible:
+        n, serial_s, par_s = max(eligible)
+        speedup = serial_s / par_s if par_s > 0 else float("inf")
+        if speedup < min_speedup:
+            findings.append(
+                Finding(
+                    family, f"parallel-{speedup_workers}", n, "parallel",
+                    f"speedup {speedup:.2f}x at {speedup_workers} workers "
+                    f"is below the required {min_speedup:g}x (serial "
+                    f"{serial_s * 1e3:.1f}ms, parallel "
+                    f"{par_s * 1e3:.1f}ms, {cpus} CPUs)",
+                )
+            )
     return findings
 
 

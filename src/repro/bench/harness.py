@@ -27,6 +27,7 @@ set iteration order), which is what makes exact counter gating in
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import platform
@@ -241,6 +242,39 @@ def _make_runner(
 
         return run_fromscratch
 
+    if strategy == "serial" or strategy.startswith("parallel-"):
+        # The parallel-scaling pseudo-strategies: the Separable
+        # evaluator serial vs on an N-worker process pool.  Each run
+        # stashes a digest of the sorted answer set on the closure
+        # (``run.answers_sha``) so the gate can assert byte-identical
+        # answers across worker counts, not just equal counts.
+        from ..parallel import ParallelConfig, get_executor
+
+        executor = None
+        if strategy.startswith("parallel-"):
+            workers = int(strategy.split("-", 1)[1])
+            executor = get_executor(ParallelConfig(
+                workers=workers,
+                partitions=workers,
+                min_partition_tuples=16,
+            ))
+
+        engine = Engine(workload.program, workload.db, budget=budget)
+
+        def run_separable(tracer: Optional[Tracer] = None):
+            stats = EvaluationStats()
+            result = engine.query(
+                workload.query, strategy="separable", stats=stats,
+                tracer=tracer, parallel=executor,
+            )
+            digest = hashlib.sha256()
+            for fact in sorted(result.answers, key=repr):
+                digest.update(repr(fact).encode())
+            run_separable.answers_sha = digest.hexdigest()
+            return len(result.answers), stats
+
+        return run_separable
+
     engine = Engine(workload.program, workload.db, budget=budget)
 
     def run(tracer: Optional[Tracer] = None):
@@ -324,6 +358,9 @@ def _run_cell(
         "median_s": None,
         "normalized": None,
     }
+    sha = getattr(run, "answers_sha", None)
+    if sha is not None:
+        cell["answers_sha"] = sha
     if trace_dir is not None:
         trace_dir.mkdir(parents=True, exist_ok=True)
         trace_path = (

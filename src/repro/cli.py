@@ -96,6 +96,21 @@ def _nonnegative_int(text: str) -> int:
     return value
 
 
+def _worker_list(text: str) -> tuple[int, ...]:
+    """Comma-separated positive worker counts, e.g. ``1,2,4``."""
+    try:
+        values = tuple(int(part) for part in text.split(",") if part.strip())
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected comma-separated integers, got {text!r}"
+        )
+    if not values or any(v < 1 for v in values):
+        raise argparse.ArgumentTypeError(
+            f"worker counts must be >= 1, got {text!r}"
+        )
+    return values
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-datalog",
@@ -238,6 +253,15 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="report raw failing cases without delta-debugging them",
     )
+    fuzz.add_argument(
+        "--parallel-workers",
+        type=_worker_list,
+        default=None,
+        metavar="W[,W...]",
+        help="also run the Separable strategy under the worker-pool "
+        "executor at these worker counts (comma-separated, e.g. "
+        "'1,2,4'), cross-checking each run against the reference",
+    )
 
     serve = sub.add_parser(
         "serve",
@@ -257,6 +281,14 @@ def build_parser() -> argparse.ArgumentParser:
         type=_nonnegative_int,
         default=4,
         help="thread-pool size (default: 4)",
+    )
+    serve.add_argument(
+        "--parallel",
+        type=_nonnegative_int,
+        default=0,
+        metavar="N",
+        help="evaluate Separable queries on an N-worker process pool "
+        "(default: 0 = serial; see docs/parallelism.md)",
     )
     serve.add_argument(
         "--repeat",
@@ -319,8 +351,8 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--families",
         default="all",
-        help="comma-separated family keys (e1..e9, incremental-write) "
-        "or 'all' (default: all)",
+        help="comma-separated family keys (e1..e9, incremental-write, "
+        "parallel-scaling) or 'all' (default: all)",
     )
     bench.add_argument(
         "--sizes",
@@ -534,6 +566,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         strategies=tuple(args.strategy) or None,
         corpus_dir=args.corpus,
         shrink=not args.no_shrink,
+        parallel_workers=args.parallel_workers,
     )
     report = run_fuzz(config)
     print(report.summary())
@@ -592,6 +625,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         workers=args.workers,
         default_deadline_s=args.deadline,
         incremental=args.incremental,
+        parallel=args.parallel or None,
     )
     mutations = _serve_mutation_stream(
         parsed.database, parsed.program, args.mutations

@@ -145,6 +145,7 @@ def _run_plan(
     order: str,
     tracer=None,
     memo=None,
+    parallel=None,
 ) -> frozenset[tuple]:
     """Execute one full-selection plan, through the memo when given.
 
@@ -155,12 +156,14 @@ def _run_plan(
     evaluator or cache hit -- merges that branch into its own
     accumulator.  A budget trip during the miss merges the partial
     branch into the caller's stats before propagating, so union-level
-    handlers always see the complete picture.
+    handlers always see the complete picture.  ``parallel`` reaches
+    :func:`~repro.core.evaluator.execute_plan` for intra-loop carry
+    partitioning.
     """
     if memo is None or key is None:
         return execute_plan(
             plan, db, [seed], stats=stats, budget=budget,
-            order=order, tracer=tracer,
+            order=order, tracer=tracer, parallel=parallel,
         )
 
     def compute() -> tuple[frozenset[tuple], EvaluationStats]:
@@ -168,7 +171,7 @@ def _run_plan(
         try:
             tuples = execute_plan(
                 plan, db, [seed], stats=branch, budget=budget,
-                order=order, tracer=tracer,
+                order=order, tracer=tracer, parallel=parallel,
             )
         except BudgetExceeded as exc:
             if stats is not None:
@@ -195,6 +198,7 @@ def _evaluate_full(
     order: str,
     tracer=None,
     memo=None,
+    parallel=None,
 ) -> set[tuple]:
     plan = compile_selection(selection)
     key = full_selection_key(
@@ -202,9 +206,78 @@ def _evaluate_full(
         selection.selected_positions, selection.seed, order,
     )
     up_tuples = _run_plan(plan, key, db, selection.seed, stats, budget,
-                          order, tracer, memo)
+                          order, tracer, memo, parallel)
     fixed = {p: selection.bound[p] for p in plan.selected_positions}
     return _assemble(selection.analysis.arity, plan, fixed, up_tuples)
+
+
+def _fanout_branches(
+    plan: SeparablePlan,
+    analysis: RecursionAnalysis,
+    cls: EquivalenceClass,
+    seeds: list[tuple],
+    db: Database,
+    stats: Optional[EvaluationStats],
+    budget: Budget,
+    order: str,
+    memo,
+    parallel,
+) -> tuple[dict[tuple, frozenset[tuple]], Optional[BaseException]]:
+    """Evaluate the Lemma 2.1 branches for ``seeds`` on the worker pool.
+
+    Each branch runs on a parent thread that blocks on a worker-pool
+    result; with a memo, the thread sits inside ``memo.get_or_run`` so
+    in-flight coalescing across concurrent requests keeps its contract
+    (followers wait on the leader's event, a leader failure caches
+    nothing).  Branch stats merge into ``stats`` in *seed order* --
+    merged counter totals are therefore deterministic across runs --
+    with the union-level budget re-applied after every merge, exactly
+    like the serial path.
+
+    Returns ``(seed_cache, failure)``: the completed branches' results
+    plus the first failure in seed order (``None`` on success).  The
+    caller assembles the completed answers before re-raising, so a
+    budget trip still degrades into a well-formed partial answer set.
+    """
+
+    def branch(seed: tuple):
+        def compute() -> tuple[frozenset[tuple], EvaluationStats]:
+            return parallel.run_plan_remote(db, plan, [seed], order, budget)
+
+        if memo is None:
+            return compute()
+        key = full_selection_key(analysis, cls, cls.positions, seed, order)
+        return memo.get_or_run(key, compute)
+
+    outcomes = parallel.map_threads(branch, seeds)
+    seed_cache: dict[tuple, frozenset[tuple]] = {}
+    failure: Optional[BaseException] = None
+    for seed, (status, value) in zip(seeds, outcomes):
+        if status == "error":
+            if failure is None:
+                failure = value
+            continue
+        tuples, branch_stats = value
+        seed_cache[seed] = tuples
+        if stats is not None:
+            stats.merge(branch_stats)
+            if failure is None:
+                try:
+                    budget.check_stats(stats)
+                except BudgetExceeded as exc:
+                    failure = exc
+    if isinstance(failure, BudgetExceeded) and stats is not None:
+        # Mirror the serial contract: the escaping trip carries the
+        # union accumulator, with the failing branch's own partial
+        # stats folded in first.
+        branch_stats = failure.stats
+        if (
+            isinstance(branch_stats, EvaluationStats)
+            and branch_stats is not stats
+        ):
+            stats.merge(branch_stats)
+        failure.stats = stats
+    return seed_cache, failure
 
 
 def _evaluate_partial(
@@ -216,6 +289,7 @@ def _evaluate_partial(
     allow_disconnected: bool = False,
     tracer=None,
     memo=None,
+    parallel=None,
 ) -> set[tuple]:
     """Operational Lemma 2.1: ``t_part`` answers plus per-seed ``t_full``.
 
@@ -225,6 +299,12 @@ def _evaluate_partial(
     failing one) and the answers assembled so far as
     :attr:`~repro.errors.BudgetExceeded.partial` -- the query service
     degrades those into a ``PartialResult`` instead of a bare error.
+
+    The union branches are independent (Theorem 2.1), so with a
+    :class:`~repro.parallel.ParallelExecutor` and enough distinct
+    seeds they fan out across the worker pool
+    (:func:`_fanout_branches`); answers and merged statistics stay
+    deterministic because the merge happens in seed-discovery order.
     """
     analysis = selection.analysis
     cls = choose_rewrite_class(analysis, set(selection.bound))
@@ -241,12 +321,12 @@ def _evaluate_partial(
         part_selection = classify_selection(part_analysis, selection.query)
         if part_selection.is_full:
             answers |= _evaluate_full(part_selection, db, stats, budget,
-                                      order, tracer, memo)
+                                      order, tracer, memo, parallel)
         else:  # pragma: no cover - cannot happen: bound cls cols are pers
             answers |= _evaluate_partial(
                 part_selection, db, stats, budget, order,
                 allow_disconnected=allow_disconnected, tracer=tracer,
-                memo=memo,
+                memo=memo, parallel=parallel,
             )
 
         # t_full: sideways pass through each rule of cls produces fully
@@ -263,24 +343,49 @@ def _evaluate_partial(
             for a in analysis.rules_of_class(cls)
         }
         head_terms = tuple(head_vars[p] for p in cls.positions)
-        seed_cache: dict[tuple, frozenset[tuple]] = {}
+        rows: list[tuple[tuple, tuple]] = []
         for a in analysis.rules_of_class(cls):
             for bindings in evaluate_body(
                 db, a.nonrecursive_atoms, initial_bindings=init,
                 stats=stats, order=order, tracer=tracer,
             ):
-                seed = instantiate_args(seed_terms[a.index], bindings)
-                fixed_values = instantiate_args(head_terms, bindings)
-                cached = seed_cache.get(seed)
-                if cached is None:
-                    key = full_selection_key(
-                        analysis, cls, cls.positions, seed, order,
-                    )
-                    cached = _run_plan(plan, key, db, seed, stats,
-                                       budget, order, tracer, memo)
-                    seed_cache[seed] = cached
-                fixed = dict(zip(cls.positions, fixed_values))
-                answers |= _assemble(analysis.arity, plan, fixed, cached)
+                rows.append((
+                    instantiate_args(seed_terms[a.index], bindings),
+                    instantiate_args(head_terms, bindings),
+                ))
+        seeds: list[tuple] = []
+        seen_seeds: set[tuple] = set()
+        for seed, _ in rows:
+            if seed not in seen_seeds:
+                seen_seeds.add(seed)
+                seeds.append(seed)
+
+        seed_cache: dict[tuple, frozenset[tuple]] = {}
+        failure: Optional[BaseException] = None
+        if (
+            parallel is not None
+            and parallel.active
+            and len(seeds) >= parallel.config.min_branch_tasks
+        ):
+            seed_cache, failure = _fanout_branches(
+                plan, analysis, cls, seeds, db, stats, budget, order,
+                memo, parallel,
+            )
+        for seed, fixed_values in rows:
+            cached = seed_cache.get(seed)
+            if cached is None:
+                if failure is not None:
+                    continue  # branch never completed before the trip
+                key = full_selection_key(
+                    analysis, cls, cls.positions, seed, order,
+                )
+                cached = _run_plan(plan, key, db, seed, stats,
+                                   budget, order, tracer, memo, parallel)
+                seed_cache[seed] = cached
+            fixed = dict(zip(cls.positions, fixed_values))
+            answers |= _assemble(analysis.arity, plan, fixed, cached)
+        if failure is not None:
+            raise failure
     except BudgetExceeded as exc:
         # The failing branch attached only its own stats; replace them
         # with the union accumulator (which the completed branches
@@ -306,6 +411,7 @@ def evaluate_separable(
     allow_disconnected: bool = False,
     tracer=None,
     memo=None,
+    parallel=None,
 ) -> frozenset[tuple]:
     """Answer a selection query on a separable recursion.
 
@@ -330,6 +436,13 @@ def evaluate_separable(
         served from it when already answered, and computed once under a
         fresh branch ``EvaluationStats`` otherwise.  The caller must
         scope the memo (or the keys) to this exact ``db`` snapshot.
+    parallel:
+        An optional :class:`~repro.parallel.ParallelExecutor`.  Partial
+        selections fan their Lemma 2.1 union branches across the worker
+        pool, and large carry iterations hash-partition within a loop;
+        answers are byte-identical to the serial run (see
+        ``docs/parallelism.md``).  ``None`` (or an inactive executor)
+        keeps everything in-process.
 
     Returns the full-arity answer tuples matching the query atom.
     """
@@ -350,12 +463,12 @@ def evaluate_separable(
         )
     if selection.is_full:
         answers = _evaluate_full(selection, db, stats, budget, order,
-                                 tracer, memo)
+                                 tracer, memo, parallel)
     else:
         answers = _evaluate_partial(
             selection, db, stats, budget, order,
             allow_disconnected=allow_disconnected, tracer=tracer,
-            memo=memo,
+            memo=memo, parallel=parallel,
         )
     result = frozenset(
         fact for fact in answers if _matches_query(fact, query)

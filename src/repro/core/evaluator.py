@@ -86,6 +86,7 @@ def _carry_loop(
     budget: Budget,
     order: str,
     tracer=None,
+    parallel=None,
 ) -> set[tuple]:
     """One while loop of Figure 2; returns the final ``seen`` set.
 
@@ -96,6 +97,13 @@ def _carry_loop(
     per-iteration post-difference carry sizes -- Lemma 3.4's
     disjointness makes ``seed + sum(carries) == |seen|`` an invariant
     the differential oracle checks on every traced run.
+
+    With a :class:`~repro.parallel.ParallelExecutor` in ``parallel``,
+    iterations whose carry clears the partition threshold evaluate the
+    union of joins across hash partitions of the carry on the worker
+    pool; the loop structure, the seen bookkeeping, the span series,
+    and the budget checks all stay in this (parent) process, so every
+    traced invariant is identical to the serial run.
     """
     seen: set[tuple] = set(initial)
     carry: set[tuple] = set(initial)
@@ -122,10 +130,18 @@ def _carry_loop(
                 stats.bump_iterations()
             if tracer is not None:
                 tracer.count("iterations")
-            carry_rel.clear()
-            carry_rel.add_all(carry)
-            produced = _apply_joins(joins, view, stats, order, tracer,
-                                    label=seen_name)
+            if parallel is not None and parallel.should_partition(
+                joins, len(carry)
+            ):
+                produced = parallel.apply_joins(
+                    db, joins, carry, arity, CARRY, stats, order,
+                    budget=budget, tracer=tracer, label=seen_name,
+                )
+            else:
+                carry_rel.clear()
+                carry_rel.add_all(carry)
+                produced = _apply_joins(joins, view, stats, order, tracer,
+                                        label=seen_name)
             carry = produced - seen
             seen |= carry
             if tracer is not None:
@@ -148,6 +164,7 @@ def execute_plan(
     budget: Budget = UNLIMITED,
     order: str = "greedy",
     tracer=None,
+    parallel=None,
 ) -> frozenset[tuple]:
     """Run a compiled plan from the given seed tuples.
 
@@ -155,6 +172,11 @@ def execute_plan(
     full selection this is the single vector ``x_0`` of selection
     constants; the Lemma 2.1 evaluation passes sideways-computed seed
     sets through the same entry point.
+
+    ``parallel`` is an optional
+    :class:`~repro.parallel.ParallelExecutor`: carry-loop iterations
+    above its partition threshold evaluate across the worker pool (see
+    :func:`_carry_loop`); answers, spans, and statistics are unchanged.
 
     Returns the final ``seen_2``: tuples over ``plan.up_positions``.
     Callers reassemble full-arity answers by interleaving the selection
@@ -181,19 +203,32 @@ def execute_plan(
         budget,
         order,
         tracer,
+        parallel,
     )
 
     # Line 8: carry_2 := g_2(seen_1) -- join seen_1 with each exit body.
+    # The exit stage has the same shape as one carry iteration (a union
+    # of joins each consuming the pseudo-relation exactly once), so the
+    # same partitioning argument applies: seen_1 splits into disjoint
+    # shares whose outputs union exactly to the serial result.
     exit_cm = (
         tracer.span("separable.exit", seen_1=len(seen_1))
         if tracer is not None
         else nullcontext()
     )
     with exit_cm:
-        view = _with_pseudo(db, SEEN,
-                            Relation(SEEN, plan.seed_arity, seen_1))
-        carry_2 = _apply_joins(plan.exit_joins, view, stats, order, tracer,
-                               label="exit")
+        if parallel is not None and parallel.should_partition(
+            plan.exit_joins, len(seen_1), pseudo=SEEN
+        ):
+            carry_2 = parallel.apply_joins(
+                db, plan.exit_joins, seen_1, plan.seed_arity, SEEN,
+                stats, order, budget=budget, tracer=tracer, label="exit",
+            )
+        else:
+            view = _with_pseudo(db, SEEN,
+                                Relation(SEEN, plan.seed_arity, seen_1))
+            carry_2 = _apply_joins(plan.exit_joins, view, stats, order,
+                                   tracer, label="exit")
 
     # Lines 9-15: the up loop; ans := seen_2.
     seen_2 = _carry_loop(
@@ -207,6 +242,7 @@ def execute_plan(
         budget,
         order,
         tracer,
+        parallel,
     )
     if stats is not None:
         stats.record_relation("ans", len(seen_2))

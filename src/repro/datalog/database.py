@@ -224,6 +224,30 @@ class Relation:
                 tracer.count("index_tuples", len(self._tuples))
         return index.get(tuple(key), [])
 
+    # -- pickling ----------------------------------------------------------
+
+    def __getstate__(self):
+        """Portable payload: name, arity, version, and the tuples.
+
+        Indexes are rebuilt lazily on the receiving side, caches restart
+        cold, and observers never cross a process boundary -- a parallel
+        worker mutating its copy must not (and, with bound-method
+        callbacks, could not) feed the parent's delta capture.  Explicit
+        because ``__slots__`` has no instance dict for pickle's default
+        protocol to scrape.
+        """
+        return (self.name, self.arity, self._version, tuple(self._tuples))
+
+    def __setstate__(self, state) -> None:
+        name, arity, version, tuples = state
+        self.name = name
+        self.arity = arity
+        self._tuples = set(tuples)
+        self._indexes = {}
+        self._version = version
+        self._distinct_cache = None
+        self._observers = ()
+
     def distinct_values(self) -> frozenset[ConstValue]:
         """All constant values appearing anywhere in the relation.
 
@@ -291,6 +315,25 @@ class Database:
                 copies[id(rel)] = clone
             other._relations[name] = clone
         return other
+
+    # -- pickling ----------------------------------------------------------
+
+    def __getstate__(self):
+        """Pickle the relation mounts only.
+
+        The pickle memo copies each :class:`Relation` object once, so a
+        relation mounted under several names via :meth:`attach` stays
+        aliased on the receiving side -- the same guarantee
+        :meth:`copy` gives.  Observers and the fingerprint/constant
+        caches stay behind: a worker's copy is a private snapshot.
+        """
+        return {"relations": self._relations}
+
+    def __setstate__(self, state) -> None:
+        self._relations = dict(state["relations"])
+        self._distinct_cache = None
+        self._observers = []
+        self._fp_cache = None
 
     # -- observation -------------------------------------------------------
 

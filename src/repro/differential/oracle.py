@@ -293,12 +293,100 @@ def _append_trace_findings(
         )
 
 
+def _run_parallel_sweep(
+    verdict: OracleVerdict,
+    case: Case,
+    budget: Budget,
+    parallel_workers: Sequence[int],
+) -> None:
+    """Cross-check the worker-pool evaluator against the reference.
+
+    For each requested worker count the Separable strategy re-runs on a
+    fresh engine with an *eager* :class:`~repro.parallel.ParallelConfig`
+    (thresholds floored so even corpus-sized inputs exercise the remote
+    branch fan-out and carry partitioning).  Outcomes are recorded as
+    ``parallel[w]``; answer diffs, stats invariants, and trace
+    invariants are held to exactly the serial standard, and each
+    finding's profile carries the worker count.
+    """
+    from ..parallel import ParallelConfig, get_executor
+
+    if "separable" not in applicable_strategies(case):
+        return
+    for workers in parallel_workers:
+        name = f"parallel[{workers}]"
+        executor = get_executor(ParallelConfig.eager(workers))
+        engine = Engine(case.program, case.database, budget=budget)
+        stats = EvaluationStats()
+        tracer = Tracer()
+        try:
+            result = engine.query(
+                case.query, strategy="separable", stats=stats,
+                tracer=tracer, parallel=executor,
+            )
+        except _TOLERATED as exc:
+            verdict.outcomes[name] = StrategyOutcome(
+                strategy=name, skipped=str(exc)
+            )
+            profile = _profile_summary(
+                name, getattr(exc, "stats", None) or stats, tracer
+            )
+            profile["parallel_workers"] = workers
+            _append_trace_findings(verdict, name, tracer, profile)
+            continue
+        except ReproError as exc:
+            verdict.outcomes[name] = StrategyOutcome(
+                strategy=name, error=str(exc)
+            )
+            profile = _profile_summary(name, stats, tracer)
+            profile["parallel_workers"] = workers
+            verdict.disagreements.append(
+                Disagreement(
+                    kind="error",
+                    strategy=name,
+                    detail=f"{type(exc).__name__}: {exc}",
+                    profile=profile,
+                )
+            )
+            continue
+        verdict.outcomes[name] = StrategyOutcome(
+            strategy=name, answers=result.answers, stats=result.stats
+        )
+        profile = _profile_summary(name, result.stats, tracer)
+        profile["parallel_workers"] = workers
+        _append_trace_findings(verdict, name, tracer, profile)
+        if result.answers != verdict.reference:
+            verdict.disagreements.append(
+                Disagreement(
+                    kind="answers",
+                    strategy=name,
+                    detail=_diff_detail(verdict.reference, result.answers),
+                    profile=profile,
+                )
+            )
+        for problem in _stats_violations(
+            result.answers, result.stats, "separable",
+            case.query.predicate,
+        ):
+            verdict.disagreements.append(
+                Disagreement(kind="stats", strategy=name, detail=problem,
+                             profile=profile)
+            )
+
+
 def run_case(
     case: Case,
     strategies: Optional[Sequence[str]] = None,
     budget: Budget = DEFAULT_FUZZ_BUDGET,
+    parallel_workers: Optional[Sequence[int]] = None,
 ) -> OracleVerdict:
-    """Evaluate a case under every applicable strategy and diff results."""
+    """Evaluate a case under every applicable strategy and diff results.
+
+    ``parallel_workers`` additionally runs the Separable strategy under
+    the worker-pool executor once per listed worker count (when the
+    case is separable at all), diffing each run against the reference
+    -- the parallel-vs-serial differential harness.
+    """
     verdict = OracleVerdict(case=case, reference=None)
 
     # Ground-truth detection check (database-independent, so it runs
@@ -384,6 +472,8 @@ def run_case(
                 Disagreement(kind="stats", strategy=strategy, detail=problem,
                              profile=profile)
             )
+    if parallel_workers:
+        _run_parallel_sweep(verdict, case, budget, parallel_workers)
     return verdict
 
 
@@ -391,6 +481,7 @@ def make_failure_predicate(
     signature: tuple[str, str],
     strategies: Optional[Sequence[str]] = None,
     budget: Budget = DEFAULT_FUZZ_BUDGET,
+    parallel_workers: Optional[Sequence[int]] = None,
 ) -> Callable[[Case], bool]:
     """A shrinker predicate: does the case still show *this* failure?
 
@@ -403,7 +494,8 @@ def make_failure_predicate(
     def still_fails(candidate: Case) -> bool:
         try:
             verdict = run_case(candidate, strategies=strategies,
-                               budget=budget)
+                               budget=budget,
+                               parallel_workers=parallel_workers)
         except Exception:
             return False
         return any(

@@ -36,7 +36,12 @@ __all__ = ["FuzzConfig", "FuzzFailure", "FuzzReport", "run_fuzz"]
 
 @dataclass(frozen=True)
 class FuzzConfig:
-    """One fuzz campaign's parameters."""
+    """One fuzz campaign's parameters.
+
+    ``parallel_workers`` adds a worker-pool Separable run per listed
+    worker count to every case (corpus and generated), cross-checked
+    against the reference -- the parallel-vs-serial half of the oracle.
+    """
 
     iterations: int = 200
     seed: int = 0
@@ -46,6 +51,7 @@ class FuzzConfig:
     shrink: bool = True
     max_shrink_attempts: int = 2000
     generator: GeneratorConfig = GeneratorConfig()
+    parallel_workers: Optional[Sequence[int]] = None
 
 
 @dataclass
@@ -141,7 +147,8 @@ def _shrink_failure(
     """Minimize the failing case, preserving its first disagreement."""
     signature = failure.verdict.disagreements[0].signature
     predicate = make_failure_predicate(
-        signature, strategies=config.strategies, budget=config.budget
+        signature, strategies=config.strategies, budget=config.budget,
+        parallel_workers=config.parallel_workers,
     )
     result = shrink_case(
         failure.case, predicate, max_attempts=config.max_shrink_attempts
@@ -158,7 +165,8 @@ def run_fuzz(config: FuzzConfig = FuzzConfig()) -> FuzzReport:
     if config.corpus_dir is not None:
         for path, case in load_corpus(config.corpus_dir):
             verdict = run_case(
-                case, strategies=config.strategies, budget=config.budget
+                case, strategies=config.strategies, budget=config.budget,
+                parallel_workers=config.parallel_workers,
             )
             report.corpus_replayed += 1
             _account(report, verdict)
@@ -178,7 +186,8 @@ def run_fuzz(config: FuzzConfig = FuzzConfig()) -> FuzzReport:
         else:
             report.mutant_cases += 1
         verdict = run_case(
-            case, strategies=config.strategies, budget=config.budget
+            case, strategies=config.strategies, budget=config.budget,
+            parallel_workers=config.parallel_workers,
         )
         report.iterations_run += 1
         _account(report, verdict)

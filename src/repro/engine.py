@@ -349,6 +349,7 @@ class Engine:
         tracer=None,
         budget: Optional[Budget] = None,
         memo=None,
+        parallel=None,
     ) -> QueryResult:
         """Answer a query under the chosen strategy.
 
@@ -367,6 +368,13 @@ class Engine:
         means "per query", never "since the engine was built".  ``memo``
         is an optional full-selection memo forwarded to the Separable
         strategies (see :func:`repro.core.api.evaluate_separable`).
+
+        ``parallel`` opts the Separable strategies into the worker-pool
+        executor: ``True`` (env/CPU-sized), a worker count, a
+        :class:`~repro.parallel.ParallelConfig`, or a ready
+        :class:`~repro.parallel.ParallelExecutor` (see
+        :func:`repro.parallel.resolve_parallel`).  Answers are identical
+        to the serial run; non-Separable strategies ignore it.
         """
         if isinstance(query, str):
             query = parse_query(query)
@@ -401,8 +409,16 @@ class Engine:
                 chosen = "magic"
 
         stats.strategy = chosen
+        executor = None
+        if parallel is not None and chosen in ("separable", "relaxed"):
+            from .parallel import resolve_parallel
+
+            executor = resolve_parallel(parallel)
+        # Keyword-only and omitted when unused: test doubles wrapping
+        # _dispatch with the historical signature keep working.
+        extra = {"parallel": executor} if executor is not None else {}
         answers = self._dispatch(chosen, query, report, stats, tracer,
-                                 budget, memo)
+                                 budget, memo, **extra)
         plan: Optional[SeparablePlan] = None
         if chosen in ("separable", "relaxed", "nodedup"):
             plan = self.plan_for(query)
@@ -461,6 +477,7 @@ class Engine:
         tracer=None,
         budget: Optional[Budget] = None,
         memo=None,
+        parallel=None,
     ) -> frozenset[tuple]:
         if budget is None:
             budget = self.budget
@@ -493,6 +510,7 @@ class Engine:
                 allow_disconnected=strategy == "relaxed",
                 tracer=tracer,
                 memo=memo,
+                parallel=parallel,
             )
         if strategy == "nodedup":
             assert report is not None

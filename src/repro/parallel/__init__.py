@@ -1,0 +1,35 @@
+"""Parallel class-independent evaluation (Theorem 2.1 as a scheduler).
+
+The paper's structural insight -- equivalence classes of a separable
+recursion evaluate independently -- is also a parallel decomposition:
+the Lemma 2.1 union of full selections fans across a worker pool, and
+within one carry/seen loop the carry relation hash-partitions exactly
+whenever every join term consumes it exactly once.  This package holds
+the spawn-based pool (:mod:`~repro.parallel.executor`), the picklable
+task functions that run inside workers (:mod:`~repro.parallel.worker`),
+and :func:`resolve_parallel`, the front door behind
+``Engine.query(parallel=...)`` and ``ServiceConfig.parallel``.
+
+See ``docs/parallelism.md`` for the design, the determinism argument,
+and when the in-thread fallback triggers.
+"""
+
+from .executor import (
+    ENV_WORKERS,
+    ParallelConfig,
+    ParallelExecutor,
+    get_executor,
+    resolve_parallel,
+    shutdown_executors,
+)
+from .worker import WorkerStateMissing
+
+__all__ = [
+    "ENV_WORKERS",
+    "ParallelConfig",
+    "ParallelExecutor",
+    "WorkerStateMissing",
+    "get_executor",
+    "resolve_parallel",
+    "shutdown_executors",
+]

@@ -101,6 +101,15 @@ class ServiceConfig:
         surviving/repairable memo entries to the new fingerprint, and
         rebuilds the snapshot by structural sharing -- instead of
         invalidating everything the fingerprint bump used to discard.
+    parallel:
+        Worker-pool executor specification for the Separable
+        strategies, with :func:`repro.parallel.resolve_parallel`
+        semantics: ``None``/``False`` serial, ``True`` env/CPU-sized,
+        an ``int`` worker count, a
+        :class:`~repro.parallel.ParallelConfig`, or a ready
+        :class:`~repro.parallel.ParallelExecutor`.  The resolved
+        executor comes from the process-wide registry and is shared
+        across services; :meth:`QueryService.close` leaves it running.
     """
 
     workers: int = 4
@@ -112,6 +121,7 @@ class ServiceConfig:
     order: str = "greedy"
     budget: Budget = UNLIMITED
     incremental: bool = False
+    parallel: object = None
 
 
 @dataclass(frozen=True)
@@ -225,6 +235,14 @@ class QueryService:
             max_workers=self.config.workers,
             thread_name_prefix="repro-service",
         )
+        # Registry-shared process pool (or None): close() must not shut
+        # it down -- other services and future requests reuse it.
+        if self.config.parallel is not None:
+            from ..parallel import resolve_parallel
+
+            self._parallel = resolve_parallel(self.config.parallel)
+        else:
+            self._parallel = None
         self._closed = False
 
     # -- lifecycle ----------------------------------------------------------
@@ -544,6 +562,7 @@ class QueryService:
                     budget=budget,
                     memo=self.memo.scoped(snap.fingerprint),
                     tracer=self.metrics.tracer,
+                    parallel=self._parallel,
                 )
             except BudgetExceeded as exc:
                 if exc.limit == "wall_clock":

@@ -28,13 +28,14 @@ class TestResolve:
 
 
 #: Harness-level pseudo-strategies with no Engine counterpart.
-PSEUDO = {"detect", "incremental", "fromscratch"}
+PSEUDO = {"detect", "incremental", "fromscratch", "serial",
+          "parallel-1", "parallel-2", "parallel-4"}
 
 
 class TestRegistry:
     def test_registry_keys(self):
         assert list(FAMILIES) == [f"e{i}" for i in range(1, 10)] + [
-            "incremental-write"
+            "incremental-write", "parallel-scaling"
         ]
 
     @pytest.mark.parametrize("key", list(FAMILIES))

@@ -15,6 +15,7 @@ from repro.bench import (
     calibrate,
     compare_reports,
     maintenance_findings,
+    parallel_findings,
     run_family,
 )
 from repro.bench.families import FAMILIES
@@ -195,6 +196,74 @@ class TestMaintenanceGate:
         # the maintenance gate judges the current run against itself.
         findings = compare_reports(base, cur, time_tolerance=1e9)
         assert "maintenance" in {f.kind for f in findings}
+
+
+def _parallel_report(serial_s=0.10, par_s=0.05, par_answers=100,
+                     par_sha="aa", serial_sha="aa", cpu_count=8,
+                     outcome="ok"):
+    def cell(strategy, median_s, answers, sha):
+        return {
+            "strategy": strategy, "n": 24, "outcome": outcome,
+            "answers": answers, "answers_sha": sha,
+            "max_relation_size": 0, "tuples_produced": 0,
+            "tuples_examined": 0, "iterations": 0, "counters": {},
+            "trace_violations": [], "median_s": median_s,
+            "normalized": median_s / 0.005,
+        }
+
+    return {
+        "schema": "repro-bench/1",
+        "family": "parallel-scaling",
+        "sizes": [24],
+        "machine": {"cpu_count": cpu_count},
+        "results": [
+            cell("serial", serial_s, 100, serial_sha),
+            cell("parallel-4", par_s, par_answers, par_sha),
+        ],
+    }
+
+
+class TestParallelGate:
+    def test_honest_speedup_passes(self):
+        assert parallel_findings(_parallel_report()) == []
+
+    def test_missing_speedup_fails_on_big_machines(self):
+        findings = parallel_findings(_parallel_report(par_s=0.09))
+        assert [f.kind for f in findings] == ["parallel"]
+        assert "speedup" in findings[0].message
+
+    def test_speedup_gate_is_hardware_gated(self):
+        # A 1-CPU container cannot manufacture parallelism: physics,
+        # not tolerance.  The correctness gates below still apply.
+        report = _parallel_report(par_s=0.09, cpu_count=1)
+        assert parallel_findings(report) == []
+
+    def test_answer_count_mismatch_is_correctness(self):
+        findings = parallel_findings(
+            _parallel_report(par_answers=99, cpu_count=1)
+        )
+        assert [f.kind for f in findings] == ["answers"]
+
+    def test_digest_mismatch_is_correctness_even_at_equal_counts(self):
+        findings = parallel_findings(
+            _parallel_report(par_sha="bb", cpu_count=1)
+        )
+        assert [f.kind for f in findings] == ["answers"]
+        assert "digest" in findings[0].message
+
+    def test_noise_floor_skips_speedup(self):
+        report = _parallel_report(serial_s=0.001, par_s=0.002)
+        assert parallel_findings(report) == []
+
+    def test_non_ok_cells_are_skipped(self):
+        report = _parallel_report(par_s=0.2, outcome="budget")
+        assert parallel_findings(report) == []
+
+    def test_compare_reports_runs_the_gate_on_the_current_run(self):
+        base = _parallel_report()
+        cur = _parallel_report(par_sha="bb", cpu_count=1)
+        findings = compare_reports(base, cur, time_tolerance=1e9)
+        assert "answers" in {f.kind for f in findings}
 
 
 @pytest.fixture(scope="module")

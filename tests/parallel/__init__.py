@@ -1,0 +1,6 @@
+"""Regression tests for the parallel Separable executor.
+
+Determinism, fault propagation, budget contracts across process
+boundaries, pickle portability of the payload types, and the
+parent/worker isolation the "spawn" start method is supposed to buy.
+"""

@@ -1,0 +1,76 @@
+"""Failure modes: worker exceptions, budget trips mid-fan-out, and
+wall-clock deadlines against a genuinely stalled worker.  The pool must
+survive every one of them."""
+
+import pytest
+
+from repro.budget import Budget
+from repro.errors import BudgetExceeded
+from repro.parallel import ParallelConfig, get_executor
+from repro.parallel import worker as _worker
+from repro.service import QueryService, ServiceConfig
+
+from ..conftest import oracle_answers
+from .conftest import two_class_workload
+
+
+class TestWorkerExceptions:
+    def test_original_exception_propagates_and_pool_survives(self):
+        executor = get_executor(ParallelConfig.eager(2))
+        with pytest.raises(ValueError, match="boom"):
+            executor.debug_call(
+                _worker._raise_task, (ValueError, "boom"), timeout=60
+            )
+        # No hang, and the pool still answers: every worker reports.
+        probes = executor.probe()
+        assert len(probes) == 2
+        assert all(p["pid"] for p in probes)
+
+
+class TestBudgetMidFanOut:
+    def test_partial_result_is_well_formed(self):
+        program, db = two_class_workload()
+        # Small enough to trip inside the fan-out, large enough that
+        # plan compilation itself succeeds.
+        config = ServiceConfig(
+            workers=2,
+            max_retries=0,
+            budget=Budget(max_total_tuples=6),
+            parallel=ParallelConfig.eager(2),
+        )
+        service = QueryService(program, db, config)
+        try:
+            result = service.query("t(x0, z6)?", strategy="separable")
+        finally:
+            service.close()
+
+        assert result.status in ("partial", "error")
+        assert result.limit == "total_tuples"
+        if result.status == "partial":
+            partial = result.partial
+            assert partial is not None
+            assert partial.limit == "total_tuples"
+            assert partial.answers == result.answers
+            assert partial.stats is not None
+            assert partial.stats.tuples_produced > 0
+            # Whatever completed is sound: a subset of the full answer.
+            full = oracle_answers(program, db, result.query)
+            assert result.answers <= full
+
+
+class TestStalledWorkerDeadline:
+    def test_wall_clock_fires_and_pool_stays_up(self):
+        executor = get_executor(ParallelConfig.eager(2))
+        pool = executor._ensure_pool()
+        # A worker that sleeps through every budget check: only the
+        # parent-side backstop in _wait can end this.
+        stalled = pool.apply_async(_worker._sleep_task, ((5.0,),))
+        with pytest.raises(BudgetExceeded) as excinfo:
+            executor._wait(stalled, 0.05)
+        assert excinfo.value.limit == "wall_clock"
+        assert excinfo.value.retryable
+        # The abandoned task keeps its worker busy but the pool itself
+        # is healthy: new tasks run to completion on the other worker.
+        assert executor.debug_call(
+            _worker._sleep_task, (0.0,), timeout=60
+        ) == 0.0

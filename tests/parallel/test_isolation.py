@@ -1,0 +1,66 @@
+"""What "spawn" buys and the executor must preserve: workers share no
+module-global state with the parent, and the parent's live wiring never
+crosses the boundary."""
+
+import os
+
+import pytest
+
+from repro.datalog.plan_cache import PLAN_CACHE
+from repro.engine import Engine
+from repro.parallel import ParallelConfig, ParallelExecutor, get_executor
+
+from .conftest import two_class_workload
+
+
+class TestStartMethod:
+    @pytest.mark.parametrize("method", ["fork", "forkserver"])
+    def test_non_spawn_start_methods_are_rejected(self, method):
+        with pytest.raises(ValueError, match="spawn"):
+            ParallelExecutor(ParallelConfig(workers=2, start_method=method))
+
+    def test_spawn_is_the_frozen_default(self):
+        assert ParallelConfig().start_method == "spawn"
+        assert ParallelConfig.eager(2).start_method == "spawn"
+
+
+class TestNoStateLeaks:
+    def test_workers_hold_private_plan_caches_and_no_observers(self):
+        program, db = two_class_workload()
+        # Live parent-side wiring the workers must never see: a warm
+        # plan cache and a mutation observer on every relation.
+        events = []
+        db.observe(lambda rel, fact, sign: events.append(fact))
+        engine = Engine(program, db)
+        serial = engine.query("t(x0, Y)?", strategy="separable")
+        parent_cache = PLAN_CACHE.stats()
+        assert parent_cache["size"] > 0
+
+        executor = get_executor(ParallelConfig.eager(2))
+        parallel = engine.query(
+            "t(x0, Y)?", strategy="separable", parallel=executor
+        )
+        assert parallel.answers == serial.answers
+
+        probes = executor.probe()
+        assert len(probes) == 2
+        parent_pid = os.getpid()
+        for probe in probes:
+            assert probe["pid"] != parent_pid
+            # A spawn worker re-imports the package: its PLAN_CACHE is
+            # its own, populated only by what it compiled itself --
+            # never a shadow of the parent's.
+            cache = probe["plan_cache"]
+            assert cache["compiles"] >= 1
+            assert cache["size"] == cache["compiles"] == cache["misses"]
+            # The installed snapshot arrived observer-free.
+            assert all(
+                count == 0
+                for count in probe["relation_observers"].values()
+            )
+        # Worker-side compiles never inflated the parent's cache, and
+        # worker-side mutations of the shipped snapshot (the pseudo-
+        # relation machinery) never fed the parent's observer beyond
+        # what the parent's own evaluation did.
+        assert PLAN_CACHE.stats()["size"] == parent_cache["size"]
+        assert events == []

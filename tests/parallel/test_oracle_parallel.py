@@ -1,0 +1,35 @@
+"""Corpus replay under the parallel-vs-serial differential harness:
+every stored repro case must agree with its serial reference at 1, 2,
+and 4 workers, forever."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.differential import load_case, run_case
+
+CORPUS = Path(__file__).parents[1] / "differential" / "corpus"
+WORKER_COUNTS = (1, 2, 4)
+
+
+@pytest.mark.parametrize(
+    "path", sorted(CORPUS.glob("*.dl")), ids=lambda p: p.stem
+)
+def test_corpus_case_agrees_at_every_worker_count(path):
+    case = load_case(path)
+    verdict = run_case(case, parallel_workers=WORKER_COUNTS)
+    assert verdict.ok, verdict.summary()
+
+
+def test_parallel_sweep_actually_ran_on_separable_cases():
+    # At least one corpus case is separable, and for those the sweep
+    # must contribute one named outcome per worker count.
+    sweeps = 0
+    for path in sorted(CORPUS.glob("*.dl")):
+        verdict = run_case(load_case(path), parallel_workers=(1, 2))
+        ran = [s for s in verdict.strategies_run
+               if s.startswith("parallel[")]
+        if ran:
+            sweeps += 1
+            assert set(ran) == {"parallel[1]", "parallel[2]"}
+    assert sweeps > 0

@@ -1,0 +1,90 @@
+"""Property-based tests: the worker-pool evaluator agrees with serial
+Separable evaluation on random separable recursions and queries, and
+degenerate layouts (no classes at all, one class) survive every worker
+count."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.core.api import evaluate_separable
+from repro.core.detection import require_separable
+from repro.datalog.database import Database
+from repro.datalog.parser import parse_program
+from repro.engine import Engine
+from repro.parallel import ParallelConfig, get_executor
+
+from .strategies import queries_for, separable_setups
+
+# Leaner than the serial property suites: every example pays real IPC.
+PARALLEL_SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+@PARALLEL_SETTINGS
+@given(data=separable_setups().flatmap(
+    lambda setup: queries_for(
+        setup[0].arity("t"), setup[2], setup[3]
+    ).map(lambda q: (setup, q))
+))
+def test_parallel_matches_serial(data):
+    (program, db, _, _), query = data
+    analysis = require_separable(program, "t")
+    serial = evaluate_separable(program, db, query, analysis=analysis)
+    executor = get_executor(ParallelConfig.eager(2))
+    parallel = evaluate_separable(
+        program, db, query, analysis=analysis, parallel=executor
+    )
+    assert parallel == serial, (
+        f"program:\n{program}\nquery: {query}\n"
+        f"parallel {sorted(parallel, key=repr)}\n"
+        f"serial {sorted(serial, key=repr)}"
+    )
+
+
+def _degenerate_workloads():
+    # Zero classes: the layout generator's degenerate case is the
+    # exit-only recursion (every position persistent, no descent at
+    # all -- the executor must stay entirely out of the way).
+    pers = parse_program("t(X, Y) :- t0(X, Y).").program
+    pers_db = Database.from_facts({
+        "t0": [("a", "b"), ("c", "d")],
+    })
+    # One class covering the whole tuple: a plain chain closure.
+    single = parse_program(
+        """
+        t(X) :- a(X, X1) & t(X1).
+        t(X) :- t0(X).
+        """
+    ).program
+    single_db = Database.from_facts({
+        "a": [(f"x{i}", f"x{i + 1}") for i in range(6)],
+        "t0": [("x6",)],
+    })
+    return [
+        pytest.param(pers, pers_db, "t(a, b)?", id="zero-class"),
+        pytest.param(pers, pers_db, "t(a, Y)?", id="zero-class-open"),
+        pytest.param(single, single_db, "t(x0)?", id="single-class"),
+    ]
+
+
+@pytest.mark.parametrize("workers", [1, 2, 4])
+@pytest.mark.parametrize("program,db,query", _degenerate_workloads())
+def test_degenerate_layouts_at_every_worker_count(
+    program, db, query, workers
+):
+    serial = Engine(program, db).query(query, strategy="separable")
+    executor = get_executor(ParallelConfig.eager(workers))
+    results = [
+        Engine(program, db).query(
+            query, strategy="separable", parallel=executor
+        )
+        for _ in range(2)
+    ]
+    for result in results:
+        assert result.answers == serial.answers
+        assert result.stats.tuples_produced == \
+            serial.stats.tuples_produced
+        assert result.stats.iterations == serial.stats.iterations
