@@ -8,11 +8,21 @@ every artifact the observability pipeline promises:
 2. the JSONL event log replays into a tracer whose exporter output is
    byte-identical to the live trace's;
 3. the deterministic (``--no-timings``) text report is stable across
-   two runs.
+   two runs;
+4. a ``--parallel 2`` profile of the branch-fan-out example stitches
+   worker trace fragments into one Chrome trace with a lane per worker
+   pid, replays byte-identically, and its reconciled counter totals
+   are byte-identical to the serial profile's.
+
+``http-smoke`` mode instead drives a live ``repro-datalog serve
+--http-port`` process and curls ``/metrics``, ``/healthz`` and
+``/slowlog`` off its ephemeral port, validating the slow-query records
+against the ``repro-slowlog/1`` schema.
 
 Exit status 0 on success; any failure raises.
 
 Usage: python scripts/validate_profile_artifacts.py [program.dl] [query]
+       python scripts/validate_profile_artifacts.py http-smoke
 """
 
 from __future__ import annotations
@@ -25,6 +35,7 @@ from pathlib import Path
 
 REPO = Path(__file__).resolve().parent.parent
 DEFAULT_PROGRAM = REPO / "examples" / "example_1_2.dl"
+PARALLEL_PROGRAM = REPO / "examples" / "parallel_lanes.dl"
 
 
 def run_cli(*args: str) -> str:
@@ -102,8 +113,142 @@ def main(argv: list[str]) -> int:
     assert first == second, "untimed profile report is not deterministic"
     assert first.startswith("EXPLAIN ANALYZE"), first[:80]
     print("text report ok: deterministic EXPLAIN ANALYZE output")
+
+    # 4. a parallel=2 profile stitches worker fragments into one trace.
+    check_stitched_profile(workdir, replay_file, to_chrome_trace)
+    return 0
+
+
+def check_stitched_profile(workdir: Path, replay_file,
+                           to_chrome_trace) -> None:
+    """A --parallel 2 profile of the fan-out example: worker lanes,
+    replay identity, and serial-identical reconciled counters."""
+    from repro.observability import reconciled_counter_totals
+
+    serial_events = workdir / "serial.jsonl"
+    run_cli(
+        "profile", str(PARALLEL_PROGRAM), "--no-timings",
+        "--events", str(serial_events),
+    )
+    par_events = workdir / "parallel.jsonl"
+    par_trace = workdir / "parallel.trace.json"
+    run_cli(
+        "profile", str(PARALLEL_PROGRAM), "--parallel", "2",
+        "--format", "chrome-trace",
+        "--out", str(par_trace), "--events", str(par_events),
+    )
+    chrome = json.loads(par_trace.read_text())
+    events = chrome["traceEvents"]
+    check_balanced(events)
+
+    # One lane per worker pid, each named by an M metadata event and
+    # individually balanced; counter-total C curves stay on the parent.
+    worker_pids = {e["pid"] for e in events if e["ph"] in "BE"} - {1}
+    assert worker_pids, "no worker lanes in the stitched trace"
+    lane_names = {
+        e["pid"]: e["args"]["name"] for e in events if e["ph"] == "M"
+    }
+    assert lane_names.get(1) == "parent"
+    for pid in worker_pids:
+        assert lane_names.get(pid) == f"worker {pid}", lane_names
+        depth = 0
+        for e in events:
+            if e["pid"] == pid and e["ph"] in "BE":
+                depth += 1 if e["ph"] == "B" else -1
+                assert depth >= 0, f"lane {pid} unbalanced"
+        assert depth == 0, f"lane {pid} left open"
+    assert all(
+        e["pid"] == 1
+        for e in events if e["ph"] == "C" and "." not in e["name"]
+    ), "counter totals left the parent lane"
+
+    # The stitched event log replays byte-identically too.
+    replayed = replay_file(par_events)
+    assert json.dumps(to_chrome_trace(replayed), sort_keys=True) == \
+        json.dumps(chrome, sort_keys=True), (
+            "stitched trace does not replay byte-identically"
+        )
+
+    # Branch fan-out ships whole branches: every portable counter
+    # total must be byte-identical to the serial profile's.
+    serial_totals = reconciled_counter_totals(replay_file(serial_events))
+    stitched_totals = reconciled_counter_totals(replayed)
+    assert stitched_totals == serial_totals, (
+        f"stitched totals drifted from serial:\n"
+        f"  serial   {json.dumps(serial_totals, sort_keys=True)}\n"
+        f"  stitched {json.dumps(stitched_totals, sort_keys=True)}"
+    )
+    print(
+        f"stitched profile ok: {len(worker_pids)} worker lane(s), "
+        f"replay byte-identical, totals == serial"
+    )
+
+
+def http_smoke() -> int:
+    """Drive ``serve --http-port 0`` and curl every telemetry endpoint."""
+    import urllib.request
+
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            str(DEFAULT_PROGRAM),
+            "--workers", "2", "--repeat", "4",
+            "--trace-sample", "0.5", "--slow-threshold", "0",
+            "--http-port", "0", "--linger", "30",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        cwd=REPO,
+    )
+    try:
+        url = None
+        assert proc.stdout is not None
+        for line in proc.stdout:
+            if line.startswith("telemetry listening on "):
+                url = line.split()[-1]
+                break
+        assert url, "serve never announced its telemetry port"
+
+        def get(path: str):
+            with urllib.request.urlopen(url + path, timeout=10) as resp:
+                return resp.status, resp.read().decode("utf-8")
+
+        status, body = get("/healthz")
+        health = json.loads(body)
+        assert status == 200 and health["status"] == "ok", health
+        print(f"healthz ok: {body.strip()}")
+
+        status, body = get("/metrics")
+        assert status == 200
+        for pinned in (
+            "repro_service_requests_total",
+            "repro_service_latency_seconds_count",
+            "repro_service_memo_hit_ratio",
+            "repro_service_snapshot_cache_entries",
+            "repro_service_plan_cache_entries",
+        ):
+            assert pinned in body, f"{pinned} missing from /metrics"
+        print(f"metrics ok: {len(body.splitlines())} exposition lines")
+
+        status, body = get("/slowlog?n=8")
+        records = json.loads(body)
+        assert status == 200 and records, "no slow-query records"
+        sys.path.insert(0, str(REPO / "src"))
+        from repro.service import validate_slowlog_record  # noqa: E402
+
+        for record in records:
+            problems = validate_slowlog_record(record)
+            assert not problems, f"{record.get('trace_id')}: {problems}"
+        print(f"slowlog ok: {len(records)} records validate against "
+              f"repro-slowlog/1")
+    finally:
+        proc.terminate()
+        proc.wait(timeout=30)
     return 0
 
 
 if __name__ == "__main__":
+    if len(sys.argv) > 1 and sys.argv[1] == "http-smoke":
+        raise SystemExit(http_smoke())
     raise SystemExit(main(sys.argv))

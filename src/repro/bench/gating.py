@@ -176,6 +176,14 @@ def parallel_findings(
     ``answers_sha`` -- a digest of the sorted answer set, so the
     byte-identical-answers contract is checked, not just cardinality.
 
+    **Zero-overhead default (always):** the untraced timed repeats of a
+    ``parallel-N`` cell must ship no trace fragments
+    (``untraced_fragments == 0``).  A worker that builds and pickles a
+    span tree nobody asked for silently taxes every parallel
+    evaluation; the harness reads ``executor.fragments_received``
+    around the repeats to catch exactly that.  Cells recorded before
+    the key existed are skipped.
+
     **Speedup (hardware-gated):** on machines reporting at least
     ``required_cpus`` CPUs, the ``parallel-{speedup_workers}`` cell at
     the largest size whose serial median clears ``min_serial_s`` must
@@ -215,6 +223,16 @@ def parallel_findings(
                     f"answer digest diverged from serial "
                     f"({sha_s[:12]} -> {sha_p[:12]}): same count, "
                     f"different tuples (correctness!)",
+                )
+            )
+        leaked = cell.get("untraced_fragments")
+        if leaked:
+            findings.append(
+                Finding(
+                    family, strategy, n, "parallel",
+                    f"untraced timed repeats shipped {leaked} trace "
+                    f"fragment(s); tracer=None must ship none "
+                    f"(zero-overhead default)",
                 )
             )
 

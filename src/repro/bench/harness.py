@@ -273,6 +273,10 @@ def _make_runner(
             run_separable.answers_sha = digest.hexdigest()
             return len(result.answers), stats
 
+        # Exposed so _run_cell can read fragments_received around the
+        # traced warmup and the untraced repeats (the zero-overhead
+        # gate in gating.parallel_findings).
+        run_separable.executor = executor
         return run_separable
 
     engine = Engine(workload.program, workload.db, budget=budget)
@@ -325,6 +329,10 @@ def _run_cell(
     tracer = Tracer(context={
         "family": family.key, "strategy": strategy, "n": n,
     })
+    executor = getattr(run, "executor", None)
+    fragments_before = (
+        executor.fragments_received if executor is not None else 0
+    )
     outcome = "ok"
     answers: Optional[int] = None
     stats = EvaluationStats()
@@ -361,6 +369,14 @@ def _run_cell(
     sha = getattr(run, "answers_sha", None)
     if sha is not None:
         cell["answers_sha"] = sha
+    if executor is not None:
+        # Fragments shipped during the traced warmup (informational:
+        # the stitched trace below carries them) vs during the untraced
+        # timed repeats (must stay 0 -- the zero-overhead default).
+        # Both keys are additive, so older baselines stay comparable.
+        cell["traced_fragments"] = (
+            executor.fragments_received - fragments_before
+        )
     if trace_dir is not None:
         trace_dir.mkdir(parents=True, exist_ok=True)
         trace_path = (
@@ -372,7 +388,14 @@ def _run_cell(
         cell["trace"] = str(trace_path)
     if outcome != "ok":
         return cell
+    untraced_before = (
+        executor.fragments_received if executor is not None else 0
+    )
     times = [_timed(run) for _ in range(max(repeats, 1))]
+    if executor is not None:
+        cell["untraced_fragments"] = (
+            executor.fragments_received - untraced_before
+        )
     median_s = statistics.median(times)
     cell["median_s"] = median_s
     cell["normalized"] = median_s / unit_s if unit_s > 0 else None

@@ -210,6 +210,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="omit wall-clock figures from the text report (makes the "
         "output deterministic for a given program and query)",
     )
+    profile.add_argument(
+        "--parallel",
+        type=_nonnegative_int,
+        default=0,
+        metavar="N",
+        help="run Separable strategies on an N-worker process pool; "
+        "remote spans are stitched back in, so the trace shows one "
+        "lane per worker pid (default: 0 = serial)",
+    )
 
     sub.add_parser(
         "report",
@@ -342,6 +351,46 @@ def build_parser() -> argparse.ArgumentParser:
         default=0,
         help="interleave this many deterministic synthetic base-table "
         "mutations with the request stream (default: 0)",
+    )
+    serve.add_argument(
+        "--http-port",
+        type=_nonnegative_int,
+        default=None,
+        metavar="PORT",
+        help="serve live telemetry over HTTP on this port (0 = pick an "
+        "ephemeral port): /metrics (Prometheus text), /healthz, "
+        "/slowlog?n=K",
+    )
+    serve.add_argument(
+        "--http-host",
+        default="127.0.0.1",
+        help="bind address for --http-port (default: 127.0.0.1)",
+    )
+    serve.add_argument(
+        "--linger",
+        type=float,
+        default=0.0,
+        metavar="SECS",
+        help="keep the service (and its HTTP endpoint) up this many "
+        "seconds after the batch completes, so scrapers can read the "
+        "final state (default: 0)",
+    )
+    serve.add_argument(
+        "--trace-sample",
+        type=float,
+        default=0.0,
+        metavar="RATE",
+        help="trace this fraction of requests under a full recording "
+        "tracer and log each as a repro-slowlog/1 record "
+        "(deterministic over the request sequence; default: 0)",
+    )
+    serve.add_argument(
+        "--slow-threshold",
+        type=float,
+        default=None,
+        metavar="SECS",
+        help="also slowlog any request at least this slow (implies "
+        "tracing every request; default: off)",
     )
 
     bench = sub.add_parser(
@@ -524,9 +573,18 @@ def _cmd_profile(args: argparse.Namespace) -> int:
 
     engine = Engine(parsed.program, parsed.database)
     sink = JsonlFileSink(args.events) if args.events is not None else None
+    executor = None
+    if args.parallel:
+        from .parallel import ParallelConfig, ParallelExecutor
+
+        executor = ParallelExecutor(ParallelConfig(workers=args.parallel))
     try:
-        prof = engine.profile(query, strategy=args.strategy, sink=sink)
+        prof = engine.profile(
+            query, strategy=args.strategy, sink=sink, parallel=executor
+        )
     finally:
+        if executor is not None:
+            executor.close()
         if sink is not None:
             sink.close()
 
@@ -620,21 +678,37 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print("error: --repeat must be >= 1", file=sys.stderr)
         return 2
 
+    if not 0.0 <= args.trace_sample <= 1.0:
+        print("error: --trace-sample must be in [0, 1]", file=sys.stderr)
+        return 2
+
     requests = [q for q in queries for _ in range(args.repeat)]
     config = ServiceConfig(
         workers=args.workers,
         default_deadline_s=args.deadline,
         incremental=args.incremental,
         parallel=args.parallel or None,
+        trace_sample=args.trace_sample,
+        slow_query_threshold_s=args.slow_threshold,
     )
     mutations = _serve_mutation_stream(
         parsed.database, parsed.program, args.mutations
     )
     sink = JsonlFileSink(args.events) if args.events is not None else None
+    httpd = None
     try:
         with QueryService(
             parsed.program, parsed.database, config, sink=sink
         ) as service:
+            if args.http_port is not None:
+                from .service import ServiceHTTPD
+
+                httpd = ServiceHTTPD(
+                    service, host=args.http_host, port=args.http_port
+                ).start()
+                # The CI smoke parses this exact line to find the
+                # ephemeral port; keep the format stable.
+                print(f"telemetry listening on {httpd.url}", flush=True)
             if mutations:
                 stride = max(1, len(requests) // (len(mutations) + 1))
                 futures = []
@@ -672,7 +746,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 results = service.batch(requests, strategy=args.strategy)
             metrics = service.metrics_dict()
             metrics_text = service.metrics_text()
+            slow_records = service.slowlog()
+            if httpd is not None and args.linger > 0:
+                # Scrape window: the batch is done, the service is
+                # still open (healthz says ok), metrics are final.
+                import time as _time
+
+                _time.sleep(args.linger)
     finally:
+        if httpd is not None:
+            httpd.stop()
         if sink is not None:
             sink.close()
 
@@ -720,6 +803,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             f"snapshots_repaired={metrics['snapshots_repaired']} "
             f"memo_survived={memo.get('survived', 0)} "
             f"memo_repaired={memo.get('repaired', 0)}"
+        )
+    if args.trace_sample or args.slow_threshold is not None:
+        sampled = sum(
+            1 for r in slow_records if "sampled" in r["reason"]
+        )
+        slow = sum(1 for r in slow_records if "slow" in r["reason"])
+        print(
+            f"  slowlog: {len(slow_records)} records "
+            f"({sampled} sampled, {slow} over threshold)"
         )
 
     if args.metrics_out is not None:

@@ -222,6 +222,7 @@ def _fanout_branches(
     order: str,
     memo,
     parallel,
+    tracer=None,
 ) -> tuple[dict[tuple, frozenset[tuple]], Optional[BaseException]]:
     """Evaluate the Lemma 2.1 branches for ``seeds`` on the worker pool.
 
@@ -234,15 +235,33 @@ def _fanout_branches(
     with the union-level budget re-applied after every merge, exactly
     like the serial path.
 
+    When tracing, each worker ships its branch span tree home as a
+    :class:`~repro.observability.fragments.TraceFragment`.  The
+    fragments are stripped off *before* the memo caches a value (memo
+    entries stay ``(tuples, branch_stats)`` pairs, and a cached hit
+    costs no trace) and stitched into ``tracer`` on this thread, in
+    seed order, after every branch thread has joined -- ``Tracer`` is
+    not thread-safe, so installation never happens on branch threads.
+
     Returns ``(seed_cache, failure)``: the completed branches' results
     plus the first failure in seed order (``None`` on success).  The
     caller assembles the completed answers before re-raising, so a
     budget trip still degrades into a well-formed partial answer set.
     """
+    fragments: dict[tuple, object] = {}
 
     def branch(seed: tuple):
         def compute() -> tuple[frozenset[tuple], EvaluationStats]:
-            return parallel.run_plan_remote(db, plan, [seed], order, budget)
+            if tracer is None:
+                return parallel.run_plan_remote(
+                    db, plan, [seed], order, budget
+                )
+            tuples, branch_stats, fragment = parallel.run_plan_remote(
+                db, plan, [seed], order, budget, collect_fragment=True
+            )
+            if fragment is not None:
+                fragments[seed] = fragment
+            return tuples, branch_stats
 
         if memo is None:
             return compute()
@@ -250,6 +269,13 @@ def _fanout_branches(
         return memo.get_or_run(key, compute)
 
     outcomes = parallel.map_threads(branch, seeds)
+    if tracer is not None:
+        for seed in seeds:
+            fragment = fragments.get(seed)
+            if fragment is not None:
+                parallel.install_fragment(
+                    tracer, fragment, task="branch", seed=list(seed)
+                )
     seed_cache: dict[tuple, frozenset[tuple]] = {}
     failure: Optional[BaseException] = None
     for seed, (status, value) in zip(seeds, outcomes):
@@ -369,7 +395,7 @@ def _evaluate_partial(
         ):
             seed_cache, failure = _fanout_branches(
                 plan, analysis, cls, seeds, db, stats, budget, order,
-                memo, parallel,
+                memo, parallel, tracer=tracer,
             )
         for seed, fixed_values in rows:
             cached = seed_cache.get(seed)

@@ -436,6 +436,7 @@ class Engine:
         query: Union[Atom, str],
         strategy: str = "auto",
         sink=None,
+        parallel=None,
     ) -> QueryProfile:
         """Answer a query under a recording tracer; return the profile.
 
@@ -448,7 +449,11 @@ class Engine:
         ``sink`` is an optional :class:`~repro.observability.EventSink`
         that streams the trace as it is recorded (e.g. a
         :class:`~repro.observability.JsonlFileSink` for later replay);
-        the caller owns closing it.
+        the caller owns closing it.  ``parallel`` is forwarded to
+        :meth:`query`; when the Separable strategies fan work out to
+        pool workers, each remote call ships its span tree home as a
+        trace fragment and the profile's tracer shows one lane per
+        worker pid (see :mod:`repro.observability.fragments`).
         """
         if isinstance(query, str):
             query = parse_query(query)
@@ -458,7 +463,9 @@ class Engine:
             context={"query": str(query), "strategy": strategy},
         )
         start = time.perf_counter()
-        result = self.query(query, strategy=strategy, tracer=tracer)
+        result = self.query(
+            query, strategy=strategy, tracer=tracer, parallel=parallel
+        )
         wall_s = time.perf_counter() - start
         return QueryProfile(
             result=result,

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 from .tracer import Span, Tracer
 
-__all__ = ["to_chrome_trace", "to_metrics_text"]
+__all__ = ["escape_label_value", "to_chrome_trace", "to_metrics_text"]
 
 _PID = 1
 _TID = 1
@@ -41,14 +41,32 @@ def _us(t: float, origin: float) -> float:
     return (t - origin) * 1e6
 
 
-def _span_events(span: Span, origin: float, out: list[dict]) -> None:
+def _worker_pids(tracer: Tracer) -> list[int]:
+    """Distinct ``worker_pid`` attrs, in first-appearance order."""
+    pids: list[int] = []
+    for span in tracer.spans():
+        pid = span.attrs.get("worker_pid")
+        if isinstance(pid, int) and pid not in pids:
+            pids.append(pid)
+    return pids
+
+
+def _span_events(
+    span: Span, origin: float, out: list[dict], pid: int = _PID
+) -> None:
+    # A stitched worker host span (see observability.fragments) carries
+    # a worker_pid attr; it and its whole subtree render on that pid's
+    # lane -- one Chrome "process" track per pool worker.
+    pid = span.attrs.get("worker_pid", pid)
+    if not isinstance(pid, int):
+        pid = _PID
     end_s = span.end_s if span.end_s is not None else span.start_s
     out.append(
         {
             "name": span.name,
             "ph": "B",
             "ts": _us(span.start_s, origin),
-            "pid": _PID,
+            "pid": pid,
             "tid": _TID,
             "args": dict(span.attrs),
         }
@@ -63,19 +81,19 @@ def _span_events(span: Span, origin: float, out: list[dict]) -> None:
                     "name": f"{span.name}.{name}",
                     "ph": "C",
                     "ts": _us(span.start_s + (i + 1) * step, origin),
-                    "pid": _PID,
+                    "pid": pid,
                     "tid": _TID,
                     "args": {name: value},
                 }
             )
     for child in span.children:
-        _span_events(child, origin, out)
+        _span_events(child, origin, out, pid)
     out.append(
         {
             "name": span.name,
             "ph": "E",
             "ts": _us(end_s, origin),
-            "pid": _PID,
+            "pid": pid,
             "tid": _TID,
             "args": {"status": span.status, "counters": dict(span.counters)},
         }
@@ -93,6 +111,23 @@ def to_chrome_trace(tracer: Tracer) -> dict:
     """
     origin = _origin(tracer)
     events: list[dict] = []
+    worker_pids = _worker_pids(tracer)
+    if worker_pids:
+        # Name the lanes only when a stitched trace actually has more
+        # than one: serial traces keep their exact historical bytes.
+        for pid, name in [(_PID, "parent")] + [
+            (p, f"worker {p}") for p in worker_pids
+        ]:
+            events.append(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "ts": 0.0,
+                    "pid": pid,
+                    "tid": _TID,
+                    "args": {"name": name},
+                }
+            )
     for root in tracer.roots:
         _span_events(root, origin, events)
 
@@ -140,14 +175,56 @@ def _metric_name(counter: str) -> str:
     return f"repro_{safe}_total"
 
 
+def escape_label_value(value) -> str:
+    """Escape a label value per the Prometheus text exposition format.
+
+    Backslash, double quote, and newline are the three characters the
+    format defines escapes for; everything else passes through.  Rule
+    labels are the usual customers (``seen_1#0`` is fine as-is), but
+    span-name and phase labels can carry arbitrary strings.
+    """
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+class MetricFamilies:
+    """Emission bookkeeping: ``# HELP``/``# TYPE`` once per family.
+
+    Distinct counter names can sanitize onto the same metric family
+    (``rule_apps:x`` labelled and a hypothetical ``rule-apps`` plain
+    both become ``repro_rule_apps_total``); Prometheus rejects a
+    scrape that declares a family twice, so every exporter funnels its
+    headers through one of these.
+    """
+
+    def __init__(self, lines: list[str]) -> None:
+        self.lines = lines
+        self._seen: set[str] = set()
+
+    def declare(self, metric: str, help_text: str,
+                kind: str = "counter") -> None:
+        if metric in self._seen:
+            return
+        self._seen.add(metric)
+        self.lines.append(f"# HELP {metric} {help_text}")
+        self.lines.append(f"# TYPE {metric} {kind}")
+
+
 def to_metrics_text(tracer: Tracer) -> str:
     """Final counter totals in the Prometheus text exposition format.
 
     One ``counter`` metric per tracer counter name (summed over every
     span), plus ``repro_spans_total``.  Rule-indexed counters
     (``rule_out:<label>``) become labelled samples of one metric.
+    ``# HELP``/``# TYPE`` headers are emitted exactly once per metric
+    family and label values are escaped per the format.
     """
     lines: list[str] = []
+    families = MetricFamilies(lines)
     totals: dict[str, int] = {}
     spans = 0
     for span in tracer.spans():
@@ -164,24 +241,25 @@ def to_metrics_text(tracer: Tracer) -> str:
         else:
             plain[name] = value
 
-    lines.append("# HELP repro_spans_total Spans recorded in the trace.")
-    lines.append("# TYPE repro_spans_total counter")
+    families.declare(
+        "repro_spans_total", "Spans recorded in the trace."
+    )
     lines.append(f"repro_spans_total {spans}")
     for name in sorted(plain):
         metric = _metric_name(name)
-        lines.append(
-            f"# HELP {metric} Tracer counter {name!r} summed over the trace."
+        families.declare(
+            metric,
+            f"Tracer counter {name!r} summed over the trace.",
         )
-        lines.append(f"# TYPE {metric} counter")
         lines.append(f"{metric} {plain[name]}")
     for name in sorted(labelled):
         metric = _metric_name(name)
-        lines.append(
-            f"# HELP {metric} Tracer counter {name!r} by rule label."
+        families.declare(
+            metric, f"Tracer counter {name!r} by rule label."
         )
-        lines.append(f"# TYPE {metric} counter")
         for label in sorted(labelled[name]):
             lines.append(
-                f'{metric}{{rule="{label}"}} {labelled[name][label]}'
+                f'{metric}{{rule="{escape_label_value(label)}"}} '
+                f"{labelled[name][label]}"
             )
     return "\n".join(lines) + "\n"

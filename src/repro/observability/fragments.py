@@ -1,0 +1,241 @@
+"""Cross-process trace fragments: capture in a worker, stitch in the parent.
+
+Spans recorded inside a pool worker used to die with the task: the
+worker's :class:`~repro.observability.tracer.Tracer` was local to the
+process, and only the :class:`~repro.stats.EvaluationStats` counters
+made the trip home.  A :class:`TraceFragment` closes that gap.  It is a
+compact, picklable snapshot of a worker tracer's closed span forest --
+names, attrs, counters, series, and *relative* monotonic-clock offsets
+-- plus the worker pid.
+
+Clocks do not agree across processes (``time.perf_counter`` has an
+arbitrary per-process epoch), so fragments never ship absolute
+timestamps.  :func:`capture_fragment` rebases every span onto the
+fragment's own origin (the earliest span start), and
+:func:`install_fragment` re-anchors the whole tree onto the parent's
+timeline at install time -- by default so the fragment *ends* at the
+moment the parent received the result.  The executor refines that by
+remembering one clock offset per worker pid, which keeps every span
+from the same worker on a consistent lane with true relative spacing.
+
+Two counter families deliberately do not travel:
+
+``NONPORTABLE_COUNTERS``
+    Per-process cache warmup (``plan_compiles``, ``plan_cache_*``,
+    ``index_builds``, ``index_tuples``).  Each spawn worker owns a
+    private plan cache and rebuilds relation indexes on the installed
+    snapshot, so these tallies depend on which worker the pool happened
+    to schedule a task on -- summing them across processes is both
+    meaningless and nondeterministic.  They are aggregated into the
+    fragment's ``cache_warmup`` dict and surfaced as an *attr* on the
+    stitch host span instead, where they inform without polluting
+    ``Tracer.counter_total``.
+
+Everything else -- ``tuples_examined``, ``iterations``, per-rule
+``rule_apps:``/``rule_out:`` tallies, carry series -- is a faithful copy
+of what the serial evaluator would have recorded for the same work, so
+stitched counter totals reconcile exactly with a serial run (see
+:func:`reconciled_counter_totals` and ``tests/parallel/
+test_trace_stitching.py``).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from .tracer import Span, Tracer
+
+__all__ = [
+    "FRAGMENT_SCHEMA",
+    "NONPORTABLE_COUNTERS",
+    "TraceFragment",
+    "capture_fragment",
+    "install_fragment",
+    "reconciled_counter_totals",
+]
+
+#: Version stamp carried by every fragment (pickle-level forward compat).
+FRAGMENT_SCHEMA = "repro-fragment/1"
+
+#: Counters that describe per-process cache warmup rather than work.
+#: See the module docstring: these are scheduling-dependent, so they are
+#: aggregated into ``TraceFragment.cache_warmup`` instead of travelling
+#: on the span copies.
+NONPORTABLE_COUNTERS = frozenset(
+    {
+        "plan_compiles",
+        "plan_cache_hits",
+        "plan_cache_misses",
+        "index_builds",
+        "index_tuples",
+    }
+)
+
+
+@dataclass
+class TraceFragment:
+    """A picklable snapshot of one worker tracer's closed span forest.
+
+    ``spans`` holds plain-dict span trees whose ``start``/``end`` are
+    offsets in seconds from ``origin_s`` (the worker-clock start of the
+    earliest span); ``extent_s`` is the total wall-clock width.
+    ``recv_s`` is stamped parent-side (parent clock) the moment the
+    result crosses back, and anchors the default installation.
+    """
+
+    pid: int
+    origin_s: float
+    extent_s: float
+    spans: tuple
+    cache_warmup: dict = field(default_factory=dict)
+    schema: str = FRAGMENT_SCHEMA
+    recv_s: Optional[float] = None
+
+    def iter_spans(self) -> Iterator[dict]:
+        """Every packed span dict, depth first."""
+
+        def walk(packed: dict) -> Iterator[dict]:
+            yield packed
+            for child in packed["children"]:
+                yield from walk(child)
+
+        for root in self.spans:
+            yield from walk(root)
+
+    @property
+    def span_count(self) -> int:
+        return sum(1 for _ in self.iter_spans())
+
+    def counter_totals(self) -> dict[str, int]:
+        """Sum of every (portable) counter over the fragment's spans."""
+        totals: dict[str, int] = {}
+        for packed in self.iter_spans():
+            for name, value in packed["counters"].items():
+                totals[name] = totals.get(name, 0) + value
+        return totals
+
+
+def _pack(span: Span, origin: float) -> dict:
+    end = span.end_s if span.end_s is not None else span.start_s
+    return {
+        "name": span.name,
+        "attrs": dict(span.attrs),
+        "start": span.start_s - origin,
+        "end": end - origin,
+        "status": span.status,
+        "counters": {
+            k: v
+            for k, v in span.counters.items()
+            if k not in NONPORTABLE_COUNTERS
+        },
+        "series": {k: list(v) for k, v in span.series.items()},
+        "children": [_pack(c, origin) for c in span.children],
+    }
+
+
+def capture_fragment(tracer, pid: int) -> Optional[TraceFragment]:
+    """Snapshot a worker tracer into a fragment, or ``None`` if empty.
+
+    Call after the traced work completes (all spans closed).  The
+    tracer itself is left untouched -- spans are copied, not moved.
+    """
+    if tracer is None or not tracer.roots:
+        return None
+    starts = [s.start_s for s in tracer.spans()]
+    ends = [
+        s.end_s if s.end_s is not None else s.start_s
+        for s in tracer.spans()
+    ]
+    origin = min(starts)
+    extent = max(ends) - origin
+    warmup: dict[str, int] = {}
+    for s in tracer.spans():
+        for name in NONPORTABLE_COUNTERS:
+            value = s.counters.get(name, 0)
+            if value:
+                warmup[name] = warmup.get(name, 0) + value
+    return TraceFragment(
+        pid=pid,
+        origin_s=origin,
+        extent_s=extent,
+        spans=tuple(_pack(root, origin) for root in tracer.roots),
+        cache_warmup=warmup,
+    )
+
+
+def _revive(packed: dict, anchor: float) -> Span:
+    span = Span(packed["name"], dict(packed["attrs"]))
+    span.start_s = anchor + packed["start"]
+    span.end_s = anchor + packed["end"]
+    span.status = packed["status"]
+    span.counters = dict(packed["counters"])
+    span.series = {k: list(v) for k, v in packed["series"].items()}
+    span.children = [_revive(c, anchor) for c in packed["children"]]
+    return span
+
+
+def install_fragment(
+    tracer,
+    fragment: Optional[TraceFragment],
+    *,
+    name: str = "parallel.worker",
+    anchor_s: Optional[float] = None,
+    **attrs,
+):
+    """Stitch a fragment into ``tracer`` under a per-worker host span.
+
+    For a full :class:`Tracer` the fragment's span forest is revived on
+    the parent timeline (anchored at ``anchor_s``, defaulting to
+    "fragment ended when the result arrived") inside a host span named
+    ``name`` that carries ``worker_pid`` -- the Chrome exporter turns
+    that attr into one lane per worker.  The graft lands under the
+    parent's innermost open span, so partition fragments nest inside the
+    ``separable.loop`` iteration that shipped them.
+
+    Metrics facades that cannot hold span trees (``MetricsTracer``)
+    expose ``absorb_fragment`` and get the aggregate counters and
+    per-span durations instead.  Returns the host :class:`Span`, or
+    ``None`` when nothing was installed.
+    """
+    if fragment is None or tracer is None:
+        return None
+    if not isinstance(tracer, Tracer):
+        absorb = getattr(tracer, "absorb_fragment", None)
+        if absorb is not None:
+            absorb(fragment)
+        return None
+    if anchor_s is None:
+        ref = (
+            fragment.recv_s
+            if fragment.recv_s is not None
+            else time.perf_counter()
+        )
+        anchor_s = ref - fragment.extent_s
+    host = Span(name, {"worker_pid": fragment.pid, **attrs})
+    host.start_s = anchor_s
+    host.end_s = anchor_s + fragment.extent_s
+    host.status = "ok"
+    if fragment.cache_warmup:
+        host.attrs["cache_warmup"] = dict(fragment.cache_warmup)
+    host.children = [_revive(p, anchor_s) for p in fragment.spans]
+    tracer.attach_closed(host)
+    return host
+
+
+def reconciled_counter_totals(tracer) -> dict[str, int]:
+    """Counter totals restricted to the cross-process-comparable set.
+
+    Drops :data:`NONPORTABLE_COUNTERS` (per-process cache warmup) so a
+    stitched parallel trace and a serial trace of the same query can be
+    compared for byte-identity: serialize both sides with
+    ``json.dumps(..., sort_keys=True)`` and assert equality.
+    """
+    totals: dict[str, int] = {}
+    for span in tracer.spans():
+        for name, value in span.counters.items():
+            if name in NONPORTABLE_COUNTERS:
+                continue
+            totals[name] = totals.get(name, 0) + value
+    return totals

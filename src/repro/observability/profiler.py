@@ -114,6 +114,22 @@ class QueryProfile:
             return None
         return self.tracer.counter_total("bindings_out") / examined
 
+    def worker_lanes(self) -> dict[int, int]:
+        """Stitched-fragment host spans per worker pid (empty: serial).
+
+        A parallel profile run installs one ``parallel.worker`` host
+        span per shipped fragment (see
+        :mod:`repro.observability.fragments`); this is the pid -> count
+        map of those lanes, what the Chrome export renders as one
+        process track per pool worker.
+        """
+        lanes: dict[int, int] = {}
+        for span in self.tracer.spans():
+            pid = span.attrs.get("worker_pid")
+            if isinstance(pid, int):
+                lanes[pid] = lanes.get(pid, 0) + 1
+        return lanes
+
     # -- rendering ---------------------------------------------------------
 
     def render_text(self, timings: bool = True) -> str:
@@ -228,6 +244,17 @@ class QueryProfile:
             f"plan_cache_misses="
             f"{self.tracer.counter_total('plan_cache_misses')}"
         )
+        lanes = self.worker_lanes()
+        if lanes:
+            # Only parallel profiles print this; serial report text
+            # stays byte-identical.
+            lines.append(
+                "worker_lanes="
+                + " ".join(
+                    f"pid{pid}:{count}"
+                    for pid, count in sorted(lanes.items())
+                )
+            )
         return "\n".join(lines)
 
     def to_json(self) -> dict:
@@ -242,6 +269,10 @@ class QueryProfile:
             "plan": result.describe_plan(),
             "advice": self.advice.explain(),
             "stats": self.stats.as_dict(),
+            "worker_lanes": {
+                str(pid): count
+                for pid, count in sorted(self.worker_lanes().items())
+            },
             "rules": [
                 {
                     "label": r.label,

@@ -33,6 +33,7 @@ import atexit
 import multiprocessing
 import os
 import threading
+import time
 import weakref
 import zlib
 from dataclasses import dataclass, replace
@@ -42,6 +43,7 @@ from ..budget import Budget, UNLIMITED
 from ..core.plan import CARRY
 from ..datalog.database import Database
 from ..errors import BudgetExceeded
+from ..observability import fragments as _fragments
 from ..stats import EvaluationStats
 from . import worker as _worker
 
@@ -138,6 +140,13 @@ class ParallelExecutor:
         self._installed: dict[int, None] = {}
         self._next_token = 0
         self._closed = False
+        # Trace stitching: one parent-clock offset per worker pid so
+        # every fragment from the same worker lands on a consistent
+        # timeline lane, plus a tally of fragments ever installed (the
+        # bench zero-overhead gate reads its delta across untraced
+        # repeats -- it must stay flat when tracer=None).
+        self._clock_offsets: dict[int, float] = {}
+        self._fragments_received = 0
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -251,14 +260,22 @@ class ParallelExecutor:
         order: str,
         budget: Budget,
         _test_ignore_budget: bool = False,
+        collect_fragment: bool = False,
     ):
         """Run one compiled plan in a worker process.
 
         Returns ``(answer tuples, branch EvaluationStats)`` exactly as
         a serial ``_run_plan`` miss would produce under a fresh branch
-        accumulator.  ``_test_ignore_budget`` makes the worker discard
-        its re-armed budget -- the fault suite's stand-in for a stalled
-        worker.
+        accumulator.  With ``collect_fragment`` the worker additionally
+        runs the branch under a real tracer and the return grows a
+        third element: the shipped
+        :class:`~repro.observability.fragments.TraceFragment` (or
+        ``None`` if the branch recorded nothing).  The caller installs
+        it -- fan-out runs on many threads and ``Tracer`` is not
+        thread-safe, so installation must happen on whichever single
+        thread owns the parent tracer.  ``_test_ignore_budget`` makes
+        the worker discard its re-armed budget -- the fault suite's
+        stand-in for a stalled worker.
         """
         seeds = [tuple(s) for s in seeds]
         shipped, remaining = _ship_budget(budget)
@@ -267,14 +284,20 @@ class ParallelExecutor:
             result = self._ensure_pool().apply_async(
                 _worker._branch_task,
                 ((token, plan, seeds, order, shipped, remaining,
-                  _test_ignore_budget),),
+                  _test_ignore_budget, collect_fragment),),
             )
             try:
-                return self._wait(result, remaining)
+                tuples, stats, fragment = self._wait(result, remaining)
             except _worker.WorkerStateMissing:
                 if attempt:
                     raise
                 self._forget(token)
+                continue
+            if fragment is not None:
+                fragment.recv_s = time.perf_counter()
+            if collect_fragment:
+                return tuples, stats, fragment
+            return tuples, stats
 
     def map_threads(self, fn, items: Sequence):
         """Run ``fn(item)`` per item on parent threads.
@@ -307,6 +330,54 @@ class ParallelExecutor:
             for t in batch:
                 t.join()
         return results
+
+    # -- trace stitching ---------------------------------------------------
+
+    @property
+    def fragments_received(self) -> int:
+        """How many trace fragments this executor has ever installed."""
+        with self._lock:
+            return self._fragments_received
+
+    def _anchor_for(self, fragment) -> float:
+        """Parent-clock anchor for a fragment, stable per worker pid.
+
+        The first fragment from a pid fixes that worker's clock offset
+        ("the fragment ended when its result arrived"); later fragments
+        from the same pid reuse it, so spans on one worker's lane keep
+        their true relative spacing and never overlap -- a pool worker
+        runs its tasks sequentially.
+        """
+        recv = (
+            fragment.recv_s
+            if fragment.recv_s is not None
+            else time.perf_counter()
+        )
+        with self._lock:
+            offset = self._clock_offsets.get(fragment.pid)
+            if offset is None:
+                offset = recv - (fragment.origin_s + fragment.extent_s)
+                self._clock_offsets[fragment.pid] = offset
+        return fragment.origin_s + offset
+
+    def install_fragment(self, tracer, fragment, **attrs):
+        """Stitch one shipped fragment into the parent tracer.
+
+        Must run on the thread that owns ``tracer``.  Dispatches to
+        :func:`repro.observability.fragments.install_fragment` with a
+        per-pid clock anchor; metrics facades absorb aggregates
+        instead.  Returns the host span (or ``None``).
+        """
+        if fragment is None or tracer is None:
+            return None
+        with self._lock:
+            self._fragments_received += 1
+        return _fragments.install_fragment(
+            tracer,
+            fragment,
+            anchor_s=self._anchor_for(fragment),
+            **attrs,
+        )
 
     # -- carry partitioning ------------------------------------------------
 
@@ -367,6 +438,7 @@ class ParallelExecutor:
         joins = tuple(joins)
         parts = self.partition(carry)
         remaining = budget.remaining_seconds()
+        trace = tracer is not None
         results = None
         for attempt in (0, 1):
             token = self.ensure_installed(db)
@@ -374,7 +446,8 @@ class ParallelExecutor:
             pending = [
                 pool.apply_async(
                     _worker._apply_joins_task,
-                    ((token, joins, pseudo, arity, tuple(part), order),),
+                    ((token, joins, pseudo, arity, tuple(part), order,
+                      trace),),
                 )
                 for part in parts
             ]
@@ -385,10 +458,11 @@ class ParallelExecutor:
                 if attempt:
                     raise
                 self._forget(token)
+        recv = time.perf_counter()
         produced: set[tuple] = set()
         for ji in range(len(joins)):
             before = len(produced)
-            for per_join, _ in results:
+            for per_join, _, _ in results:
                 produced |= per_join[ji]
             if tracer is not None and label is not None:
                 tracer.count(f"rule_apps:{label}#{ji}")
@@ -396,8 +470,19 @@ class ParallelExecutor:
                 if out:
                     tracer.count(f"rule_out:{label}#{ji}", out)
         if stats is not None:
-            for _, worker_stats in results:
+            for _, worker_stats, _ in results:
                 stats.merge(worker_stats)
+        if trace:
+            # apply_joins runs on the thread that owns the tracer, and
+            # the carry-loop span is still open -- fragments nest as
+            # its children, one lane host per shipped partition.
+            for pi, (_, _, fragment) in enumerate(results):
+                if fragment is not None:
+                    if fragment.recv_s is None:
+                        fragment.recv_s = recv
+                    self.install_fragment(
+                        tracer, fragment, task="partition", index=pi
+                    )
         return produced
 
     # -- introspection and fault injection ---------------------------------

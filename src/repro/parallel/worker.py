@@ -29,6 +29,8 @@ from ..core.evaluator import _with_pseudo, execute_plan
 from ..datalog.database import Database, Relation
 from ..datalog.joins import evaluate_body_project
 from ..errors import EvaluationError
+from ..observability.fragments import capture_fragment
+from ..observability.tracer import Tracer
 from ..stats import EvaluationStats
 
 __all__ = ["STATE_SLOTS", "WorkerStateMissing"]
@@ -109,45 +111,85 @@ def _install_task(args) -> int:
 def _branch_task(args):
     """One Lemma 2.1 union branch: run a compiled plan start to finish.
 
-    Returns ``(answer tuples, branch EvaluationStats)``.  A budget trip
-    raises :class:`~repro.errors.BudgetExceeded` carrying the branch
-    stats; its ``__reduce__`` preserves them across the pickle back to
-    the parent.
+    Returns ``(answer tuples, branch EvaluationStats, fragment)``.
+    When the parent is tracing it sets ``trace`` and the branch runs
+    under a real per-task :class:`Tracer`, shipping the closed span
+    tree home as a :class:`~repro.observability.fragments.TraceFragment`
+    (``None`` otherwise -- the untraced path allocates no tracer at
+    all, preserving the zero-overhead default).  A budget trip raises
+    :class:`~repro.errors.BudgetExceeded` carrying the branch stats;
+    its ``__reduce__`` preserves them across the pickle back to the
+    parent.
     """
-    token, plan, seeds, order, budget, remaining, ignore_budget = args
+    token, plan, seeds, order, budget, remaining, ignore_budget, trace = args
     db = _database_for(token)
     budget = UNLIMITED if ignore_budget else _rearm(budget, remaining)
     stats = EvaluationStats()
-    tuples = execute_plan(
-        plan, db, seeds, stats=stats, budget=budget, order=order
-    )
-    return tuples, stats
+    if not trace:
+        tuples = execute_plan(
+            plan, db, seeds, stats=stats, budget=budget, order=order
+        )
+        return tuples, stats, None
+    tracer = Tracer()
+    with tracer.span("worker.branch", seeds=len(seeds)):
+        tuples = execute_plan(
+            plan,
+            db,
+            seeds,
+            stats=stats,
+            budget=budget,
+            order=order,
+            tracer=tracer,
+        )
+    return tuples, stats, capture_fragment(tracer, pid=os.getpid())
 
 
 def _apply_joins_task(args):
     """One carry partition's share of a union-of-joins iteration.
 
-    Returns ``(per-join output frozensets, worker EvaluationStats)``.
-    The per-join split lets the parent replay the serial evaluator's
-    dedup-in-join-order accounting exactly (``rule_out:`` counters),
-    while the stats carry the raw produced/examined counts, which sum
-    to the serial totals because every output row uses exactly one
-    carry tuple and the partitions are disjoint.
+    Returns ``(per-join output frozensets, worker EvaluationStats,
+    fragment)``.  The per-join split lets the parent replay the serial
+    evaluator's dedup-in-join-order accounting exactly (``rule_out:``
+    counters), while the stats carry the raw produced/examined counts,
+    which sum to the serial totals because every output row uses
+    exactly one carry tuple and the partitions are disjoint.
+
+    Under ``trace`` the join work runs inside a per-task tracer span
+    (shipped home as a fragment); the worker records *no* per-rule
+    counters -- the parent's replay in ``ParallelExecutor.apply_joins``
+    stays the single source of ``rule_apps:``/``rule_out:`` truth, so
+    stitched totals never double-count.
     """
-    token, joins, pseudo, arity, part, order = args
+    token, joins, pseudo, arity, part, order, trace = args
     db = _database_for(token)
     view = _with_pseudo(db, pseudo, Relation(pseudo, arity, part))
     stats = EvaluationStats()
+    tracer = Tracer() if trace else None
     per_join: list[frozenset] = []
-    for join in joins:
-        out: set[tuple] = set()
-        for fact in evaluate_body_project(
-            view, join.body, join.output, stats=stats, order=order
-        ):
-            stats.bump_produced()
-            out.add(fact)
-        per_join.append(frozenset(out))
-    return per_join, stats
+
+    def run() -> None:
+        for join in joins:
+            out: set[tuple] = set()
+            for fact in evaluate_body_project(
+                view,
+                join.body,
+                join.output,
+                stats=stats,
+                order=order,
+                tracer=tracer,
+            ):
+                stats.bump_produced()
+                out.add(fact)
+            per_join.append(frozenset(out))
+
+    if tracer is None:
+        run()
+        return per_join, stats, None
+    with tracer.span(
+        "worker.partition", pseudo=pseudo, tuples=len(part)
+    ):
+        run()
+    return per_join, stats, capture_fragment(tracer, pid=os.getpid())
 
 
 def _probe_task(args) -> dict:

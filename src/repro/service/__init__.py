@@ -13,9 +13,14 @@ Entry points: :class:`QueryService` (the server),
 :class:`ServiceConfig` (tunables), :class:`ServiceResult` /
 :class:`PartialResult` (responses), :class:`FullSelectionMemo` (the
 cache), :class:`ServiceMetrics` / :class:`MetricsTracer` (aggregated
-observability, exportable as Prometheus text or JSON).
+observability, exportable as Prometheus text or JSON),
+:class:`ServiceHTTPD` (live ``/metrics`` + ``/healthz`` + ``/slowlog``
+exposition), and the ``repro-slowlog/1`` record helpers
+(:data:`SLOWLOG_SCHEMA`, :func:`build_slowlog_record`,
+:func:`validate_slowlog_record`, :class:`SlowlogRing`).
 """
 
+from .httpd import ServiceHTTPD
 from .memo import FullSelectionMemo
 from .metrics import MetricsTracer, ServiceMetrics
 from .service import (
@@ -23,6 +28,12 @@ from .service import (
     QueryService,
     ServiceConfig,
     ServiceResult,
+)
+from .slowlog import (
+    SLOWLOG_SCHEMA,
+    SlowlogRing,
+    build_slowlog_record,
+    validate_slowlog_record,
 )
 
 __all__ = [
@@ -33,4 +44,9 @@ __all__ = [
     "FullSelectionMemo",
     "ServiceMetrics",
     "MetricsTracer",
+    "ServiceHTTPD",
+    "SLOWLOG_SCHEMA",
+    "SlowlogRing",
+    "build_slowlog_record",
+    "validate_slowlog_record",
 ]

@@ -29,11 +29,16 @@ Two pieces:
 from __future__ import annotations
 
 import threading
+import time
 from collections import deque
 from contextlib import contextmanager
 from typing import Iterator, Optional
 
-from ..observability.export import _metric_name
+from ..observability.export import (
+    MetricFamilies,
+    _metric_name,
+    escape_label_value,
+)
 
 __all__ = ["MetricsTracer", "ServiceMetrics"]
 
@@ -45,6 +50,21 @@ class MetricsTracer:
     lock; series observations are dropped (unbounded per-iteration data
     has no place in service-lifetime aggregates).  Satisfies
     :func:`repro.observability.tracer.live` via ``enabled = True``.
+
+    Spans are counted (``span:<name>``) *and* timed: the wall-clock
+    width of every span accumulates per name in :meth:`span_seconds`,
+    which is what lets :meth:`ServiceMetrics.as_dict` report where
+    evaluator time actually goes (loop vs. exit vs. sideways pass)
+    without materializing a single span object.
+
+    Two absorption hooks fold external trace material in: a finished
+    per-request :class:`~repro.observability.Tracer` via
+    :meth:`absorb_tracer` (the service's sampled-request path), and a
+    worker-shipped
+    :class:`~repro.observability.fragments.TraceFragment` via
+    :meth:`absorb_fragment` (what
+    :func:`repro.observability.fragments.install_fragment` dispatches
+    to when the parallel executor's tracer is this facade).
     """
 
     enabled = True
@@ -52,11 +72,20 @@ class MetricsTracer:
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._counters: dict[str, int] = {}
+        self._span_seconds: dict[str, float] = {}
 
     @contextmanager
     def span(self, name: str, **attrs) -> Iterator[None]:
         self.count(f"span:{name}")
-        yield None
+        start = time.perf_counter()
+        try:
+            yield None
+        finally:
+            elapsed = time.perf_counter() - start
+            with self._lock:
+                self._span_seconds[name] = (
+                    self._span_seconds.get(name, 0.0) + elapsed
+                )
 
     def count(self, name: str, n: int = 1) -> None:
         with self._lock:
@@ -74,9 +103,62 @@ class MetricsTracer:
         with self._lock:
             return dict(self._counters)
 
+    def span_seconds(self) -> dict[str, float]:
+        """Accumulated wall-clock seconds per span name."""
+        with self._lock:
+            return dict(self._span_seconds)
+
+    def absorb_tracer(self, tracer) -> None:
+        """Fold a finished recording tracer's spans into the aggregates.
+
+        Every span bumps ``span:<name>``, adds its wall-clock width to
+        the per-name duration sum, and contributes its counters --
+        exactly what would have landed here had the evaluation run
+        against this facade directly (minus the dropped series).
+        """
+        with self._lock:
+            for span in tracer.spans():
+                name = f"span:{span.name}"
+                self._counters[name] = self._counters.get(name, 0) + 1
+                if span.end_s is not None:
+                    self._span_seconds[span.name] = (
+                        self._span_seconds.get(span.name, 0.0)
+                        + (span.end_s - span.start_s)
+                    )
+                for cname, value in span.counters.items():
+                    self._counters[cname] = (
+                        self._counters.get(cname, 0) + value
+                    )
+
+    def absorb_fragment(self, fragment) -> None:
+        """Fold a worker trace fragment into the aggregates.
+
+        Packed spans carry portable counters only;
+        ``fragment.cache_warmup`` (the per-process plan/index warmup
+        the fragment stripped) is folded back in here because a service
+        aggregate *wants* total work done, wherever it happened.
+        """
+        with self._lock:
+            for packed in fragment.iter_spans():
+                name = f"span:{packed['name']}"
+                self._counters[name] = self._counters.get(name, 0) + 1
+                self._span_seconds[packed["name"]] = (
+                    self._span_seconds.get(packed["name"], 0.0)
+                    + (packed["end"] - packed["start"])
+                )
+                for cname, value in packed["counters"].items():
+                    self._counters[cname] = (
+                        self._counters.get(cname, 0) + value
+                    )
+            for cname, value in fragment.cache_warmup.items():
+                self._counters[cname] = (
+                    self._counters.get(cname, 0) + value
+                )
+
     def clear(self) -> None:
         with self._lock:
             self._counters.clear()
+            self._span_seconds.clear()
 
 
 def _quantile(sorted_values: list[float], q: float) -> float:
@@ -171,7 +253,12 @@ class ServiceMetrics:
             values = sorted(self._latencies)
         return _quantile(values, q)
 
-    def as_dict(self, memo_stats: Optional[dict] = None) -> dict:
+    def as_dict(
+        self,
+        memo_stats: Optional[dict] = None,
+        snapshot_stats: Optional[dict] = None,
+        plan_cache_stats: Optional[dict] = None,
+    ) -> dict:
         """JSON-ready snapshot (the batch driver's artifact payload)."""
         with self._lock:
             values = sorted(self._latencies)
@@ -194,12 +281,32 @@ class ServiceMetrics:
                     "max": values[-1] if values else 0.0,
                 },
             }
-        out["evaluator_counters"] = self.tracer.counters()
+        counters = self.tracer.counters()
+        out["evaluator_counters"] = counters
+        seconds = self.tracer.span_seconds()
+        total = sum(seconds.values())
+        out["evaluator_phases"] = {
+            name: {
+                "seconds": seconds[name],
+                "count": counters.get(f"span:{name}", 0),
+                "share": seconds[name] / total if total else 0.0,
+            }
+            for name in sorted(seconds)
+        }
         if memo_stats is not None:
             out["memo"] = dict(memo_stats)
+        if snapshot_stats is not None:
+            out["snapshot_cache"] = dict(snapshot_stats)
+        if plan_cache_stats is not None:
+            out["plan_cache"] = dict(plan_cache_stats)
         return out
 
-    def to_metrics_text(self, memo_stats: Optional[dict] = None) -> str:
+    def to_metrics_text(
+        self,
+        memo_stats: Optional[dict] = None,
+        snapshot_stats: Optional[dict] = None,
+        plan_cache_stats: Optional[dict] = None,
+    ) -> str:
         """Prometheus text exposition of the service's current state.
 
         ``repro_service_*`` gauges/counters/summary plus every
@@ -207,14 +314,20 @@ class ServiceMetrics:
         ``repro_<counter>_total`` names
         :func:`repro.observability.export.to_metrics_text` uses -- one
         scrape config covers offline traces and the live service.
+        ``# HELP``/``# TYPE`` are emitted once per family and label
+        values are escaped per the exposition format.
         """
-        snap = self.as_dict(memo_stats=memo_stats)
+        snap = self.as_dict(
+            memo_stats=memo_stats,
+            snapshot_stats=snapshot_stats,
+            plan_cache_stats=plan_cache_stats,
+        )
         lines: list[str] = []
+        families = MetricFamilies(lines)
 
         def gauge(name: str, help_text: str, value) -> None:
             metric = f"repro_service_{name}"
-            lines.append(f"# HELP {metric} {help_text}")
-            lines.append(f"# TYPE {metric} gauge")
+            families.declare(metric, help_text, kind="gauge")
             lines.append(f"{metric} {value}")
 
         gauge("queue_depth", "Requests waiting for a worker.",
@@ -222,12 +335,14 @@ class ServiceMetrics:
         gauge("in_flight", "Requests currently evaluating.",
               snap["in_flight"])
 
-        lines.append("# HELP repro_service_requests_total Completed "
-                     "requests by status.")
-        lines.append("# TYPE repro_service_requests_total counter")
+        families.declare(
+            "repro_service_requests_total",
+            "Completed requests by status.",
+        )
         for status in sorted(snap["by_status"]):
             lines.append(
-                f'repro_service_requests_total{{status="{status}"}} '
+                f"repro_service_requests_total"
+                f'{{status="{escape_label_value(status)}"}} '
                 f"{snap['by_status'][status]}"
             )
         for name, help_text in (
@@ -250,14 +365,15 @@ class ServiceMetrics:
                 "view_rebuilds_total": "view_rebuilds",
             }[name]
             metric = f"repro_service_{name}"
-            lines.append(f"# HELP {metric} {help_text}")
-            lines.append(f"# TYPE {metric} counter")
+            families.declare(metric, help_text)
             lines.append(f"{metric} {snap[key]}")
 
         lat = snap["latency_s"]
-        lines.append("# HELP repro_service_latency_seconds Request "
-                     "latency quantiles over the recent reservoir.")
-        lines.append("# TYPE repro_service_latency_seconds summary")
+        families.declare(
+            "repro_service_latency_seconds",
+            "Request latency quantiles over the recent reservoir.",
+            kind="summary",
+        )
         lines.append(
             f'repro_service_latency_seconds{{quantile="0.5"}} '
             f"{lat['p50']:.6f}"
@@ -269,9 +385,10 @@ class ServiceMetrics:
         lines.append(f"repro_service_latency_seconds_count {lat['count']}")
 
         if memo_stats is not None:
-            lines.append("# HELP repro_service_memo_events_total "
-                         "Full-selection memo events by kind.")
-            lines.append("# TYPE repro_service_memo_events_total counter")
+            families.declare(
+                "repro_service_memo_events_total",
+                "Full-selection memo events by kind.",
+            )
             for kind in ("hits", "misses", "coalesced", "evictions",
                          "repaired", "survived"):
                 lines.append(
@@ -280,6 +397,56 @@ class ServiceMetrics:
                 )
             gauge("memo_size", "Entries resident in the memo.",
                   memo_stats.get("size", 0))
+            lookups = memo_stats.get("hits", 0) + memo_stats.get(
+                "misses", 0
+            )
+            gauge(
+                "memo_hit_ratio",
+                "Memo hits over lookups (0 when idle).",
+                f"{memo_stats.get('hits', 0) / lookups:.6f}"
+                if lookups else "0.000000",
+            )
+
+        if snapshot_stats is not None:
+            gauge(
+                "snapshot_cache_entries",
+                "EDB snapshots currently resident in the LRU.",
+                snapshot_stats.get("entries", 0),
+            )
+            gauge(
+                "snapshot_cache_capacity",
+                "Configured snapshot LRU bound.",
+                snapshot_stats.get("capacity", 0),
+            )
+
+        if plan_cache_stats is not None:
+            gauge(
+                "plan_cache_entries",
+                "Compiled join plans resident process-wide.",
+                plan_cache_stats.get("size", 0),
+            )
+            plan_lookups = plan_cache_stats.get(
+                "hits", 0
+            ) + plan_cache_stats.get("misses", 0)
+            gauge(
+                "plan_cache_hit_ratio",
+                "Join-plan cache hits over lookups (0 when idle).",
+                f"{plan_cache_stats.get('hits', 0) / plan_lookups:.6f}"
+                if plan_lookups else "0.000000",
+            )
+
+        phases = snap["evaluator_phases"]
+        if phases:
+            families.declare(
+                "repro_service_span_seconds_total",
+                "Evaluator wall-clock seconds by span name.",
+            )
+            for name in sorted(phases):
+                lines.append(
+                    f"repro_service_span_seconds_total"
+                    f'{{span="{escape_label_value(name)}"}} '
+                    f"{phases[name]['seconds']:.6f}"
+                )
 
         plain: dict[str, int] = {}
         labelled: dict[str, dict[str, int]] = {}
@@ -291,20 +458,19 @@ class ServiceMetrics:
                 plain[name] = value
         for name in sorted(plain):
             metric = _metric_name(name)
-            lines.append(
-                f"# HELP {metric} Evaluator counter {name!r} summed "
-                f"over all requests."
+            families.declare(
+                metric,
+                f"Evaluator counter {name!r} summed over all requests.",
             )
-            lines.append(f"# TYPE {metric} counter")
             lines.append(f"{metric} {plain[name]}")
         for name in sorted(labelled):
             metric = _metric_name(name)
-            lines.append(
-                f"# HELP {metric} Evaluator counter {name!r} by label."
+            families.declare(
+                metric, f"Evaluator counter {name!r} by label."
             )
-            lines.append(f"# TYPE {metric} counter")
             for label in sorted(labelled[name]):
                 lines.append(
-                    f'{metric}{{rule="{label}"}} {labelled[name][label]}'
+                    f'{metric}{{rule="{escape_label_value(label)}"}} '
+                    f"{labelled[name][label]}"
                 )
         return "\n".join(lines) + "\n"

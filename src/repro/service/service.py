@@ -36,11 +36,12 @@ branches.
 
 from __future__ import annotations
 
+import math
 import threading
 import time
 from collections import OrderedDict
 from concurrent.futures import Future, ThreadPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Iterable, Optional, Sequence, Union
 
 from ..budget import Budget, UNLIMITED
@@ -56,9 +57,12 @@ from ..datalog.programs import Program
 from ..engine import Engine, QueryResult
 from ..maintenance import DeltaCapture, MaintainedView
 from ..observability.events import EVENT_SCHEMA, EventSink
+from ..observability.fragments import reconciled_counter_totals
+from ..observability.tracer import Tracer
 from ..stats import EvaluationStats
 from .memo import FullSelectionMemo
 from .metrics import ServiceMetrics
+from .slowlog import SlowlogRing, build_slowlog_record
 
 __all__ = [
     "ServiceConfig",
@@ -110,6 +114,22 @@ class ServiceConfig:
         :class:`~repro.parallel.ParallelExecutor`.  The resolved
         executor comes from the process-wide registry and is shared
         across services; :meth:`QueryService.close` leaves it running.
+    trace_sample:
+        Fraction of requests served under a full recording
+        :class:`~repro.observability.Tracer` (0.0 = none, 1.0 = all).
+        Sampling is deterministic over the request sequence number --
+        rate 0.25 traces exactly every 4th request -- so tests and
+        operators can predict which requests carry span trees.  Every
+        sampled request lands one ``repro-slowlog/1`` record.
+    slow_query_threshold_s:
+        When set, *every* request runs under a recording tracer and any
+        request whose latency reaches the threshold lands a slowlog
+        record, sampled or not (the after-the-fact EXPLAIN ANALYZE for
+        the queries that actually hurt).
+    slowlog_capacity:
+        Bound on the in-memory slow-query ring the HTTP ``/slowlog``
+        endpoint reads (oldest evicted first; a sink, when configured,
+        still receives every record).
     """
 
     workers: int = 4
@@ -122,6 +142,9 @@ class ServiceConfig:
     budget: Budget = UNLIMITED
     incremental: bool = False
     parallel: object = None
+    trace_sample: float = 0.0
+    slow_query_threshold_s: Optional[float] = None
+    slowlog_capacity: int = 256
 
 
 @dataclass(frozen=True)
@@ -149,7 +172,8 @@ class ServiceResult:
     ``"error"`` (no answers; ``error`` says why).  ``fingerprint`` is
     the EDB fingerprint of the snapshot the request was served against
     -- the handle callers use to reason about which database state they
-    observed.
+    observed.  ``trace_id`` identifies the request in the slow-query
+    log (every request gets one, whether or not it was sampled).
     """
 
     query: Atom
@@ -164,6 +188,7 @@ class ServiceResult:
     limit: Optional[str] = None
     partial: Optional[PartialResult] = None
     result: Optional[QueryResult] = None
+    trace_id: Optional[str] = None
 
     @property
     def ok(self) -> bool:
@@ -211,6 +236,9 @@ class QueryService:
         self.config = config or ServiceConfig()
         self.metrics = metrics or ServiceMetrics()
         self.memo = FullSelectionMemo(self.config.memo_size)
+        self.slowlog_ring = SlowlogRing(self.config.slowlog_capacity)
+        self._seq_lock = threading.Lock()
+        self._seq = 0
         self._sink = sink
         self._sink_lock = threading.Lock()
         if sink is not None:
@@ -496,9 +524,12 @@ class QueryService:
         if deadline_s is None:
             deadline_s = self.config.default_deadline_s
         submitted = time.monotonic()
+        with self._seq_lock:
+            self._seq += 1
+            seq = self._seq
         self.metrics.request_submitted()
         return self._executor.submit(
-            self._serve, query, strategy, deadline_s, submitted
+            self._serve, query, strategy, deadline_s, submitted, seq
         )
 
     def query(
@@ -538,17 +569,46 @@ class QueryService:
                 base = base.with_wall_limit(remaining)
         return base.start_clock(now)
 
+    def _sampled(self, seq: int) -> bool:
+        """Deterministic sampling: rate 1/K traces every Kth request.
+
+        ``floor(seq * rate)`` advances exactly when ``seq`` crosses a
+        1/rate boundary, so the set of sampled sequence numbers is a
+        pure function of the rate -- no RNG, reproducible in tests.
+        """
+        rate = self.config.trace_sample
+        if rate <= 0.0:
+            return False
+        if rate >= 1.0:
+            return True
+        return math.floor(seq * rate) > math.floor((seq - 1) * rate)
+
     def _serve(
         self,
         query: Atom,
         strategy: str,
         deadline_s: Optional[float],
         submitted: float,
+        seq: int,
     ) -> ServiceResult:
         self.metrics.request_started()
         deadline_at = (
             submitted + deadline_s if deadline_s is not None else None
         )
+        trace_id = f"req-{seq:08x}"
+        sampled = self._sampled(seq)
+        threshold = self.config.slow_query_threshold_s
+        # A sampled request must record spans; a threshold means every
+        # request might turn out slow, so every request records.  The
+        # per-request tracer is private to this worker thread (the
+        # shared MetricsTracer absorbs it afterwards), which is what
+        # lets the non-thread-safe Tracer serve here at all.
+        request_tracer = (
+            Tracer(context={"trace_id": trace_id, "query": str(query)})
+            if sampled or threshold is not None
+            else None
+        )
+        memo_before = self.memo.stats()
         attempts = 0
         backoff = self.config.retry_backoff_s
         while True:
@@ -561,7 +621,11 @@ class QueryService:
                     strategy=strategy,
                     budget=budget,
                     memo=self.memo.scoped(snap.fingerprint),
-                    tracer=self.metrics.tracer,
+                    tracer=(
+                        request_tracer
+                        if request_tracer is not None
+                        else self.metrics.tracer
+                    ),
                     parallel=self._parallel,
                 )
             except BudgetExceeded as exc:
@@ -608,8 +672,69 @@ class QueryService:
                     attempts=attempts,
                     result=result,
                 )
+            out = replace(out, trace_id=trace_id)
+            if request_tracer is not None:
+                self._absorb_trace(
+                    out, request_tracer, sampled, memo_before
+                )
             self._finish(out)
             return out
+
+    def _absorb_trace(
+        self,
+        out: ServiceResult,
+        tracer: Tracer,
+        sampled: bool,
+        memo_before: dict,
+    ) -> None:
+        """Fold a per-request trace into the aggregates; maybe slowlog it.
+
+        The shared :class:`MetricsTracer` absorbs every span (so the
+        service-lifetime counters are identical whether or not a
+        request was traced), then the request lands a ``repro-slowlog/1``
+        record when it was sampled or its latency reached the
+        threshold.  The memo disposition is the stats delta across the
+        request -- approximate under concurrency (deltas from
+        overlapping requests interleave), exact when requests are
+        serial, and honest either way about what the cache did.
+        """
+        self.metrics.tracer.absorb_tracer(tracer)
+        threshold = self.config.slow_query_threshold_s
+        reason: list[str] = []
+        if sampled:
+            reason.append("sampled")
+        if threshold is not None and out.latency_s >= threshold:
+            reason.append("slow")
+        if not reason:
+            return
+        memo_after = self.memo.stats()
+        memo_delta = {
+            key: memo_after.get(key, 0) - memo_before.get(key, 0)
+            for key in ("hits", "misses", "coalesced")
+        }
+        memo_delta["size"] = memo_after.get("size", 0)
+        record = build_slowlog_record(
+            trace_id=out.trace_id or "",
+            query=str(out.query),
+            strategy=out.strategy,
+            status=out.status,
+            reason=reason,
+            latency_s=out.latency_s,
+            answers=len(out.answers),
+            attempts=out.attempts,
+            counter_totals=reconciled_counter_totals(tracer),
+            memo=memo_delta,
+            worker_fragments=sum(
+                1 for s in tracer.spans()
+                if s.name == "parallel.worker"
+            ),
+            spans=sum(1 for _ in tracer.spans()),
+            error=out.error,
+        )
+        self.slowlog_ring.append(record)
+        if self._sink is not None:
+            with self._sink_lock:
+                self._sink.emit(record)
 
     def _degraded(
         self,
@@ -674,10 +799,35 @@ class QueryService:
 
     # -- introspection ------------------------------------------------------
 
+    def _cache_stats(self) -> tuple[dict, dict]:
+        """(snapshot-cache, plan-cache) occupancy for the exporters."""
+        from ..datalog.plan_cache import PLAN_CACHE
+
+        with self._snapshot_lock:
+            snapshot_stats = {
+                "entries": len(self._snapshots),
+                "capacity": self.config.snapshot_cache_size,
+            }
+        return snapshot_stats, PLAN_CACHE.stats()
+
     def metrics_dict(self) -> dict:
-        """Service + memo + evaluator counters, JSON-ready."""
-        return self.metrics.as_dict(memo_stats=self.memo.stats())
+        """Service + memo + cache + evaluator counters, JSON-ready."""
+        snapshot_stats, plan_cache_stats = self._cache_stats()
+        return self.metrics.as_dict(
+            memo_stats=self.memo.stats(),
+            snapshot_stats=snapshot_stats,
+            plan_cache_stats=plan_cache_stats,
+        )
 
     def metrics_text(self) -> str:
         """Prometheus text exposition (see :mod:`.metrics`)."""
-        return self.metrics.to_metrics_text(memo_stats=self.memo.stats())
+        snapshot_stats, plan_cache_stats = self._cache_stats()
+        return self.metrics.to_metrics_text(
+            memo_stats=self.memo.stats(),
+            snapshot_stats=snapshot_stats,
+            plan_cache_stats=plan_cache_stats,
+        )
+
+    def slowlog(self, n: Optional[int] = None) -> list[dict]:
+        """The most recent ``n`` slow-query records, oldest first."""
+        return self.slowlog_ring.recent(n)

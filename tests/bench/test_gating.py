@@ -200,7 +200,7 @@ class TestMaintenanceGate:
 
 def _parallel_report(serial_s=0.10, par_s=0.05, par_answers=100,
                      par_sha="aa", serial_sha="aa", cpu_count=8,
-                     outcome="ok"):
+                     outcome="ok", untraced_fragments=0):
     def cell(strategy, median_s, answers, sha):
         return {
             "strategy": strategy, "n": 24, "outcome": outcome,
@@ -211,6 +211,8 @@ def _parallel_report(serial_s=0.10, par_s=0.05, par_answers=100,
             "normalized": median_s / 0.005,
         }
 
+    parallel_cell = cell("parallel-4", par_s, par_answers, par_sha)
+    parallel_cell["untraced_fragments"] = untraced_fragments
     return {
         "schema": "repro-bench/1",
         "family": "parallel-scaling",
@@ -218,7 +220,7 @@ def _parallel_report(serial_s=0.10, par_s=0.05, par_answers=100,
         "machine": {"cpu_count": cpu_count},
         "results": [
             cell("serial", serial_s, 100, serial_sha),
-            cell("parallel-4", par_s, par_answers, par_sha),
+            parallel_cell,
         ],
     }
 
@@ -253,6 +255,18 @@ class TestParallelGate:
 
     def test_noise_floor_skips_speedup(self):
         report = _parallel_report(serial_s=0.001, par_s=0.002)
+        assert parallel_findings(report) == []
+
+    def test_untraced_fragments_fail_the_zero_overhead_gate(self):
+        findings = parallel_findings(
+            _parallel_report(cpu_count=1, untraced_fragments=3)
+        )
+        assert [f.kind for f in findings] == ["parallel"]
+        assert "zero-overhead" in findings[0].message
+
+    def test_old_baselines_without_the_key_are_skipped(self):
+        report = _parallel_report(cpu_count=1)
+        del report["results"][1]["untraced_fragments"]
         assert parallel_findings(report) == []
 
     def test_non_ok_cells_are_skipped(self):

@@ -1,6 +1,7 @@
 """Chrome-trace and Prometheus exporters, live and replayed."""
 
 import json
+from pathlib import Path
 
 import pytest
 
@@ -9,10 +10,12 @@ from repro.engine import Engine
 from repro.observability import (
     JsonlFileSink,
     Tracer,
+    escape_label_value,
     replay_file,
     to_chrome_trace,
     to_metrics_text,
 )
+from repro.observability.export import MetricFamilies
 
 EX12 = """
 buys(X, Y) :- friend(X, W) & buys(W, Y).
@@ -144,3 +147,69 @@ class TestMetricsText:
         tracer = Tracer()
         assert to_chrome_trace(tracer)["traceEvents"] == []
         assert "repro_spans_total 0" in to_metrics_text(tracer)
+
+
+def _synthetic_tracer() -> Tracer:
+    """Counters only -- to_metrics_text ignores timing, so the output
+    is byte-deterministic and pinnable against a golden file."""
+    tracer = Tracer()
+    with tracer.span("separable.run"):
+        tracer.count("tuples_examined", 12)
+        tracer.count("bindings_out", 5)
+        with tracer.span("separable.loop"):
+            tracer.count("tuples_examined", 30)
+            tracer.count("rule_apps:seen_1#0", 4)
+            tracer.count("rule_out:seen_1#0", 9)
+            tracer.count('rule_apps:odd"label\\with\nnasties', 2)
+    return tracer
+
+
+class TestExpositionFormat:
+    GOLDEN = Path(__file__).parent / "golden" / "metrics.prom"
+
+    def test_matches_golden_file(self):
+        # The exposition format is an interface: scrape configs and the
+        # service exporter both depend on these exact shapes.  For an
+        # intended format change, regenerate by writing
+        # to_metrics_text(_synthetic_tracer()) back over the file.
+        assert to_metrics_text(_synthetic_tracer()) == \
+            self.GOLDEN.read_text()
+
+    def test_help_and_type_once_per_family(self):
+        text = to_metrics_text(_traced_query("separable"))
+        for prefix in ("# HELP ", "# TYPE "):
+            declared = [
+                line.split()[2]
+                for line in text.splitlines()
+                if line.startswith(prefix)
+            ]
+            assert len(declared) == len(set(declared)), (
+                f"duplicate {prefix.strip()} declarations"
+            )
+
+    def test_label_values_are_escaped(self):
+        text = to_metrics_text(_synthetic_tracer())
+        assert (
+            'repro_rule_apps_total{rule="odd\\"label\\\\with\\nnasties"} 2'
+            in text
+        )
+
+    def test_escape_label_value(self):
+        assert escape_label_value("plain#ok") == "plain#ok"
+        assert escape_label_value('a"b') == 'a\\"b'
+        assert escape_label_value("a\\b") == "a\\\\b"
+        assert escape_label_value("a\nb") == "a\\nb"
+        assert escape_label_value(7) == "7"
+
+    def test_metric_families_declares_once(self):
+        lines: list[str] = []
+        families = MetricFamilies(lines)
+        families.declare("m_total", "A metric.")
+        families.declare("m_total", "A metric again.")
+        families.declare("g", "A gauge.", kind="gauge")
+        assert lines == [
+            "# HELP m_total A metric.",
+            "# TYPE m_total counter",
+            "# HELP g A gauge.",
+            "# TYPE g gauge",
+        ]

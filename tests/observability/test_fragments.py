@@ -1,0 +1,224 @@
+"""Trace fragments: capture in one tracer, stitch into another.
+
+These are in-process unit tests of the fragment machinery itself --
+no worker pools.  The cross-process reconciliation guarantees live in
+``tests/parallel/test_trace_stitching.py``.
+"""
+
+import json
+import pickle
+
+import pytest
+
+from repro.observability import (
+    FRAGMENT_SCHEMA,
+    NONPORTABLE_COUNTERS,
+    RingBufferSink,
+    Tracer,
+    capture_fragment,
+    install_fragment,
+    reconciled_counter_totals,
+    replay_trace,
+    to_chrome_trace,
+    to_metrics_text,
+    trace_violations,
+)
+from repro.observability.fragments import TraceFragment
+from repro.observability.tracer import Span
+from repro.service import MetricsTracer
+
+
+def _worker_style_tracer() -> Tracer:
+    """A closed span tree shaped like a traced worker task."""
+    tracer = Tracer()
+    with tracer.span("worker.branch", seeds=2):
+        with tracer.span("separable.loop", relation="up_1"):
+            tracer.count("tuples_examined", 10)
+            tracer.count("rule_apps:up_1#0", 3)
+            tracer.count("plan_cache_hits", 4)  # nonportable
+            tracer.record("delta", 5)
+            tracer.record("delta", 2)
+        with tracer.span("separable.exit"):
+            tracer.count("index_builds", 1)  # nonportable
+            tracer.count("bindings_out", 7)
+    return tracer
+
+
+class TestCapture:
+    def test_empty_tracer_captures_none(self):
+        assert capture_fragment(Tracer(), pid=123) is None
+        assert capture_fragment(None, pid=123) is None
+
+    def test_fragment_shape_and_offsets(self):
+        fragment = capture_fragment(_worker_style_tracer(), pid=42)
+        assert fragment.schema == FRAGMENT_SCHEMA
+        assert fragment.pid == 42
+        assert fragment.extent_s >= 0.0
+        root = fragment.spans[0]
+        assert root["name"] == "worker.branch"
+        assert root["start"] == 0.0
+        assert root["end"] == pytest.approx(fragment.extent_s)
+        names = [p["name"] for p in fragment.iter_spans()]
+        assert names == ["worker.branch", "separable.loop",
+                         "separable.exit"]
+        loop = root["children"][0]
+        assert loop["series"] == {"delta": [5, 2]}
+        # Times are offsets inside [0, extent], never absolute clocks.
+        for packed in fragment.iter_spans():
+            assert 0.0 <= packed["start"] <= packed["end"]
+            assert packed["end"] <= fragment.extent_s + 1e-9
+
+    def test_nonportable_counters_move_to_cache_warmup(self):
+        fragment = capture_fragment(_worker_style_tracer(), pid=42)
+        for packed in fragment.iter_spans():
+            assert not NONPORTABLE_COUNTERS & set(packed["counters"])
+        assert fragment.cache_warmup == {
+            "plan_cache_hits": 4, "index_builds": 1,
+        }
+        totals = fragment.counter_totals()
+        assert totals == {
+            "tuples_examined": 10,
+            "rule_apps:up_1#0": 3,
+            "bindings_out": 7,
+        }
+
+    def test_fragment_pickles(self):
+        fragment = capture_fragment(_worker_style_tracer(), pid=42)
+        clone = pickle.loads(pickle.dumps(fragment))
+        assert clone.counter_totals() == fragment.counter_totals()
+        assert clone.span_count == fragment.span_count
+
+
+class TestInstall:
+    def test_host_span_and_revived_children(self):
+        fragment = capture_fragment(_worker_style_tracer(), pid=42)
+        parent = Tracer()
+        with parent.span("separable.run"):
+            host = install_fragment(
+                parent, fragment, anchor_s=100.0, task="branch"
+            )
+        assert host.name == "parallel.worker"
+        assert host.attrs["worker_pid"] == 42
+        assert host.attrs["task"] == "branch"
+        assert host.attrs["cache_warmup"] == {
+            "plan_cache_hits": 4, "index_builds": 1,
+        }
+        assert host.start_s == 100.0
+        assert host.end_s == pytest.approx(100.0 + fragment.extent_s)
+        # Grafted under the innermost open span, not as a new root.
+        run = parent.roots[0]
+        assert host in run.children
+        assert [c.name for c in host.children] == ["worker.branch"]
+        assert trace_violations(parent) == []
+
+    def test_counters_fold_into_reconciled_totals(self):
+        fragment = capture_fragment(_worker_style_tracer(), pid=42)
+        parent = Tracer()
+        with parent.span("separable.run"):
+            parent.count("tuples_examined", 5)
+            install_fragment(parent, fragment, anchor_s=0.0)
+        totals = reconciled_counter_totals(parent)
+        assert totals["tuples_examined"] == 15
+        assert totals["rule_apps:up_1#0"] == 3
+        assert not NONPORTABLE_COUNTERS & set(totals)
+
+    def test_none_fragment_or_tracer_is_a_noop(self):
+        fragment = capture_fragment(_worker_style_tracer(), pid=1)
+        assert install_fragment(Tracer(), None) is None
+        assert install_fragment(None, fragment) is None
+
+    def test_sinked_install_replays_byte_identical(self):
+        # attach_closed must emit the synthetic open/series/close
+        # events so a replayed trace exports the same bytes.
+        fragment = capture_fragment(_worker_style_tracer(), pid=42)
+        sink = RingBufferSink()
+        parent = Tracer(sink=sink)
+        with parent.span("separable.run"):
+            install_fragment(parent, fragment, anchor_s=50.0)
+        replayed = replay_trace(list(sink.events))
+        assert json.dumps(to_chrome_trace(parent), sort_keys=True) == \
+            json.dumps(to_chrome_trace(replayed), sort_keys=True)
+        assert to_metrics_text(parent) == to_metrics_text(replayed)
+
+    def test_chrome_export_gets_a_worker_lane(self):
+        fragment = capture_fragment(_worker_style_tracer(), pid=42)
+        parent = Tracer()
+        with parent.span("separable.run"):
+            install_fragment(parent, fragment, anchor_s=0.0)
+        events = to_chrome_trace(parent)["traceEvents"]
+        pids = {e["pid"] for e in events}
+        assert pids == {1, 42}
+        lanes = {
+            (e["pid"], e["args"]["name"])
+            for e in events if e["ph"] == "M"
+        }
+        assert lanes == {(1, "parent"), (42, "worker 42")}
+
+
+class TestAttachClosed:
+    def test_rejects_open_spans(self):
+        tracer = Tracer()
+        open_span = Span("still.open", {})
+        with pytest.raises(ValueError):
+            tracer.attach_closed(open_span)
+
+    def test_attaches_at_root_when_no_span_open(self):
+        fragment = capture_fragment(_worker_style_tracer(), pid=7)
+        parent = Tracer()
+        host = install_fragment(parent, fragment, anchor_s=0.0)
+        assert host in parent.roots
+
+
+class TestMetricsFacadeAbsorb:
+    def test_install_dispatches_to_absorb_fragment(self):
+        fragment = capture_fragment(_worker_style_tracer(), pid=42)
+        facade = MetricsTracer()
+        assert install_fragment(facade, fragment) is None
+        counters = facade.counters()
+        assert counters["span:worker.branch"] == 1
+        assert counters["span:separable.loop"] == 1
+        assert counters["tuples_examined"] == 10
+        # Warmup folds back in: the facade aggregates total work done.
+        assert counters["plan_cache_hits"] == 4
+        seconds = facade.span_seconds()
+        assert seconds["worker.branch"] >= 0.0
+
+    def test_absorb_tracer_matches_direct_use(self):
+        recorded = _worker_style_tracer()
+        facade = MetricsTracer()
+        facade.absorb_tracer(recorded)
+        counters = facade.counters()
+        assert counters["span:separable.exit"] == 1
+        assert counters["bindings_out"] == 7
+        assert counters["rule_apps:up_1#0"] == 3
+        assert set(facade.span_seconds()) == {
+            "worker.branch", "separable.loop", "separable.exit",
+        }
+
+
+class TestReconciledTotals:
+    def test_drops_only_the_nonportable_set(self):
+        tracer = Tracer()
+        with tracer.span("s"):
+            tracer.count("tuples_examined", 1)
+            for name in NONPORTABLE_COUNTERS:
+                tracer.count(name, 9)
+        assert reconciled_counter_totals(tracer) == {
+            "tuples_examined": 1
+        }
+
+    def test_default_anchor_uses_recv_time(self):
+        fragment = capture_fragment(_worker_style_tracer(), pid=3)
+        fragment.recv_s = 1000.0
+        parent = Tracer()
+        host = install_fragment(parent, fragment)
+        assert host.end_s == pytest.approx(1000.0)
+        assert host.start_s == pytest.approx(1000.0 - fragment.extent_s)
+
+    def test_fragment_defaults(self):
+        fragment = TraceFragment(
+            pid=1, origin_s=0.0, extent_s=0.0, spans=()
+        )
+        assert fragment.cache_warmup == {}
+        assert fragment.recv_s is None
+        assert fragment.span_count == 0

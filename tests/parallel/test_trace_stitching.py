@@ -1,0 +1,244 @@
+"""Cross-process trace stitching: worker spans come home, counters
+reconcile with the serial run.
+
+Two reconciliation strengths, matching the two parallel axes:
+
+* **Branch fan-out** (Lemma 2.1 union branches shipped whole): every
+  portable counter total is *byte-identical* to the serial trace --
+  each branch runs the same plan over the same data, just elsewhere.
+* **Carry partitioning**: per-partition joins legitimately rescan
+  relations and re-choose greedy join orders, so scan-shaped counters
+  (``atom_lookups``, ``tuples_examined``) inflate; the per-rule
+  ``rule_apps:``/``rule_out:`` totals and ``iterations`` still
+  reconcile exactly, because the parent replays rule accounting from
+  the merged per-join outputs.
+"""
+
+import json
+
+import pytest
+
+from repro.datalog.database import Database
+from repro.datalog.parser import parse_program
+from repro.engine import Engine
+from repro.observability import (
+    RingBufferSink,
+    Tracer,
+    replay_trace,
+    reconciled_counter_totals,
+    to_chrome_trace,
+    to_metrics_text,
+    trace_violations,
+)
+from repro.parallel import ParallelConfig, get_executor
+
+from .conftest import two_class_workload
+
+# Example 2.4's shape: class e1 = columns {0, 1} (descends through
+# ``a``), class e2 = column {2} (ascends through ``b``).  Binding only
+# column 0 -- t(x0, Y, Z)? -- is a *partial* selection of e1, which is
+# what triggers the Lemma 2.1 branch fan-out the stitching ships home.
+EX24_SRC = """
+t(X, Y, Z) :- a(X, Y, U, V) & t(U, V, Z).
+t(X, Y, Z) :- t(X, Y, W) & b(W, Z).
+t(X, Y, Z) :- t0(X, Y, Z).
+"""
+
+
+def branching_workload(n: int = 6, branches: int = 3):
+    program = parse_program(EX24_SRC).program
+    db = Database()
+    for j in range(branches):
+        db.add_fact("a", ("x0", "y0", f"p{j}_0", f"q{j}_0"))
+        for i in range(n):
+            db.add_fact(
+                "a",
+                (f"p{j}_{i}", f"q{j}_{i}",
+                 f"p{j}_{i + 1}", f"q{j}_{i + 1}"),
+            )
+        for i in range(0, n, 2):
+            db.add_fact("t0", (f"p{j}_{i}", f"q{j}_{i}", "z0"))
+    for i in range(n):
+        db.add_fact("b", (f"z{i}", f"z{i + 1}"))
+    return program, db
+
+
+#: Fan-out only: partitioning disabled so every remote call ships a
+#: whole branch and the byte-identity contract applies.
+def _fanout_config(workers: int) -> ParallelConfig:
+    return ParallelConfig(
+        workers=workers,
+        min_branch_tasks=2,
+        min_partition_tuples=1 << 30,
+    )
+
+
+FANOUT_QUERY = "t(x0, Y, Z)?"
+
+
+def _totals(tracer) -> str:
+    return json.dumps(
+        reconciled_counter_totals(tracer), sort_keys=True
+    )
+
+
+class TestBranchFanoutByteIdentity:
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_reconciled_totals_byte_identical_to_serial(self, workers):
+        program, db = branching_workload()
+        engine = Engine(program, db)
+        serial = Tracer()
+        ref = engine.query(
+            FANOUT_QUERY, strategy="separable", tracer=serial
+        )
+        executor = get_executor(_fanout_config(workers))
+        stitched = Tracer()
+        out = engine.query(
+            FANOUT_QUERY, strategy="separable", tracer=stitched,
+            parallel=executor,
+        )
+        assert out.answers == ref.answers
+        assert _totals(stitched) == _totals(serial)
+        assert trace_violations(stitched) == []
+
+    def test_branch_spans_come_home(self):
+        program, db = branching_workload()
+        executor = get_executor(_fanout_config(2))
+        tracer = Tracer()
+        Engine(program, db).query(
+            FANOUT_QUERY, strategy="separable", tracer=tracer,
+            parallel=executor,
+        )
+        hosts = list(tracer.spans("parallel.worker"))
+        branches = list(tracer.spans("worker.branch"))
+        assert len(hosts) == 3  # one per Lemma 2.1 seed
+        assert len(branches) == 3
+        for host in hosts:
+            assert isinstance(host.attrs["worker_pid"], int)
+            assert host.attrs["task"] == "branch"
+        # One host per distinct Lemma 2.1 seed, installed in the
+        # sideways pass's deterministic order.
+        seeds = [tuple(h.attrs["seed"]) for h in hosts]
+        assert len(set(seeds)) == 3
+
+
+class TestPartitionedCarryReconciliation:
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_rule_counters_and_iterations_reconcile(self, workers):
+        program, db = two_class_workload()
+        engine = Engine(program, db)
+        serial = Tracer()
+        ref = engine.query(
+            "t(x0, Y)?", strategy="separable", tracer=serial
+        )
+        executor = get_executor(ParallelConfig.eager(workers))
+        stitched = Tracer()
+        out = engine.query(
+            "t(x0, Y)?", strategy="separable", tracer=stitched,
+            parallel=executor,
+        )
+        assert out.answers == ref.answers
+        assert out.stats.iterations == ref.stats.iterations
+        serial_totals = reconciled_counter_totals(serial)
+        stitched_totals = reconciled_counter_totals(stitched)
+        for name in set(serial_totals) | set(stitched_totals):
+            if name.startswith(("rule_apps:", "rule_out:")) or \
+                    name == "iterations":
+                assert stitched_totals.get(name, 0) == \
+                    serial_totals.get(name, 0), name
+        assert trace_violations(stitched) == []
+
+    def test_partition_fragments_nest_inside_the_loop(self):
+        program, db = two_class_workload()
+        executor = get_executor(ParallelConfig.eager(2))
+        tracer = Tracer()
+        Engine(program, db).query(
+            "t(x0, Y)?", strategy="separable", tracer=tracer,
+            parallel=executor,
+        )
+        hosts = list(tracer.spans("parallel.worker"))
+        assert hosts and all(
+            h.attrs["task"] == "partition" for h in hosts
+        )
+        assert list(tracer.spans("worker.partition"))
+
+
+class TestChromeLanes:
+    def test_one_lane_per_worker_pid(self):
+        program, db = branching_workload()
+        executor = get_executor(_fanout_config(2))
+        tracer = Tracer()
+        Engine(program, db).query(
+            FANOUT_QUERY, strategy="separable", tracer=tracer,
+            parallel=executor,
+        )
+        data = to_chrome_trace(tracer)
+        events = data["traceEvents"]
+        worker_pids = {
+            e["pid"] for e in events if e["ph"] in "BE"
+        } - {1}
+        assert worker_pids  # at least one remote lane
+        named = {
+            e["pid"]: e["args"]["name"]
+            for e in events if e["ph"] == "M"
+        }
+        assert named[1] == "parent"
+        for pid in worker_pids:
+            assert named[pid] == f"worker {pid}"
+        # Per-lane B/E events balance in document order: each worker
+        # lane reads as a well-formed track on its own.
+        for pid in worker_pids | {1}:
+            depth = 0
+            for e in events:
+                if e["pid"] != pid or e["ph"] not in "BE":
+                    continue
+                depth += 1 if e["ph"] == "B" else -1
+                assert depth >= 0
+            assert depth == 0
+        # Counter-total C events stay on the parent lane.
+        assert all(
+            e["pid"] == 1
+            for e in events
+            if e["ph"] == "C" and "." not in e["name"]
+        )
+
+    def test_stitched_trace_replays_byte_identical(self):
+        program, db = branching_workload()
+        executor = get_executor(_fanout_config(2))
+        sink = RingBufferSink()
+        tracer = Tracer(sink=sink)
+        Engine(program, db).query(
+            FANOUT_QUERY, strategy="separable", tracer=tracer,
+            parallel=executor,
+        )
+        replayed = replay_trace(list(sink.events))
+        assert json.dumps(to_chrome_trace(tracer), sort_keys=True) == \
+            json.dumps(to_chrome_trace(replayed), sort_keys=True)
+        assert to_metrics_text(tracer) == to_metrics_text(replayed)
+
+
+class TestZeroOverheadDefault:
+    def test_untraced_runs_ship_no_fragments(self):
+        program, db = branching_workload()
+        executor = get_executor(_fanout_config(2))
+        engine = Engine(program, db)
+        # Warm up (installs the db in the workers), then measure.
+        engine.query(
+            FANOUT_QUERY, strategy="separable", parallel=executor
+        )
+        before = executor.fragments_received
+        for _ in range(2):
+            engine.query(
+                FANOUT_QUERY, strategy="separable", parallel=executor
+            )
+        assert executor.fragments_received == before
+
+    def test_traced_runs_do_ship_fragments(self):
+        program, db = branching_workload()
+        executor = get_executor(_fanout_config(2))
+        before = executor.fragments_received
+        Engine(program, db).query(
+            FANOUT_QUERY, strategy="separable", tracer=Tracer(),
+            parallel=executor,
+        )
+        assert executor.fragments_received == before + 3

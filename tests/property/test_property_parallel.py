@@ -11,6 +11,7 @@ from repro.core.detection import require_separable
 from repro.datalog.database import Database
 from repro.datalog.parser import parse_program
 from repro.engine import Engine
+from repro.observability import Tracer, trace_violations
 from repro.parallel import ParallelConfig, get_executor
 
 from .strategies import queries_for, separable_setups
@@ -42,6 +43,62 @@ def test_parallel_matches_serial(data):
         f"parallel {sorted(parallel, key=repr)}\n"
         f"serial {sorted(serial, key=repr)}"
     )
+
+
+# Tracing every example adds fragment round-trips on top of the IPC,
+# so this property runs fewer cases than the answer-equality one.
+STITCH_SETTINGS = settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+def _rule_totals(tracer) -> dict:
+    from repro.observability import reconciled_counter_totals
+
+    return {
+        name: value
+        for name, value in reconciled_counter_totals(tracer).items()
+        if name.startswith(("rule_apps:", "rule_out:"))
+        or name == "iterations"
+    }
+
+
+@STITCH_SETTINGS
+@given(data=separable_setups().flatmap(
+    lambda setup: queries_for(
+        setup[0].arity("t"), setup[2], setup[3]
+    ).map(lambda q: (setup, q))
+))
+def test_stitched_rule_counters_match_serial(data):
+    """Stitched parallel traces agree with serial on every per-rule
+    counter and the iteration count, over random separable layouts.
+
+    Scan-shaped counters (``tuples_examined`` etc.) legitimately
+    diverge on the partitioned-carry path -- see
+    tests/parallel/test_trace_stitching.py for the two reconciliation
+    strengths -- but rule accounting is replayed by the parent and
+    must never drift, whichever parallel axis a given layout/query
+    pair happens to exercise.
+    """
+    (program, db, _, _), query = data
+    analysis = require_separable(program, "t")
+    serial_tracer = Tracer()
+    serial = evaluate_separable(
+        program, db, query, analysis=analysis, tracer=serial_tracer
+    )
+    executor = get_executor(ParallelConfig.eager(2))
+    stitched_tracer = Tracer()
+    parallel = evaluate_separable(
+        program, db, query, analysis=analysis,
+        tracer=stitched_tracer, parallel=executor,
+    )
+    assert parallel == serial
+    assert _rule_totals(stitched_tracer) == _rule_totals(serial_tracer), (
+        f"program:\n{program}\nquery: {query}"
+    )
+    assert trace_violations(stitched_tracer) == []
 
 
 def _degenerate_workloads():
