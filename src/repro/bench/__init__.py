@@ -23,6 +23,7 @@ from .gating import (
     maintenance_findings,
     parallel_findings,
     plan_growth_findings,
+    skew_findings,
 )
 from .harness import (
     BENCH_BUDGET,
@@ -56,6 +57,7 @@ __all__ = [
     "maintenance_findings",
     "parallel_findings",
     "plan_growth_findings",
+    "skew_findings",
     "report_path",
     "resolve_families",
     "run_family",

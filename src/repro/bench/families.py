@@ -189,6 +189,40 @@ def _parallel_scaling(n: int) -> Workload:
     return _e3(n)
 
 
+def _skewed_join(n: int) -> Workload:
+    # A three-way join whose *size* ranks mislead: ``big`` fans every x
+    # out to n/2 z-values while ``sel`` (padded with junk so it is the
+    # largest relation) matches exactly one z per y.  Greedy's
+    # most-bound/smaller-relation heuristic probes ``big`` before
+    # ``sel`` -- Theta(n^2/2) intermediate bindings -- while the cost
+    # model's distinct counts put ``sel`` first for Theta(n).  The
+    # short ``link`` recursion keeps the fixpoint machinery (delta
+    # re-planning included) in the loop.  All relation sizes scale
+    # linearly-or-better in n with fixed ratios (a=n < link=2n <
+    # big=nf < sel=2nf), so size *ranks* -- and therefore every order's
+    # ``plan_compiles`` -- are n-independent, which the plan-growth
+    # gate asserts.
+    f = max(4, n // 2)
+    chain = 4
+    program = parse_program(
+        "t(X, Z) :- a(X, Y) & big(X, Z) & sel(Y, Z).\n"
+        "t(X, Z) :- t(X, W) & link(W, Z)."
+    ).program
+    db = Database.from_facts(
+        {
+            "a": [(f"x{i}", f"y{i}") for i in range(n)],
+            "big": [
+                (f"x{i}", f"z{j}") for i in range(n) for j in range(f)
+            ],
+            "sel": [(f"y{i}", f"z{i % f}") for i in range(n)]
+            + [(f"jy{k}", f"jz{k}") for k in range(2 * n * f - n)],
+            "link": [(f"z{j}", f"z{j + 1}") for j in range(chain - 1)]
+            + [(f"lw{k}", f"lv{k}") for k in range(2 * n - (chain - 1))],
+        }
+    )
+    return Workload(program, db, "t(x0, Q)?")
+
+
 def _incremental_write(n: int) -> Workload:
     # Example 1.1's chain again: every perfectFor insert at a_i derives
     # buys(a_k, p) for all k <= i, so writes ripple through the
@@ -322,6 +356,25 @@ FAMILIES: dict[str, Family] = {
             "answers byte-identical at every worker count; >= 1.5x "
             "speedup at 4 workers on machines with >= 4 CPUs (the "
             "speedup gate is hardware-gated, the identity gate is not)"
+        ),
+    ),
+    "skewed-join": Family(
+        key="skewed-join",
+        title="Cost-based join order vs greedy size-rank on skewed data",
+        size_means="selective tuples n (big fans out to n/2 per x)",
+        strategies=(
+            "order-greedy",
+            "order-left_to_right",
+            "order-cost",
+            "order-adaptive",
+        ),
+        build=_skewed_join,
+        expectation=(
+            "greedy probes the misleadingly-small fanout relation first "
+            "(quadratic bindings); cost puts the selective atom second "
+            "(linear); answers byte-identical across all four orders, "
+            "plan_compiles flat, adaptive re-plans bounded (<= 2 per "
+            "fixpoint)"
         ),
     ),
 }

@@ -27,6 +27,8 @@ __all__ = [
     "maintenance_findings",
     "parallel_findings",
     "plan_growth_findings",
+    "skew_findings",
+    "MAX_REPLANS_PER_FIXPOINT",
     "DEFAULT_TIME_TOLERANCE",
     "DEFAULT_MIN_TIME_S",
     "PARALLEL_MIN_SPEEDUP",
@@ -48,6 +50,11 @@ PARALLEL_SPEEDUP_WORKERS = 4
 PARALLEL_REQUIRED_CPUS = 4
 #: Serial medians below this are too noisy to anchor a speedup claim.
 PARALLEL_SPEEDUP_MIN_S = 0.05
+
+#: The adaptive order may re-plan at most this many times per fixpoint
+#: (mirrors ``repro.datalog.planner.MAX_REPLANS``); the gate reads the
+#: per-cell counter, which covers one query evaluation.
+MAX_REPLANS_PER_FIXPOINT = 2
 
 
 @dataclass(frozen=True)
@@ -159,6 +166,7 @@ def compare_reports(
     findings.extend(plan_growth_findings(current))
     findings.extend(maintenance_findings(current, min_time_s=min_time_s))
     findings.extend(parallel_findings(current))
+    findings.extend(skew_findings(current, min_time_s=min_time_s))
     return findings
 
 
@@ -265,6 +273,117 @@ def parallel_findings(
                     f"{par_s * 1e3:.1f}ms, {cpus} CPUs)",
                 )
             )
+    return findings
+
+
+def skew_findings(
+    report: dict,
+    min_time_s: float = DEFAULT_MIN_TIME_S,
+    max_replans: int = MAX_REPLANS_PER_FIXPOINT,
+) -> list[Finding]:
+    """Gates for the ``skewed-join`` family's join-order sweep.
+
+    **Correctness (always):** every ``order-*`` cell must count the
+    same answers as the same-size ``order-greedy`` cell *and* match its
+    ``answers_sha`` -- the four orders permute the same joins, so the
+    answer sets must be byte-identical, not just equinumerous.
+
+    **Replan bound (always):** an ``order-adaptive`` cell may record at
+    most ``max_replans`` ``plan_replans`` -- the bounded-feedback
+    contract that keeps re-planning from thrashing a fixpoint.
+
+    **Cost must win (always on fanout, time-floored on wall clock):**
+    at least one size where both cells are ``ok`` must have the
+    ``order-cost`` cell strictly below ``order-greedy`` on
+    ``bindings_out`` (the join-fanout counter: rows emitted by join
+    kernels), and -- among sizes whose greedy median clears
+    ``min_time_s`` -- at least one where cost's median wall time is
+    also strictly lower.  Sizes below the floor waive only the
+    wall-clock half, matching the maintenance gate's noise floor.
+
+    Checked against the *current* run alone, like the parallel gate:
+    all order cells are timed in the same process on the same machine.
+    Reports without ``order-*`` cells (every other family) produce no
+    findings.
+    """
+    family = report.get("family", "?")
+    cells = _cells_by_key(report)
+    findings: list[Finding] = []
+    fanout_wins = 0
+    time_wins = 0
+    timed_pairs = 0
+    compared = 0
+    for (strategy, n), cell in sorted(cells.items()):
+        if not strategy.startswith("order-"):
+            continue
+        if strategy == "order-adaptive" and cell["outcome"] == "ok":
+            replans = (cell.get("counters") or {}).get("plan_replans", 0)
+            if replans > max_replans:
+                findings.append(
+                    Finding(
+                        family, strategy, n, "plan",
+                        f"adaptive re-planned {replans} times in one "
+                        f"fixpoint; bound is {max_replans}",
+                    )
+                )
+        if strategy == "order-greedy":
+            continue
+        greedy = cells.get(("order-greedy", n))
+        if (greedy is None or cell["outcome"] != "ok"
+                or greedy["outcome"] != "ok"):
+            continue
+        if cell.get("answers") != greedy.get("answers"):
+            findings.append(
+                Finding(
+                    family, strategy, n, "answers",
+                    f"{strategy} counted {cell.get('answers')} answers, "
+                    f"order-greedy {greedy.get('answers')} "
+                    f"(correctness!)",
+                )
+            )
+        sha_o = cell.get("answers_sha")
+        sha_g = greedy.get("answers_sha")
+        if sha_o is not None and sha_g is not None and sha_o != sha_g:
+            findings.append(
+                Finding(
+                    family, strategy, n, "answers",
+                    f"answer digest diverged from order-greedy "
+                    f"({sha_g[:12]} -> {sha_o[:12]}): same count, "
+                    f"different tuples (correctness!)",
+                )
+            )
+        if strategy != "order-cost":
+            continue
+        compared += 1
+        cost_fanout = (cell.get("counters") or {}).get("bindings_out")
+        greedy_fanout = (greedy.get("counters") or {}).get("bindings_out")
+        if (cost_fanout is not None and greedy_fanout is not None
+                and cost_fanout < greedy_fanout):
+            fanout_wins += 1
+        cost_s, greedy_s = cell.get("median_s"), greedy.get("median_s")
+        if cost_s is None or greedy_s is None or greedy_s < min_time_s:
+            continue
+        timed_pairs += 1
+        if cost_s < greedy_s:
+            time_wins += 1
+    if compared and not fanout_wins:
+        findings.append(
+            Finding(
+                family, "order-cost", None, "plan",
+                f"cost order never beat greedy on bindings_out across "
+                f"{compared} comparable size(s); the cost model is not "
+                f"reducing join fanout",
+            )
+        )
+    if timed_pairs and not time_wins:
+        findings.append(
+            Finding(
+                family, "order-cost", None, "plan",
+                f"cost order never beat greedy on median wall time "
+                f"across {timed_pairs} size(s) above the "
+                f"{min_time_s * 1e3:g}ms floor",
+            )
+        )
     return findings
 
 

@@ -86,6 +86,8 @@ _COUNTER_NAMES = (
     "plan_compiles",
     "plan_cache_hits",
     "plan_cache_misses",
+    "plan_replans",
+    "plan_misestimates",
 )
 
 #: Test hook: a factor > 1 stretches every *unit* timing (never the
@@ -278,6 +280,31 @@ def _make_runner(
         # gate in gating.parallel_findings).
         run_separable.executor = executor
         return run_separable
+
+    if strategy.startswith("order-"):
+        # The join-order pseudo-strategies: the same semi-naive
+        # evaluation under each of the four join orders (greedy,
+        # left_to_right, cost, adaptive).  Each run stashes a digest of
+        # the sorted answer set on the closure (``run.answers_sha``) so
+        # the gate can assert byte-identical answers across orders.
+        order = strategy.split("-", 1)[1]
+        engine = Engine(
+            workload.program, workload.db, budget=budget, order=order,
+        )
+
+        def run_ordered(tracer: Optional[Tracer] = None):
+            stats = EvaluationStats()
+            result = engine.query(
+                workload.query, strategy="seminaive", stats=stats,
+                tracer=tracer,
+            )
+            digest = hashlib.sha256()
+            for fact in sorted(result.answers, key=repr):
+                digest.update(repr(fact).encode())
+            run_ordered.answers_sha = digest.hexdigest()
+            return len(result.answers), stats
+
+        return run_ordered
 
     engine = Engine(workload.program, workload.db, budget=budget)
 

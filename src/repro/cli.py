@@ -83,6 +83,7 @@ from .core.detection import analyze_recursion, require_separable
 from .core.selections import classify_selection
 from .datalog.errors import ReproError
 from .datalog.parser import parse_program, parse_query
+from .datalog.plan_cache import ORDERS
 from .datalog.pretty import answers_to_text
 from .engine import STRATEGIES, Engine
 
@@ -111,6 +112,17 @@ def _worker_list(text: str) -> tuple[int, ...]:
     return values
 
 
+def _order_list(text: str) -> tuple[str, ...]:
+    """Comma-separated join orders, e.g. ``cost,adaptive``."""
+    values = tuple(part.strip() for part in text.split(",") if part.strip())
+    unknown = [v for v in values if v not in ORDERS]
+    if not values or unknown:
+        raise argparse.ArgumentTypeError(
+            f"expected comma-separated orders from {ORDERS}, got {text!r}"
+        )
+    return values
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-datalog",
@@ -135,6 +147,14 @@ def build_parser() -> argparse.ArgumentParser:
         choices=STRATEGIES,
         default="auto",
         help="evaluation strategy (default: auto)",
+    )
+    run.add_argument(
+        "--order",
+        choices=ORDERS,
+        default="greedy",
+        help="join order for compiled bodies (default: greedy); cost "
+        "uses the selectivity-aware planner, adaptive adds "
+        "mid-fixpoint re-planning (docs/planning.md)",
     )
     run.add_argument(
         "--stats",
@@ -183,6 +203,14 @@ def build_parser() -> argparse.ArgumentParser:
         choices=STRATEGIES,
         default="auto",
         help="evaluation strategy to profile (default: auto)",
+    )
+    profile.add_argument(
+        "--order",
+        choices=ORDERS,
+        default="greedy",
+        help="join order for compiled bodies (default: greedy); with "
+        "cost or adaptive the report gains a planner "
+        "estimate-vs-observed section",
     )
     profile.add_argument(
         "--format",
@@ -270,6 +298,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="also run the Separable strategy under the worker-pool "
         "executor at these worker counts (comma-separated, e.g. "
         "'1,2,4'), cross-checking each run against the reference",
+    )
+    fuzz.add_argument(
+        "--orders",
+        type=_order_list,
+        default=None,
+        metavar="O[,O...]",
+        help="also run semi-naive evaluation under these join orders "
+        "(comma-separated, e.g. 'cost,adaptive'), cross-checking each "
+        "run against the reference",
     )
 
     serve = sub.add_parser(
@@ -481,7 +518,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if not queries:
         print("no queries given (use --query or put 'p(c, X)?' in the file)")
         return 1
-    engine = Engine(parsed.program, parsed.database)
+    engine = Engine(parsed.program, parsed.database, order=args.order)
     for query in queries:
         result = engine.query(query, strategy=args.strategy)
         print(f"% strategy: {result.strategy}")
@@ -571,7 +608,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
             return 2
         query = file_queries[0]
 
-    engine = Engine(parsed.program, parsed.database)
+    engine = Engine(parsed.program, parsed.database, order=args.order)
     sink = JsonlFileSink(args.events) if args.events is not None else None
     executor = None
     if args.parallel:
@@ -625,6 +662,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         corpus_dir=args.corpus,
         shrink=not args.no_shrink,
         parallel_workers=args.parallel_workers,
+        orders=args.orders,
     )
     report = run_fuzz(config)
     print(report.summary())

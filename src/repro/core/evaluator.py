@@ -21,6 +21,7 @@ from typing import Iterable, Optional
 from ..budget import Budget, UNLIMITED
 from ..datalog.database import Database, Relation
 from ..datalog.joins import evaluate_body_project
+from ..datalog.planner import AdaptiveState
 from ..observability.tracer import live
 from ..stats import EvaluationStats
 from .plan import CARRY, SEEN, CarryJoin, SeparablePlan
@@ -49,6 +50,7 @@ def _apply_joins(
     order: str,
     tracer=None,
     label: Optional[str] = None,
+    adaptive=None,
 ) -> set[tuple]:
     """Evaluate a union of carry-join terms against a view database.
 
@@ -63,7 +65,8 @@ def _apply_joins(
         before = len(produced)
         for fact in evaluate_body_project(view, join.body, join.output,
                                           stats=stats, order=order,
-                                          tracer=tracer):
+                                          tracer=tracer,
+                                          adaptive=adaptive):
             if stats is not None:
                 stats.bump_produced()
             produced.add(fact)
@@ -107,6 +110,11 @@ def _carry_loop(
     """
     seen: set[tuple] = set(initial)
     carry: set[tuple] = set(initial)
+    # order="adaptive": one feedback loop per carry loop, comparing the
+    # planner's row estimates against actual production each iteration
+    # and re-planning (bounded) on >4x divergence.  Partitioned
+    # (parallel) iterations skip the feedback -- workers plan privately.
+    adaptive = AdaptiveState() if order == "adaptive" else None
     if stats is not None:
         stats.record_relation(carry_name, len(carry))
         stats.record_relation(seen_name, len(seen))
@@ -141,7 +149,9 @@ def _carry_loop(
                 carry_rel.clear()
                 carry_rel.add_all(carry)
                 produced = _apply_joins(joins, view, stats, order, tracer,
-                                        label=seen_name)
+                                        label=seen_name, adaptive=adaptive)
+                if adaptive is not None:
+                    adaptive.observe_round(len(produced), tracer)
             carry = produced - seen
             seen |= carry
             if tracer is not None:

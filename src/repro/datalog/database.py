@@ -26,7 +26,8 @@ class Relation:
     """A named set of same-arity tuples with lazy secondary indexes."""
 
     __slots__ = ("name", "arity", "_tuples", "_indexes", "_version",
-                 "_distinct_cache", "_observers")
+                 "_distinct_cache", "_col_distinct_cache", "_sample_cache",
+                 "_observers")
 
     def __init__(self, name: str, arity: int,
                  tuples: Iterable[Fact] = ()) -> None:
@@ -36,6 +37,8 @@ class Relation:
         self._indexes: dict[tuple[int, ...], dict[tuple, list[Fact]]] = {}
         self._version = 0
         self._distinct_cache: tuple[int, frozenset[ConstValue]] | None = None
+        self._col_distinct_cache: tuple[int, tuple[int, ...]] | None = None
+        self._sample_cache: tuple[int, int, tuple[Fact, ...]] | None = None
         self._observers: tuple = ()
         if tuples:
             self.add_all(tuples)
@@ -246,6 +249,8 @@ class Relation:
         self._indexes = {}
         self._version = version
         self._distinct_cache = None
+        self._col_distinct_cache = None
+        self._sample_cache = None
         self._observers = ()
 
     def distinct_values(self) -> frozenset[ConstValue]:
@@ -264,6 +269,52 @@ class Relation:
         frozen = frozenset(values)
         self._distinct_cache = (self._version, frozen)
         return frozen
+
+    def column_distinct_counts(self) -> tuple[int, ...]:
+        """Distinct value count per column, cached per :attr:`version`.
+
+        The cost-based planner's only per-relation statistic beyond
+        ``len``: ``1 / max(distinct)`` is the System-R selectivity of an
+        equi-join edge.  One O(tuples * arity) scan, then O(1) until the
+        relation mutates (any mutation bumps the version, including the
+        :meth:`discard` / :meth:`discard_all` delete paths).
+        """
+        cached = self._col_distinct_cache
+        if cached is not None and cached[0] == self._version:
+            return cached[1]
+        columns: tuple[set, ...] = tuple(set() for _ in range(self.arity))
+        for fact in self._tuples:
+            for col, value in zip(columns, fact):
+                col.add(value)
+        counts = tuple(len(col) for col in columns)
+        self._col_distinct_cache = (self._version, counts)
+        return counts
+
+    def sample(self, k: int = 32) -> tuple[Fact, ...]:
+        """A deterministic sample of up to ``k`` tuples.
+
+        Min-wise over a content hash (the ``k`` tuples with the smallest
+        ``crc32(repr(t))``), so the result depends only on the stored
+        tuples -- never on set iteration order -- and two relations with
+        overlapping contents draw overlapping samples, which is what
+        makes sampled join-containment estimates meaningful.  Cached per
+        :attr:`version` and ``k``.
+        """
+        cached = self._sample_cache
+        if cached is not None and cached[0] == self._version \
+                and cached[1] == k:
+            return cached[2]
+        if len(self._tuples) <= k:
+            sampled = tuple(sorted(self._tuples, key=repr))
+        else:
+            import heapq
+            import zlib
+            sampled = tuple(heapq.nsmallest(
+                k, self._tuples,
+                key=lambda t: (zlib.crc32(repr(t).encode()), repr(t)),
+            ))
+        self._sample_cache = (self._version, k, sampled)
+        return sampled
 
     def __repr__(self) -> str:
         return f"Relation({self.name}/{self.arity}, {len(self)} tuples)"

@@ -40,7 +40,7 @@ from typing import Iterator, Mapping, Optional, Sequence
 from ..stats import EvaluationStats
 from .atoms import Atom
 from .database import Database
-from .plan_cache import EQ, PLAN_CACHE
+from .plan_cache import EQ, ORDERS, PLAN_CACHE
 from .terms import Constant, ConstValue, Variable
 
 __all__ = [
@@ -65,6 +65,7 @@ def evaluate_body(
     stats: Optional[EvaluationStats] = None,
     order: str = "greedy",
     tracer=None,
+    adaptive=None,
 ) -> Iterator[Bindings]:
     """Enumerate substitutions satisfying every atom in ``atoms``.
 
@@ -85,15 +86,23 @@ def evaluate_body(
         Optional accumulator; base tuples fetched are counted as
         ``tuples_examined``.
     order:
-        ``"greedy"`` or ``"left_to_right"`` (see module docstring).
+        One of :data:`~repro.datalog.plan_cache.ORDERS`:
+        ``"greedy"``, ``"left_to_right"`` (see module docstring),
+        ``"cost"`` (the selectivity-aware planner), or ``"adaptive"``
+        (``cost`` plus mid-fixpoint re-planning when an
+        :class:`~repro.datalog.planner.AdaptiveState` is attached).
     tracer:
         Optional :class:`~repro.observability.Tracer`; receives
         per-atom lookup counts, tuples fetched, the join fan-out
         (``bindings_out``), and the plan-cache traffic
         (``plan_compiles`` / ``plan_cache_hits`` / ``plan_cache_misses``).
         ``None`` (the default) costs one pointer comparison per lookup.
+    adaptive:
+        Optional :class:`~repro.datalog.planner.AdaptiveState` owned by
+        the enclosing fixpoint loop; only meaningful with
+        ``order="adaptive"``.
     """
-    if order not in ("greedy", "left_to_right"):
+    if order not in ORDERS:
         raise ValueError(f"unknown join order {order!r}")
     if not atoms:
         yield dict(initial_bindings) if initial_bindings else {}
@@ -109,7 +118,8 @@ def evaluate_body(
         )
     else:
         sig = _EMPTY_SIG
-    plan = PLAN_CACHE.plan_for(body, sig, order, db, tracer)
+    plan = PLAN_CACHE.plan_for(body, sig, order, db, tracer,
+                               adaptive=adaptive)
     yield from plan.execute(db, initial_bindings, stats, tracer)
 
 
@@ -121,6 +131,7 @@ def evaluate_body_project(
     stats: Optional[EvaluationStats] = None,
     order: str = "greedy",
     tracer=None,
+    adaptive=None,
 ) -> Iterator[tuple[ConstValue, ...]]:
     """``instantiate_args(output, b) for b in evaluate_body(...)``, fused.
 
@@ -132,7 +143,7 @@ def evaluate_body_project(
     Counters, ordering, and result multiset match the two-step form
     exactly.
     """
-    if order not in ("greedy", "left_to_right"):
+    if order not in ORDERS:
         raise ValueError(f"unknown join order {order!r}")
     output = tuple(output)
     if not atoms:
@@ -151,7 +162,8 @@ def evaluate_body_project(
         )
     else:
         sig = _EMPTY_SIG
-    plan = PLAN_CACHE.plan_for(body, sig, order, db, tracer)
+    plan = PLAN_CACHE.plan_for(body, sig, order, db, tracer,
+                               adaptive=adaptive)
     yield from plan.execute_project(output, db, initial_bindings, stats,
                                     tracer)
 
@@ -297,8 +309,12 @@ def evaluate_body_interpreted(
     against (``tests/property/test_property_plan_cache.py``); not used
     on any evaluator hot path.
     """
-    if order not in ("greedy", "left_to_right"):
+    if order not in ORDERS:
         raise ValueError(f"unknown join order {order!r}")
+    if order in ("cost", "adaptive"):
+        # The reference interpreter has no cost model; any valid order
+        # yields the same set, so fall back to the greedy heuristic.
+        order = "greedy"
     start: Bindings = dict(initial_bindings) if initial_bindings else {}
     if not atoms:
         yield start

@@ -55,12 +55,20 @@ from .terms import Constant, ConstValue, Variable
 
 __all__ = [
     "EQ",
+    "ORDERS",
     "JoinPlan",
     "PlanCache",
     "PLAN_CACHE",
     "compile_join_plan",
     "greedy_permutation",
 ]
+
+#: Recognised join-order strategies.  ``greedy`` and ``left_to_right``
+#: are the PR 4 heuristics; ``cost`` runs the selectivity-aware planner
+#: (:mod:`repro.datalog.planner`) and ``adaptive`` is ``cost`` plus
+#: mid-fixpoint re-planning driven by an
+#: :class:`~repro.datalog.planner.AdaptiveState`.
+ORDERS = ("greedy", "left_to_right", "cost", "adaptive")
 
 #: Reserved built-in equality predicate, produced by rectification
 #: (Section 2: repeated head variables and head constants "can be handled
@@ -471,6 +479,70 @@ def _order_left_to_right(
     return ordered
 
 
+def _defer_eq_indices(
+    body: tuple[Atom, ...],
+    seq: Sequence[int],
+    bound_vars: frozenset[Variable],
+) -> tuple[int, ...]:
+    """Index-level :func:`_order_left_to_right`: reorder ``seq`` so each
+    unready ``eq`` waits for its earliest binder.  Used by the cost
+    orders, whose planner ranks only the non-eq atoms and leaves eq
+    placement to the same deferral semantics PR 4 fixed.
+    """
+    bound = set(bound_vars)
+
+    def ready(a: Atom) -> bool:
+        for t in a.args:
+            if isinstance(t, Constant) or t in bound:
+                return True
+        return False
+
+    ordered: list[int] = []
+    pending: list[int] = []
+
+    def place(i: int) -> None:
+        ordered.append(i)
+        for t in body[i].args:
+            if isinstance(t, Variable):
+                bound.add(t)
+
+    for i in seq:
+        a = body[i]
+        if a.predicate == EQ and a.arity == 2 and not ready(a):
+            pending.append(i)
+            continue
+        place(i)
+        progressed = True
+        while progressed and pending:
+            progressed = False
+            for k, p in enumerate(pending):
+                if ready(body[p]):
+                    place(pending.pop(k))
+                    progressed = True
+                    break
+    ordered.extend(pending)  # still unready: unsafe, raises at compile
+    return tuple(ordered)
+
+
+def _cost_sequence(
+    body: tuple[Atom, ...],
+    bound_vars: frozenset[Variable],
+    db: Optional[Database],
+) -> tuple[tuple[int, ...], float]:
+    """Full cost-based execution permutation plus the row estimate.
+
+    The planner orders the non-eq atoms; eq atoms enter in body order
+    and are deferred to their earliest ready point, exactly as
+    ``order="left_to_right"`` would.
+    """
+    from .planner import cost_permutation
+
+    rest, est = cost_permutation(body, bound_vars, db)
+    eq_first = [i for i, a in enumerate(body) if a.predicate == EQ]
+    perm = _defer_eq_indices(body, eq_first + list(rest), bound_vars)
+    return perm, est
+
+
 def compile_join_plan(
     atoms: Sequence[Atom],
     bound_vars: frozenset[Variable] = frozenset(),
@@ -482,15 +554,21 @@ def compile_join_plan(
     ``bound_vars`` is the signature: the body variables the caller will
     supply in ``initial_bindings``.  For ``order="greedy"`` the atom
     sequence comes from :func:`greedy_permutation` (pass ``db`` for the
-    size tiebreak).  Raises the same ``ValueError`` as the interpreter
-    for an ``eq`` atom whose sides can never be bound (unsafe rule) or
-    whose arity is not 2.
+    size tiebreak); for ``order="cost"`` / ``"adaptive"`` from the
+    selectivity-aware planner (``db`` supplies the statistics -- without
+    one, every size reads 0 and the order degrades to body position).
+    Raises the same ``ValueError`` as the interpreter for an ``eq``
+    atom whose sides can never be bound (unsafe rule) or whose arity is
+    not 2.
     """
-    if order not in ("greedy", "left_to_right"):
+    if order not in ORDERS:
         raise ValueError(f"unknown join order {order!r}")
     body = tuple(atoms)
     if order == "greedy":
         perm = greedy_permutation(body, bound_vars, db)
+        ordered = [body[i] for i in perm]
+    elif order in ("cost", "adaptive"):
+        perm, _ = _cost_sequence(body, bound_vars, db)
         ordered = [body[i] for i in perm]
     else:
         ordered = _order_left_to_right(body, bound_vars)
@@ -631,15 +709,18 @@ class PlanCache:
     counted as one extra compile, never a dropped entry).
     """
 
-    __slots__ = ("maxsize", "hits", "misses", "compiles", "_plans",
-                 "_lock")
+    __slots__ = ("maxsize", "hits", "misses", "compiles", "evictions",
+                 "orders", "_plans", "_order_memo", "_lock")
 
     def __init__(self, maxsize: int = 4096) -> None:
         self.maxsize = maxsize
         self.hits = 0
         self.misses = 0
         self.compiles = 0
+        self.evictions = 0
+        self.orders: dict[str, int] = {}
         self._plans: dict[tuple, JoinPlan] = {}
+        self._order_memo: dict[tuple, tuple[tuple[int, ...], float]] = {}
         self._lock = threading.Lock()
 
     def plan_for(
@@ -649,6 +730,7 @@ class PlanCache:
         order: str,
         db: Optional[Database] = None,
         tracer=None,
+        adaptive=None,
     ) -> JoinPlan:
         """The cached plan for this key, compiling on first sight.
 
@@ -656,8 +738,46 @@ class PlanCache:
         first and the permutation joins the key, so a size-rank change
         mid-run transparently selects (or compiles) the matching plan
         rather than executing a stale order.
+
+        The cost orders go through a second, cheaper memo first: the
+        chosen permutation is remembered per ``(body, signature,
+        epoch, log-scale size signature)``, and only the *permutation*
+        keys the compiled-plan dict -- so relations growing across
+        fixpoint rounds re-plan O(log n) times but recompile only when
+        the chosen order actually changes, keeping ``plan_compiles``
+        O(1) per body.  ``adaptive`` is the optional
+        :class:`~repro.datalog.planner.AdaptiveState` of the enclosing
+        fixpoint (``order="adaptive"``): its epoch joins the memo key
+        (a re-plan invalidates every memoised order) and the row
+        estimate is accumulated for the divergence check.
         """
-        if order == "greedy":
+        est: Optional[float] = None
+        if order in ("cost", "adaptive"):
+            from .planner import size_signature
+
+            epoch = adaptive.epoch if adaptive is not None else 0
+            memo_key = (body, bound_vars, epoch,
+                        size_signature(body, db))
+            with self._lock:
+                cached = self._order_memo.get(memo_key)
+            if cached is None:
+                cached = _cost_sequence(body, bound_vars, db)
+                with self._lock:
+                    while len(self._order_memo) >= self.maxsize:
+                        del self._order_memo[next(iter(self._order_memo))]
+                    self._order_memo[memo_key] = cached
+            perm, est = cached
+            if adaptive is not None:
+                adaptive.expect(est)
+            if tracer is not None:
+                # Floored at 1 so even a sub-row estimate marks the
+                # profile as planner-driven (the profiler's
+                # estimate-vs-observed section gates on this counter).
+                tracer.count("plan_est_rows", max(1, int(est)))
+            # Both cost orders share compiled plans: the permutation is
+            # the whole identity of the executed sequence.
+            key = (body, bound_vars, "cost", perm)
+        elif order == "greedy":
             # The greedy walk only ever *compares* sizes, so its outcome
             # is a function of the size-sorted position order (stable
             # argsort) plus which relations are empty -- both O(1)
@@ -680,6 +800,7 @@ class PlanCache:
         else:
             key = (body, bound_vars, order)
         with self._lock:
+            self.orders[order] = self.orders.get(order, 0) + 1
             plan = self._plans.get(key)
             if plan is not None:
                 self.hits += 1
@@ -689,7 +810,10 @@ class PlanCache:
             self.misses += 1
         if tracer is not None:
             tracer.count("plan_cache_misses")
-        if order == "greedy":
+        if order in ("cost", "adaptive"):
+            plan = _compile_sequence(body, bound_vars, "cost",
+                                     [body[i] for i in key[3]])
+        elif order == "greedy":
             perm = greedy_permutation(body, bound_vars, db)
             plan = _compile_sequence(body, bound_vars, order,
                                      [body[i] for i in perm])
@@ -710,6 +834,7 @@ class PlanCache:
                 if oldest == key:  # pragma: no cover - defensive
                     break
                 del self._plans[oldest]
+                self.evictions += 1
             self._plans[key] = plan
         return plan
 
@@ -717,18 +842,26 @@ class PlanCache:
         """Drop all plans and zero the counters."""
         with self._lock:
             self._plans.clear()
+            self._order_memo.clear()
             self.hits = 0
             self.misses = 0
             self.compiles = 0
+            self.evictions = 0
+            self.orders = {}
 
-    def stats(self) -> dict[str, int]:
-        """Counter snapshot: ``{size, hits, misses, compiles}``."""
+    def stats(self) -> dict:
+        """Counter snapshot: ``{size, hits, misses, compiles,
+        evictions, orders}`` -- ``orders`` is the ``plan_for`` call
+        count per requested join order (the running order mix).
+        """
         with self._lock:
             return {
                 "size": len(self._plans),
                 "hits": self.hits,
                 "misses": self.misses,
                 "compiles": self.compiles,
+                "evictions": self.evictions,
+                "orders": dict(self.orders),
             }
 
     def __len__(self) -> int:

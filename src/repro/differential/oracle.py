@@ -374,18 +374,105 @@ def _run_parallel_sweep(
             )
 
 
+def _run_order_sweep(
+    verdict: OracleVerdict,
+    case: Case,
+    budget: Budget,
+    orders: Sequence[str],
+) -> None:
+    """Cross-check the cost-based join orders against the reference.
+
+    For each requested order (typically ``cost`` and ``adaptive``) the
+    semi-naive strategy re-runs on a fresh engine constructed with that
+    ``order=``.  Outcomes are recorded as ``order[cost]`` etc.; answer
+    diffs, stats invariants, and trace invariants are held to exactly
+    the default-order standard, and each finding's profile carries the
+    order name plus the replan counters -- so a planner that changes
+    *answers* (not just join order) surfaces as a differential finding.
+    """
+    for order in orders:
+        name = f"order[{order}]"
+        engine = Engine(
+            case.program, case.database, budget=budget, order=order,
+        )
+        stats = EvaluationStats()
+        tracer = Tracer()
+        try:
+            result = engine.query(
+                case.query, strategy="seminaive", stats=stats,
+                tracer=tracer,
+            )
+        except _TOLERATED as exc:
+            verdict.outcomes[name] = StrategyOutcome(
+                strategy=name, skipped=str(exc)
+            )
+            profile = _profile_summary(
+                name, getattr(exc, "stats", None) or stats, tracer
+            )
+            profile["order"] = order
+            _append_trace_findings(verdict, name, tracer, profile)
+            continue
+        except ReproError as exc:
+            verdict.outcomes[name] = StrategyOutcome(
+                strategy=name, error=str(exc)
+            )
+            profile = _profile_summary(name, stats, tracer)
+            profile["order"] = order
+            verdict.disagreements.append(
+                Disagreement(
+                    kind="error",
+                    strategy=name,
+                    detail=f"{type(exc).__name__}: {exc}",
+                    profile=profile,
+                )
+            )
+            continue
+        verdict.outcomes[name] = StrategyOutcome(
+            strategy=name, answers=result.answers, stats=result.stats
+        )
+        profile = _profile_summary(name, result.stats, tracer)
+        profile["order"] = order
+        profile["plan_replans"] = tracer.counter_total("plan_replans")
+        profile["plan_misestimates"] = tracer.counter_total(
+            "plan_misestimates"
+        )
+        _append_trace_findings(verdict, name, tracer, profile)
+        if result.answers != verdict.reference:
+            verdict.disagreements.append(
+                Disagreement(
+                    kind="answers",
+                    strategy=name,
+                    detail=_diff_detail(verdict.reference, result.answers),
+                    profile=profile,
+                )
+            )
+        for problem in _stats_violations(
+            result.answers, result.stats, "seminaive",
+            case.query.predicate,
+        ):
+            verdict.disagreements.append(
+                Disagreement(kind="stats", strategy=name, detail=problem,
+                             profile=profile)
+            )
+
+
 def run_case(
     case: Case,
     strategies: Optional[Sequence[str]] = None,
     budget: Budget = DEFAULT_FUZZ_BUDGET,
     parallel_workers: Optional[Sequence[int]] = None,
+    orders: Optional[Sequence[str]] = None,
 ) -> OracleVerdict:
     """Evaluate a case under every applicable strategy and diff results.
 
     ``parallel_workers`` additionally runs the Separable strategy under
     the worker-pool executor once per listed worker count (when the
     case is separable at all), diffing each run against the reference
-    -- the parallel-vs-serial differential harness.
+    -- the parallel-vs-serial differential harness.  ``orders``
+    additionally re-runs semi-naive evaluation once per listed join
+    order (``cost``, ``adaptive``) on a fresh engine, diffing each run
+    against the reference -- the planner-vs-greedy differential
+    harness.
     """
     verdict = OracleVerdict(case=case, reference=None)
 
@@ -474,6 +561,8 @@ def run_case(
             )
     if parallel_workers:
         _run_parallel_sweep(verdict, case, budget, parallel_workers)
+    if orders:
+        _run_order_sweep(verdict, case, budget, orders)
     return verdict
 
 
@@ -482,6 +571,7 @@ def make_failure_predicate(
     strategies: Optional[Sequence[str]] = None,
     budget: Budget = DEFAULT_FUZZ_BUDGET,
     parallel_workers: Optional[Sequence[int]] = None,
+    orders: Optional[Sequence[str]] = None,
 ) -> Callable[[Case], bool]:
     """A shrinker predicate: does the case still show *this* failure?
 
@@ -495,7 +585,8 @@ def make_failure_predicate(
         try:
             verdict = run_case(candidate, strategies=strategies,
                                budget=budget,
-                               parallel_workers=parallel_workers)
+                               parallel_workers=parallel_workers,
+                               orders=orders)
         except Exception:
             return False
         return any(

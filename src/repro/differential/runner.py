@@ -41,6 +41,8 @@ class FuzzConfig:
     ``parallel_workers`` adds a worker-pool Separable run per listed
     worker count to every case (corpus and generated), cross-checked
     against the reference -- the parallel-vs-serial half of the oracle.
+    ``orders`` adds a semi-naive run per listed join order (``cost``,
+    ``adaptive``) the same way -- the planner-vs-greedy half.
     """
 
     iterations: int = 200
@@ -52,6 +54,7 @@ class FuzzConfig:
     max_shrink_attempts: int = 2000
     generator: GeneratorConfig = GeneratorConfig()
     parallel_workers: Optional[Sequence[int]] = None
+    orders: Optional[Sequence[str]] = None
 
 
 @dataclass
@@ -148,7 +151,7 @@ def _shrink_failure(
     signature = failure.verdict.disagreements[0].signature
     predicate = make_failure_predicate(
         signature, strategies=config.strategies, budget=config.budget,
-        parallel_workers=config.parallel_workers,
+        parallel_workers=config.parallel_workers, orders=config.orders,
     )
     result = shrink_case(
         failure.case, predicate, max_attempts=config.max_shrink_attempts
@@ -167,6 +170,7 @@ def run_fuzz(config: FuzzConfig = FuzzConfig()) -> FuzzReport:
             verdict = run_case(
                 case, strategies=config.strategies, budget=config.budget,
                 parallel_workers=config.parallel_workers,
+                orders=config.orders,
             )
             report.corpus_replayed += 1
             _account(report, verdict)
@@ -188,6 +192,7 @@ def run_fuzz(config: FuzzConfig = FuzzConfig()) -> FuzzReport:
         verdict = run_case(
             case, strategies=config.strategies, budget=config.budget,
             parallel_workers=config.parallel_workers,
+            orders=config.orders,
         )
         report.iterations_run += 1
         _account(report, verdict)

@@ -128,6 +128,12 @@ class Engine:
         order: str = "greedy",
         tracer=None,
     ) -> None:
+        from .datalog.plan_cache import ORDERS
+
+        if order not in ORDERS:
+            raise ValueError(
+                f"unknown join order {order!r}; choose from {ORDERS}"
+            )
         self.program = program
         self.edb = edb
         self.budget = budget
@@ -144,11 +150,13 @@ class Engine:
     def join_plan_stats(self) -> dict:
         """Counters of the process-wide compiled-join-plan cache.
 
-        ``{"size", "hits", "misses", "compiles"}`` from
-        :data:`repro.datalog.plan_cache.PLAN_CACHE` -- the cache every
-        evaluator hot path shares.  ``compiles`` staying flat while
-        queries repeat is the "compiled once, executed many times"
-        property benchmark gating asserts.
+        ``{"size", "hits", "misses", "compiles", "evictions",
+        "orders"}`` from :data:`repro.datalog.plan_cache.PLAN_CACHE` --
+        the cache every evaluator hot path shares.  ``compiles``
+        staying flat while queries repeat is the "compiled once,
+        executed many times" property benchmark gating asserts;
+        ``orders`` is the running ``plan_for`` call mix per requested
+        join order.
         """
         from .datalog.plan_cache import PLAN_CACHE
 
@@ -350,6 +358,7 @@ class Engine:
         budget: Optional[Budget] = None,
         memo=None,
         parallel=None,
+        order: Optional[str] = None,
     ) -> QueryResult:
         """Answer a query under the chosen strategy.
 
@@ -369,6 +378,13 @@ class Engine:
         is an optional full-selection memo forwarded to the Separable
         strategies (see :func:`repro.core.api.evaluate_separable`).
 
+        ``order`` overrides the engine's join order for this one call
+        (one of :data:`repro.datalog.plan_cache.ORDERS`: ``greedy``,
+        ``left_to_right``, ``cost``, ``adaptive``) -- what the bench
+        harness and oracle use to sweep orders without rebuilding the
+        engine.  Base-IDB materialization keeps the engine's default
+        order (it is cached across queries).
+
         ``parallel`` opts the Separable strategies into the worker-pool
         executor: ``True`` (env/CPU-sized), a worker count, a
         :class:`~repro.parallel.ParallelConfig`, or a ready
@@ -386,6 +402,15 @@ class Engine:
             raise ValueError(
                 f"unknown strategy {strategy!r}; choose from {STRATEGIES}"
             )
+        if order is None:
+            order = self.order
+        else:
+            from .datalog.plan_cache import ORDERS
+
+            if order not in ORDERS:
+                raise ValueError(
+                    f"unknown join order {order!r}; choose from {ORDERS}"
+                )
         if stats is None:
             stats = EvaluationStats()
         if budget is None:
@@ -417,6 +442,8 @@ class Engine:
         # Keyword-only and omitted when unused: test doubles wrapping
         # _dispatch with the historical signature keep working.
         extra = {"parallel": executor} if executor is not None else {}
+        if order != self.order:
+            extra["order"] = order
         answers = self._dispatch(chosen, query, report, stats, tracer,
                                  budget, memo, **extra)
         plan: Optional[SeparablePlan] = None
@@ -485,9 +512,12 @@ class Engine:
         budget: Optional[Budget] = None,
         memo=None,
         parallel=None,
+        order: Optional[str] = None,
     ) -> frozenset[tuple]:
         if budget is None:
             budget = self.budget
+        if order is None:
+            order = self.order
         if strategy in ("separable", "relaxed"):
             assert report is not None
             acceptable = report.separable or (
@@ -513,7 +543,7 @@ class Engine:
                 analysis=report.analysis,
                 stats=stats,
                 budget=budget,
-                order=self.order,
+                order=order,
                 allow_disconnected=strategy == "relaxed",
                 tracer=tracer,
                 memo=memo,
@@ -542,7 +572,7 @@ class Engine:
                 [selection.seed],
                 stats=stats,
                 budget=budget,
-                order=self.order,
+                order=order,
                 tracer=tracer,
             )
             fixed = {
@@ -562,7 +592,7 @@ class Engine:
         if strategy == "magic":
             return evaluate_magic(
                 self.program, self.edb, query,
-                stats=stats, budget=budget, order=self.order,
+                stats=stats, budget=budget, order=order,
                 tracer=tracer,
             )
         if strategy == "counting":
@@ -572,7 +602,7 @@ class Engine:
                 query,
                 stats=stats,
                 budget=budget,
-                order=self.order,
+                order=order,
                 tracer=tracer,
             )
         if strategy == "pushdown":
@@ -582,7 +612,7 @@ class Engine:
                 query,
                 stats=stats,
                 budget=budget,
-                order=self.order,
+                order=order,
                 tracer=tracer,
             )
         evaluate = (
@@ -590,7 +620,7 @@ class Engine:
         )
         materialized = evaluate(
             self.program, self.edb,
-            stats=stats, budget=budget, order=self.order,
+            stats=stats, budget=budget, order=order,
             tracer=tracer,
         )
         return frozenset(

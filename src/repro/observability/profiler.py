@@ -114,6 +114,46 @@ class QueryProfile:
             return None
         return self.tracer.counter_total("bindings_out") / examined
 
+    def planner_summary(self) -> Optional[dict]:
+        """Estimate-vs-observed digest of a cost/adaptive-order run.
+
+        ``None`` unless the cost-based planner ran (the ``plan_est_rows``
+        counter only moves under ``order="cost"``/``"adaptive"``), so
+        default-order profile text stays byte-identical.  ``advice`` is
+        one actionable sentence: trust the estimates, or switch to the
+        adaptive order, or note that re-planning already kicked in.
+        """
+        estimated = self.tracer.counter_total("plan_est_rows")
+        if not estimated:
+            return None
+        observed = self.tracer.counter_total("bindings_out")
+        replans = self.tracer.counter_total("plan_replans")
+        misestimates = self.tracer.counter_total("plan_misestimates")
+        if not misestimates:
+            advice = (
+                "estimates tracked observed fanout; the chosen order "
+                "is trustworthy"
+            )
+        elif replans:
+            advice = (
+                f"estimates diverged {misestimates} time(s); adaptive "
+                f"re-planning corrected the order mid-fixpoint "
+                f"{replans} time(s)"
+            )
+        else:
+            advice = (
+                f"estimates diverged {misestimates} time(s) with no "
+                f"re-planning; try order=\"adaptive\" to correct "
+                f"mid-fixpoint"
+            )
+        return {
+            "estimated_rows": estimated,
+            "observed_bindings": observed,
+            "plan_replans": replans,
+            "plan_misestimates": misestimates,
+            "advice": advice,
+        }
+
     def worker_lanes(self) -> dict[int, int]:
         """Stitched-fragment host spans per worker pid (empty: serial).
 
@@ -255,6 +295,19 @@ class QueryProfile:
                     for pid, count in sorted(lanes.items())
                 )
             )
+
+        planner = self.planner_summary()
+        if planner is not None:
+            # Only cost/adaptive-order profiles print this; greedy
+            # report text stays byte-identical.
+            lines += ["", f"-- planner (estimate vs observed) {rule[33:]}"]
+            lines.append(
+                f"estimated_rows={planner['estimated_rows']} "
+                f"observed_bindings={planner['observed_bindings']} "
+                f"plan_replans={planner['plan_replans']} "
+                f"plan_misestimates={planner['plan_misestimates']}"
+            )
+            lines.append(f"advice: {planner['advice']}")
         return "\n".join(lines)
 
     def to_json(self) -> dict:
@@ -269,6 +322,7 @@ class QueryProfile:
             "plan": result.describe_plan(),
             "advice": self.advice.explain(),
             "stats": self.stats.as_dict(),
+            "planner": self.planner_summary(),
             "worker_lanes": {
                 str(pid): count
                 for pid, count in sorted(self.worker_lanes().items())

@@ -434,6 +434,24 @@ class ServiceMetrics:
                 f"{plan_cache_stats.get('hits', 0) / plan_lookups:.6f}"
                 if plan_lookups else "0.000000",
             )
+            metric = "repro_service_plan_cache_evictions_total"
+            families.declare(
+                metric, "Compiled join plans evicted by the size bound."
+            )
+            lines.append(
+                f"{metric} {plan_cache_stats.get('evictions', 0)}"
+            )
+            orders = plan_cache_stats.get("orders") or {}
+            if orders:
+                metric = "repro_service_plan_requests_total"
+                families.declare(
+                    metric, "Join-plan lookups by requested order."
+                )
+                for order in sorted(orders):
+                    lines.append(
+                        f'{metric}{{order="{escape_label_value(order)}"}} '
+                        f"{orders[order]}"
+                    )
 
         phases = snap["evaluator_phases"]
         if phases:

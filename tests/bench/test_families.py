@@ -29,13 +29,15 @@ class TestResolve:
 
 #: Harness-level pseudo-strategies with no Engine counterpart.
 PSEUDO = {"detect", "incremental", "fromscratch", "serial",
-          "parallel-1", "parallel-2", "parallel-4"}
+          "parallel-1", "parallel-2", "parallel-4",
+          "order-greedy", "order-left_to_right", "order-cost",
+          "order-adaptive"}
 
 
 class TestRegistry:
     def test_registry_keys(self):
         assert list(FAMILIES) == [f"e{i}" for i in range(1, 10)] + [
-            "incremental-write", "parallel-scaling"
+            "incremental-write", "parallel-scaling", "skewed-join"
         ]
 
     @pytest.mark.parametrize("key", list(FAMILIES))

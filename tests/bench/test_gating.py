@@ -17,6 +17,7 @@ from repro.bench import (
     maintenance_findings,
     parallel_findings,
     run_family,
+    skew_findings,
 )
 from repro.bench.families import FAMILIES
 from repro.bench.gating import Finding
@@ -276,6 +277,86 @@ class TestParallelGate:
     def test_compare_reports_runs_the_gate_on_the_current_run(self):
         base = _parallel_report()
         cur = _parallel_report(par_sha="bb", cpu_count=1)
+        findings = compare_reports(base, cur, time_tolerance=1e9)
+        assert "answers" in {f.kind for f in findings}
+
+
+def _skew_report(cost_s=0.002, greedy_s=0.01, cost_fanout=70,
+                 greedy_fanout=670, cost_answers=4, cost_sha="aa",
+                 greedy_sha="aa", replans=1, outcome="ok"):
+    def cell(strategy, median_s, answers, sha, fanout, counters=None):
+        return {
+            "strategy": strategy, "n": 8, "outcome": outcome,
+            "answers": answers, "answers_sha": sha,
+            "max_relation_size": 0, "tuples_produced": 0,
+            "tuples_examined": 0, "iterations": 0,
+            "counters": {"bindings_out": fanout, **(counters or {})},
+            "trace_violations": [], "median_s": median_s,
+            "normalized": median_s / 0.005,
+        }
+
+    return {
+        "schema": "repro-bench/1",
+        "family": "skewed-join",
+        "sizes": [8],
+        "results": [
+            cell("order-greedy", greedy_s, 4, greedy_sha, greedy_fanout),
+            cell("order-left_to_right", greedy_s, 4, greedy_sha,
+                 greedy_fanout),
+            cell("order-cost", cost_s, cost_answers, cost_sha,
+                 cost_fanout),
+            cell("order-adaptive", cost_s, cost_answers, cost_sha,
+                 cost_fanout, counters={"plan_replans": replans}),
+        ],
+    }
+
+
+class TestSkewGate:
+    def test_honest_cost_win_passes(self):
+        assert skew_findings(_skew_report()) == []
+
+    def test_fanout_tie_fails(self):
+        # "Strictly reduces join fanout": matching greedy's fanout
+        # means the cost model earned nothing.
+        findings = skew_findings(_skew_report(cost_fanout=670))
+        assert "plan" in {f.kind for f in findings}
+        assert any("bindings_out" in f.message for f in findings)
+
+    def test_wall_time_loss_fails(self):
+        findings = skew_findings(_skew_report(cost_s=0.02))
+        assert [f.kind for f in findings] == ["plan"]
+        assert "wall time" in findings[0].message
+
+    def test_noise_floor_waives_wall_clock_only(self):
+        report = _skew_report(cost_s=9e-4, greedy_s=5e-4,
+                              cost_fanout=670)
+        findings = skew_findings(report)
+        assert len(findings) == 1  # fanout still gated, time waived
+        assert "bindings_out" in findings[0].message
+
+    def test_answer_count_mismatch_is_correctness(self):
+        findings = skew_findings(_skew_report(cost_answers=5))
+        assert "answers" in {f.kind for f in findings}
+
+    def test_digest_mismatch_is_correctness_even_at_equal_counts(self):
+        findings = skew_findings(_skew_report(cost_sha="bb"))
+        assert "answers" in {f.kind for f in findings}
+        assert any("digest" in f.message for f in findings)
+
+    def test_replan_budget_overrun_fails(self):
+        findings = skew_findings(_skew_report(replans=3))
+        assert [f.kind for f in findings] == ["plan"]
+        assert "re-planned 3" in findings[0].message
+
+    def test_non_ok_cells_are_skipped(self):
+        assert skew_findings(_skew_report(outcome="budget")) == []
+
+    def test_other_families_produce_no_findings(self):
+        assert skew_findings(_parallel_report()) == []
+
+    def test_compare_reports_runs_the_gate_on_the_current_run(self):
+        base = _skew_report()
+        cur = _skew_report(cost_sha="bb")
         findings = compare_reports(base, cur, time_tolerance=1e9)
         assert "answers" in {f.kind for f in findings}
 

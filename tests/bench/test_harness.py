@@ -253,6 +253,46 @@ class TestIncrementalWriteFamily:
         assert family.build(6).db.fingerprint() == before
 
 
+class TestSkewedJoinFamily:
+    """The join-order pseudo-strategies through the real harness."""
+
+    @pytest.fixture(scope="class")
+    def sj_report(self, calibration):
+        return run_family(
+            FAMILIES["skewed-join"], [8], repeats=2,
+            calibration=calibration,
+        )
+
+    def test_all_orders_complete_with_identical_digests(self, sj_report):
+        cells = {c["strategy"]: c for c in sj_report["results"]}
+        assert set(cells) == {
+            "order-greedy", "order-left_to_right", "order-cost",
+            "order-adaptive",
+        }
+        digests = set()
+        for cell in cells.values():
+            assert cell["outcome"] == "ok"
+            assert cell["answers"] > 0
+            digests.add(cell["answers_sha"])
+        assert len(digests) == 1
+
+    def test_cost_strictly_reduces_fanout(self, sj_report):
+        cells = {c["strategy"]: c for c in sj_report["results"]}
+        assert (cells["order-cost"]["counters"]["bindings_out"]
+                < cells["order-greedy"]["counters"]["bindings_out"])
+
+    def test_adaptive_replans_are_bounded(self, sj_report):
+        cells = {c["strategy"]: c for c in sj_report["results"]}
+        assert cells["order-adaptive"]["counters"]["plan_replans"] <= 2
+
+    def test_replan_counters_only_move_under_adaptive(self, sj_report):
+        for cell in sj_report["results"]:
+            if cell["strategy"] == "order-adaptive":
+                continue
+            assert cell["counters"]["plan_replans"] == 0
+            assert cell["counters"]["plan_misestimates"] == 0
+
+
 @pytest.mark.bench
 class TestSectionFourSeparations:
     """Opt-in (``pytest -m bench``): the paper's growth separations."""

@@ -97,6 +97,54 @@ class TestRelation:
         r.clear()
         assert r.distinct_values() == frozenset()
 
+    def test_distinct_values_cache_invalidated_by_discard(self):
+        # Regression guard for the delete paths: PR 6's in-place index
+        # patching must not leave a stale distinct cache behind.
+        r = Relation("p", 2, [("a", "b"), ("b", "c")])
+        assert r.distinct_values() == {"a", "b", "c"}
+        r.discard(("b", "c"))
+        assert r.distinct_values() == {"a", "b"}
+
+    def test_distinct_values_cache_invalidated_by_discard_all(self):
+        r = Relation("p", 2, [("a", "b"), ("b", "c"), ("c", "d")])
+        assert r.distinct_values() == {"a", "b", "c", "d"}
+        r.discard_all([("a", "b"), ("c", "d")])
+        assert r.distinct_values() == {"b", "c"}
+
+    def test_column_distinct_counts(self):
+        r = Relation("p", 2, [("a", "x"), ("a", "y"), ("b", "x")])
+        assert r.column_distinct_counts() == (2, 2)
+
+    def test_column_distinct_counts_cached_until_mutation(self):
+        r = Relation("p", 2, [("a", "x")])
+        first = r.column_distinct_counts()
+        assert first is r.column_distinct_counts()
+        r.add(("b", "x"))
+        assert r.column_distinct_counts() == (2, 1)
+        r.discard(("b", "x"))
+        assert r.column_distinct_counts() == (1, 1)
+
+    def test_sample_deterministic_and_bounded(self):
+        facts = [(f"t{i}", f"u{i}") for i in range(100)]
+        r = Relation("p", 2, facts)
+        first = r.sample(8)
+        assert first is r.sample(8)  # cached per version
+        assert len(first) == 8
+        assert set(first) <= set(facts)
+        # Content-hash ranked: a rebuilt relation samples identically.
+        assert Relation("p", 2, facts).sample(8) == first
+
+    def test_sample_small_relation_returns_everything(self):
+        r = Relation("p", 1, [("b",), ("a",)])
+        assert r.sample(32) == (("a",), ("b",))
+
+    def test_sample_cache_invalidated_by_discard(self):
+        facts = [(f"t{i}",) for i in range(50)]
+        r = Relation("p", 1, facts)
+        before = r.sample(4)
+        r.discard_all(before)
+        assert not set(r.sample(4)) & set(before)
+
     def test_clear(self):
         r = Relation("p", 1, [("a",)])
         r.lookup((0,), ("a",))

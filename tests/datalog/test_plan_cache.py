@@ -194,6 +194,7 @@ class TestPlanCacheKeying:
         cache.plan_for(body, frozenset(), "greedy", db)
         assert cache.stats() == {
             "size": 1, "hits": 1, "misses": 1, "compiles": 1,
+            "evictions": 0, "orders": {"greedy": 2},
         }
 
     def test_size_growth_with_same_rank_hits(self):

@@ -93,6 +93,26 @@ class TestRenderText:
         ).render_text(timings=False)
         assert "buys#0" in text  # per-source-rule accounting
 
+    def test_default_order_has_no_planner_section(self, engine):
+        prof = engine.profile("buys(tom, Y)?", strategy="seminaive")
+        assert prof.planner_summary() is None
+        assert "-- planner" not in prof.render_text(timings=False)
+
+    def test_cost_order_reports_estimate_vs_observed(self):
+        PLAN_CACHE.clear()
+        parsed = parse_program(EX12)
+        eng = Engine(parsed.program, parsed.database, order="cost")
+        prof = eng.profile("buys(tom, Y)?", strategy="seminaive")
+        planner = prof.planner_summary()
+        assert planner is not None
+        assert planner["estimated_rows"] >= 1
+        assert planner["observed_bindings"] >= 1
+        assert "advice" in planner
+        text = prof.render_text(timings=False)
+        assert "-- planner (estimate vs observed)" in text
+        assert "advice:" in text
+        assert prof.to_json()["planner"] == planner
+
 
 class TestToJson:
     def test_shape_and_serializability(self, engine):

@@ -353,7 +353,12 @@ class TestServiceHTTPD:
 
 class TestMetricsDict:
     def test_evaluator_phases_report_time_shares(self, ex11):
+        from repro.datalog.plan_cache import PLAN_CACHE
+
         program, db = ex11
+        # The stats are process-global and cumulative; reset so the
+        # order-mix assertion below sees only this service's requests.
+        PLAN_CACHE.clear()
         with _service(program, db) as service:
             service.query("buys(tom, Y)?")
             snap = service.metrics_dict()
@@ -365,4 +370,35 @@ class TestMetricsDict:
             assert phase["seconds"] >= 0.0
             assert phase["count"] >= 1
         assert snap["snapshot_cache"] == {"entries": 1, "capacity": 4}
-        assert set(snap["plan_cache"]) >= {"size", "hits", "misses"}
+        assert set(snap["plan_cache"]) >= {
+            "size", "hits", "misses", "evictions", "orders",
+        }
+        # The service plans with the engine's default order only.
+        assert set(snap["plan_cache"]["orders"]) <= {"greedy"}
+
+
+class TestPlanCacheExposition:
+    def test_evictions_and_order_mix_are_exported(self):
+        from repro.service.metrics import ServiceMetrics
+
+        text = ServiceMetrics().to_metrics_text(plan_cache_stats={
+            "size": 2, "hits": 5, "misses": 3, "compiles": 3,
+            "evictions": 1, "orders": {"greedy": 6, "cost": 2},
+        })
+        for pinned in (
+            "repro_service_plan_cache_entries 2",
+            "repro_service_plan_cache_evictions_total 1",
+            'repro_service_plan_requests_total{order="cost"} 2',
+            'repro_service_plan_requests_total{order="greedy"} 6',
+        ):
+            assert pinned in text, pinned
+
+    def test_idle_cache_omits_order_series(self):
+        from repro.service.metrics import ServiceMetrics
+
+        text = ServiceMetrics().to_metrics_text(plan_cache_stats={
+            "size": 0, "hits": 0, "misses": 0, "compiles": 0,
+            "evictions": 0, "orders": {},
+        })
+        assert "repro_service_plan_cache_evictions_total 0" in text
+        assert "repro_service_plan_requests_total" not in text

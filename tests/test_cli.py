@@ -56,6 +56,20 @@ class TestRun:
         out = capsys.readouterr().out
         assert "seen_1" in out
 
+    def test_order_flag_preserves_answers(self, program_file, capsys):
+        code = main(
+            ["run", str(program_file), "--strategy", "seminaive",
+             "--order", "cost"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "buys(tom, tent)." in out
+        assert "buys(tom, cup)." in out
+
+    def test_rejects_unknown_order(self, program_file):
+        with pytest.raises(SystemExit):
+            main(["run", str(program_file), "--order", "bogus"])
+
     def test_no_queries(self, tmp_path, capsys):
         path = tmp_path / "noq.dl"
         path.write_text("p(a).")
@@ -162,6 +176,16 @@ class TestProfile:
         assert "buys(sue, Y)?" in out
         assert "strategy: magic" in out
 
+    def test_cost_order_adds_planner_section(self, program_file, capsys):
+        code = main(
+            ["profile", str(program_file), "--strategy", "seminaive",
+             "--order", "cost", "--no-timings"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "-- planner (estimate vs observed)" in out
+        assert "advice:" in out
+
     def test_chrome_trace_format(self, program_file, tmp_path, capsys):
         import json
 
@@ -247,6 +271,18 @@ class TestFuzz:
     def test_rejects_unknown_strategy(self, capsys):
         with pytest.raises(SystemExit):
             main(["fuzz", "--strategy", "quantum"])
+
+    def test_order_sweep(self, capsys):
+        code = main(
+            ["fuzz", "--iterations", "3", "--seed", "5",
+             "--strategy", "seminaive", "--orders", "cost,adaptive"]
+        )
+        assert code == 0
+        assert "all strategies agree" in capsys.readouterr().out
+
+    def test_rejects_unknown_order(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["fuzz", "--orders", "alphabetical"])
 
 
 class TestServe:

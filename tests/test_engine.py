@@ -53,6 +53,53 @@ class TestAutoSelection:
         assert not result.report.separable
 
 
+class TestJoinOrderSelection:
+    def test_constructor_rejects_unknown_order(self, example_1_1):
+        program, db = example_1_1
+        with pytest.raises(ValueError, match="unknown join order"):
+            Engine(program, db, order="bogus")
+
+    def test_query_rejects_unknown_order(self, ex11_engine):
+        engine, _, _ = ex11_engine
+        with pytest.raises(ValueError, match="unknown join order"):
+            engine.query("buys(tom, Y)?", order="bogus")
+
+    @pytest.mark.parametrize("order", ["left_to_right", "cost", "adaptive"])
+    def test_engine_order_preserves_answers(self, example_1_1, order):
+        program, db = example_1_1
+        reference = Engine(program, db).query(
+            "buys(tom, Y)?", strategy="seminaive"
+        ).answers
+        got = Engine(program, db, order=order).query(
+            "buys(tom, Y)?", strategy="seminaive"
+        ).answers
+        assert got == reference
+
+    def test_per_query_order_overrides_engine_default(self, ex11_engine):
+        engine, _, _ = ex11_engine
+        from repro.datalog.plan_cache import PLAN_CACHE
+
+        PLAN_CACHE.clear()
+        default = engine.query("buys(tom, Y)?", strategy="seminaive")
+        overridden = engine.query(
+            "buys(tom, Y)?", strategy="seminaive", order="cost"
+        )
+        assert overridden.answers == default.answers
+        assert PLAN_CACHE.stats()["orders"].get("cost", 0) > 0
+
+    def test_join_plan_stats_reports_order_mix(self, ex11_engine):
+        engine, _, _ = ex11_engine
+        from repro.datalog.plan_cache import PLAN_CACHE
+
+        PLAN_CACHE.clear()
+        engine.query("buys(tom, Y)?", strategy="seminaive")
+        stats = engine.join_plan_stats()
+        assert set(stats) >= {
+            "size", "hits", "misses", "compiles", "evictions", "orders",
+        }
+        assert stats["orders"].get("greedy", 0) > 0
+
+
 class TestAllStrategiesAgree:
     @pytest.mark.parametrize(
         "strategy", [s for s in STRATEGIES if s != "auto"]
