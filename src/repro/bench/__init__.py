@@ -19,6 +19,7 @@ from .gating import (
     DEFAULT_MIN_TIME_S,
     DEFAULT_TIME_TOLERANCE,
     Finding,
+    backend_findings,
     compare_reports,
     maintenance_findings,
     parallel_findings,
@@ -48,6 +49,7 @@ __all__ = [
     "Finding",
     "SCHEMA",
     "Workload",
+    "backend_findings",
     "calibrate",
     "classify_exponent",
     "compare_reports",

@@ -10,15 +10,20 @@ inputs.
 
 A family's ``build(n)`` returns a :class:`Workload`: program, database
 and query text.  Strategy names are :data:`repro.engine.STRATEGIES`
-members, plus three pseudo-strategies the harness special-cases:
+members, plus pseudo-strategies the harness special-cases:
 ``"detect"`` (E6), which times separability analysis alone -- the
 paper's "computationally simple to detect" claim -- and touches no
-data; and ``"incremental"`` / ``"fromscratch"`` (the
+data; ``"incremental"`` / ``"fromscratch"`` (the
 ``incremental-write`` family), which replay one mutation stream
 through :class:`repro.maintenance.MaintainedView` repairs versus a
-full recomputation per write.  A mutation family supplies the stream
-via :attr:`Family.mutations`; the stream is *balanced* (every insert
-is later deleted) so each timed repeat starts from the same state.
+full recomputation per write; ``"serial"`` / ``"parallel-N"``
+(``parallel-scaling``) and ``"order-<name>"`` (``skewed-join``),
+which vary the executor and the join order over one fixed plan; and
+``"backend-<name>"`` (``out-of-core``), which runs the same
+semi-naive evaluation over each :mod:`repro.storage` backend.  A
+mutation family supplies the stream via :attr:`Family.mutations`; the
+stream is *balanced* (every insert is later deleted) so each timed
+repeat starts from the same state.
 """
 
 from __future__ import annotations
@@ -223,6 +228,21 @@ def _skewed_join(n: int) -> Workload:
     return Workload(program, db, "t(x0, Q)?")
 
 
+def _out_of_core(n: int) -> Workload:
+    # Transitive closure on a dense random DAG (the e8 shape, heavier
+    # edge factor so the reference cell clears the wall-clock noise
+    # floor at modest n).  The same query runs on three storages: a
+    # plain in-memory database (``backend-none``, the reference), the
+    # explicit MemoryBackend mount (``backend-memory``: every derived
+    # relation routed through the storage dispatch -- what the
+    # zero-overhead gate times), and out-of-core SQLite
+    # (``backend-sqlite``: the facts live in temporary SQLite files
+    # and every join probe is a SQL lookup).
+    program = parse_program(_TC_TEXT).program
+    db = Database.from_facts({"e": random_dag(n, 4 * n, seed=13)})
+    return Workload(program, db, "tc(a0, Y)?")
+
+
 def _incremental_write(n: int) -> Workload:
     # Example 1.1's chain again: every perfectFor insert at a_i derives
     # buys(a_k, p) for all k <= i, so writes ripple through the
@@ -345,6 +365,19 @@ FAMILIES: dict[str, Family] = {
             "from-scratch re-derives the whole IDB per write"
         ),
         mutations=_incremental_write_ops,
+    ),
+    "out-of-core": Family(
+        key="out-of-core",
+        title="Storage backends: in-memory dispatch cost and SQLite spill",
+        size_means="DAG node count n (4n edges)",
+        strategies=("backend-none", "backend-memory", "backend-sqlite"),
+        build=_out_of_core,
+        expectation=(
+            "answers byte-identical on every backend; backend-memory "
+            "within noise of the no-backend reference (selection is "
+            "free); backend-sqlite pays per-probe SQL overhead but "
+            "keeps the fact set out of process memory"
+        ),
     ),
     "parallel-scaling": Family(
         key="parallel-scaling",

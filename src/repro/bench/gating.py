@@ -23,6 +23,7 @@ from typing import Optional
 
 __all__ = [
     "Finding",
+    "backend_findings",
     "compare_reports",
     "maintenance_findings",
     "parallel_findings",
@@ -35,6 +36,8 @@ __all__ = [
     "PARALLEL_SPEEDUP_WORKERS",
     "PARALLEL_REQUIRED_CPUS",
     "PARALLEL_SPEEDUP_MIN_S",
+    "BACKEND_OVERHEAD_TOLERANCE",
+    "BACKEND_OVERHEAD_MIN_S",
 ]
 
 DEFAULT_TIME_TOLERANCE = 1.6
@@ -51,6 +54,15 @@ PARALLEL_REQUIRED_CPUS = 4
 #: Serial medians below this are too noisy to anchor a speedup claim.
 PARALLEL_SPEEDUP_MIN_S = 0.05
 
+#: Mounting the explicit memory backend may cost at most this factor
+#: over the no-backend reference cell (``out-of-core`` family) -- the
+#: "backend selection is free" contract, with enough slack that timer
+#: noise on a loaded CI runner does not fail it.
+BACKEND_OVERHEAD_TOLERANCE = 1.5
+#: Reference medians below this are too noisy to anchor the overhead
+#: claim (a few tenths of a millisecond of jitter would dominate).
+BACKEND_OVERHEAD_MIN_S = 0.005
+
 #: The adaptive order may re-plan at most this many times per fixpoint
 #: (mirrors ``repro.datalog.planner.MAX_REPLANS``); the gate reads the
 #: per-cell counter, which covers one query evaluation.
@@ -65,7 +77,7 @@ class Finding:
     strategy: str
     n: Optional[int]
     # schema | missing | outcome | answers | size | counter | time |
-    # plan | maintenance
+    # plan | maintenance | parallel | backend
     kind: str
     message: str
 
@@ -167,6 +179,84 @@ def compare_reports(
     findings.extend(maintenance_findings(current, min_time_s=min_time_s))
     findings.extend(parallel_findings(current))
     findings.extend(skew_findings(current, min_time_s=min_time_s))
+    findings.extend(backend_findings(current))
+    return findings
+
+
+def backend_findings(
+    report: dict,
+    overhead_tolerance: float = BACKEND_OVERHEAD_TOLERANCE,
+    min_reference_s: float = BACKEND_OVERHEAD_MIN_S,
+) -> list[Finding]:
+    """Gates for the ``out-of-core`` family's storage-backend sweep.
+
+    **Correctness (always):** every ``backend-*`` cell must count the
+    same answers as the same-size ``backend-none`` reference cell *and*
+    match its ``answers_sha`` -- the byte-identical-answers contract of
+    the storage protocol, checked for SQLite's SQL-driven lookups as
+    much as for the memory dispatch.
+
+    **Zero-overhead selection (time-floored):** the ``backend-memory``
+    cell -- the same evaluation with every derived relation routed
+    through the explicit backend dispatch -- must stay within
+    ``overhead_tolerance`` of the reference median at sizes whose
+    reference clears ``min_reference_s``.  Below the floor the
+    wall-clock half is waived (timer noise), but the identity gates
+    above still apply.  ``backend-sqlite`` has no time gate: paying
+    per-probe SQL cost to keep facts out of process memory is the
+    point, not a regression.
+
+    Checked against the *current* run alone, like the parallel and
+    skew gates: all backend cells are timed in the same process on the
+    same machine.  Reports without ``backend-*`` cells produce no
+    findings.
+    """
+    family = report.get("family", "?")
+    cells = _cells_by_key(report)
+    findings: list[Finding] = []
+    for (strategy, n), cell in sorted(cells.items()):
+        if (not strategy.startswith("backend-")
+                or strategy == "backend-none"):
+            continue
+        ref = cells.get(("backend-none", n))
+        if (ref is None or cell["outcome"] != "ok"
+                or ref["outcome"] != "ok"):
+            continue
+        if cell.get("answers") != ref.get("answers"):
+            findings.append(
+                Finding(
+                    family, strategy, n, "answers",
+                    f"{strategy} counted {cell.get('answers')} answers, "
+                    f"backend-none {ref.get('answers')} (correctness!)",
+                )
+            )
+        sha_b = cell.get("answers_sha")
+        sha_r = ref.get("answers_sha")
+        if sha_b is not None and sha_r is not None and sha_b != sha_r:
+            findings.append(
+                Finding(
+                    family, strategy, n, "answers",
+                    f"answer digest diverged from backend-none "
+                    f"({sha_r[:12]} -> {sha_b[:12]}): same count, "
+                    f"different tuples (correctness!)",
+                )
+            )
+        if strategy != "backend-memory":
+            continue
+        mem_s, ref_s = cell.get("median_s"), ref.get("median_s")
+        if mem_s is None or ref_s is None or ref_s < min_reference_s:
+            continue
+        ratio = mem_s / ref_s
+        if ratio > overhead_tolerance:
+            findings.append(
+                Finding(
+                    family, strategy, n, "backend",
+                    f"memory-backend dispatch costs {ratio:.2f}x the "
+                    f"no-backend reference (ref "
+                    f"{ref_s * 1e3:.2f}ms, backend "
+                    f"{mem_s * 1e3:.2f}ms); selection must be free",
+                )
+            )
     return findings
 
 

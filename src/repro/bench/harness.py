@@ -306,6 +306,46 @@ def _make_runner(
 
         return run_ordered
 
+    if strategy.startswith("backend-"):
+        # The storage pseudo-strategies (``out-of-core`` family): the
+        # same semi-naive evaluation with the workload database on each
+        # storage backend.  ``backend-none`` is the reference cell --
+        # an ordinary in-memory database, no backend machinery in the
+        # path at all.  ``backend-memory`` mounts the explicit
+        # MemoryBackend so every derived relation goes through the
+        # ``_make_relation`` dispatch -- the cell the zero-overhead
+        # gate compares against the reference.  ``backend-sqlite``
+        # migrates the facts into out-of-core SQLite.  Migration
+        # happens here, outside the timed region: the gate compares
+        # evaluation cost, not load cost.  Each run stashes
+        # ``run.answers_sha`` so the gate can assert byte-identical
+        # answers across backends, not just equal counts.
+        which = strategy.split("-", 1)[1]
+        db = workload.db
+        if which == "memory":
+            from ..storage import MemoryBackend
+
+            db = db.with_backend(MemoryBackend())
+        elif which != "none":
+            from ..storage import ensure_backend
+
+            db = ensure_backend(db, which)
+        engine = Engine(workload.program, db, budget=budget)
+
+        def run_backend(tracer: Optional[Tracer] = None):
+            stats = EvaluationStats()
+            result = engine.query(
+                workload.query, strategy="seminaive", stats=stats,
+                tracer=tracer,
+            )
+            digest = hashlib.sha256()
+            for fact in sorted(result.answers, key=repr):
+                digest.update(repr(fact).encode())
+            run_backend.answers_sha = digest.hexdigest()
+            return len(result.answers), stats
+
+        return run_backend
+
     engine = Engine(workload.program, workload.db, budget=budget)
 
     def run(tracer: Optional[Tracer] = None):
@@ -335,15 +375,28 @@ def _run_cell(
     repeats: int,
     unit_s: float,
     trace_dir: Optional[Path] = None,
+    backend: Optional[str] = None,
 ) -> dict:
     """One (strategy, n) cell: traced warmup, then timed repeats.
 
     With a ``trace_dir``, the warmup run's trace is exported as a
     chrome-trace JSON next to the report and its path recorded under
     the cell's ``trace`` key (additive: gating ignores unknown keys,
-    so existing baselines remain comparable).
+    so existing baselines remain comparable).  ``backend`` (from
+    ``bench --backend``) migrates the workload database onto a storage
+    backend before the warmup, outside the timed region; the
+    ``backend-*`` pseudo-strategies ignore it because they pick their
+    own backend per cell.
     """
     workload = family.build(n)
+    if backend is not None and not strategy.startswith("backend-"):
+        from ..storage import ensure_backend
+
+        workload = Workload(
+            workload.program,
+            ensure_backend(workload.db, backend),
+            workload.query,
+        )
     mutations = family.mutations(n) if family.mutations else None
     run = _make_runner(workload, strategy, budget, mutations=mutations)
     # A cold join-plan cache per cell: the traced warmup then reports
@@ -506,12 +559,17 @@ def run_family(
     budget: Budget = BENCH_BUDGET,
     calibration: Optional[dict] = None,
     trace_dir: Optional[Path] = None,
+    backend: Optional[str] = None,
 ) -> dict:
     """Sweep one family over ``sizes``; returns the full report dict.
 
     ``calibration`` may be shared across families (one measurement per
     process); when ``None`` it is measured here.  ``trace_dir``
-    (optional) collects one chrome-trace JSON per cell.
+    (optional) collects one chrome-trace JSON per cell.  ``backend``
+    runs every cell with the workload database migrated onto that
+    storage backend (``bench --backend``); note counters and times
+    then describe that backend, so ``--check`` only makes sense
+    against a baseline generated the same way.
     """
     if calibration is None:
         calibration = calibrate()
@@ -522,6 +580,7 @@ def run_family(
                 _run_cell(
                     family, n, strategy, budget, repeats,
                     calibration["unit_s"], trace_dir=trace_dir,
+                    backend=backend,
                 )
             )
     return {
@@ -536,6 +595,7 @@ def run_family(
         "git_sha": git_sha(),
         "machine": machine_info(),
         "budget_max_relation_tuples": budget.max_relation_tuples,
+        "backend": backend,
         "repeats": repeats,
         "sizes": list(sizes),
         "calibration": calibration,

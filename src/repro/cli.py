@@ -123,6 +123,32 @@ def _order_list(text: str) -> tuple[str, ...]:
     return values
 
 
+def _backend_spec(text: str) -> str:
+    """A storage backend spec: ``memory``, ``sqlite``, ``sqlite:<path>``."""
+    from .storage import BACKENDS
+
+    if text in BACKENDS or text.startswith("sqlite:"):
+        return text
+    raise argparse.ArgumentTypeError(
+        f"expected one of {', '.join(BACKENDS)} or 'sqlite:<path>', "
+        f"got {text!r}"
+    )
+
+
+def _backend_list(text: str) -> tuple[str, ...]:
+    """Comma-separated backend names, e.g. ``sqlite``."""
+    from .storage import BACKENDS
+
+    values = tuple(part.strip() for part in text.split(",") if part.strip())
+    unknown = [v for v in values if v not in BACKENDS]
+    if not values or unknown:
+        raise argparse.ArgumentTypeError(
+            f"expected comma-separated backends from {BACKENDS}, "
+            f"got {text!r}"
+        )
+    return values
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-datalog",
@@ -160,6 +186,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--stats",
         action="store_true",
         help="print the generated-relation statistics after each query",
+    )
+    run.add_argument(
+        "--backend",
+        type=_backend_spec,
+        default=None,
+        help="relation storage backend: memory (default), sqlite "
+        "(out-of-core temporary tables), or sqlite:<path> (durable "
+        "file; see docs/storage.md)",
     )
 
     detect = sub.add_parser(
@@ -247,6 +281,13 @@ def build_parser() -> argparse.ArgumentParser:
         "remote spans are stitched back in, so the trace shows one "
         "lane per worker pid (default: 0 = serial)",
     )
+    profile.add_argument(
+        "--backend",
+        type=_backend_spec,
+        default=None,
+        help="relation storage backend: memory (default), sqlite, or "
+        "sqlite:<path> (docs/storage.md)",
+    )
 
     sub.add_parser(
         "report",
@@ -307,6 +348,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="also run semi-naive evaluation under these join orders "
         "(comma-separated, e.g. 'cost,adaptive'), cross-checking each "
         "run against the reference",
+    )
+    fuzz.add_argument(
+        "--backends",
+        type=_backend_list,
+        default=None,
+        metavar="B[,B...]",
+        help="also run every applicable strategy (and every --orders "
+        "order) over each case migrated onto these storage backends "
+        "(comma-separated, e.g. 'sqlite'), cross-checking each run "
+        "against the in-memory reference",
     )
 
     serve = sub.add_parser(
@@ -429,6 +480,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="also slowlog any request at least this slow (implies "
         "tracing every request; default: off)",
     )
+    serve.add_argument(
+        "--backend",
+        type=_backend_spec,
+        default=None,
+        help="relation storage backend for the live EDB: memory "
+        "(default), sqlite, or sqlite:<path> (docs/storage.md)",
+    )
+    serve.add_argument(
+        "--db-path",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="durable SQLite file for the live EDB (implies the sqlite "
+        "backend): facts already in the file are loaded and mutations "
+        "persist across restarts",
+    )
 
     bench = sub.add_parser(
         "bench",
@@ -438,7 +505,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--families",
         default="all",
         help="comma-separated family keys (e1..e9, incremental-write, "
-        "parallel-scaling) or 'all' (default: all)",
+        "parallel-scaling, skewed-join, out-of-core) or 'all' "
+        "(default: all)",
     )
     bench.add_argument(
         "--sizes",
@@ -494,6 +562,15 @@ def build_parser() -> argparse.ArgumentParser:
         "recorded as outcome=budget (default: 200000)",
     )
     bench.add_argument(
+        "--backend",
+        type=_backend_spec,
+        default=None,
+        help="run every cell with the workload database on this "
+        "storage backend: memory | sqlite | sqlite:<path> (default: "
+        "plain in-memory; --check then needs a baseline generated "
+        "with the same backend)",
+    )
+    bench.add_argument(
         "--trace-dir",
         type=Path,
         default=None,
@@ -518,7 +595,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if not queries:
         print("no queries given (use --query or put 'p(c, X)?' in the file)")
         return 1
-    engine = Engine(parsed.program, parsed.database, order=args.order)
+    engine = Engine(parsed.program, parsed.database, order=args.order,
+                    backend=args.backend)
     for query in queries:
         result = engine.query(query, strategy=args.strategy)
         print(f"% strategy: {result.strategy}")
@@ -608,7 +686,8 @@ def _cmd_profile(args: argparse.Namespace) -> int:
             return 2
         query = file_queries[0]
 
-    engine = Engine(parsed.program, parsed.database, order=args.order)
+    engine = Engine(parsed.program, parsed.database, order=args.order,
+                    backend=args.backend)
     sink = JsonlFileSink(args.events) if args.events is not None else None
     executor = None
     if args.parallel:
@@ -663,6 +742,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         shrink=not args.no_shrink,
         parallel_workers=args.parallel_workers,
         orders=args.orders,
+        backends=args.backends,
     )
     report = run_fuzz(config)
     print(report.summary())
@@ -719,6 +799,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if not 0.0 <= args.trace_sample <= 1.0:
         print("error: --trace-sample must be in [0, 1]", file=sys.stderr)
         return 2
+    if args.db_path is not None and args.backend not in (None, "sqlite"):
+        print("error: --db-path requires --backend sqlite (or no "
+              "--backend)", file=sys.stderr)
+        return 2
 
     requests = [q for q in queries for _ in range(args.repeat)]
     config = ServiceConfig(
@@ -728,6 +812,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         parallel=args.parallel or None,
         trace_sample=args.trace_sample,
         slow_query_threshold_s=args.slow_threshold,
+        backend=args.backend,
+        db_path=str(args.db_path) if args.db_path is not None else None,
     )
     mutations = _serve_mutation_stream(
         parsed.database, parsed.program, args.mutations
@@ -934,6 +1020,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         report = run_family(
             family, sizes, repeats=args.repeats, budget=budget,
             calibration=calibration, trace_dir=trace_dir,
+            backend=args.backend,
         )
         print(summarize(report))
         if args.check:

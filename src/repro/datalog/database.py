@@ -7,6 +7,12 @@ demand for whatever column subsets the joins probe, which is what makes
 the "touch only tuples along a path from the constant" behaviour of the
 Separable algorithm (Section 3.2 of the paper) observable in wall-clock
 time and not just in relation sizes.
+
+:class:`Relation` is the reference implementation of the
+``RelationStorage`` protocol (see :mod:`repro.storage`); alternative
+backends -- e.g. the out-of-core SQLite one -- implement the same
+mutation/lookup/version/stats/observer/pickle surface and plug into
+:class:`Database` via its ``backend`` parameter.
 """
 
 from __future__ import annotations
@@ -167,12 +173,46 @@ class Relation:
         return True
 
     def discard_all(self, facts: Iterable[Fact]) -> int:
-        """Remove many tuples; returns the number that were present."""
-        removed = 0
+        """Remove many tuples; returns the number that were present.
+
+        Bulk counterpart of :meth:`discard`, mirroring :meth:`add_all`:
+        the whole batch leaves the tuple set first and every live index
+        is patched in one pass, instead of paying the per-fact
+        O(#indexes) walk and observer fan-out ``discard`` does.  DRed's
+        delete/rederive path goes through here with whole delta sets.
+        """
+        arity = self.arity
+        tuples = self._tuples
+        removed: list[Fact] = []
         for f in facts:
-            if self.discard(f):
-                removed += 1
-        return removed
+            f = tuple(f)
+            if len(f) != arity:
+                raise ArityError(
+                    f"relation {self.name} has arity {arity}, "
+                    f"got tuple of length {len(f)}: {f!r}"
+                )
+            if f in tuples:
+                tuples.discard(f)
+                removed.append(f)
+        if not removed:
+            return 0
+        self._version += len(removed)
+        for positions, index in self._indexes.items():
+            for fact in removed:
+                key = tuple(fact[p] for p in positions)
+                bucket = index.get(key)
+                if bucket is not None:
+                    try:
+                        bucket.remove(fact)
+                    except ValueError:
+                        pass
+                    if not bucket:
+                        del index[key]
+        if self._observers:
+            for fact in removed:
+                for cb in self._observers:
+                    cb(self, fact, -1)
+        return len(removed)
 
     def clear(self) -> None:
         """Remove all tuples and drop all indexes."""
@@ -316,6 +356,21 @@ class Relation:
         self._sample_cache = (self._version, k, sampled)
         return sampled
 
+    # -- copies and snapshots ----------------------------------------------
+
+    def copy(self) -> "Relation":
+        """A private writable copy (indexes, caches, observers not copied)."""
+        return Relation(self.name, self.arity, self._tuples)
+
+    def snapshot(self) -> "Relation":
+        """A stable view of the current contents.
+
+        For the in-memory backend this is just :meth:`copy`; out-of-core
+        backends can return a cheaper read-only view (the SQLite backend
+        pins a WAL read transaction instead of copying tuples).
+        """
+        return self.copy()
+
     def __repr__(self) -> str:
         return f"Relation({self.name}/{self.arity}, {len(self)} tuples)"
 
@@ -325,25 +380,53 @@ class Database:
 
     Unknown relations read as empty; writes create the relation with the
     arity of the first tuple (or an explicit :meth:`ensure` call).
+
+    ``backend`` selects where relations created through this database
+    live.  ``None`` (the default) means the in-memory hash-indexed
+    :class:`Relation` -- constructed directly, with zero dispatch
+    overhead on the default path.  Any object implementing the
+    :class:`repro.storage.StorageBackend` protocol (``name``,
+    ``make_relation``, ``scratch``) routes relation creation through
+    ``backend.make_relation(name, arity, tuples)`` instead.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, backend=None) -> None:
         self._relations: dict[str, Relation] = {}
         self._distinct_cache: tuple[tuple, frozenset[ConstValue]] | None = \
             None
         self._observers: list = []
         self._fp_cache: tuple[int, tuple] | None = None
+        self._backend = backend
 
     # -- construction -----------------------------------------------------
 
     @classmethod
-    def from_facts(cls, facts: Mapping[str, Iterable[Fact]]) -> "Database":
+    def from_facts(cls, facts: Mapping[str, Iterable[Fact]],
+                   backend=None) -> "Database":
         """Build a database from ``{predicate: iterable of tuples}``."""
-        db = cls()
+        db = cls(backend=backend)
         for name, tuples in facts.items():
             for t in tuples:
                 db.add_fact(name, tuple(t))
         return db
+
+    @property
+    def backend_name(self) -> str:
+        """The storage backend's name (``"memory"`` for the default)."""
+        return "memory" if self._backend is None else self._backend.name
+
+    def _make_relation(self, name: str, arity: int,
+                       tuples: Iterable[Fact] = ()) -> Relation:
+        if self._backend is None:
+            return Relation(name, arity, tuples)
+        return self._backend.make_relation(name, arity, tuples)
+
+    def _scratch_backend(self):
+        # Copies and snapshots must be *private*: a durable file-backed
+        # backend hands them a scratch (temporary) variant so derived
+        # relations created on a copy never land in -- or collide
+        # inside -- the shared database file.
+        return None if self._backend is None else self._backend.scratch()
 
     def copy(self) -> "Database":
         """A deep copy sharing no mutable state (indexes not copied).
@@ -355,14 +438,53 @@ class Database:
         database.
 
         Observers are *not* inherited: a copy is a private snapshot and
-        mutating it must not feed the original's delta capture.
+        mutating it must not feed the original's delta capture.  The
+        storage backend carries over in its scratch form, so relations
+        the evaluators derive on the copy stay in the same storage
+        class as the inputs without touching any durable file.
         """
-        other = Database()
+        other = Database(backend=self._scratch_backend())
         copies: dict[int, Relation] = {}
         for name, rel in self._relations.items():
             clone = copies.get(id(rel))
             if clone is None:
-                clone = Relation(rel.name, rel.arity, rel)
+                clone = rel.copy()
+                copies[id(rel)] = clone
+            other._relations[name] = clone
+        return other
+
+    def snapshot(self) -> "Database":
+        """A stable read view of the current contents.
+
+        Like :meth:`copy` (aliasing preserved, no observers inherited)
+        but built from :meth:`Relation.snapshot`, which out-of-core
+        backends implement without copying tuples -- the SQLite backend
+        returns read-only connections pinned to the current WAL state.
+        The service's fingerprint-keyed snapshot LRU goes through here.
+        """
+        other = Database(backend=self._scratch_backend())
+        copies: dict[int, Relation] = {}
+        for name, rel in self._relations.items():
+            clone = copies.get(id(rel))
+            if clone is None:
+                clone = rel.snapshot()
+                copies[id(rel)] = clone
+            other._relations[name] = clone
+        return other
+
+    def with_backend(self, backend) -> "Database":
+        """A copy of this database with every relation stored in ``backend``.
+
+        Aliasing is preserved exactly as in :meth:`copy`; observers are
+        not carried over.  ``backend=None`` migrates back to the
+        in-memory default.
+        """
+        other = Database(backend=backend)
+        copies: dict[int, Relation] = {}
+        for name, rel in self._relations.items():
+            clone = copies.get(id(rel))
+            if clone is None:
+                clone = other._make_relation(rel.name, rel.arity, rel)
                 copies[id(rel)] = clone
             other._relations[name] = clone
         return other
@@ -385,6 +507,9 @@ class Database:
         self._distinct_cache = None
         self._observers = []
         self._fp_cache = None
+        # Backend objects hold process-local handles (connections,
+        # paths); an unpickled copy is a private in-memory snapshot.
+        self._backend = None
 
     # -- observation -------------------------------------------------------
 
@@ -419,9 +544,23 @@ class Database:
         every database it is attached to.  Evaluators use this to build
         lightweight views (e.g. a database where a delta relation stands
         in for an IDB predicate) without copying tuples.
+
+        Replacing an existing mount unsubscribes this database's
+        observers from the displaced relation once it no longer holds
+        any mount here -- otherwise a later :meth:`unobserve` (which
+        only walks current mounts) would leave the subscription behind
+        and a detached delta capture would keep receiving its events.
         """
-        self._relations[name or relation.name] = relation
+        mount = name or relation.name
+        displaced = self._relations.get(mount)
+        self._relations[mount] = relation
         self._fp_cache = None
+        if (displaced is not None and displaced is not relation
+                and self._observers
+                and all(r is not displaced
+                        for r in self._relations.values())):
+            for cb in self._observers:
+                displaced.unobserve(cb)
         if self._observers:
             # The mounted relation's tuples arrived without deltas;
             # observers can only treat this as a wholesale reset.
@@ -433,7 +572,7 @@ class Database:
         """Get the named relation, creating it empty if absent."""
         rel = self._relations.get(name)
         if rel is None:
-            rel = Relation(name, arity)
+            rel = self._make_relation(name, arity)
             self._relations[name] = rel
             self._fp_cache = None
             for cb in self._observers:

@@ -456,12 +456,105 @@ def _run_order_sweep(
             )
 
 
+def _run_backend_sweep(
+    verdict: OracleVerdict,
+    case: Case,
+    budget: Budget,
+    backends: Sequence[str],
+    strategies: Optional[Sequence[str]] = None,
+    orders: Optional[Sequence[str]] = None,
+) -> None:
+    """Cross-check alternative storage backends against the reference.
+
+    For each requested backend the case's database is migrated once
+    (:func:`repro.storage.ensure_backend`) and every applicable
+    strategy re-runs on a fresh engine over the migrated database;
+    when ``orders`` are requested, semi-naive additionally re-runs once
+    per order.  Outcomes are recorded as ``backend[sqlite:auto]``,
+    ``backend[sqlite:order-cost]`` etc.; answer diffs, stats
+    invariants, and trace invariants are held to exactly the in-memory
+    standard -- answer-set equality against the same reference is what
+    makes the sorted answer digests byte-identical across backends.
+    """
+    from ..storage import ensure_backend
+
+    for backend in backends:
+        db = ensure_backend(case.database, backend)
+        runs: list[tuple[str, str, dict]] = [
+            (strategy, strategy, {})
+            for strategy in applicable_strategies(case, strategies)
+        ]
+        for order in orders or ():
+            runs.append((f"order-{order}", "seminaive", {"order": order}))
+        for label, strategy, engine_kw in runs:
+            name = f"backend[{backend}:{label}]"
+            engine = Engine(case.program, db, budget=budget, **engine_kw)
+            stats = EvaluationStats()
+            tracer = Tracer()
+            try:
+                result = engine.query(
+                    case.query, strategy=strategy, stats=stats,
+                    tracer=tracer,
+                )
+            except _TOLERATED as exc:
+                verdict.outcomes[name] = StrategyOutcome(
+                    strategy=name, skipped=str(exc)
+                )
+                profile = _profile_summary(
+                    name, getattr(exc, "stats", None) or stats, tracer
+                )
+                profile["backend"] = backend
+                _append_trace_findings(verdict, name, tracer, profile)
+                continue
+            except ReproError as exc:
+                verdict.outcomes[name] = StrategyOutcome(
+                    strategy=name, error=str(exc)
+                )
+                profile = _profile_summary(name, stats, tracer)
+                profile["backend"] = backend
+                verdict.disagreements.append(
+                    Disagreement(
+                        kind="error",
+                        strategy=name,
+                        detail=f"{type(exc).__name__}: {exc}",
+                        profile=profile,
+                    )
+                )
+                continue
+            verdict.outcomes[name] = StrategyOutcome(
+                strategy=name, answers=result.answers, stats=result.stats
+            )
+            profile = _profile_summary(name, result.stats, tracer)
+            profile["backend"] = backend
+            _append_trace_findings(verdict, name, tracer, profile)
+            if result.answers != verdict.reference:
+                verdict.disagreements.append(
+                    Disagreement(
+                        kind="answers",
+                        strategy=name,
+                        detail=_diff_detail(
+                            verdict.reference, result.answers
+                        ),
+                        profile=profile,
+                    )
+                )
+            for problem in _stats_violations(
+                result.answers, result.stats, result.strategy,
+                case.query.predicate,
+            ):
+                verdict.disagreements.append(
+                    Disagreement(kind="stats", strategy=name,
+                                 detail=problem, profile=profile)
+                )
+
+
 def run_case(
     case: Case,
     strategies: Optional[Sequence[str]] = None,
     budget: Budget = DEFAULT_FUZZ_BUDGET,
     parallel_workers: Optional[Sequence[int]] = None,
     orders: Optional[Sequence[str]] = None,
+    backends: Optional[Sequence[str]] = None,
 ) -> OracleVerdict:
     """Evaluate a case under every applicable strategy and diff results.
 
@@ -472,7 +565,9 @@ def run_case(
     additionally re-runs semi-naive evaluation once per listed join
     order (``cost``, ``adaptive``) on a fresh engine, diffing each run
     against the reference -- the planner-vs-greedy differential
-    harness.
+    harness.  ``backends`` re-runs every applicable strategy (and every
+    listed order) over the case migrated onto each named storage
+    backend -- the backend-vs-memory differential harness.
     """
     verdict = OracleVerdict(case=case, reference=None)
 
@@ -563,6 +658,9 @@ def run_case(
         _run_parallel_sweep(verdict, case, budget, parallel_workers)
     if orders:
         _run_order_sweep(verdict, case, budget, orders)
+    if backends:
+        _run_backend_sweep(verdict, case, budget, backends,
+                           strategies=strategies, orders=orders)
     return verdict
 
 
@@ -572,6 +670,7 @@ def make_failure_predicate(
     budget: Budget = DEFAULT_FUZZ_BUDGET,
     parallel_workers: Optional[Sequence[int]] = None,
     orders: Optional[Sequence[str]] = None,
+    backends: Optional[Sequence[str]] = None,
 ) -> Callable[[Case], bool]:
     """A shrinker predicate: does the case still show *this* failure?
 
@@ -586,7 +685,8 @@ def make_failure_predicate(
             verdict = run_case(candidate, strategies=strategies,
                                budget=budget,
                                parallel_workers=parallel_workers,
-                               orders=orders)
+                               orders=orders,
+                               backends=backends)
         except Exception:
             return False
         return any(

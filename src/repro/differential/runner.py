@@ -43,6 +43,9 @@ class FuzzConfig:
     against the reference -- the parallel-vs-serial half of the oracle.
     ``orders`` adds a semi-naive run per listed join order (``cost``,
     ``adaptive``) the same way -- the planner-vs-greedy half.
+    ``backends`` re-runs every applicable strategy (and every listed
+    order) over each case migrated onto each named storage backend --
+    the backend-vs-memory half.
     """
 
     iterations: int = 200
@@ -55,6 +58,7 @@ class FuzzConfig:
     generator: GeneratorConfig = GeneratorConfig()
     parallel_workers: Optional[Sequence[int]] = None
     orders: Optional[Sequence[str]] = None
+    backends: Optional[Sequence[str]] = None
 
 
 @dataclass
@@ -152,6 +156,7 @@ def _shrink_failure(
     predicate = make_failure_predicate(
         signature, strategies=config.strategies, budget=config.budget,
         parallel_workers=config.parallel_workers, orders=config.orders,
+        backends=config.backends,
     )
     result = shrink_case(
         failure.case, predicate, max_attempts=config.max_shrink_attempts
@@ -171,6 +176,7 @@ def run_fuzz(config: FuzzConfig = FuzzConfig()) -> FuzzReport:
                 case, strategies=config.strategies, budget=config.budget,
                 parallel_workers=config.parallel_workers,
                 orders=config.orders,
+                backends=config.backends,
             )
             report.corpus_replayed += 1
             _account(report, verdict)
@@ -193,6 +199,7 @@ def run_fuzz(config: FuzzConfig = FuzzConfig()) -> FuzzReport:
             case, strategies=config.strategies, budget=config.budget,
             parallel_workers=config.parallel_workers,
             orders=config.orders,
+            backends=config.backends,
         )
         report.iterations_run += 1
         _account(report, verdict)

@@ -127,6 +127,7 @@ class Engine:
         budget: Budget = UNLIMITED,
         order: str = "greedy",
         tracer=None,
+        backend=None,
     ) -> None:
         from .datalog.plan_cache import ORDERS
 
@@ -134,6 +135,12 @@ class Engine:
             raise ValueError(
                 f"unknown join order {order!r}; choose from {ORDERS}"
             )
+        if backend is not None:
+            # Migrate the EDB onto the requested storage backend (a
+            # no-op when it is already there -- `backend="memory"` on
+            # an ordinary database costs one name comparison).
+            from .storage import ensure_backend
+            edb = ensure_backend(edb, backend)
         self.program = program
         self.edb = edb
         self.budget = budget

@@ -43,13 +43,38 @@ class DeltaCapture:
         self.overflow = False
         self._inserted: dict[str, set[Fact]] = {}
         self._deleted: dict[str, set[Fact]] = {}
+        self._mounts: dict[int, tuple[str, ...]] = {}
+        self._refresh_mounts()
         db.observe(self._on_event)
+
+    def _refresh_mounts(self) -> None:
+        # Deltas are keyed on the *mount* name, not ``relation.name``:
+        # a relation alias-mounted under a different predicate before
+        # capture started must record its deltas under the name the
+        # maintenance layer will repair, or not at all.
+        mounts: dict[int, list[str]] = {}
+        for name in self._db.predicates():
+            rel = self._db.relation(name)
+            mounts.setdefault(id(rel), []).append(name)
+        self._mounts = {k: tuple(v) for k, v in mounts.items()}
 
     def _on_event(self, relation, fact, sign) -> None:
         if sign == 0:
             self.overflow = True
             return
-        name = relation.name
+        names = self._mounts.get(id(relation))
+        if names is None:
+            # Relation created (via ensure/add_fact) after capture
+            # started: pick up the new mount table once.
+            self._refresh_mounts()
+            names = self._mounts.get(id(relation))
+        if names is None or len(names) != 1:
+            # Unmounted, or alias-mounted under several predicates --
+            # one event would have to stand for several per-predicate
+            # deltas, which the net-delta protocol cannot express.
+            self.overflow = True
+            return
+        name = names[0]
         if name in self._guard:
             self.overflow = True
             return

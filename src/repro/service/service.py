@@ -50,7 +50,7 @@ from ..core.api import full_selection_from_extent
 from ..core.detection import require_separable
 from ..core.selections import SelectionDirtiness
 from ..datalog.atoms import Atom
-from ..datalog.database import Database, Relation
+from ..datalog.database import Database
 from ..datalog.errors import BudgetExceeded, ReproError
 from ..datalog.parser import parse_query
 from ..datalog.programs import Program
@@ -130,6 +130,18 @@ class ServiceConfig:
         Bound on the in-memory slow-query ring the HTTP ``/slowlog``
         endpoint reads (oldest evicted first; a sink, when configured,
         still receives every record).
+    backend:
+        Storage backend spec for the live EDB
+        (:func:`repro.storage.resolve_backend` semantics: ``None`` /
+        ``"memory"`` / ``"sqlite"`` / ``"sqlite:<path>"`` / a backend
+        object).  The EDB handed to :class:`QueryService` is migrated
+        onto it at construction.
+    db_path:
+        Durable SQLite database file for the live EDB.  Implies the
+        ``sqlite`` backend; facts already in the file are loaded, and
+        mutations persist across service restarts.  Snapshots become
+        read-only WAL connections instead of tuple-set copies (see
+        ``docs/storage.md``).
     """
 
     workers: int = 4
@@ -145,6 +157,8 @@ class ServiceConfig:
     trace_sample: float = 0.0
     slow_query_threshold_s: Optional[float] = None
     slowlog_capacity: int = 256
+    backend: object = None
+    db_path: Optional[str] = None
 
 
 @dataclass(frozen=True)
@@ -232,8 +246,20 @@ class QueryService:
         sink: Optional[EventSink] = None,
     ) -> None:
         self.program = program
-        self.edb = edb
         self.config = config or ServiceConfig()
+        backend = self.config.backend
+        if self.config.db_path is not None:
+            if backend not in (None, "sqlite"):
+                raise ValueError(
+                    "db_path requires the sqlite backend, "
+                    f"got backend={backend!r}"
+                )
+            backend = f"sqlite:{self.config.db_path}"
+        if backend is not None:
+            from ..storage import ensure_backend
+
+            edb = ensure_backend(edb, backend)
+        self.edb = edb
         self.metrics = metrics or ServiceMetrics()
         self.memo = FullSelectionMemo(self.config.memo_size)
         self.slowlog_ring = SlowlogRing(self.config.slowlog_capacity)
@@ -454,7 +480,10 @@ class QueryService:
             shared = prev.db.relation(name)
             if (name in mutated or shared is None
                     or shared.arity != live.arity):
-                db.attach(Relation(live.name, live.arity, live), name)
+                # A stable view of the mutated relation: a copy for the
+                # in-memory backend, a read-only pinned connection for
+                # durable SQLite.
+                db.attach(live.snapshot(), name)
             else:
                 db.attach(shared, name)
         snap = _Snapshot(
@@ -486,7 +515,10 @@ class QueryService:
             if snap is not None:
                 self._snapshots.move_to_end(fingerprint)
                 return snap
-            db = self.edb.copy()
+            # Snapshots are never mutated once captured, so a stable
+            # read view is enough; out-of-core backends make this much
+            # cheaper than the deep copy it used to be.
+            db = self.edb.snapshot()
             snap = _Snapshot(
                 fingerprint=fingerprint,
                 db=db,

@@ -31,13 +31,15 @@ class TestResolve:
 PSEUDO = {"detect", "incremental", "fromscratch", "serial",
           "parallel-1", "parallel-2", "parallel-4",
           "order-greedy", "order-left_to_right", "order-cost",
-          "order-adaptive"}
+          "order-adaptive",
+          "backend-none", "backend-memory", "backend-sqlite"}
 
 
 class TestRegistry:
     def test_registry_keys(self):
         assert list(FAMILIES) == [f"e{i}" for i in range(1, 10)] + [
-            "incremental-write", "parallel-scaling", "skewed-join"
+            "incremental-write", "out-of-core", "parallel-scaling",
+            "skewed-join",
         ]
 
     @pytest.mark.parametrize("key", list(FAMILIES))

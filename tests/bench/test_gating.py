@@ -12,6 +12,7 @@ import pytest
 
 import repro.bench.harness as harness
 from repro.bench import (
+    backend_findings,
     calibrate,
     compare_reports,
     maintenance_findings,
@@ -357,6 +358,73 @@ class TestSkewGate:
     def test_compare_reports_runs_the_gate_on_the_current_run(self):
         base = _skew_report()
         cur = _skew_report(cost_sha="bb")
+        findings = compare_reports(base, cur, time_tolerance=1e9)
+        assert "answers" in {f.kind for f in findings}
+
+
+def _backend_report(none_s=0.02, memory_s=0.022, sqlite_s=0.08,
+                    memory_answers=43, memory_sha="aa",
+                    sqlite_answers=43, sqlite_sha="aa", outcome="ok"):
+    def cell(strategy, median_s, answers, sha):
+        return {
+            "strategy": strategy, "n": 64, "outcome": outcome,
+            "answers": answers, "answers_sha": sha,
+            "max_relation_size": 999, "tuples_produced": 0,
+            "tuples_examined": 0, "iterations": 0,
+            "counters": {}, "trace_violations": [],
+            "median_s": median_s, "normalized": median_s / 0.005,
+        }
+
+    return {
+        "schema": "repro-bench/1",
+        "family": "out-of-core",
+        "sizes": [64],
+        "results": [
+            cell("backend-none", none_s, 43, "aa"),
+            cell("backend-memory", memory_s, memory_answers, memory_sha),
+            cell("backend-sqlite", sqlite_s, sqlite_answers, sqlite_sha),
+        ],
+    }
+
+
+class TestBackendGate:
+    def test_honest_run_passes(self):
+        assert backend_findings(_backend_report()) == []
+
+    def test_memory_dispatch_overhead_fails(self):
+        findings = backend_findings(_backend_report(memory_s=0.05))
+        assert [f.kind for f in findings] == ["backend"]
+        assert "selection must be free" in findings[0].message
+
+    def test_sqlite_slowness_is_not_a_finding(self):
+        # Paying per-probe SQL cost is the out-of-core deal, not a
+        # regression; only correctness is gated for sqlite.
+        assert backend_findings(_backend_report(sqlite_s=5.0)) == []
+
+    def test_noise_floor_waives_overhead_only(self):
+        report = _backend_report(none_s=1e-3, memory_s=1e-2,
+                                 sqlite_sha="bb")
+        findings = backend_findings(report)
+        assert [f.kind for f in findings] == ["answers"]
+
+    def test_answer_count_mismatch_is_correctness(self):
+        findings = backend_findings(_backend_report(sqlite_answers=41))
+        assert "answers" in {f.kind for f in findings}
+
+    def test_digest_mismatch_is_correctness_even_at_equal_counts(self):
+        findings = backend_findings(_backend_report(memory_sha="bb"))
+        assert "answers" in {f.kind for f in findings}
+        assert any("digest" in f.message for f in findings)
+
+    def test_non_ok_cells_are_skipped(self):
+        assert backend_findings(_backend_report(outcome="budget")) == []
+
+    def test_other_families_produce_no_findings(self):
+        assert backend_findings(_skew_report()) == []
+
+    def test_compare_reports_runs_the_gate_on_the_current_run(self):
+        base = _backend_report()
+        cur = _backend_report(sqlite_sha="bb")
         findings = compare_reports(base, cur, time_tolerance=1e9)
         assert "answers" in {f.kind for f in findings}
 

@@ -33,6 +33,7 @@ REPORT_KEYS = {
     "git_sha",
     "machine",
     "budget_max_relation_tuples",
+    "backend",
     "repeats",
     "sizes",
     "calibration",

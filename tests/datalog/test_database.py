@@ -387,6 +387,36 @@ class TestDiscard:
         assert rel.discard_all([("a",), ("z",), ("b",)]) == 2
         assert len(rel) == 0
 
+    def test_discard_all_bumps_version_once_per_batch(self):
+        # Mirrors add_all: one += len(removed) batch increment, so the
+        # fingerprint arithmetic matches a per-fact discard loop without
+        # paying per-fact observer/index walks.
+        rel = Relation("p", 1, [("a",), ("b",), ("c",)])
+        v = rel.version
+        assert rel.discard_all([("a",), ("z",), ("b",)]) == 2
+        assert rel.version == v + 2
+        assert rel.discard_all([("q",)]) == 0
+        assert rel.version == v + 2
+
+    def test_discard_all_patches_live_indexes_once(self):
+        rel = Relation("p", 2, [("a", "b"), ("a", "c"), ("d", "e")])
+        rel.lookup((0,), ("a",))  # force index build
+        assert rel.discard_all([("a", "b"), ("a", "c"), ("x", "y")]) == 2
+        assert rel.lookup((0,), ("a",)) == []
+        assert rel.lookup((0,), ("d",)) == [("d", "e")]
+
+    def test_discard_all_fires_observer_per_removed_fact(self):
+        rel = Relation("p", 1, [("a",), ("b",)])
+        events = []
+        rel.observe(lambda r, f, s: events.append((f, s)))
+        rel.discard_all([("a",), ("z",), ("b",)])
+        assert events == [(("a",), -1), (("b",), -1)]
+
+    def test_discard_all_arity_enforced(self):
+        rel = Relation("p", 2)
+        with pytest.raises(ArityError):
+            rel.discard_all([("a", "b"), ("a",)])
+
     def test_database_remove_fact(self):
         db = Database.from_facts({"p": [("a",)]})
         assert db.remove_fact("p", ("a",))
